@@ -1,0 +1,150 @@
+// Command s2c2-master drives a real TCP cluster through an iterative
+// coded workload: it waits for workers, encodes and distributes the data,
+// then runs gradient descent for logistic regression with S2C2 work
+// assignment, printing per-iteration latency, straggler decisions, and
+// the final model quality.
+//
+// Usage (one master + three workers on a laptop):
+//
+//	s2c2-master -listen :7077 -workers 4 -k 3 -iters 10 &
+//	for i in 1 2 3; do s2c2-worker -master 127.0.0.1:7077 & done
+//	s2c2-worker -master 127.0.0.1:7077 -slowdown 8   # the straggler
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/predict"
+	"github.com/coded-computing/s2c2/internal/rpc"
+	"github.com/coded-computing/s2c2/internal/sched"
+	"github.com/coded-computing/s2c2/internal/workloads"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7077", "listen address")
+		workers = flag.Int("workers", 4, "number of workers (n)")
+		k       = flag.Int("k", 3, "MDS recovery threshold (k)")
+		iters   = flag.Int("iters", 10, "gradient-descent iterations")
+		samples = flag.Int("samples", 2000, "dataset rows")
+		feats   = flag.Int("features", 200, "dataset columns")
+		timeout = flag.Float64("timeout", 0.15, "straggler timeout fraction (§4.3)")
+	)
+	flag.Parse()
+	if err := run(*listen, *workers, *k, *iters, *samples, *feats, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "s2c2-master:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, n, k, iters, samples, feats int, timeoutFrac float64) error {
+	m, err := rpc.NewMaster(listen)
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	fmt.Printf("master listening on %s, waiting for %d workers...\n", m.Addr(), n)
+	if err := m.WaitForWorkers(n, 5*time.Minute); err != nil {
+		return err
+	}
+	fmt.Printf("all %d workers connected\n", n)
+
+	data := workloads.SyntheticClassification(samples, feats, 1)
+	lr := &workloads.LogisticRegression{Data: data, LR: 0.5, Lambda: 1e-4, Tol: 0}
+	matrices := lr.Matrices()
+
+	code, err := coding.NewMDSCode(n, k)
+	if err != nil {
+		return err
+	}
+	encs := make([]*coding.EncodedMatrix, len(matrices))
+	strategies := make([]*sched.GeneralS2C2, len(matrices))
+	for p, mtx := range matrices {
+		encs[p] = code.Encode(mtx)
+		strategies[p] = &sched.GeneralS2C2{N: n, K: k, BlockRows: encs[p].BlockRows}
+		if err := m.DistributePartitions(p, encs[p]); err != nil {
+			return err
+		}
+		fmt.Printf("phase %d: distributed %d coded partitions of %dx%d\n",
+			p, n, encs[p].BlockRows, encs[p].Cols)
+	}
+
+	// Online speed estimation: observed rows/sec per worker feeds an AR(1)
+	// model refitted as history accumulates.
+	history := make([][]float64, n)
+	ar1 := &predict.AR1{}
+	state := lr.Init()
+	for iter := 0; iter < iters; iter++ {
+		speeds := predictSpeeds(ar1, history, n)
+		start := time.Now()
+		outputs := make([][]float64, len(matrices))
+		for p := range matrices {
+			in := lr.PhaseInput(p, state, outputs[:p])
+			plan, err := strategies[p].Plan(speeds)
+			if err != nil {
+				return err
+			}
+			partials, stats, err := m.RunRound(iter, p, in, plan, k, timeoutFrac)
+			if err != nil {
+				return err
+			}
+			out, err := encs[p].DecodeMatVec(partials)
+			if err != nil {
+				return err
+			}
+			outputs[p] = out
+			recordSpeeds(history, stats, encs[p].Cols)
+			if len(stats.TimedOut) > 0 {
+				fmt.Printf("  iter %d phase %d: timed out %v, reassigned %d rows\n",
+					iter, p, stats.TimedOut, stats.Reassigned)
+			}
+		}
+		state, _ = lr.Update(state, outputs)
+		if len(history[0]) >= 3 {
+			ar1.Fit(history) //nolint:errcheck // refit is best-effort
+		}
+		fmt.Printf("iter %2d: %8.2fms  loss %.4f  acc %.3f\n",
+			iter, float64(time.Since(start).Microseconds())/1000,
+			lr.Loss(state), lr.Accuracy(state))
+	}
+	fmt.Printf("final model: loss %.4f accuracy %.3f\n", lr.Loss(state), lr.Accuracy(state))
+	return nil
+}
+
+// predictSpeeds bootstraps with equal speeds, then uses AR(1) forecasts.
+func predictSpeeds(ar1 *predict.AR1, history [][]float64, n int) []float64 {
+	speeds := make([]float64, n)
+	for w := 0; w < n; w++ {
+		if len(history[w]) == 0 {
+			speeds[w] = 1
+			continue
+		}
+		speeds[w] = ar1.Predict(history[w])
+		if speeds[w] <= 0 {
+			speeds[w] = history[w][len(history[w])-1]
+		}
+		if speeds[w] <= 0 {
+			speeds[w] = 0.01
+		}
+	}
+	return speeds
+}
+
+// recordSpeeds appends observed per-worker rates (rows·cols per second).
+func recordSpeeds(history [][]float64, stats *rpc.RoundStats, cols int) {
+	for w := range history {
+		v := 0.0
+		if stats.ResponseTime[w] > 0 && stats.AssignedRows[w] > 0 {
+			v = float64(stats.AssignedRows[w]*cols) / stats.ResponseTime[w].Seconds()
+		} else if len(history[w]) > 0 {
+			v = history[w][len(history[w])-1]
+		} else {
+			v = 1
+		}
+		history[w] = append(history[w], v)
+	}
+}

@@ -1,0 +1,44 @@
+// Command s2c2-worker is the worker daemon of the TCP runtime: it dials
+// the master, receives coded partitions, and serves per-round work
+// assignments until shut down.
+//
+// Usage:
+//
+//	s2c2-worker -master 127.0.0.1:7077
+//	s2c2-worker -master 10.0.0.1:7077 -slowdown 5   # act as a straggler
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/rpc"
+)
+
+func main() {
+	var (
+		master   = flag.String("master", "127.0.0.1:7077", "master host:port")
+		slowdown = flag.Float64("slowdown", 1, "artificial slowdown factor (straggler emulation)")
+		perRow   = flag.Duration("per-row-delay", 0, "fixed extra cost per computed row")
+	)
+	flag.Parse()
+
+	w, err := rpc.NewWorker(rpc.WorkerConfig{
+		MasterAddr:  *master,
+		Slowdown:    *slowdown,
+		PerRowDelay: *perRow,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2c2-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "s2c2-worker: connected to %s (slowdown %.1fx)\n", *master, *slowdown)
+	start := time.Now()
+	if err := w.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "s2c2-worker: exited after %v: %v\n", time.Since(start), err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "s2c2-worker: shut down cleanly after %v\n", time.Since(start))
+}

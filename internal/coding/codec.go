@@ -1,0 +1,174 @@
+// Package coding implements the erasure-coding layer of the S2C2 stack:
+//
+//   - an (n,k) MDS code over float64 with a systematic Cauchy-parity
+//     generator (any k of the n coded partitions suffice to decode),
+//   - the same code over the exact prime field GF(2³¹−1) for bit-exact
+//     round trips and property tests, and
+//   - polynomial codes (Yu et al., NIPS'17) for bilinear computations
+//     such as the Hessian form Aᵀ·diag(x)·B.
+//
+// All codecs share the partial-result model of the paper: a worker holds
+// one coded partition and may return results for an arbitrary subset of
+// its partition's row indices; the decoder reconstructs every output row
+// from any k (or a·b, for polynomial codes) worker results covering it.
+package coding
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Range is a half-open row-index interval [Lo, Hi) within a partition.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of rows in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether row is inside the range.
+func (r Range) Contains(row int) bool { return row >= r.Lo && row < r.Hi }
+
+// TotalRows sums the lengths of the ranges.
+func TotalRows(ranges []Range) int {
+	n := 0
+	for _, r := range ranges {
+		n += r.Len()
+	}
+	return n
+}
+
+// NormalizeRanges sorts ranges, drops empties, and merges overlaps,
+// returning a canonical minimal representation.
+func NormalizeRanges(ranges []Range) []Range {
+	rs := make([]Range, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Len() > 0 {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:0]
+	for _, r := range rs {
+		if len(out) > 0 && r.Lo <= out[len(out)-1].Hi {
+			if r.Hi > out[len(out)-1].Hi {
+				out[len(out)-1].Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Partial is the result a worker returns for one round: the values of its
+// assigned rows of the coded computation. Values holds the computed rows
+// concatenated in range order; for vector results each row contributes one
+// float64, for matrix results RowWidth values per row.
+type Partial struct {
+	Worker   int
+	Ranges   []Range
+	RowWidth int
+	Values   []float64
+}
+
+// NumRows returns how many partition rows the partial covers.
+func (p *Partial) NumRows() int { return TotalRows(p.Ranges) }
+
+// Validate checks internal consistency of the partial.
+func (p *Partial) Validate(blockRows int) error {
+	if p.RowWidth <= 0 {
+		return fmt.Errorf("coding: partial from worker %d has RowWidth %d", p.Worker, p.RowWidth)
+	}
+	for _, r := range p.Ranges {
+		if r.Lo < 0 || r.Hi > blockRows || r.Lo > r.Hi {
+			return fmt.Errorf("coding: partial from worker %d has range [%d,%d) outside [0,%d)", p.Worker, r.Lo, r.Hi, blockRows)
+		}
+	}
+	if want := p.NumRows() * p.RowWidth; len(p.Values) != want {
+		return fmt.Errorf("coding: partial from worker %d has %d values, want %d", p.Worker, len(p.Values), want)
+	}
+	return nil
+}
+
+// rowTable indexes partial results row-by-row for a decode pass.
+// table[w] is nil if worker w returned nothing; otherwise table[w][r] is
+// the offset into values[w] for row r, or -1 when the worker did not
+// compute row r.
+type rowTable struct {
+	blockRows int
+	rowWidth  int
+	offsets   map[int][]int
+	values    map[int][]float64
+	order     []int // workers in arrival order
+}
+
+func buildRowTable(partials []*Partial, blockRows int) (*rowTable, error) {
+	t := &rowTable{
+		blockRows: blockRows,
+		offsets:   make(map[int][]int, len(partials)),
+		values:    make(map[int][]float64, len(partials)),
+	}
+	for _, p := range partials {
+		if err := p.Validate(blockRows); err != nil {
+			return nil, err
+		}
+		if t.rowWidth == 0 {
+			t.rowWidth = p.RowWidth
+		} else if t.rowWidth != p.RowWidth {
+			return nil, fmt.Errorf("coding: mixed row widths %d and %d", t.rowWidth, p.RowWidth)
+		}
+		off, ok := t.offsets[p.Worker]
+		if !ok {
+			off = make([]int, blockRows)
+			for i := range off {
+				off[i] = -1
+			}
+			t.offsets[p.Worker] = off
+			t.values[p.Worker] = nil
+			t.order = append(t.order, p.Worker)
+		}
+		vals := t.values[p.Worker]
+		base := len(vals)
+		vals = append(vals, p.Values...)
+		t.values[p.Worker] = vals
+		at := base
+		for _, r := range p.Ranges {
+			for row := r.Lo; row < r.Hi; row++ {
+				off[row] = at
+				at += p.RowWidth
+			}
+		}
+	}
+	return t, nil
+}
+
+// workersForRow returns up to max workers (in arrival order) that computed
+// the given row.
+func (t *rowTable) workersForRow(row, max int) []int {
+	out := make([]int, 0, max)
+	for _, w := range t.order {
+		if t.offsets[w][row] >= 0 {
+			out = append(out, w)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// rowValue returns the RowWidth values worker w computed for row.
+func (t *rowTable) rowValue(w, row int) []float64 {
+	off := t.offsets[w][row]
+	return t.values[w][off : off+t.rowWidth]
+}
+
+func setKey(workers []int) string {
+	var b strings.Builder
+	for _, w := range workers {
+		fmt.Fprintf(&b, "%d,", w)
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package coding
+
+import (
+	"fmt"
+
+	"github.com/coded-computing/s2c2/internal/gf"
+)
+
+// LagrangeCode implements Lagrange Coded Computing (Yu et al.,
+// AISTATS'19), the generalisation of MDS/polynomial coding the paper
+// points to in §2: it adds coded redundancy for *any* polynomial
+// computation f applied to the data blocks, not just linear or bilinear
+// maps.
+//
+// K data blocks X_1..X_K are interpolated by the encoding polynomial
+//
+//	u(z) = Σ_j X_j · ℓ_j(z)        (ℓ_j = Lagrange basis over points β_j)
+//
+// and worker i stores the share u(α_i). When every worker applies a
+// polynomial f of total degree d to its share, f∘u has degree (K−1)·d,
+// so any (K−1)·d + 1 worker results interpolate f∘u exactly — and
+// evaluating it back at the β_j yields every f(X_j).
+//
+// Arithmetic is over GF(2³¹−1), making encode→compute→decode bit-exact.
+// The first K evaluation points coincide with the β_j, so shares 0..K−1
+// are systematic (they hold the raw blocks).
+type LagrangeCode struct {
+	k, n   int
+	betas  []gf.Elem
+	alphas []gf.Elem
+}
+
+// NewLagrangeCode builds a code with n workers over k data blocks.
+// The usable polynomial degree is bounded by n ≥ (k−1)·d + 1.
+func NewLagrangeCode(n, k int) (*LagrangeCode, error) {
+	if k < 1 || n < k {
+		return nil, fmt.Errorf("coding: invalid Lagrange parameters n=%d k=%d", n, k)
+	}
+	betas := make([]gf.Elem, k)
+	for j := range betas {
+		betas[j] = gf.Elem(j + 1)
+	}
+	alphas := make([]gf.Elem, n)
+	for i := range alphas {
+		alphas[i] = gf.Elem(i + 1) // α_i = β_i for i < k → systematic prefix
+	}
+	return &LagrangeCode{k: k, n: n, betas: betas, alphas: alphas}, nil
+}
+
+// K returns the number of data blocks.
+func (c *LagrangeCode) K() int { return c.k }
+
+// N returns the number of workers/shares.
+func (c *LagrangeCode) N() int { return c.n }
+
+// RecoveryThreshold returns the number of worker results needed to decode
+// a degree-d polynomial computation.
+func (c *LagrangeCode) RecoveryThreshold(degree int) int {
+	if degree < 1 {
+		degree = 1
+	}
+	return (c.k-1)*degree + 1
+}
+
+// MaxDegree returns the largest polynomial degree this (n,k) code can
+// decode.
+func (c *LagrangeCode) MaxDegree() int {
+	if c.k == 1 {
+		return 1 << 30 // a single block is recoverable from any 1 share
+	}
+	return (c.n - 1) / (c.k - 1)
+}
+
+// Encode produces the n shares u(α_i) from k equal-length data blocks,
+// elementwise. Share i has the same length as each block.
+func (c *LagrangeCode) Encode(blocks [][]gf.Elem) ([][]gf.Elem, error) {
+	if len(blocks) != c.k {
+		return nil, fmt.Errorf("coding: got %d blocks for k=%d", len(blocks), c.k)
+	}
+	size := len(blocks[0])
+	for j, b := range blocks {
+		if len(b) != size {
+			return nil, fmt.Errorf("coding: block %d has length %d, want %d", j, len(b), size)
+		}
+	}
+	shares := make([][]gf.Elem, c.n)
+	for i := 0; i < c.n; i++ {
+		// Systematic fast path: α_i == β_i for i < k.
+		if i < c.k {
+			shares[i] = append([]gf.Elem(nil), blocks[i]...)
+			continue
+		}
+		// ℓ_j(α_i) coefficients.
+		coeffs := lagrangeBasisAt(c.betas, c.alphas[i])
+		share := make([]gf.Elem, size)
+		for j, b := range blocks {
+			cj := coeffs[j]
+			if cj == 0 {
+				continue
+			}
+			for e, v := range b {
+				share[e] = gf.Add(share[e], gf.Mul(cj, v))
+			}
+		}
+		shares[i] = share
+	}
+	return shares, nil
+}
+
+// Decode reconstructs f(X_1)..f(X_K) from worker results f(u(α_i)).
+// results maps worker index → its computed share (all equal length);
+// degree is the total degree of f. At least RecoveryThreshold(degree)
+// results are required.
+func (c *LagrangeCode) Decode(results map[int][]gf.Elem, degree int) ([][]gf.Elem, error) {
+	t := c.RecoveryThreshold(degree)
+	if len(results) < t {
+		return nil, fmt.Errorf("%w: have %d results, degree-%d decode needs %d",
+			ErrInsufficient, len(results), degree, t)
+	}
+	// Pick t results deterministically (ascending worker index).
+	workers := make([]int, 0, len(results))
+	for w := range results {
+		if w < 0 || w >= c.n {
+			return nil, fmt.Errorf("coding: result from unknown worker %d", w)
+		}
+		workers = append(workers, w)
+	}
+	sortInts(workers)
+	workers = workers[:t]
+	size := -1
+	for _, w := range workers {
+		if size == -1 {
+			size = len(results[w])
+		} else if len(results[w]) != size {
+			return nil, fmt.Errorf("coding: worker %d result length %d, want %d", w, len(results[w]), size)
+		}
+	}
+	pts := make([]gf.Elem, t)
+	for i, w := range workers {
+		pts[i] = c.alphas[w]
+	}
+	// Interpolation weights from the t sample points to each β_j:
+	// out_j = Σ_i y_i · ℓ_i^{pts}(β_j).
+	weights := make([][]gf.Elem, c.k)
+	for j := 0; j < c.k; j++ {
+		weights[j] = lagrangeBasisAt(pts, c.betas[j])
+	}
+	out := make([][]gf.Elem, c.k)
+	for j := 0; j < c.k; j++ {
+		block := make([]gf.Elem, size)
+		for i, w := range workers {
+			wij := weights[j][i]
+			if wij == 0 {
+				continue
+			}
+			for e, v := range results[w] {
+				block[e] = gf.Add(block[e], gf.Mul(wij, v))
+			}
+		}
+		out[j] = block
+	}
+	return out, nil
+}
+
+// lagrangeBasisAt returns [ℓ_0(x), …, ℓ_{m−1}(x)] for the basis defined
+// by the distinct points pts.
+func lagrangeBasisAt(pts []gf.Elem, x gf.Elem) []gf.Elem {
+	m := len(pts)
+	out := make([]gf.Elem, m)
+	for i := 0; i < m; i++ {
+		num := gf.Elem(1)
+		den := gf.Elem(1)
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			num = gf.Mul(num, gf.Sub(x, pts[j]))
+			den = gf.Mul(den, gf.Sub(pts[i], pts[j]))
+		}
+		out[i] = gf.Mul(num, gf.Inv(den))
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package coding
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/coded-computing/s2c2/internal/gf"
+)
+
+func TestLagrangeValidation(t *testing.T) {
+	if _, err := NewLagrangeCode(2, 3); err == nil {
+		t.Fatal("n < k must fail")
+	}
+	c, err := NewLagrangeCode(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 3 || c.N() != 9 {
+		t.Fatal("dims wrong")
+	}
+	if c.RecoveryThreshold(2) != 5 {
+		t.Fatalf("threshold(2) = %d want (3-1)*2+1 = 5", c.RecoveryThreshold(2))
+	}
+	if c.MaxDegree() != 4 {
+		t.Fatalf("MaxDegree = %d want (9-1)/(3-1) = 4", c.MaxDegree())
+	}
+}
+
+func TestLagrangeSystematicPrefix(t *testing.T) {
+	c, _ := NewLagrangeCode(6, 3)
+	blocks := [][]gf.Elem{{1, 2}, {3, 4}, {5, 6}}
+	shares, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		for e := range blocks[j] {
+			if shares[j][e] != blocks[j][e] {
+				t.Fatalf("share %d not systematic", j)
+			}
+		}
+	}
+}
+
+func TestLagrangeLinearRoundTrip(t *testing.T) {
+	// Degree-1 computation: f = identity. Any k shares decode the data —
+	// Lagrange coding degenerates to an MDS code.
+	rng := rand.New(rand.NewSource(1))
+	c, _ := NewLagrangeCode(7, 4)
+	blocks := randomBlocks(4, 10, rng)
+	shares, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[int][]gf.Elem{}
+	for _, w := range rng.Perm(7)[:4] {
+		results[w] = shares[w]
+	}
+	got, err := c.Decode(results, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBlocksEqual(t, got, blocks)
+}
+
+func TestLagrangeQuadraticComputation(t *testing.T) {
+	// f(x) = x² + 3x + 7 elementwise (degree 2): any (k−1)·2+1 results
+	// decode f(X_j) for every block, including from parity-only shares.
+	rng := rand.New(rand.NewSource(2))
+	n, k := 9, 3
+	c, _ := NewLagrangeCode(n, k)
+	blocks := randomBlocks(k, 16, rng)
+	shares, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x gf.Elem) gf.Elem {
+		return gf.Add(gf.Add(gf.Mul(x, x), gf.Mul(3, x)), 7)
+	}
+	results := map[int][]gf.Elem{}
+	// Use only non-systematic shares 3..8 — still ≥ threshold 5.
+	for w := 3; w < 9; w++ {
+		out := make([]gf.Elem, len(shares[w]))
+		for e, v := range shares[w] {
+			out[e] = f(v)
+		}
+		results[w] = out
+	}
+	got, err := c.Decode(results, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, b := range blocks {
+		for e, v := range b {
+			if got[j][e] != f(v) {
+				t.Fatalf("block %d elem %d: got %d want %d", j, e, got[j][e], f(v))
+			}
+		}
+	}
+}
+
+func TestLagrangeCubicProperty(t *testing.T) {
+	// Property: for random (n,k) with capacity for degree-3 computation,
+	// any threshold-sized subset of f(shares) decodes f(blocks) exactly,
+	// with f(x) = x³ + 5.
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(3) // 2..4
+		n := (k-1)*3 + 1 + r.Intn(4)
+		c, err := NewLagrangeCode(n, k)
+		if err != nil {
+			return false
+		}
+		blocks := randomBlocks(k, 1+r.Intn(8), r)
+		shares, err := c.Encode(blocks)
+		if err != nil {
+			return false
+		}
+		cube := func(x gf.Elem) gf.Elem { return gf.Add(gf.Mul(gf.Mul(x, x), x), 5) }
+		results := map[int][]gf.Elem{}
+		for _, w := range r.Perm(n)[:c.RecoveryThreshold(3)] {
+			out := make([]gf.Elem, len(shares[w]))
+			for e, v := range shares[w] {
+				out[e] = cube(v)
+			}
+			results[w] = out
+		}
+		got, err := c.Decode(results, 3)
+		if err != nil {
+			return false
+		}
+		for j, b := range blocks {
+			for e, v := range b {
+				if got[j][e] != cube(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLagrangeInsufficient(t *testing.T) {
+	c, _ := NewLagrangeCode(5, 3)
+	blocks := [][]gf.Elem{{1}, {2}, {3}}
+	shares, _ := c.Encode(blocks)
+	results := map[int][]gf.Elem{0: shares[0], 1: shares[1], 2: shares[2], 3: shares[3]}
+	// Degree 2 needs (3−1)·2+1 = 5 results; 4 must fail.
+	if _, err := c.Decode(results, 2); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestLagrangeEncodeErrors(t *testing.T) {
+	c, _ := NewLagrangeCode(4, 2)
+	if _, err := c.Encode([][]gf.Elem{{1}}); err == nil {
+		t.Fatal("wrong block count must fail")
+	}
+	if _, err := c.Encode([][]gf.Elem{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged blocks must fail")
+	}
+}
+
+func TestLagrangeDecodeErrors(t *testing.T) {
+	c, _ := NewLagrangeCode(4, 2)
+	blocks := [][]gf.Elem{{1, 2}, {3, 4}}
+	shares, _ := c.Encode(blocks)
+	bad := map[int][]gf.Elem{0: shares[0], 9: shares[1]}
+	if _, err := c.Decode(bad, 1); err == nil {
+		t.Fatal("unknown worker index must fail")
+	}
+	mixed := map[int][]gf.Elem{0: shares[0], 1: shares[1][:1]}
+	if _, err := c.Decode(mixed, 1); err == nil {
+		t.Fatal("mixed result lengths must fail")
+	}
+}
+
+func randomBlocks(k, size int, rng *rand.Rand) [][]gf.Elem {
+	blocks := make([][]gf.Elem, k)
+	for j := range blocks {
+		b := make([]gf.Elem, size)
+		for e := range b {
+			b[e] = gf.New(rng.Uint64())
+		}
+		blocks[j] = b
+	}
+	return blocks
+}
+
+func assertBlocksEqual(t *testing.T, got, want [][]gf.Elem) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("block count %d want %d", len(got), len(want))
+	}
+	for j := range want {
+		for e := range want[j] {
+			if got[j][e] != want[j][e] {
+				t.Fatalf("block %d elem %d: got %d want %d", j, e, got[j][e], want[j][e])
+			}
+		}
+	}
+}

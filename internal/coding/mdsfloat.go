@@ -1,0 +1,203 @@
+package coding
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/coded-computing/s2c2/internal/mat"
+)
+
+// ErrInsufficient is returned when a row is covered by fewer worker
+// results than the code requires.
+var ErrInsufficient = errors.New("coding: insufficient results to decode")
+
+// MDSCode is an (n,k) maximum-distance-separable code over float64 with a
+// systematic generator: partitions 0..k-1 store the raw sub-matrices and
+// partitions k..n-1 store Cauchy-coded parity, so any k of the n coded
+// partitions reconstruct the original data.
+//
+// The Cauchy construction guarantees (in exact arithmetic) that every k×k
+// submatrix of the generator is nonsingular. In float64 the decode systems
+// are solved with partially pivoted LU plus one iterative-refinement step;
+// for the (n,k) regimes used by the paper (n ≤ 50, n−k ≤ 10) reconstruction
+// error stays near machine precision because at most n−k parity rows mix
+// into any decode system.
+type MDSCode struct {
+	n, k int
+	gen  *mat.Dense // n×k generator
+}
+
+// NewMDSCode builds an (n,k) code. Requires 1 <= k <= n.
+func NewMDSCode(n, k int) (*MDSCode, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("coding: invalid MDS parameters n=%d k=%d", n, k)
+	}
+	gen := mat.New(n, k)
+	for j := 0; j < k; j++ {
+		gen.Set(j, j, 1)
+	}
+	// Parity rows: Cauchy matrix c[i][j] = 1/(x_i + y_j) with all x_i + y_j
+	// distinct and nonzero. x_i = k + i, y_j = -j + 0.5 keeps every sum in
+	// (0, n+k], distinct, and O(n), which bounds the dynamic range of the
+	// decode systems.
+	for i := k; i < n; i++ {
+		for j := 0; j < k; j++ {
+			x := float64(i) // i in [k, n)
+			y := 0.5 - float64(j)
+			gen.Set(i, j, 1/(x+y))
+		}
+	}
+	return &MDSCode{n: n, k: k, gen: gen}, nil
+}
+
+// N returns the number of coded partitions.
+func (c *MDSCode) N() int { return c.n }
+
+// K returns the recovery threshold.
+func (c *MDSCode) K() int { return c.k }
+
+// GeneratorRow returns generator row i (the mixing coefficients of coded
+// partition i over the k data blocks). The returned slice is a copy.
+func (c *MDSCode) GeneratorRow(i int) []float64 {
+	return mat.CloneVec(c.gen.Row(i))
+}
+
+// EncodedMatrix holds the n coded partitions of a data matrix A along with
+// the bookkeeping needed to decode distributed products against it.
+type EncodedMatrix struct {
+	Code      *MDSCode
+	OrigRows  int // rows of A before padding
+	Cols      int
+	BlockRows int          // rows per partition (= PaddedRows/k)
+	Parts     []*mat.Dense // n coded partitions, each BlockRows×Cols
+}
+
+// Encode splits A into k row blocks (zero-padding the tail) and produces
+// the n coded partitions Ã_i = Σ_j G[i][j]·A_j.
+func (c *MDSCode) Encode(a *mat.Dense) *EncodedMatrix {
+	blocks := mat.SplitRows(a, c.k)
+	blockRows, cols := blocks[0].Dims()
+	parts := make([]*mat.Dense, c.n)
+	for i := 0; i < c.n; i++ {
+		p := mat.New(blockRows, cols)
+		row := c.gen.Row(i)
+		for j, g := range row {
+			if g != 0 {
+				p.AddScaled(g, blocks[j])
+			}
+		}
+		parts[i] = p
+	}
+	return &EncodedMatrix{
+		Code:      c,
+		OrigRows:  a.Rows(),
+		Cols:      cols,
+		BlockRows: blockRows,
+		Parts:     parts,
+	}
+}
+
+// WorkerCompute runs the coded mat-vec kernel a worker executes: the rows
+// [ranges] of Ã_w · x. It returns a Partial ready for the decoder.
+func (e *EncodedMatrix) WorkerCompute(w int, x []float64, ranges []Range) *Partial {
+	ranges = NormalizeRanges(ranges)
+	vals := make([]float64, 0, TotalRows(ranges))
+	for _, r := range ranges {
+		vals = append(vals, mat.MatVecRows(e.Parts[w], x, r.Lo, r.Hi)...)
+	}
+	return &Partial{Worker: w, Ranges: ranges, RowWidth: 1, Values: vals}
+}
+
+// DecodeMatVec reconstructs y = A·x (length OrigRows) from worker partials.
+// Every partition row index must be covered by at least k workers. Decode
+// systems are LU-factored once per distinct worker set and reused across
+// rows, so chunk-aligned assignments decode in O(rows·k²) after O(sets·k³).
+func (e *EncodedMatrix) DecodeMatVec(partials []*Partial) ([]float64, error) {
+	k := e.Code.k
+	table, err := buildRowTable(partials, e.BlockRows)
+	if err != nil {
+		return nil, err
+	}
+	if table.rowWidth != 0 && table.rowWidth != 1 {
+		return nil, fmt.Errorf("coding: DecodeMatVec expects RowWidth 1, got %d", table.rowWidth)
+	}
+	out := make([]float64, e.BlockRows*k)
+	cache := map[string]*decodeSet{}
+	b := make([]float64, k)
+	for row := 0; row < e.BlockRows; row++ {
+		workers := table.workersForRow(row, k)
+		if len(workers) < k {
+			return nil, fmt.Errorf("%w: row %d covered by %d of %d needed workers", ErrInsufficient, row, len(workers), k)
+		}
+		ds, err := e.decodeSetFor(cache, workers)
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range workers {
+			b[i] = table.rowValue(w, row)[0]
+		}
+		z := ds.solve(b)
+		for j := 0; j < k; j++ {
+			out[j*e.BlockRows+row] = z[j]
+		}
+	}
+	return out[:e.OrigRows], nil
+}
+
+// decodeSet is a factored k×k decode system for one set of workers.
+type decodeSet struct {
+	sub *mat.Dense
+	lu  *mat.LU
+}
+
+func (e *EncodedMatrix) decodeSetFor(cache map[string]*decodeSet, workers []int) (*decodeSet, error) {
+	key := setKey(workers)
+	if ds, ok := cache[key]; ok {
+		return ds, nil
+	}
+	k := e.Code.k
+	sub := mat.New(k, k)
+	for i, w := range workers {
+		copy(sub.Row(i), e.Code.gen.Row(w))
+	}
+	lu, err := mat.FactorLU(sub)
+	if err != nil {
+		return nil, fmt.Errorf("coding: decode set %v singular: %w", workers, err)
+	}
+	ds := &decodeSet{sub: sub, lu: lu}
+	cache[key] = ds
+	return ds, nil
+}
+
+// solve runs LU solve with one iterative-refinement sweep.
+func (d *decodeSet) solve(b []float64) []float64 {
+	x := d.lu.Solve(b)
+	r := mat.MatVec(d.sub, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	dx := d.lu.Solve(r)
+	for i := range x {
+		x[i] += dx[i]
+	}
+	return x
+}
+
+// DecodeFullPartitions reconstructs A·x the conventional-MDS way, from k
+// workers that each computed their whole partition. It is a convenience
+// wrapper over DecodeMatVec.
+func (e *EncodedMatrix) DecodeFullPartitions(results map[int][]float64) ([]float64, error) {
+	partials := make([]*Partial, 0, len(results))
+	for w, vals := range results {
+		if len(vals) != e.BlockRows {
+			return nil, fmt.Errorf("coding: worker %d returned %d rows, partition has %d", w, len(vals), e.BlockRows)
+		}
+		partials = append(partials, &Partial{
+			Worker:   w,
+			Ranges:   []Range{{0, e.BlockRows}},
+			RowWidth: 1,
+			Values:   vals,
+		})
+	}
+	return e.DecodeMatVec(partials)
+}

@@ -1,0 +1,186 @@
+package coding
+
+import (
+	"fmt"
+
+	"github.com/coded-computing/s2c2/internal/gf"
+)
+
+// GFMDSCode is the exact (n,k) MDS code over GF(2³¹−1). Its generator is a
+// Vandermonde matrix with distinct evaluation points, so any k rows are
+// provably invertible and decoding is bit-exact. It backs property tests
+// and offers an exact coding path for integer payloads.
+type GFMDSCode struct {
+	n, k int
+	gen  *gf.Matrix // n×k Vandermonde
+}
+
+// NewGFMDSCode builds an exact (n,k) code.
+func NewGFMDSCode(n, k int) (*GFMDSCode, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("coding: invalid GF MDS parameters n=%d k=%d", n, k)
+	}
+	xs := make([]gf.Elem, n)
+	for i := range xs {
+		xs[i] = gf.Elem(i + 1) // distinct nonzero points
+	}
+	return &GFMDSCode{n: n, k: k, gen: gf.Vandermonde(xs, k)}, nil
+}
+
+// N returns the number of coded partitions.
+func (c *GFMDSCode) N() int { return c.n }
+
+// K returns the recovery threshold.
+func (c *GFMDSCode) K() int { return c.k }
+
+// GFEncodedMatrix holds the coded partitions of a field-valued matrix,
+// stored as n slices of row-major blocks.
+type GFEncodedMatrix struct {
+	Code      *GFMDSCode
+	OrigRows  int
+	Cols      int
+	BlockRows int
+	Parts     []*gf.Matrix
+}
+
+// Encode splits the rows*cols data (row-major) into k row blocks, padding
+// with zeros, and emits n Vandermonde-coded partitions.
+func (c *GFMDSCode) Encode(rows, cols int, data []gf.Elem) (*GFEncodedMatrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("coding: data length %d want %d", len(data), rows*cols)
+	}
+	blockRows := (rows + c.k - 1) / c.k
+	blocks := make([]*gf.Matrix, c.k)
+	for b := 0; b < c.k; b++ {
+		m := gf.NewMatrix(blockRows, cols)
+		for r := 0; r < blockRows; r++ {
+			src := b*blockRows + r
+			if src >= rows {
+				break
+			}
+			copy(m.Row(r), data[src*cols:(src+1)*cols])
+		}
+		blocks[b] = m
+	}
+	parts := make([]*gf.Matrix, c.n)
+	for i := 0; i < c.n; i++ {
+		p := gf.NewMatrix(blockRows, cols)
+		for j := 0; j < c.k; j++ {
+			g := c.gen.At(i, j)
+			if g == 0 {
+				continue
+			}
+			for r := 0; r < blockRows; r++ {
+				prow, brow := p.Row(r), blocks[j].Row(r)
+				for q := range prow {
+					prow[q] = gf.Add(prow[q], gf.Mul(g, brow[q]))
+				}
+			}
+		}
+		parts[i] = p
+	}
+	return &GFEncodedMatrix{Code: c, OrigRows: rows, Cols: cols, BlockRows: blockRows, Parts: parts}, nil
+}
+
+// WorkerMatVec computes rows [ranges] of Ã_w·x over the field.
+func (e *GFEncodedMatrix) WorkerMatVec(w int, x []gf.Elem, ranges []Range) (*GFPartial, error) {
+	if len(x) != e.Cols {
+		return nil, fmt.Errorf("coding: x length %d want %d", len(x), e.Cols)
+	}
+	ranges = NormalizeRanges(ranges)
+	vals := make([]gf.Elem, 0, TotalRows(ranges))
+	part := e.Parts[w]
+	for _, r := range ranges {
+		for row := r.Lo; row < r.Hi; row++ {
+			prow := part.Row(row)
+			var acc gf.Elem
+			for j, v := range prow {
+				acc = gf.Add(acc, gf.Mul(v, x[j]))
+			}
+			vals = append(vals, acc)
+		}
+	}
+	return &GFPartial{Worker: w, Ranges: ranges, Values: vals}, nil
+}
+
+// GFPartial is a worker's exact partial result (one field element per row).
+type GFPartial struct {
+	Worker int
+	Ranges []Range
+	Values []gf.Elem
+}
+
+// DecodeMatVec reconstructs A·x exactly from partials covering every
+// partition row with at least k workers.
+func (e *GFEncodedMatrix) DecodeMatVec(partials []*GFPartial) ([]gf.Elem, error) {
+	k := e.Code.k
+	// Index rows.
+	offsets := make(map[int][]int, len(partials))
+	values := make(map[int][]gf.Elem, len(partials))
+	var order []int
+	for _, p := range partials {
+		off, ok := offsets[p.Worker]
+		if !ok {
+			off = make([]int, e.BlockRows)
+			for i := range off {
+				off[i] = -1
+			}
+			offsets[p.Worker] = off
+			order = append(order, p.Worker)
+		}
+		vals := values[p.Worker]
+		base := len(vals)
+		vals = append(vals, p.Values...)
+		values[p.Worker] = vals
+		at := base
+		for _, r := range p.Ranges {
+			for row := r.Lo; row < r.Hi; row++ {
+				if row < 0 || row >= e.BlockRows {
+					return nil, fmt.Errorf("coding: row %d outside partition", row)
+				}
+				off[row] = at
+				at++
+			}
+		}
+	}
+	out := make([]gf.Elem, e.BlockRows*k)
+	invCache := map[string]*gf.Matrix{}
+	workers := make([]int, 0, k)
+	b := make([]gf.Elem, k)
+	for row := 0; row < e.BlockRows; row++ {
+		workers = workers[:0]
+		for _, w := range order {
+			if offsets[w][row] >= 0 {
+				workers = append(workers, w)
+				if len(workers) == k {
+					break
+				}
+			}
+		}
+		if len(workers) < k {
+			return nil, fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(workers), k)
+		}
+		key := setKey(workers)
+		inv, ok := invCache[key]
+		if !ok {
+			sub := gf.NewMatrix(k, k)
+			for i, w := range workers {
+				copy(sub.Row(i), e.Code.gen.Row(w))
+			}
+			var invertible bool
+			inv, invertible = gf.Invert(sub)
+			if !invertible {
+				return nil, fmt.Errorf("coding: GF decode set %v singular", workers)
+			}
+			invCache[key] = inv
+		}
+		for i, w := range workers {
+			b[i] = values[w][offsets[w][row]]
+		}
+		z := inv.MulVec(b)
+		for j := 0; j < k; j++ {
+			out[j*e.BlockRows+row] = z[j]
+		}
+	}
+	return out[:e.OrigRows], nil
+}

@@ -1,0 +1,141 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/coded-computing/s2c2/internal/gf"
+)
+
+func gfMatVec(rows, cols int, data, x []gf.Elem) []gf.Elem {
+	y := make([]gf.Elem, rows)
+	for i := 0; i < rows; i++ {
+		var acc gf.Elem
+		for j := 0; j < cols; j++ {
+			acc = gf.Add(acc, gf.Mul(data[i*cols+j], x[j]))
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+func randGFData(n int, rng *rand.Rand) []gf.Elem {
+	out := make([]gf.Elem, n)
+	for i := range out {
+		out[i] = gf.New(rng.Uint64())
+	}
+	return out
+}
+
+// The headline MDS property, bit-exact: for random (n,k), any k of n
+// full-partition results decode to exactly A·x.
+func TestGFMDSAnyKOfNExactProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		k := 1 + r.Intn(n)
+		rows := 1 + r.Intn(20)
+		cols := 1 + r.Intn(5)
+		data := randGFData(rows*cols, r)
+		x := randGFData(cols, r)
+		want := gfMatVec(rows, cols, data, x)
+
+		c, err := NewGFMDSCode(n, k)
+		if err != nil {
+			return false
+		}
+		enc, err := c.Encode(rows, cols, data)
+		if err != nil {
+			return false
+		}
+		var partials []*GFPartial
+		for _, w := range r.Perm(n)[:k] {
+			p, err := enc.WorkerMatVec(w, x, []Range{{0, enc.BlockRows}})
+			if err != nil {
+				return false
+			}
+			partials = append(partials, p)
+		}
+		got, err := enc.DecodeMatVec(partials)
+		if err != nil {
+			return false
+		}
+		if len(got) != rows {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFMDSPartialCoverageExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rows, cols := 24, 3
+	data := randGFData(rows*cols, rng)
+	x := randGFData(cols, rng)
+	want := gfMatVec(rows, cols, data, x)
+
+	c, _ := NewGFMDSCode(4, 2)
+	enc, err := c.Encode(rows, cols, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := enc.BlockRows
+	third := br / 3
+	assignments := map[int][]Range{
+		0: {{0, 2 * third}},
+		1: {{0, third}, {2 * third, br}},
+		2: {{third, br}},
+	}
+	var partials []*GFPartial
+	for w, ranges := range assignments {
+		p, err := enc.WorkerMatVec(w, x, ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGFMDSInsufficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := randGFData(12, rng)
+	c, _ := NewGFMDSCode(4, 3)
+	enc, err := c.Encode(6, 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randGFData(2, rng)
+	p, _ := enc.WorkerMatVec(0, x, []Range{{0, enc.BlockRows}})
+	if _, err := enc.DecodeMatVec([]*GFPartial{p}); err == nil {
+		t.Fatal("expected insufficient-coverage error")
+	}
+}
+
+func TestGFMDSValidation(t *testing.T) {
+	if _, err := NewGFMDSCode(2, 3); err == nil {
+		t.Fatal("k>n must fail")
+	}
+	c, _ := NewGFMDSCode(3, 2)
+	if _, err := c.Encode(2, 2, make([]gf.Elem, 3)); err == nil {
+		t.Fatal("bad data length must fail")
+	}
+}

@@ -1,0 +1,202 @@
+package coding
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coded-computing/s2c2/internal/mat"
+)
+
+// PolyCode implements polynomial codes (Yu, Maddah-Ali, Avestimehr,
+// NIPS'17) for bilinear computations of the form Aᵀ·diag(d)·B, the Hessian
+// workload of the paper (§5, §7.2.3).
+//
+// A (m×dA) is split into a column blocks and B (m×dB) into b column
+// blocks. Worker i receives the encoded partitions
+//
+//	Ã_i = Σ_j α_i^j     A_j
+//	B̃_i = Σ_l α_i^(a·l) B_l
+//
+// and computes P_i = Ã_iᵀ·diag(d)·B̃_i, which is the evaluation at α_i of a
+// matrix polynomial of degree a·b−1 whose coefficients are exactly the
+// blocks H_(j,l) = A_jᵀ·diag(d)·B_l. Any a·b of the n evaluations decode
+// the full product by interpolation — and, as with MDS, any individual
+// *row* of P_i decodes independently, which is what lets S2C2 assign
+// partial work per worker.
+type PolyCode struct {
+	a, b, n int
+	alphas  []float64
+}
+
+// NewPolyCode builds a polynomial code with n workers and an a×b block
+// grid. Requires a·b <= n. Evaluation points are Chebyshev nodes in
+// (−1, 1) for well-conditioned float64 interpolation.
+func NewPolyCode(n, a, b int) (*PolyCode, error) {
+	if a < 1 || b < 1 || a*b > n {
+		return nil, fmt.Errorf("coding: invalid polynomial code n=%d a=%d b=%d (need a·b <= n)", n, a, b)
+	}
+	alphas := make([]float64, n)
+	for i := range alphas {
+		alphas[i] = math.Cos(math.Pi * (2*float64(i) + 1) / (2 * float64(n)))
+	}
+	return &PolyCode{a: a, b: b, n: n, alphas: alphas}, nil
+}
+
+// N returns the number of workers the code targets.
+func (c *PolyCode) N() int { return c.n }
+
+// RecoveryThreshold returns a·b, the number of worker evaluations needed
+// per output row.
+func (c *PolyCode) RecoveryThreshold() int { return c.a * c.b }
+
+// Alpha returns worker i's evaluation point.
+func (c *PolyCode) Alpha(i int) float64 { return c.alphas[i] }
+
+// EncodedBilinear holds the per-worker encoded partitions for a bilinear
+// computation Aᵀ·diag(d)·B.
+type EncodedBilinear struct {
+	Code                   *PolyCode
+	RowsM                  int // shared row count of A and B
+	ColsA, ColsB           int // original column counts
+	BlockColsA, BlockColsB int // per-block (padded) column counts
+	PartsA, PartsB         []*mat.Dense
+}
+
+// EncodeBilinear encodes A and B for the bilinear product Aᵀ·diag(d)·B.
+// A and B must share their row count.
+func (c *PolyCode) EncodeBilinear(a, b *mat.Dense) (*EncodedBilinear, error) {
+	if a.Rows() != b.Rows() {
+		return nil, fmt.Errorf("coding: EncodeBilinear row mismatch %d vs %d", a.Rows(), b.Rows())
+	}
+	blocksA := mat.SplitCols(a, c.a)
+	blocksB := mat.SplitCols(b, c.b)
+	e := &EncodedBilinear{
+		Code:       c,
+		RowsM:      a.Rows(),
+		ColsA:      a.Cols(),
+		ColsB:      b.Cols(),
+		BlockColsA: blocksA[0].Cols(),
+		BlockColsB: blocksB[0].Cols(),
+		PartsA:     make([]*mat.Dense, c.n),
+		PartsB:     make([]*mat.Dense, c.n),
+	}
+	for i := 0; i < c.n; i++ {
+		pa := mat.New(a.Rows(), e.BlockColsA)
+		coeff := 1.0
+		for j := 0; j < c.a; j++ {
+			pa.AddScaled(coeff, blocksA[j])
+			coeff *= c.alphas[i]
+		}
+		pb := mat.New(b.Rows(), e.BlockColsB)
+		alphaToA := math.Pow(c.alphas[i], float64(c.a))
+		coeff = 1.0
+		for l := 0; l < c.b; l++ {
+			pb.AddScaled(coeff, blocksB[l])
+			coeff *= alphaToA
+		}
+		e.PartsA[i] = pa
+		e.PartsB[i] = pb
+	}
+	return e, nil
+}
+
+// EncodeHessian is EncodeBilinear(A, A): the Hessian form Aᵀ·diag(d)·A.
+func (c *PolyCode) EncodeHessian(a *mat.Dense) (*EncodedBilinear, error) {
+	if c.a != c.b {
+		return nil, fmt.Errorf("coding: EncodeHessian requires a == b, have %d×%d", c.a, c.b)
+	}
+	return c.EncodeBilinear(a, a)
+}
+
+// WorkerCompute runs worker w's kernel on rows [ranges) of its product
+// block P_w = Ã_wᵀ·diag(d)·B̃_w. Row r of P_w depends on column r of Ã_w.
+func (e *EncodedBilinear) WorkerCompute(w int, d []float64, ranges []Range) *Partial {
+	ranges = NormalizeRanges(ranges)
+	vals := make([]float64, 0, TotalRows(ranges)*e.BlockColsB)
+	for _, r := range ranges {
+		block := mat.ATDiagBRows(e.PartsA[w], d, e.PartsB[w], r.Lo, r.Hi)
+		vals = append(vals, block.Data()...)
+	}
+	return &Partial{Worker: w, Ranges: ranges, RowWidth: e.BlockColsB, Values: vals}
+}
+
+// Decode reconstructs H = Aᵀ·diag(d)·B (ColsA×ColsB) from worker partials.
+// Every row index in [0, BlockColsA) must be covered by at least a·b
+// workers.
+func (e *EncodedBilinear) Decode(partials []*Partial) (*mat.Dense, error) {
+	c := e.Code
+	ab := c.a * c.b
+	table, err := buildRowTable(partials, e.BlockColsA)
+	if err != nil {
+		return nil, err
+	}
+	if table.rowWidth != 0 && table.rowWidth != e.BlockColsB {
+		return nil, fmt.Errorf("coding: Decode expects RowWidth %d, got %d", e.BlockColsB, table.rowWidth)
+	}
+	out := mat.New(e.ColsA, e.ColsB)
+	invCache := map[string]*mat.Dense{}
+	for row := 0; row < e.BlockColsA; row++ {
+		workers := table.workersForRow(row, ab)
+		if len(workers) < ab {
+			return nil, fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(workers), ab)
+		}
+		inv, err := e.interpInverse(invCache, workers)
+		if err != nil {
+			return nil, err
+		}
+		// coeffs[e] = Σ_i inv[e][i] · rowvals_i, one BlockColsB-wide vector
+		// per polynomial coefficient e = j + a·l.
+		for exp := 0; exp < ab; exp++ {
+			j := exp % c.a
+			l := exp / c.a
+			globalRow := j*e.BlockColsA + row
+			if globalRow >= e.ColsA {
+				continue // padding column of A
+			}
+			dstBase := l * e.BlockColsB
+			dst := out.Row(globalRow)
+			for i, w := range workers {
+				f := inv.At(exp, i)
+				if f == 0 {
+					continue
+				}
+				src := table.rowValue(w, row)
+				for q, v := range src {
+					gc := dstBase + q
+					if gc >= e.ColsB {
+						break // padding column of B
+					}
+					dst[gc] += f * v
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// interpInverse returns the inverse of the a·b × a·b Vandermonde system for
+// the given worker set, cached per set.
+func (e *EncodedBilinear) interpInverse(cache map[string]*mat.Dense, workers []int) (*mat.Dense, error) {
+	key := setKey(workers)
+	if inv, ok := cache[key]; ok {
+		return inv, nil
+	}
+	ab := e.Code.a * e.Code.b
+	v := mat.New(ab, ab)
+	for i, w := range workers {
+		alpha := e.Code.alphas[w]
+		p := 1.0
+		for exp := 0; exp < ab; exp++ {
+			v.Set(i, exp, p)
+			p *= alpha
+		}
+	}
+	// We need coefficients = V⁻¹·evaluations, i.e. the inverse transposed
+	// relative to row access; store V⁻¹ directly and index (exp, i).
+	inv, err := mat.Invert(v)
+	if err != nil {
+		return nil, fmt.Errorf("coding: interpolation set %v singular: %w", workers, err)
+	}
+	cache[key] = inv
+	return inv, nil
+}

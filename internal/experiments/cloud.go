@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/coded-computing/s2c2/internal/predict"
+	"github.com/coded-computing/s2c2/internal/sim"
+	"github.com/coded-computing/s2c2/internal/trace"
+)
+
+// cloudResult bundles the Figure 8/10 lineup outcome.
+type cloudResult struct {
+	names     []string
+	latencies []float64
+	// aggregates for the MDS(10,7) and S2C2(10,7) columns, feeding the
+	// per-worker waste figures (9/11).
+	mdsAgg, s2c2Agg *sim.Aggregate
+	mispredS2C2     float64
+}
+
+// runCloudLineup executes the §7.2.1/§7.2.2 comparison: over-decomposition
+// vs MDS{(8,7),(9,7),(10,7)} vs S2C2 with the same codes, on a 10-worker
+// cloud trace with a fitted forecaster. Latencies are normalized to
+// S2C2(10,7), matching the paper's presentation.
+func runCloudLineup(c Config, gen func(workers, steps int, seed int64) *trace.Trace) (*cloudResult, error) {
+	iters := c.iters()
+	fc, err := fitForecaster(c, gen, 10)
+	if err != nil {
+		return nil, err
+	}
+	res := &cloudResult{}
+	type entry struct {
+		name string
+		run  func(tr *trace.Trace, fc predict.Forecaster) (float64, *sim.Aggregate, error)
+		keep string // "mds" or "s2c2" for (10,7) aggregates
+	}
+	coded := func(n, k int, s2c2 bool) func(tr *trace.Trace, fc predict.Forecaster) (float64, *sim.Aggregate, error) {
+		return func(tr *trace.Trace, fc predict.Forecaster) (float64, *sim.Aggregate, error) {
+			var factory sim.StrategyFactory
+			if s2c2 {
+				factory = sim.S2C2Factory(n, k, 0)
+			} else {
+				factory = sim.MDSFactory(n, k)
+			}
+			agg, err := runCodedJob(svmWorkload(c, 70), n, k, factory, fc, tr, iters)
+			if err != nil {
+				return 0, nil, err
+			}
+			return agg.MeanLatency(), agg, nil
+		}
+	}
+	entries := []entry{
+		{"over-decomposition", func(tr *trace.Trace, fc predict.Forecaster) (float64, *sim.Aggregate, error) {
+			agg, _, err := runOverDecompJob(svmWorkload(c, 70), fc, tr, iters)
+			if err != nil {
+				return 0, nil, err
+			}
+			return agg.MeanLatency(), nil, nil
+		}, ""},
+		{"mds(8,7)", coded(8, 7, false), ""},
+		{"mds(9,7)", coded(9, 7, false), ""},
+		{"mds(10,7)", coded(10, 7, false), "mds"},
+		{"s2c2(8,7)", coded(8, 7, true), ""},
+		{"s2c2(9,7)", coded(9, 7, true), ""},
+		{"s2c2(10,7)", coded(10, 7, true), "s2c2"},
+	}
+	for _, e := range entries {
+		// Every strategy sees an identical environment: same seed, and the
+		// 8/9-worker codes use the first workers of the same fleet.
+		tr := gen(10, iters+5, c.Seed)
+		if e.name == "mds(8,7)" || e.name == "s2c2(8,7)" {
+			tr = subTrace(tr, 8)
+		}
+		if e.name == "mds(9,7)" || e.name == "s2c2(9,7)" {
+			tr = subTrace(tr, 9)
+		}
+		lat, agg, err := e.run(tr, fc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		res.names = append(res.names, e.name)
+		res.latencies = append(res.latencies, lat)
+		switch e.keep {
+		case "mds":
+			res.mdsAgg = agg
+		case "s2c2":
+			res.s2c2Agg = agg
+			res.mispredS2C2 = agg.MispredictionRate()
+		}
+	}
+	return res, nil
+}
+
+// subTrace restricts a trace to its first n workers.
+func subTrace(tr *trace.Trace, n int) *trace.Trace {
+	return &trace.Trace{Speeds: tr.Speeds[:n]}
+}
+
+func cloudTable(title string, res *cloudResult, paperRow []string) *Table {
+	base := res.latencies[len(res.latencies)-1] // s2c2(10,7)
+	t := &Table{
+		Title:   title,
+		Headers: []string{"strategy", "relative time", "paper"},
+		Notes: []string{
+			fmt.Sprintf("normalized to s2c2(10,7); observed S2C2 mis-prediction rate %s", pct(res.mispredS2C2)),
+		},
+	}
+	for i, name := range res.names {
+		paper := "-"
+		if i < len(paperRow) {
+			paper = paperRow[i]
+		}
+		t.AddRow(name, f2(res.latencies[i]/base), paper)
+	}
+	return t
+}
+
+func wasteTable(title string, res *cloudResult) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"worker", "mds(10,7) wasted", "s2c2(10,7) wasted"},
+		Notes:   []string{"wasted computation = assigned rows whose results the master discarded"},
+	}
+	for w := 0; w < 10; w++ {
+		t.AddRow(fmt.Sprintf("worker%d", w+1),
+			pct(res.mdsAgg.WastedFraction(w)),
+			pct(res.s2c2Agg.WastedFraction(w)))
+	}
+	t.AddRow("cluster", pct(res.mdsAgg.TotalWastedFraction()), pct(res.s2c2Agg.TotalWastedFraction()))
+	return t
+}
+
+// RunFig8CloudLow reproduces Figure 8 (low mis-prediction environment).
+// Paper row: 1.00 / 1.36 / 1.31 / 1.39 / 1.23 / 1.09 / 1.00.
+func RunFig8CloudLow(c Config) ([]*Table, error) {
+	res, err := runCloudLineup(c, trace.CloudStable)
+	if err != nil {
+		return nil, err
+	}
+	lowCache[c.Seed] = res
+	return []*Table{cloudTable(
+		"Figure 8: SVM on cloud, low mis-prediction (relative execution time)",
+		res, []string{"1.00", "1.36", "1.31", "1.39", "1.23", "1.09", "1.00"})}, nil
+}
+
+// RunFig9WasteLow reproduces Figure 9: per-worker wasted computation under
+// (10,7) coding in the low-mis-prediction environment.
+func RunFig9WasteLow(c Config) ([]*Table, error) {
+	res, ok := lowCache[c.Seed]
+	if !ok {
+		var err error
+		res, err = runCloudLineup(c, trace.CloudStable)
+		if err != nil {
+			return nil, err
+		}
+		lowCache[c.Seed] = res
+	}
+	return []*Table{wasteTable("Figure 9: wasted computation per worker, low mis-prediction", res)}, nil
+}
+
+// RunFig10CloudHigh reproduces Figure 10 (high mis-prediction).
+// Paper row: 1.19 / 1.34 / 1.24 / 1.17 / 1.18 / 1.11 / 1.00.
+func RunFig10CloudHigh(c Config) ([]*Table, error) {
+	res, err := runCloudLineup(c, trace.CloudVolatile)
+	if err != nil {
+		return nil, err
+	}
+	highCache[c.Seed] = res
+	return []*Table{cloudTable(
+		"Figure 10: SVM on cloud, high mis-prediction (relative execution time)",
+		res, []string{"1.19", "1.34", "1.24", "1.17", "1.18", "1.11", "1.00"})}, nil
+}
+
+// RunFig11WasteHigh reproduces Figure 11: per-worker wasted computation
+// under (10,7) coding in the high-mis-prediction environment. Paper: the
+// conservative MDS incurs 47% more waste than S2C2.
+func RunFig11WasteHigh(c Config) ([]*Table, error) {
+	res, ok := highCache[c.Seed]
+	if !ok {
+		var err error
+		res, err = runCloudLineup(c, trace.CloudVolatile)
+		if err != nil {
+			return nil, err
+		}
+		highCache[c.Seed] = res
+	}
+	return []*Table{wasteTable("Figure 11: wasted computation per worker, high mis-prediction", res)}, nil
+}
+
+// lowCache/highCache let fig9/fig11 reuse fig8/fig10 runs when executed in
+// the same process (the `all` path of cmd/s2c2-exp).
+var (
+	lowCache  = map[int64]*cloudResult{}
+	highCache = map[int64]*cloudResult{}
+)

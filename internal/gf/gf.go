@@ -1,0 +1,228 @@
+// Package gf implements arithmetic over the prime field GF(p) with
+// p = 2³¹ − 1 (the Mersenne prime 2147483647), plus the dense linear
+// solvers the exact MDS codec needs.
+//
+// The float64 MDS codec in internal/coding is subject to rounding; this
+// field gives a bit-exact backend so the "any k of n" MDS property can be
+// property-tested without numerical tolerances, and offers an exact coding
+// path for integer payloads.
+package gf
+
+import "fmt"
+
+// P is the field modulus, the Mersenne prime 2³¹−1.
+const P uint64 = 1<<31 - 1
+
+// Elem is a field element in [0, P).
+type Elem uint32
+
+// New reduces an arbitrary uint64 into the field.
+func New(v uint64) Elem { return Elem(v % P) }
+
+// NewInt reduces a signed integer into the field.
+func NewInt(v int64) Elem {
+	m := v % int64(P)
+	if m < 0 {
+		m += int64(P)
+	}
+	return Elem(m)
+}
+
+// Add returns a+b mod P.
+func Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b)
+	if s >= P {
+		s -= P
+	}
+	return Elem(s)
+}
+
+// Sub returns a−b mod P.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return Elem(uint64(a) + P - uint64(b))
+}
+
+// Neg returns −a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(P - uint64(a))
+}
+
+// Mul returns a·b mod P using 64-bit intermediate arithmetic.
+func Mul(a, b Elem) Elem {
+	return Elem(uint64(a) * uint64(b) % P)
+}
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a. It panics on zero, which is
+// a programming error everywhere this package is used.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	// Fermat: a^(P-2) mod P.
+	return Pow(a, P-2)
+}
+
+// Div returns a/b mod P.
+func Div(a, b Elem) Elem { return Mul(a, Inv(b)) }
+
+// Matrix is a dense matrix over GF(P) in row-major order.
+type Matrix struct {
+	rows, cols int
+	data       []Elem
+}
+
+// NewMatrix returns a zeroed r-by-c field matrix.
+func NewMatrix(r, c int) *Matrix {
+	return &Matrix{rows: r, cols: c, data: make([]Elem, r*c)}
+}
+
+// Dims reports the shape.
+func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) Elem { return m.data[i*m.cols+j] }
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, v Elem) { m.data[i*m.cols+j] = v }
+
+// Row returns row i, aliasing the backing storage.
+func (m *Matrix) Row(i int) []Elem { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	d := make([]Elem, len(m.data))
+	copy(d, m.data)
+	return &Matrix{rows: m.rows, cols: m.cols, data: d}
+}
+
+// MulVec computes y = M·x over the field.
+func (m *Matrix) MulVec(x []Elem) []Elem {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("gf: MulVec length %d want %d", len(x), m.cols))
+	}
+	y := make([]Elem, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var acc uint64
+		for j, v := range row {
+			acc += uint64(Mul(v, x[j]))
+			if acc >= P<<32 {
+				acc %= P
+			}
+		}
+		y[i] = Elem(acc % P)
+	}
+	return y
+}
+
+// Vandermonde returns the r-by-c matrix V[i][j] = xs[i]^j. The xs must be
+// distinct and r == len(xs); any c rows of the matrix are then linearly
+// independent, which is the MDS generator property.
+func Vandermonde(xs []Elem, c int) *Matrix {
+	m := NewMatrix(len(xs), c)
+	for i, x := range xs {
+		v := Elem(1)
+		for j := 0; j < c; j++ {
+			m.Set(i, j, v)
+			v = Mul(v, x)
+		}
+	}
+	return m
+}
+
+// Solve solves the square system M·x = b by Gauss–Jordan elimination,
+// destroying a copy of M. It returns false if M is singular.
+func Solve(m *Matrix, b []Elem) ([]Elem, bool) {
+	if m.rows != m.cols || len(b) != m.rows {
+		panic("gf: Solve shape mismatch")
+	}
+	n := m.rows
+	a := m.Clone()
+	x := make([]Elem, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Find a nonzero pivot.
+		p := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			return nil, false
+		}
+		if p != col {
+			rp, rc := a.Row(p), a.Row(col)
+			for j := 0; j < n; j++ {
+				rp[j], rc[j] = rc[j], rp[j]
+			}
+			x[p], x[col] = x[col], x[p]
+		}
+		inv := Inv(a.At(col, col))
+		rowc := a.Row(col)
+		for j := col; j < n; j++ {
+			rowc[j] = Mul(rowc[j], inv)
+		}
+		x[col] = Mul(x[col], inv)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			rr := a.Row(r)
+			for j := col; j < n; j++ {
+				rr[j] = Sub(rr[j], Mul(f, rowc[j]))
+			}
+			x[r] = Sub(x[r], Mul(f, x[col]))
+		}
+	}
+	return x, true
+}
+
+// Invert returns M⁻¹, or false if M is singular.
+func Invert(m *Matrix) (*Matrix, bool) {
+	if m.rows != m.cols {
+		panic("gf: Invert non-square")
+	}
+	n := m.rows
+	inv := NewMatrix(n, n)
+	e := make([]Elem, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, ok := Solve(m, e)
+		if !ok {
+			return nil, false
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, true
+}

@@ -1,0 +1,175 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxiomsSpot(t *testing.T) {
+	a, b := Elem(P-1), Elem(5)
+	if Add(a, b) != Elem(4) {
+		t.Fatalf("Add wraparound: %d", Add(a, b))
+	}
+	if Sub(Elem(3), Elem(5)) != Elem(P-2) {
+		t.Fatalf("Sub wraparound: %d", Sub(Elem(3), Elem(5)))
+	}
+	if Neg(0) != 0 {
+		t.Fatal("Neg(0) != 0")
+	}
+	if Add(Elem(7), Neg(Elem(7))) != 0 {
+		t.Fatal("a + (-a) != 0")
+	}
+}
+
+func TestNewReduction(t *testing.T) {
+	if New(P) != 0 || New(P+3) != 3 {
+		t.Fatal("New does not reduce mod P")
+	}
+	if NewInt(-1) != Elem(P-1) {
+		t.Fatalf("NewInt(-1) = %d", NewInt(-1))
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(raw uint64) bool {
+		a := New(raw)
+		if a == 0 {
+			a = 1
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(x, y, z uint64) bool {
+		a, b, c := New(x), New(y), New(z)
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(2, 10) != 1024 {
+		t.Fatalf("2^10 = %d", Pow(2, 10))
+	}
+	if Pow(5, 0) != 1 {
+		t.Fatal("a^0 != 1")
+	}
+	// Fermat's little theorem: a^(P-1) == 1 for a != 0.
+	if Pow(1234567, P-1) != 1 {
+		t.Fatal("Fermat violated")
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) must panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestSolveRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		// Vandermonde systems with distinct nodes are always nonsingular.
+		xs := distinctElems(n, r)
+		m := Vandermonde(xs, n)
+		want := make([]Elem, n)
+		for i := range want {
+			want[i] = New(r.Uint64())
+		}
+		b := m.MulVec(want)
+		got, ok := Solve(m, b)
+		if !ok {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, ok := Solve(m, []Elem{1, 2}); ok {
+		t.Fatal("expected singular")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := distinctElems(5, rng)
+	m := Vandermonde(xs, 5)
+	inv, ok := Invert(m)
+	if !ok {
+		t.Fatal("Vandermonde must be invertible")
+	}
+	// M · M⁻¹ == I, checked via action on random vectors.
+	for trial := 0; trial < 5; trial++ {
+		x := make([]Elem, 5)
+		for i := range x {
+			x[i] = New(rng.Uint64())
+		}
+		y := inv.MulVec(m.MulVec(x))
+		for i := range x {
+			if y[i] != x[i] {
+				t.Fatalf("M⁻¹Mx != x at %d", i)
+			}
+		}
+	}
+}
+
+func TestVandermondeAnyRowsInvertible(t *testing.T) {
+	// The defining MDS property: every square submatrix formed by choosing
+	// k rows of an n-row Vandermonde with distinct nodes is invertible.
+	rng := rand.New(rand.NewSource(5))
+	n, k := 8, 4
+	xs := distinctElems(n, rng)
+	v := Vandermonde(xs, k)
+	for trial := 0; trial < 50; trial++ {
+		rows := rng.Perm(n)[:k]
+		sub := NewMatrix(k, k)
+		for i, r := range rows {
+			copy(sub.Row(i), v.Row(r))
+		}
+		if _, ok := Invert(sub); !ok {
+			t.Fatalf("rows %v gave singular submatrix", rows)
+		}
+	}
+}
+
+func distinctElems(n int, rng *rand.Rand) []Elem {
+	seen := map[Elem]bool{}
+	out := make([]Elem, 0, n)
+	for len(out) < n {
+		e := New(rng.Uint64())
+		if e == 0 || seen[e] {
+			continue
+		}
+		seen[e] = true
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3}
+	if !VecApproxEqual(x, want, 1e-10) {
+		t.Fatalf("Solve = %v want %v", x, want)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a := Rand(n, n, r)
+		// Diagonal boost keeps the random systems comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		xTrue := randVec(n, r)
+		b := MatVec(a, xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return VecApproxEqual(x, xTrue, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := Rand(7, 7, rng)
+	for i := 0; i < 7; i++ {
+		a.Set(i, i, a.At(i, i)+7)
+	}
+	inv, err := Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MatMul(a, inv).ApproxEqual(Identity(7), 1e-8) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+}
+
+func TestDeterminantKnown(t *testing.T) {
+	a := NewFromRows([][]float64{{3, 0}, {0, 2}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-6) > 1e-12 {
+		t.Fatalf("Det = %v want 6", f.Det())
+	}
+	// Row swap flips sign handling; determinant must still be correct.
+	b := NewFromRows([][]float64{{0, 2}, {3, 0}})
+	fb, err := FactorLU(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fb.Det()+6) > 1e-12 {
+		t.Fatalf("Det = %v want -6", fb.Det())
+	}
+}
+
+func TestSolveMany(t *testing.T) {
+	a := NewFromRows([][]float64{{4, 1}, {1, 3}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := f.SolveMany([][]float64{{5, 4}, {9, 7}})
+	for i, b := range [][]float64{{5, 4}, {9, 7}} {
+		got := MatVec(a, xs[i])
+		if !VecApproxEqual(got, b, 1e-10) {
+			t.Fatalf("rhs %d: A·x = %v want %v", i, got, b)
+		}
+	}
+}

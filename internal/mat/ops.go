@@ -1,0 +1,221 @@
+package mat
+
+import "fmt"
+
+// MatVec computes y = A·x into a new slice.
+func MatVec(a *Dense, x []float64) []float64 {
+	y := make([]float64, a.rows)
+	MatVecInto(a, x, y)
+	return y
+}
+
+// MatVecInto computes y = A·x into the provided slice.
+// len(x) must equal A's column count and len(y) its row count.
+func MatVecInto(a *Dense, x, y []float64) {
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("mat: MatVec x length %d want %d", len(x), a.cols))
+	}
+	if len(y) != a.rows {
+		panic(fmt.Sprintf("mat: MatVec y length %d want %d", len(y), a.rows))
+	}
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// MatVecRows computes (A·x)[lo:hi] — only the rows in [lo, hi) — into a
+// new slice of length hi-lo. This is the kernel a coded-computing worker
+// runs when S2C2 assigns it a sub-range of its partition.
+func MatVecRows(a *Dense, x []float64, lo, hi int) []float64 {
+	if lo < 0 || hi > a.rows || lo > hi {
+		panic(fmt.Sprintf("mat: MatVecRows range [%d,%d) out of %d", lo, hi, a.rows))
+	}
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("mat: MatVecRows x length %d want %d", len(x), a.cols))
+	}
+	y := make([]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i-lo] = s
+	}
+	return y
+}
+
+// VecMat computes y = xᵀ·A (a row vector) into a new slice of length
+// A.Cols(). It streams row-wise for cache efficiency.
+func VecMat(x []float64, a *Dense) []float64 {
+	if len(x) != a.rows {
+		panic(fmt.Sprintf("mat: VecMat x length %d want %d", len(x), a.rows))
+	}
+	y := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+	return y
+}
+
+// MatMul computes C = A·B into a new matrix using an ikj loop order so the
+// innermost loop streams both B and C rows.
+func MatMul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MatMul inner dim %d vs %d", a.cols, b.rows))
+	}
+	c := New(a.rows, b.cols)
+	matMulInto(a, b, c, 0, a.rows)
+	return c
+}
+
+// matMulInto computes rows [lo,hi) of C = A·B.
+func matMulInto(a, b, c *Dense, lo, hi int) {
+	n := b.cols
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		crow := c.data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns Aᵀ as a new matrix.
+func Transpose(a *Dense) *Dense {
+	t := New(a.cols, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			t.data[j*a.rows+i] = v
+		}
+	}
+	return t
+}
+
+// MulDiagLeft computes diag(d)·A into a new matrix (scales row i by d[i]).
+func MulDiagLeft(d []float64, a *Dense) *Dense {
+	if len(d) != a.rows {
+		panic(fmt.Sprintf("mat: MulDiagLeft d length %d want %d", len(d), a.rows))
+	}
+	out := a.Clone()
+	for i := 0; i < a.rows; i++ {
+		row := out.data[i*a.cols : (i+1)*a.cols]
+		for j := range row {
+			row[j] *= d[i]
+		}
+	}
+	return out
+}
+
+// ATDiagA computes Aᵀ·diag(d)·A — the Hessian-style bilinear form used by
+// the polynomial-coding workload. A is m-by-n, d has length m, and the
+// result is n-by-n.
+func ATDiagA(a *Dense, d []float64) *Dense {
+	if len(d) != a.rows {
+		panic(fmt.Sprintf("mat: ATDiagA d length %d want %d", len(d), a.rows))
+	}
+	n := a.cols
+	out := New(n, n)
+	// Accumulate rank-1 updates d[i] * a_i a_iᵀ where a_i is row i of A.
+	for i := 0; i < a.rows; i++ {
+		di := d[i]
+		if di == 0 {
+			continue
+		}
+		row := a.data[i*n : (i+1)*n]
+		for p := 0; p < n; p++ {
+			s := di * row[p]
+			if s == 0 {
+				continue
+			}
+			orow := out.data[p*n : (p+1)*n]
+			for q, v := range row {
+				orow[q] += s * v
+			}
+		}
+	}
+	return out
+}
+
+// ATDiagB computes Aᵀ·diag(d)·B for m-by-p A, m-by-q B, len(d)==m.
+// This is the general bilinear kernel evaluated by polynomial-code workers,
+// where A and B are *encoded* column-block partitions.
+func ATDiagB(a *Dense, d []float64, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: ATDiagB row mismatch %d vs %d", a.rows, b.rows))
+	}
+	if len(d) != a.rows {
+		panic(fmt.Sprintf("mat: ATDiagB d length %d want %d", len(d), a.rows))
+	}
+	out := New(a.cols, b.cols)
+	for i := 0; i < a.rows; i++ {
+		di := d[i]
+		if di == 0 {
+			continue
+		}
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		brow := b.data[i*b.cols : (i+1)*b.cols]
+		for p, av := range arow {
+			s := di * av
+			if s == 0 {
+				continue
+			}
+			orow := out.data[p*b.cols : (p+1)*b.cols]
+			for q, bv := range brow {
+				orow[q] += s * bv
+			}
+		}
+	}
+	return out
+}
+
+// ATDiagBRows computes only rows [lo,hi) of Aᵀ·diag(d)·B, the partial
+// bilinear kernel an S2C2 worker runs under polynomial coding. Row p of the
+// output depends on column p of A, i.e. entry a[i][p] for all i.
+func ATDiagBRows(a *Dense, d []float64, b *Dense, lo, hi int) *Dense {
+	if lo < 0 || hi > a.cols || lo > hi {
+		panic(fmt.Sprintf("mat: ATDiagBRows range [%d,%d) out of %d", lo, hi, a.cols))
+	}
+	if a.rows != b.rows || len(d) != a.rows {
+		panic("mat: ATDiagBRows shape mismatch")
+	}
+	out := New(hi-lo, b.cols)
+	for i := 0; i < a.rows; i++ {
+		di := d[i]
+		if di == 0 {
+			continue
+		}
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		brow := b.data[i*b.cols : (i+1)*b.cols]
+		for p := lo; p < hi; p++ {
+			s := di * arow[p]
+			if s == 0 {
+				continue
+			}
+			orow := out.data[(p-lo)*b.cols : (p-lo+1)*b.cols]
+			for q, bv := range brow {
+				orow[q] += s * bv
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelMatVec computes y = A·x using up to workers goroutines, splitting
+// A's rows into contiguous bands. workers <= 0 means GOMAXPROCS.
+func ParallelMatVec(a *Dense, x []float64, workers int) []float64 {
+	y := make([]float64, a.rows)
+	ParallelMatVecInto(a, x, y, workers)
+	return y
+}
+
+// ParallelMatVecInto is ParallelMatVec writing into a caller slice.
+func ParallelMatVecInto(a *Dense, x, y []float64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	if workers <= 1 || a.rows < 64 {
+		MatVecInto(a, x, y)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (a.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := lo + band
+		if hi > a.rows {
+			hi = a.rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row := a.data[i*a.cols : (i+1)*a.cols]
+				s := 0.0
+				for j, v := range row {
+					s += v * x[j]
+				}
+				y[i] = s
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelMatMul computes C = A·B splitting A's rows across goroutines.
+func ParallelMatMul(a, b *Dense, workers int) *Dense {
+	if a.cols != b.rows {
+		panic("mat: ParallelMatMul inner dimension mismatch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	c := New(a.rows, b.cols)
+	if workers <= 1 || a.rows < 32 {
+		matMulInto(a, b, c, 0, a.rows)
+		return c
+	}
+	var wg sync.WaitGroup
+	band := (a.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := lo + band
+		if hi > a.rows {
+			hi = a.rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulInto(a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}

@@ -1,0 +1,69 @@
+package mat
+
+import "fmt"
+
+// SplitRows divides A into k contiguous row blocks whose vertical
+// concatenation reproduces A. If A's row count is not divisible by k the
+// matrix is zero-padded at the bottom first (PadRows), so every block has
+// exactly ceil(rows/k) rows — the uniform-partition requirement of MDS
+// encoding. The returned blocks copy their data.
+func SplitRows(a *Dense, k int) []*Dense {
+	if k <= 0 {
+		panic(fmt.Sprintf("mat: SplitRows k=%d", k))
+	}
+	padded := PadRows(a, k)
+	per := padded.rows / k
+	blocks := make([]*Dense, k)
+	for i := 0; i < k; i++ {
+		blocks[i] = padded.RowSlice(i*per, (i+1)*per).Clone()
+	}
+	return blocks
+}
+
+// PadRows returns A zero-padded at the bottom so its row count is a
+// multiple of k. If it already is, A itself is returned (no copy).
+func PadRows(a *Dense, k int) *Dense {
+	if k <= 0 {
+		panic(fmt.Sprintf("mat: PadRows k=%d", k))
+	}
+	rem := a.rows % k
+	if rem == 0 {
+		return a
+	}
+	pad := k - rem
+	out := New(a.rows+pad, a.cols)
+	copy(out.data, a.data)
+	return out
+}
+
+// SplitCols divides A into k contiguous column blocks whose horizontal
+// concatenation reproduces A (zero-padding columns on the right if needed).
+func SplitCols(a *Dense, k int) []*Dense {
+	if k <= 0 {
+		panic(fmt.Sprintf("mat: SplitCols k=%d", k))
+	}
+	cols := a.cols
+	per := (cols + k - 1) / k
+	blocks := make([]*Dense, k)
+	for b := 0; b < k; b++ {
+		blk := New(a.rows, per)
+		for i := 0; i < a.rows; i++ {
+			for j := 0; j < per; j++ {
+				src := b*per + j
+				if src < cols {
+					blk.data[i*per+j] = a.data[i*cols+src]
+				}
+			}
+		}
+		blocks[b] = blk
+	}
+	return blocks
+}
+
+// PaddedRows reports the row count after PadRows(a, k).
+func PaddedRows(rows, k int) int {
+	if rows%k == 0 {
+		return rows
+	}
+	return rows + k - rows%k
+}

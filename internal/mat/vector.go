@@ -1,0 +1,122 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector helpers operate on plain []float64 so callers can interoperate
+// with the rest of the standard library without wrapper types.
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies every element of x by a in place.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AddVec computes z = x + y into a new slice.
+func AddVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: AddVec length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] + y[i]
+	}
+	return z
+}
+
+// SubVec computes z = x - y into a new slice.
+func SubVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: SubVec length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the 1-norm of x.
+func Norm1(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the max-norm of x.
+func NormInf(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// CloneVec returns a copy of x.
+func CloneVec(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// VecApproxEqual reports whether x and y agree elementwise within tol.
+func VecApproxEqual(x, y []float64, tol float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if !approxEqual(x[i], y[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize scales x to unit 1-norm in place (no-op on a zero vector).
+// It returns the original norm.
+func Normalize(x []float64) float64 {
+	n := Norm1(x)
+	if n == 0 {
+		return 0
+	}
+	ScaleVec(1/n, x)
+	return n
+}

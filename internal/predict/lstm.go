@@ -1,0 +1,352 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gate indices into the stacked LSTM parameter blocks.
+const (
+	gateI = iota // input gate
+	gateF        // forget gate
+	gateO        // output gate
+	gateG        // candidate cell
+	numGates
+)
+
+// LSTMConfig parameterises the speed-prediction LSTM. The zero value is
+// not usable; call DefaultLSTMConfig for the paper's architecture.
+type LSTMConfig struct {
+	Hidden   int     // hidden-state dimension (paper: 4)
+	Window   int     // truncated-BPTT window length
+	Epochs   int     // passes over the training windows
+	LR       float64 // Adam learning rate
+	Seed     int64   // weight-init / shuffle seed
+	ClipNorm float64 // global gradient-norm clip (0 = off)
+}
+
+// DefaultLSTMConfig returns the §6.1 architecture: a single LSTM layer
+// with 1-dimensional input and output and a 4-dimensional hidden state.
+func DefaultLSTMConfig() LSTMConfig {
+	return LSTMConfig{Hidden: 4, Window: 16, Epochs: 60, LR: 0.02, Seed: 1, ClipNorm: 1}
+}
+
+// LSTM is a one-layer scalar-in/scalar-out LSTM forecaster trained with
+// truncated back-propagation through time and Adam.
+type LSTM struct {
+	cfg LSTMConfig
+
+	// Parameters. wx[g][h]: input weights; wh[g][h*H+h']: recurrent
+	// weights; b[g][h]: biases; wy[h], by: output head.
+	wx, wh, b [numGates][]float64
+	wy        []float64
+	by        float64
+
+	adam *adamState
+}
+
+// NewLSTM builds an untrained LSTM.
+func NewLSTM(cfg LSTMConfig) *LSTM {
+	if cfg.Hidden <= 0 || cfg.Window < 2 || cfg.Epochs < 1 || cfg.LR <= 0 {
+		panic(fmt.Sprintf("predict: bad LSTM config %+v", cfg))
+	}
+	m := &LSTM{cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := cfg.Hidden
+	scale := 1 / math.Sqrt(float64(h))
+	for g := 0; g < numGates; g++ {
+		m.wx[g] = randSlice(h, scale, rng)
+		m.wh[g] = randSlice(h*h, scale, rng)
+		m.b[g] = make([]float64, h)
+	}
+	// Forget-gate bias init of 1 is the standard trick for gradient flow.
+	for i := range m.b[gateF] {
+		m.b[gateF][i] = 1
+	}
+	m.wy = randSlice(h, scale, rng)
+	m.adam = newAdamState(m.numParams(), cfg.LR)
+	return m
+}
+
+func randSlice(n int, scale float64, rng *rand.Rand) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = scale * (2*rng.Float64() - 1)
+	}
+	return s
+}
+
+// Name implements Forecaster.
+func (m *LSTM) Name() string { return fmt.Sprintf("lstm(h=%d)", m.cfg.Hidden) }
+
+func (m *LSTM) numParams() int {
+	h := m.cfg.Hidden
+	return numGates*(h+h*h+h) + h + 1
+}
+
+// flatten copies parameters into a single vector (for Adam and tests).
+func (m *LSTM) flatten(dst []float64) {
+	at := 0
+	for g := 0; g < numGates; g++ {
+		at += copy(dst[at:], m.wx[g])
+		at += copy(dst[at:], m.wh[g])
+		at += copy(dst[at:], m.b[g])
+	}
+	at += copy(dst[at:], m.wy)
+	dst[at] = m.by
+}
+
+func (m *LSTM) unflatten(src []float64) {
+	at := 0
+	for g := 0; g < numGates; g++ {
+		at += copy(m.wx[g], src[at:])
+		at += copy(m.wh[g], src[at:])
+		at += copy(m.b[g], src[at:])
+	}
+	at += copy(m.wy, src[at:])
+	m.by = src[at]
+}
+
+// cellState captures one forward step's activations for BPTT.
+type cellState struct {
+	x          float64
+	i, f, o, g []float64
+	c, h, tc   []float64 // cell, hidden, tanh(cell)
+}
+
+// step runs one LSTM cell update from (hPrev, cPrev) on input x.
+func (m *LSTM) step(x float64, hPrev, cPrev []float64) cellState {
+	h := m.cfg.Hidden
+	st := cellState{
+		x: x,
+		i: make([]float64, h), f: make([]float64, h),
+		o: make([]float64, h), g: make([]float64, h),
+		c: make([]float64, h), h: make([]float64, h), tc: make([]float64, h),
+	}
+	for j := 0; j < h; j++ {
+		var pre [numGates]float64
+		for g := 0; g < numGates; g++ {
+			s := m.wx[g][j]*x + m.b[g][j]
+			row := m.wh[g][j*h : (j+1)*h]
+			for jj, hv := range hPrev {
+				s += row[jj] * hv
+			}
+			pre[g] = s
+		}
+		st.i[j] = sigmoid(pre[gateI])
+		st.f[j] = sigmoid(pre[gateF])
+		st.o[j] = sigmoid(pre[gateO])
+		st.g[j] = math.Tanh(pre[gateG])
+		st.c[j] = st.f[j]*cPrev[j] + st.i[j]*st.g[j]
+		st.tc[j] = math.Tanh(st.c[j])
+		st.h[j] = st.o[j] * st.tc[j]
+	}
+	return st
+}
+
+// output applies the scalar head to a hidden state.
+func (m *LSTM) output(h []float64) float64 {
+	y := m.by
+	for j, v := range h {
+		y += m.wy[j] * v
+	}
+	return y
+}
+
+// lossAndGrad runs forward+BPTT on one window. xs has length T+1: inputs
+// are xs[0..T-1], targets xs[1..T]. It returns the mean squared error and
+// accumulates gradients into grad (flattened layout).
+func (m *LSTM) lossAndGrad(xs []float64, grad []float64) float64 {
+	h := m.cfg.Hidden
+	T := len(xs) - 1
+	states := make([]cellState, T)
+	hPrev := make([]float64, h)
+	cPrev := make([]float64, h)
+	preds := make([]float64, T)
+	loss := 0.0
+	for t := 0; t < T; t++ {
+		st := m.step(xs[t], hPrev, cPrev)
+		states[t] = st
+		preds[t] = m.output(st.h)
+		d := preds[t] - xs[t+1]
+		loss += d * d
+		hPrev, cPrev = st.h, st.c
+	}
+	loss /= float64(T)
+
+	// Gradient accumulators mirroring the parameter layout.
+	gwx := make([][]float64, numGates)
+	gwh := make([][]float64, numGates)
+	gb := make([][]float64, numGates)
+	for g := 0; g < numGates; g++ {
+		gwx[g] = make([]float64, h)
+		gwh[g] = make([]float64, h*h)
+		gb[g] = make([]float64, h)
+	}
+	gwy := make([]float64, h)
+	gby := 0.0
+
+	dhNext := make([]float64, h)
+	dcNext := make([]float64, h)
+	for t := T - 1; t >= 0; t-- {
+		st := states[t]
+		dy := 2 * (preds[t] - xs[t+1]) / float64(T)
+		gby += dy
+		dh := make([]float64, h)
+		copy(dh, dhNext)
+		for j := 0; j < h; j++ {
+			gwy[j] += dy * st.h[j]
+			dh[j] += dy * m.wy[j]
+		}
+		var hPrevT, cPrevT []float64
+		if t > 0 {
+			hPrevT, cPrevT = states[t-1].h, states[t-1].c
+		} else {
+			hPrevT, cPrevT = make([]float64, h), make([]float64, h)
+		}
+		dhPrev := make([]float64, h)
+		dcPrev := make([]float64, h)
+		for j := 0; j < h; j++ {
+			do := dh[j] * st.tc[j]
+			dc := dh[j]*st.o[j]*(1-st.tc[j]*st.tc[j]) + dcNext[j]
+			df := dc * cPrevT[j]
+			di := dc * st.g[j]
+			dg := dc * st.i[j]
+			dcPrev[j] = dc * st.f[j]
+			var da [numGates]float64
+			da[gateI] = di * st.i[j] * (1 - st.i[j])
+			da[gateF] = df * st.f[j] * (1 - st.f[j])
+			da[gateO] = do * st.o[j] * (1 - st.o[j])
+			da[gateG] = dg * (1 - st.g[j]*st.g[j])
+			for g := 0; g < numGates; g++ {
+				gwx[g][j] += da[g] * st.x
+				gb[g][j] += da[g]
+				row := m.wh[g][j*h : (j+1)*h]
+				grow := gwh[g][j*h : (j+1)*h]
+				for jj := 0; jj < h; jj++ {
+					grow[jj] += da[g] * hPrevT[jj]
+					dhPrev[jj] += da[g] * row[jj]
+				}
+			}
+		}
+		dhNext, dcNext = dhPrev, dcPrev
+	}
+
+	// Flatten gradient into grad.
+	at := 0
+	for g := 0; g < numGates; g++ {
+		at += copy(grad[at:], gwx[g])
+		at += copy(grad[at:], gwh[g])
+		at += copy(grad[at:], gb[g])
+	}
+	at += copy(grad[at:], gwy)
+	grad[at] += gby
+	return loss
+}
+
+// Fit trains the LSTM on the given series (normalised per-series by max)
+// using sliding windows of cfg.Window.
+func (m *LSTM) Fit(series [][]float64) error {
+	var windows [][]float64
+	for _, s := range series {
+		norm, _ := normalizeMax(s)
+		w := m.cfg.Window
+		if len(norm) < w+1 {
+			if len(norm) >= 3 {
+				windows = append(windows, norm)
+			}
+			continue
+		}
+		for at := 0; at+w+1 <= len(norm); at += w / 2 {
+			windows = append(windows, norm[at:at+w+1])
+		}
+	}
+	if len(windows) == 0 {
+		return fmt.Errorf("predict: no training windows (series too short for window %d)", m.cfg.Window)
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 17))
+	params := make([]float64, m.numParams())
+	grad := make([]float64, m.numParams())
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(windows))
+		for _, wi := range perm {
+			for i := range grad {
+				grad[i] = 0
+			}
+			m.lossAndGrad(windows[wi], grad)
+			if m.cfg.ClipNorm > 0 {
+				clipNorm(grad, m.cfg.ClipNorm)
+			}
+			m.flatten(params)
+			m.adam.update(params, grad)
+			m.unflatten(params)
+		}
+	}
+	return nil
+}
+
+// Predict runs the trained cell over the (max-normalised) history and
+// rescales the one-step-ahead output.
+func (m *LSTM) Predict(history []float64) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	norm, scale := normalizeMax(history)
+	// Only the trailing window matters materially; bound the work.
+	if len(norm) > 4*m.cfg.Window {
+		norm = norm[len(norm)-4*m.cfg.Window:]
+	}
+	h := make([]float64, m.cfg.Hidden)
+	c := make([]float64, m.cfg.Hidden)
+	var st cellState
+	for _, x := range norm {
+		st = m.step(x, h, c)
+		h, c = st.h, st.c
+	}
+	y := m.output(h) * scale
+	if y < 0 {
+		y = 0
+	}
+	return y
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func clipNorm(g []float64, max float64) {
+	s := 0.0
+	for _, v := range g {
+		s += v * v
+	}
+	n := math.Sqrt(s)
+	if n <= max || n == 0 {
+		return
+	}
+	f := max / n
+	for i := range g {
+		g[i] *= f
+	}
+}
+
+// adamState implements the Adam optimiser over a flat parameter vector.
+type adamState struct {
+	lr, b1, b2, eps float64
+	m, v            []float64
+	t               int
+}
+
+func newAdamState(n int, lr float64) *adamState {
+	return &adamState{lr: lr, b1: 0.9, b2: 0.999, eps: 1e-8,
+		m: make([]float64, n), v: make([]float64, n)}
+}
+
+func (a *adamState) update(params, grad []float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.b1, float64(a.t))
+	c2 := 1 - math.Pow(a.b2, float64(a.t))
+	for i, g := range grad {
+		a.m[i] = a.b1*a.m[i] + (1-a.b1)*g
+		a.v[i] = a.b2*a.v[i] + (1-a.b2)*g*g
+		params[i] -= a.lr * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + a.eps)
+	}
+}

@@ -1,0 +1,335 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/sched"
+)
+
+// Master coordinates a real TCP cluster: it accepts worker connections,
+// pushes coded partitions, runs assignment rounds, and decodes results.
+type Master struct {
+	ln      net.Listener
+	workers []*conn
+	results chan *Result
+	errs    chan error
+
+	mu        sync.Mutex
+	blockRows map[int]int // phase → partition rows
+}
+
+// NewMaster listens on addr (e.g. "127.0.0.1:0").
+func NewMaster(addr string) (*Master, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen: %w", err)
+	}
+	return &Master{
+		ln:        ln,
+		results:   make(chan *Result, 1024),
+		errs:      make(chan error, 16),
+		blockRows: map[int]int{},
+	}, nil
+}
+
+// Addr returns the listen address workers should dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// WaitForWorkers accepts exactly n worker connections (assigning worker
+// IDs in connection order) within the deadline.
+func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for len(m.workers) < n {
+		if tl, ok := m.ln.(*net.TCPListener); ok {
+			if err := tl.SetDeadline(deadline); err != nil {
+				return err
+			}
+		}
+		c, err := m.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("rpc: accept (have %d/%d workers): %w", len(m.workers), n, err)
+		}
+		wc := newConn(c)
+		env, err := wc.recv()
+		if err != nil || env.Kind != KindHello {
+			wc.close()
+			return fmt.Errorf("rpc: bad hello from %s: %v", c.RemoteAddr(), err)
+		}
+		id := len(m.workers)
+		m.workers = append(m.workers, wc)
+		go m.readLoop(id, wc)
+	}
+	return nil
+}
+
+// readLoop pumps one worker's results into the shared channel.
+func (m *Master) readLoop(id int, wc *conn) {
+	for {
+		env, err := wc.recv()
+		if err != nil {
+			select {
+			case m.errs <- fmt.Errorf("rpc: worker %d: %w", id, err):
+			default:
+			}
+			return
+		}
+		if env.Kind == KindResult && env.Result != nil {
+			env.Result.Worker = id
+			m.results <- env.Result
+		}
+	}
+}
+
+// NumWorkers returns the connected worker count.
+func (m *Master) NumWorkers() int { return len(m.workers) }
+
+// DistributePartitions ships phase p's coded partitions (partition w to
+// worker w). This is the one-time setup cost of coded computing.
+func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
+	if len(enc.Parts) != len(m.workers) {
+		return fmt.Errorf("rpc: %d partitions for %d workers", len(enc.Parts), len(m.workers))
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(m.workers))
+	for w, wc := range m.workers {
+		wg.Add(1)
+		go func(w int, wc *conn) {
+			defer wg.Done()
+			part := enc.Parts[w]
+			rows, cols := part.Dims()
+			errCh <- wc.send(&Envelope{Kind: KindPartition, Partition: &Partition{
+				Phase: phase, Rows: rows, Cols: cols, Data: part.Data(),
+			}})
+		}(w, wc)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	m.blockRows[phase] = enc.BlockRows
+	m.mu.Unlock()
+	return nil
+}
+
+// RoundStats reports a round's real-time measurements.
+type RoundStats struct {
+	// ResponseTime[w] is worker w's wall-clock response time (0 if it had
+	// no assignment or timed out before responding).
+	ResponseTime []time.Duration
+	// AssignedRows[w] mirrors the plan (plus reassignments).
+	AssignedRows []int
+	// Reassigned counts rows re-executed after the timeout fired.
+	Reassigned int
+	// TimedOut lists workers whose results were abandoned.
+	TimedOut []int
+}
+
+// RunRound sends the plan's assignments for (iter, phase), gathers
+// partials until per-row coverage k is met, applying the §4.3 timeout:
+// once the first k workers respond, the rest get timeoutFrac of the mean
+// response time before their pending rows are reassigned to finished
+// workers. It returns the collected partials (decode with the encoder)
+// and the round's stats.
+func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	m.mu.Lock()
+	blockRows := m.blockRows[phase]
+	m.mu.Unlock()
+	if blockRows == 0 {
+		return nil, nil, fmt.Errorf("rpc: phase %d has no distributed partitions", phase)
+	}
+	n := len(m.workers)
+	stats := &RoundStats{
+		ResponseTime: make([]time.Duration, n),
+		AssignedRows: make([]int, n),
+	}
+	start := time.Now()
+	active := 0
+	for w, wc := range m.workers {
+		ranges := plan.Assignments[w]
+		if coding.TotalRows(ranges) == 0 {
+			continue
+		}
+		stats.AssignedRows[w] = coding.TotalRows(ranges)
+		if err := wc.send(&Envelope{Kind: KindWork, Work: &Work{
+			Iter: iter, Phase: phase, X: x, Ranges: ranges,
+		}}); err != nil {
+			return nil, nil, fmt.Errorf("rpc: send work to %d: %w", w, err)
+		}
+		active++
+	}
+
+	var partials []*coding.Partial
+	responded := map[int]bool{}
+	var responseTimes []time.Duration
+	cov := make([]int, blockRows)
+	needed := blockRows
+	addPartial := func(r *Result) {
+		p := &coding.Partial{Worker: r.Worker, Ranges: r.Ranges, RowWidth: 1, Values: r.Values}
+		partials = append(partials, p)
+		if !responded[r.Worker] {
+			responded[r.Worker] = true
+			stats.ResponseTime[r.Worker] = time.Since(start)
+			responseTimes = append(responseTimes, stats.ResponseTime[r.Worker])
+		}
+		for _, rg := range r.Ranges {
+			for row := rg.Lo; row < rg.Hi; row++ {
+				cov[row]++
+				if cov[row] == k {
+					needed--
+				}
+			}
+		}
+	}
+
+	if active < k {
+		return nil, nil, fmt.Errorf("rpc: plan activates %d workers, decoding needs %d", active, k)
+	}
+	// Phase 1: wait for the first k responders (coded computing cannot
+	// decode with fewer).
+	hardDeadline := time.After(30 * time.Second)
+	for len(responded) < k {
+		select {
+		case r := <-m.results:
+			if r.Iter != iter || r.Phase != phase {
+				continue // stale result from a reassigned/abandoned round
+			}
+			addPartial(r)
+		case err := <-m.errs:
+			return nil, nil, err
+		case <-hardDeadline:
+			return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled waiting for %d responders", iter, phase, k)
+		}
+	}
+	if needed == 0 {
+		return partials, stats, nil
+	}
+
+	// Phase 2: grace window = timeoutFrac × mean response of the first k.
+	sort.Slice(responseTimes, func(i, j int) bool { return responseTimes[i] < responseTimes[j] })
+	mean := time.Duration(0)
+	for i := 0; i < k && i < len(responseTimes); i++ {
+		mean += responseTimes[i]
+	}
+	mean /= time.Duration(k)
+	grace := time.Duration(float64(mean) * timeoutFrac)
+	graceTimer := time.After(grace)
+	for needed > 0 {
+		select {
+		case r := <-m.results:
+			if r.Iter != iter || r.Phase != phase {
+				continue
+			}
+			addPartial(r)
+		case err := <-m.errs:
+			return nil, nil, err
+		case <-graceTimer:
+			// Timeout fired: reassign pending coverage to responders.
+			extra, timedOut, err := m.reassign(iter, phase, x, plan, cov, k, responded, blockRows)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.TimedOut = timedOut
+			for w, rows := range extra {
+				stats.AssignedRows[w] += rows
+				stats.Reassigned += rows
+			}
+			graceTimer = nil
+			// Collect until coverage completes (reassigned results arrive
+			// tagged with the same iter/phase).
+			for needed > 0 {
+				select {
+				case r := <-m.results:
+					if r.Iter != iter || r.Phase != phase {
+						continue
+					}
+					addPartial(r)
+				case err := <-m.errs:
+					return nil, nil, err
+				case <-hardDeadline:
+					return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled after reassignment", iter, phase)
+				}
+			}
+		case <-hardDeadline:
+			return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled", iter, phase)
+		}
+	}
+	return partials, stats, nil
+}
+
+// reassign sends uncovered rows to responders that do not already cover
+// them, returning extra rows per worker and the abandoned workers.
+func (m *Master) reassign(iter, phase int, x []float64, plan *sched.Plan, cov []int, k int, responded map[int]bool, blockRows int) (map[int]int, []int, error) {
+	var timedOut []int
+	for w := range plan.Assignments {
+		if coding.TotalRows(plan.Assignments[w]) > 0 && !responded[w] {
+			timedOut = append(timedOut, w)
+		}
+	}
+	sort.Ints(timedOut)
+	// has[w][r]: responder w already covers row r.
+	has := map[int][]bool{}
+	var helpers []int
+	for w := range responded {
+		h := make([]bool, blockRows)
+		for _, rg := range plan.Assignments[w] {
+			for r := rg.Lo; r < rg.Hi; r++ {
+				h[r] = true
+			}
+		}
+		has[w] = h
+		helpers = append(helpers, w)
+	}
+	sort.Ints(helpers)
+	extraRanges := map[int][]coding.Range{}
+	extraRows := map[int]int{}
+	for r := 0; r < blockRows; r++ {
+		for c := cov[r]; c < k; c++ {
+			placed := false
+			// Round-robin over helpers, preferring the least loaded.
+			best := -1
+			for _, w := range helpers {
+				if has[w][r] {
+					continue
+				}
+				if best < 0 || extraRows[w] < extraRows[best] {
+					best = w
+				}
+			}
+			if best >= 0 {
+				has[best][r] = true
+				extraRanges[best] = append(extraRanges[best], coding.Range{Lo: r, Hi: r + 1})
+				extraRows[best]++
+				placed = true
+			}
+			if !placed {
+				return nil, nil, fmt.Errorf("rpc: cannot re-cover row %d", r)
+			}
+		}
+	}
+	for w, ranges := range extraRanges {
+		if err := m.workers[w].send(&Envelope{Kind: KindWork, Work: &Work{
+			Iter: iter, Phase: phase, X: x, Ranges: coding.NormalizeRanges(ranges),
+		}}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return extraRows, timedOut, nil
+}
+
+// Shutdown tells all workers to exit and closes the listener.
+func (m *Master) Shutdown() {
+	for _, wc := range m.workers {
+		wc.send(&Envelope{Kind: KindShutdown}) //nolint:errcheck // best effort
+		wc.close()
+	}
+	m.ln.Close()
+}

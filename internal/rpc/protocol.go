@@ -1,0 +1,107 @@
+// Package rpc is the real-network runtime of the system: a master and
+// worker speaking a gob-encoded protocol over TCP (stdlib net only). It
+// mirrors the paper's implementation (§6): the master encodes and
+// distributes coded partitions once, then each iteration broadcasts the
+// input vector together with per-worker S2C2 work assignments; workers run
+// the coded kernel over their assigned row ranges and stream results back;
+// the master measures per-worker response times (the predictor's input),
+// applies the §4.3 timeout, reassigns pending coverage, and decodes.
+//
+// Workers accept an artificial slowdown factor so straggler scenarios are
+// reproducible on a laptop (the controlled-cluster methodology of §6.5).
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+)
+
+// Kind discriminates protocol envelopes.
+type Kind int
+
+// Protocol message kinds.
+const (
+	KindHello Kind = iota + 1
+	KindPartition
+	KindWork
+	KindResult
+	KindShutdown
+)
+
+// Hello is the worker's first message after dialing.
+type Hello struct {
+	// Slowdown is the worker's self-reported artificial slowdown factor
+	// (1 = full speed); used only for logging/experiments.
+	Slowdown float64
+}
+
+// Partition carries one phase's coded partition to a worker.
+type Partition struct {
+	Phase int
+	Rows  int
+	Cols  int
+	Data  []float64
+}
+
+// Work assigns row ranges for one round.
+type Work struct {
+	Iter   int
+	Phase  int
+	X      []float64
+	Ranges []coding.Range
+}
+
+// Result returns the computed rows.
+type Result struct {
+	Iter         int
+	Phase        int
+	Worker       int
+	Ranges       []coding.Range
+	Values       []float64
+	ComputeNanos int64
+}
+
+// Envelope is the single wire type; exactly one payload field is set,
+// per Kind.
+type Envelope struct {
+	Kind      Kind
+	Hello     *Hello
+	Partition *Partition
+	Work      *Work
+	Result    *Result
+}
+
+// conn wraps a TCP connection with gob codecs and a write lock.
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (c *conn) send(e *Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(e)
+}
+
+func (c *conn) recv() (*Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	if e.Kind == 0 {
+		return nil, fmt.Errorf("rpc: envelope missing kind")
+	}
+	return &e, nil
+}
+
+func (c *conn) close() error { return c.c.Close() }

@@ -1,0 +1,213 @@
+package rpc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/sched"
+)
+
+// startCluster spins up a master plus n in-process workers on loopback.
+func startCluster(t *testing.T, n int, slowdown map[int]float64) *Master {
+	t.Helper()
+	m, err := NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	// Connect workers one at a time: the master assigns IDs in accept
+	// order, so sequential connection pins slowdowns to intended IDs.
+	for i := 0; i < n; i++ {
+		cfg := WorkerConfig{
+			MasterAddr:  m.Addr(),
+			Slowdown:    slowdown[i],
+			PerRowDelay: 200 * time.Microsecond,
+		}
+		if cfg.Slowdown == 0 {
+			cfg.Slowdown = 1
+		}
+		go func() {
+			w, err := NewWorker(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			w.Run() //nolint:errcheck // shutdown closes the conn
+		}()
+		if err := m.WaitForWorkers(i+1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestTCPClusterCodedRoundTrip(t *testing.T) {
+	n, k := 4, 3
+	m := startCluster(t, n, nil)
+
+	rng := rand.New(rand.NewSource(1))
+	a := mat.Rand(30, 5, rng)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	want := mat.MatVec(a, x)
+	for iter := 0; iter < 3; iter++ {
+		plan, err := strat.Plan([]float64{1, 1, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials, stats, err := m.RunRound(iter, 0, x, plan, k, 10.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.DecodeMatVec(partials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.VecApproxEqual(got, want, 1e-8) {
+			t.Fatalf("iteration %d: TCP decode mismatch", iter)
+		}
+		for w := 0; w < n; w++ {
+			if stats.AssignedRows[w] > 0 && stats.ResponseTime[w] <= 0 {
+				t.Fatalf("worker %d responded but has no response time", w)
+			}
+		}
+	}
+}
+
+func TestTCPClusterConventionalMDSIgnoresStraggler(t *testing.T) {
+	// Conventional (4,3)-MDS with one heavy straggler: the master decodes
+	// from the fastest 3 full partitions without waiting for it.
+	n, k := 4, 3
+	m := startCluster(t, n, map[int]float64{0: 25})
+
+	rng := rand.New(rand.NewSource(2))
+	a := mat.Rand(24, 4, rng)
+	x := []float64{1, -1, 0.5, 2}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.ConventionalMDS{N: n, K: k, BlockRows: enc.BlockRows}
+	plan, _ := strat.Plan([]float64{1, 1, 1, 1})
+	start := time.Now()
+	partials, _, err := m.RunRound(0, 0, x, plan, k, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecApproxEqual(got, mat.MatVec(a, x), 1e-8) {
+		t.Fatal("decode mismatch")
+	}
+	// The straggler (~25×200µs×6rows ≈ 30ms+) must not gate the round;
+	// the fast path is ~6 rows × 200µs ≈ 1.2ms + overheads.
+	if elapsed > 20*time.Millisecond {
+		t.Fatalf("round took %v — master appears to have waited for the straggler", elapsed)
+	}
+}
+
+func TestTCPClusterTimeoutReassignment(t *testing.T) {
+	// S2C2 plan that (wrongly) assigns work to a dead-slow worker: the
+	// timeout must fire, coverage must be reassigned, decode must succeed.
+	n, k := 4, 2
+	m := startCluster(t, n, map[int]float64{3: 200})
+
+	rng := rand.New(rand.NewSource(3))
+	a := mat.Rand(40, 4, rng)
+	x := []float64{0.5, 1, -0.25, 0.75}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	// Mis-prediction: planner believes all four are equally fast.
+	plan, err := strat.Plan([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials, stats, err := m.RunRound(0, 0, x, plan, k, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecApproxEqual(got, mat.MatVec(a, x), 1e-8) {
+		t.Fatal("decode after reassignment mismatch")
+	}
+	if stats.Reassigned == 0 {
+		t.Fatal("expected reassigned rows after the timeout")
+	}
+	found := false
+	for _, w := range stats.TimedOut {
+		if w == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("worker 3 should be listed as timed out, got %v", stats.TimedOut)
+	}
+}
+
+func TestTCPMultiPhase(t *testing.T) {
+	// Two phases with different matrices (the gradient-descent layout).
+	n, k := 3, 2
+	m := startCluster(t, n, nil)
+	rng := rand.New(rand.NewSource(4))
+	a := mat.Rand(12, 6, rng)
+	at := mat.Transpose(a)
+	code, _ := coding.NewMDSCode(n, k)
+	encA := code.Encode(a)
+	encAT := code.Encode(at)
+	if err := m.DistributePartitions(0, encA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DistributePartitions(1, encAT); err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 6)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	sA := &sched.GeneralS2C2{N: n, K: k, BlockRows: encA.BlockRows, Granularity: encA.BlockRows}
+	planA, _ := sA.Plan([]float64{1, 1, 1})
+	pA, _, err := m.RunRound(0, 0, w, planA, k, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := encA.DecodeMatVec(pA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAT := &sched.GeneralS2C2{N: n, K: k, BlockRows: encAT.BlockRows, Granularity: encAT.BlockRows}
+	planAT, _ := sAT.Plan([]float64{1, 1, 1})
+	pAT, _, err := m.RunRound(0, 1, z, planAT, k, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := encAT.DecodeMatVec(pAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.MatVec(at, mat.MatVec(a, w))
+	if !mat.VecApproxEqual(g, want, 1e-7) {
+		t.Fatal("two-phase TCP pipeline mismatch")
+	}
+}

@@ -1,0 +1,108 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/mat"
+)
+
+// WorkerConfig configures a worker daemon.
+type WorkerConfig struct {
+	// MasterAddr is the master's host:port.
+	MasterAddr string
+	// Slowdown artificially multiplies compute time (1 = full speed);
+	// values > 1 make this worker a reproducible partial straggler.
+	Slowdown float64
+	// PerRowDelay adds a fixed virtual cost per computed row so straggler
+	// effects are visible even on tiny test matrices. Zero is fine for
+	// real workloads.
+	PerRowDelay time.Duration
+}
+
+// Worker is the daemon side of the runtime: it stores coded partitions
+// and executes assigned row ranges on demand.
+type Worker struct {
+	cfg WorkerConfig
+	c   *conn
+
+	mu         sync.Mutex
+	partitions map[int]*mat.Dense // phase → coded partition
+}
+
+// NewWorker dials the master and performs the hello handshake.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Slowdown <= 0 {
+		cfg.Slowdown = 1
+	}
+	nc, err := net.Dial("tcp", cfg.MasterAddr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial master: %w", err)
+	}
+	w := &Worker{cfg: cfg, c: newConn(nc), partitions: map[int]*mat.Dense{}}
+	if err := w.c.send(&Envelope{Kind: KindHello, Hello: &Hello{Slowdown: cfg.Slowdown}}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Run processes messages until shutdown or connection loss. Work requests
+// are served concurrently so a reassignment can overtake a slow round.
+func (w *Worker) Run() error {
+	defer w.c.close()
+	for {
+		env, err := w.c.recv()
+		if err != nil {
+			return err
+		}
+		switch env.Kind {
+		case KindPartition:
+			p := env.Partition
+			w.mu.Lock()
+			w.partitions[p.Phase] = mat.NewFromData(p.Rows, p.Cols, p.Data)
+			w.mu.Unlock()
+		case KindWork:
+			go w.handleWork(env.Work)
+		case KindShutdown:
+			return nil
+		default:
+			return fmt.Errorf("rpc: worker got unexpected kind %d", env.Kind)
+		}
+	}
+}
+
+// handleWork computes the assigned rows of this worker's partition.
+func (w *Worker) handleWork(job *Work) {
+	w.mu.Lock()
+	part := w.partitions[job.Phase]
+	w.mu.Unlock()
+	if part == nil {
+		return // partition not yet delivered; master will time us out
+	}
+	start := time.Now()
+	ranges := coding.NormalizeRanges(job.Ranges)
+	values := make([]float64, 0, coding.TotalRows(ranges))
+	for _, r := range ranges {
+		values = append(values, mat.MatVecRows(part, job.X, r.Lo, r.Hi)...)
+	}
+	elapsed := time.Since(start)
+	// Straggler emulation: stretch compute time by the slowdown factor
+	// plus the per-row floor.
+	rows := float64(coding.TotalRows(ranges))
+	delay := time.Duration(float64(elapsed)*(w.cfg.Slowdown-1) +
+		float64(w.cfg.PerRowDelay)*rows*w.cfg.Slowdown)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	w.c.send(&Envelope{Kind: KindResult, Result: &Result{ //nolint:errcheck // conn errors surface in Run
+		Iter:         job.Iter,
+		Phase:        job.Phase,
+		Ranges:       ranges,
+		Values:       values,
+		ComputeNanos: int64(elapsed),
+	}})
+}

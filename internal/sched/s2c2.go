@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+)
+
+// GeneralS2C2 implements Algorithm 1. Each partition is over-decomposed
+// into Granularity chunks; k×Granularity chunk-computations are allocated
+// to workers proportionally to predicted speed (capped at one full
+// partition each) and laid out as contiguous cyclic intervals, so every
+// chunk index is covered exactly k times.
+type GeneralS2C2 struct {
+	N, K      int
+	BlockRows int
+	// Granularity is the over-decomposition factor (chunks per partition).
+	// Higher values track speed differences more precisely at slightly
+	// higher planning cost. 0 selects a default of 4×N.
+	Granularity int
+}
+
+// Name implements Strategy.
+func (g *GeneralS2C2) Name() string { return fmt.Sprintf("s2c2(%d,%d)", g.N, g.K) }
+
+// NeedK implements Strategy.
+func (g *GeneralS2C2) NeedK() int { return g.K }
+
+func (g *GeneralS2C2) granularity() int {
+	m := g.Granularity
+	if m <= 0 {
+		m = 4 * g.N
+	}
+	// More chunks than rows only adds quantization noise: cap at the
+	// partition size so one chunk is never less than one row.
+	if g.BlockRows > 0 && m > g.BlockRows {
+		m = g.BlockRows
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Plan implements Algorithm 1 of the paper.
+func (g *GeneralS2C2) Plan(speeds []float64) (*Plan, error) {
+	if len(speeds) != g.N {
+		return nil, fmt.Errorf("sched: got %d speeds for %d workers", len(speeds), g.N)
+	}
+	if g.K < 1 || g.K > g.N {
+		return nil, fmt.Errorf("sched: invalid (n,k)=(%d,%d)", g.N, g.K)
+	}
+	m := g.granularity()
+	alloc, err := AllocateChunks(speeds, g.K, m)
+	if err != nil {
+		return nil, err
+	}
+	// Lay out contiguous cyclic chunk intervals in descending-speed order
+	// (the order AllocateChunks used), so coverage is exactly k per chunk.
+	order := speedOrder(speeds)
+	plan := &Plan{BlockRows: g.BlockRows, Assignments: make([][]coding.Range, g.N)}
+	begin := 0
+	for _, w := range order {
+		a := alloc[w]
+		if a == 0 {
+			plan.Assignments[w] = nil
+			continue
+		}
+		end := begin + a
+		var chunkRanges []coding.Range
+		if end <= m {
+			chunkRanges = []coding.Range{{Lo: begin, Hi: end}}
+		} else {
+			chunkRanges = []coding.Range{{Lo: begin, Hi: m}, {Lo: 0, Hi: end - m}}
+		}
+		plan.Assignments[w] = chunksToRows(chunkRanges, g.BlockRows, m)
+		begin = end % m
+	}
+	return plan, nil
+}
+
+// AllocateChunks distributes k×m chunk-computations over the workers
+// proportionally to their speeds, each worker capped at m (its whole
+// partition). It errors when fewer than k workers have positive speed,
+// since coverage k would then be impossible.
+//
+// Rounding matters: naively rounding a slow worker's share *up* by one
+// chunk can dominate the round's makespan (one extra chunk at speed 0.14
+// costs 7× what it costs at speed 1). So quotas are floored and the
+// leftover chunks are placed greedily on whichever worker's marginal
+// completion time (alloc+1)/speed stays smallest — an LPT-style rule
+// that keeps the realised makespan within one chunk of the fractional
+// optimum.
+func AllocateChunks(speeds []float64, k, m int) ([]int, error) {
+	n := len(speeds)
+	positive := 0
+	total := 0.0
+	for _, s := range speeds {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("sched: invalid speed %v", s)
+		}
+		if s > 0 {
+			positive++
+			total += s
+		}
+	}
+	if positive < k {
+		return nil, fmt.Errorf("sched: only %d workers with positive speed, need >= %d", positive, k)
+	}
+	alloc := make([]int, n)
+	want := k * m
+	placed := 0
+	for w, s := range speeds {
+		if s <= 0 {
+			continue
+		}
+		q := int(float64(want) * s / total) // floor of the exact quota
+		if q > m {
+			q = m
+		}
+		alloc[w] = q
+		placed += q
+	}
+	// Place the remainder one chunk at a time on the worker with the
+	// smallest resulting completion time that still has capacity.
+	for placed < want {
+		best := -1
+		bestTime := 0.0
+		for w, s := range speeds {
+			if s <= 0 || alloc[w] >= m {
+				continue
+			}
+			t := float64(alloc[w]+1) / s
+			if best < 0 || t < bestTime {
+				best, bestTime = w, t
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("sched: cannot place %d of %d chunk-computations", want-placed, want)
+		}
+		alloc[best]++
+		placed++
+	}
+	return alloc, nil
+}
+
+// speedOrder returns worker indices sorted by descending speed (stable on
+// ties by index, keeping plans deterministic).
+func speedOrder(speeds []float64) []int {
+	order := make([]int, len(speeds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return speeds[order[a]] > speeds[order[b]] })
+	return order
+}
+
+// chunksToRows converts chunk intervals to row ranges using uniform
+// banding: chunk c spans rows [c·rows/m, (c+1)·rows/m).
+func chunksToRows(chunks []coding.Range, blockRows, m int) []coding.Range {
+	out := make([]coding.Range, 0, len(chunks))
+	for _, c := range chunks {
+		lo := c.Lo * blockRows / m
+		hi := c.Hi * blockRows / m
+		if hi > lo {
+			out = append(out, coding.Range{Lo: lo, Hi: hi})
+		}
+	}
+	return coding.NormalizeRanges(out)
+}
+
+// ChunkRowBounds exposes the chunk→row banding for callers that must
+// reason about chunk-aligned reassignment.
+func ChunkRowBounds(chunk, blockRows, m int) coding.Range {
+	return coding.Range{Lo: chunk * blockRows / m, Hi: (chunk + 1) * blockRows / m}
+}
+
+// BasicS2C2 is the §4.1 special case: every node is classified as either
+// a straggler (assigned nothing) or a full-speed worker (assigned an equal
+// share), ignoring fine-grained speed differences. A node is a straggler
+// when its predicted speed falls below the fastest node's speed divided by
+// StragglerFactor (the paper's controlled-cluster definition uses 5×).
+type BasicS2C2 struct {
+	N, K        int
+	BlockRows   int
+	Granularity int
+	// StragglerFactor is the slowdown ratio that classifies stragglers;
+	// 0 selects the paper's 5.
+	StragglerFactor float64
+}
+
+// Name implements Strategy.
+func (b *BasicS2C2) Name() string { return fmt.Sprintf("s2c2-basic(%d,%d)", b.N, b.K) }
+
+// NeedK implements Strategy.
+func (b *BasicS2C2) NeedK() int { return b.K }
+
+// Plan classifies stragglers, then delegates to the general algorithm
+// with binary speeds.
+func (b *BasicS2C2) Plan(speeds []float64) (*Plan, error) {
+	if len(speeds) != b.N {
+		return nil, fmt.Errorf("sched: got %d speeds for %d workers", len(speeds), b.N)
+	}
+	factor := b.StragglerFactor
+	if factor <= 0 {
+		factor = 5
+	}
+	max := 0.0
+	for _, s := range speeds {
+		if s > max {
+			max = s
+		}
+	}
+	binary := make([]float64, b.N)
+	live := 0
+	for i, s := range speeds {
+		if s > 0 && s >= max/factor {
+			binary[i] = 1
+			live++
+		}
+	}
+	// If classification leaves fewer than k live nodes, fall back to
+	// counting the k fastest as live (coded computing still needs k).
+	if live < b.K {
+		for _, w := range speedOrder(speeds) {
+			if binary[w] == 0 && speeds[w] > 0 {
+				binary[w] = 1
+				live++
+				if live == b.K {
+					break
+				}
+			}
+		}
+	}
+	g := &GeneralS2C2{N: b.N, K: b.K, BlockRows: b.BlockRows, Granularity: b.Granularity}
+	return g.Plan(binary)
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/predict"
+	"github.com/coded-computing/s2c2/internal/sched"
+	"github.com/coded-computing/s2c2/internal/trace"
+	"github.com/coded-computing/s2c2/internal/workloads"
+)
+
+// StrategyFactory builds a strategy for a phase given that phase's
+// partition size. It lets one job configuration drive phases whose
+// matrices have different shapes (e.g. X and Xᵀ in gradient descent).
+type StrategyFactory func(blockRows int) sched.Strategy
+
+// MDSFactory returns a conventional-MDS strategy factory.
+func MDSFactory(n, k int) StrategyFactory {
+	return func(blockRows int) sched.Strategy {
+		return &sched.ConventionalMDS{N: n, K: k, BlockRows: blockRows}
+	}
+}
+
+// S2C2Factory returns a general-S2C2 strategy factory.
+func S2C2Factory(n, k, granularity int) StrategyFactory {
+	return func(blockRows int) sched.Strategy {
+		return &sched.GeneralS2C2{N: n, K: k, BlockRows: blockRows, Granularity: granularity}
+	}
+}
+
+// BasicS2C2Factory returns a basic-S2C2 strategy factory.
+func BasicS2C2Factory(n, k, granularity int) StrategyFactory {
+	return func(blockRows int) sched.Strategy {
+		return &sched.BasicS2C2{N: n, K: k, BlockRows: blockRows, Granularity: granularity}
+	}
+}
+
+// JobConfig configures an iterative coded job on the simulator.
+type JobConfig struct {
+	N, K       int
+	Strategy   StrategyFactory
+	Forecaster predict.Forecaster // nil = oracle speeds
+	Trace      *trace.Trace
+	Comm       CommModel
+	Timeout    TimeoutPolicy
+	// Numeric runs real encode/compute/decode every round. When false the
+	// timing model runs but state updates use locally computed products.
+	Numeric bool
+	MaxIter int
+}
+
+// JobResult reports a finished iterative job.
+type JobResult struct {
+	State      []float64
+	Iterations int
+	Aggregate  *Aggregate
+	// PerPhase holds one aggregate per workload phase.
+	PerPhase []*Aggregate
+}
+
+// RunIterative executes the workload to convergence (or MaxIter) on a
+// simulated coded cluster, one CodedCluster per phase, all driven by the
+// same speed trace. The returned aggregate sums phase latencies per
+// iteration — the paper's end-to-end computation latency.
+func RunIterative(w workloads.Iterative, cfg JobConfig) (*JobResult, error) {
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	matrices := w.Matrices()
+	clusters := make([]*CodedCluster, len(matrices))
+	for p, m := range matrices {
+		code, err := coding.NewMDSCode(cfg.N, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		enc := code.Encode(m)
+		clusters[p] = &CodedCluster{
+			Enc:        enc,
+			Strategy:   cfg.Strategy(enc.BlockRows),
+			Forecaster: cfg.Forecaster,
+			Trace:      cfg.Trace,
+			Comm:       cfg.Comm,
+			Timeout:    cfg.Timeout,
+			Numeric:    cfg.Numeric,
+		}
+	}
+	res := &JobResult{Aggregate: &Aggregate{}, PerPhase: make([]*Aggregate, len(matrices))}
+	for p := range res.PerPhase {
+		res.PerPhase[p] = &Aggregate{}
+	}
+	state := w.Init()
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		outputs := make([][]float64, len(matrices))
+		iterLatency := 0.0
+		var iterComputed, iterUsed []int
+		mispred := false
+		reassigned := 0
+		bytes := 0.0
+		for p := range matrices {
+			in := w.PhaseInput(p, state, outputs[:p])
+			round, err := clusters[p].RunIteration(iter, in)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s phase %d: %w", w.Name(), p, err)
+			}
+			if cfg.Numeric {
+				outputs[p] = round.Result
+			} else {
+				outputs[p] = mat.MatVec(matrices[p], in)
+			}
+			iterLatency += round.Latency
+			if iterComputed == nil {
+				iterComputed = make([]int, len(round.ComputedRows))
+				iterUsed = make([]int, len(round.UsedRows))
+			}
+			for i := range round.ComputedRows {
+				iterComputed[i] += round.ComputedRows[i]
+				iterUsed[i] += round.UsedRows[i]
+			}
+			mispred = mispred || round.Mispredicted
+			reassigned += round.ReassignedRows
+			bytes += round.BytesMoved
+			res.PerPhase[p].AddRound(round)
+		}
+		res.Aggregate.addCommon(iterLatency, iterComputed, iterUsed, mispred, reassigned, bytes)
+		var done bool
+		state, done = w.Update(state, outputs)
+		res.Iterations = iter + 1
+		if done {
+			break
+		}
+	}
+	res.State = state
+	return res, nil
+}

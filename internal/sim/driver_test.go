@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/trace"
+	"github.com/coded-computing/s2c2/internal/workloads"
+)
+
+func TestRunIterativeLogisticRegressionMatchesLocal(t *testing.T) {
+	// Distributed coded gradient descent must produce the same model as
+	// local execution (within float tolerance), despite a straggler.
+	data := workloads.SyntheticClassification(120, 8, 10)
+	mk := func() *workloads.LogisticRegression {
+		return &workloads.LogisticRegression{Data: data, LR: 0.5, Lambda: 1e-4, Tol: 0}
+	}
+	localW, _ := workloads.RunLocal(mk(), 20)
+
+	tr := trace.ControlledCluster(6, 1, 40, 10)
+	res, err := RunIterative(mk(), JobConfig{
+		N: 6, K: 4,
+		Strategy: S2C2Factory(6, 4, 30),
+		Trace:    tr,
+		Comm:     DefaultComm(),
+		Timeout:  DefaultTimeout(),
+		Numeric:  true,
+		MaxIter:  20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 20 {
+		t.Fatalf("ran %d iterations want 20", res.Iterations)
+	}
+	if !mat.VecApproxEqual(res.State, localW, 1e-6) {
+		t.Fatal("distributed model differs from local model")
+	}
+	if res.Aggregate.Rounds != 20 {
+		t.Fatalf("aggregate rounds %d", res.Aggregate.Rounds)
+	}
+}
+
+func TestRunIterativePageRankMatchesLocal(t *testing.T) {
+	g := workloads.PowerLawGraph(48, 4, 11)
+	mk := func() *workloads.PageRank {
+		return &workloads.PageRank{Graph: g, Damping: 0.85, Tol: 1e-9}
+	}
+	localX, localIters := workloads.RunLocal(mk(), 200)
+
+	tr := trace.ControlledCluster(6, 2, 250, 11)
+	res, err := RunIterative(mk(), JobConfig{
+		N: 6, K: 4,
+		Strategy: S2C2Factory(6, 4, 24),
+		Trace:    tr,
+		Comm:     DefaultComm(),
+		Timeout:  DefaultTimeout(),
+		Numeric:  true,
+		MaxIter:  200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != localIters {
+		t.Fatalf("distributed converged in %d iters, local in %d", res.Iterations, localIters)
+	}
+	if !mat.VecApproxEqual(res.State, localX, 1e-6) {
+		t.Fatal("distributed PageRank differs from local")
+	}
+}
+
+func TestRunIterativeTimingOnlyMode(t *testing.T) {
+	// Numeric=false still advances the workload using local math and
+	// reports latencies.
+	data := workloads.SyntheticClassification(80, 6, 12)
+	lr := &workloads.LogisticRegression{Data: data, LR: 0.5, Lambda: 0, Tol: 0}
+	tr := trace.CloudStable(8, 30, 12)
+	res, err := RunIterative(lr, JobConfig{
+		N: 8, K: 6,
+		Strategy: MDSFactory(8, 6),
+		Trace:    tr,
+		Comm:     DefaultComm(),
+		Timeout:  DefaultTimeout(),
+		Numeric:  false,
+		MaxIter:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.MeanLatency() <= 0 {
+		t.Fatal("timing-only mode must still report latency")
+	}
+	if len(res.PerPhase) != 2 {
+		t.Fatalf("LR has 2 phases, got %d", len(res.PerPhase))
+	}
+}

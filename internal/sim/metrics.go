@@ -1,0 +1,80 @@
+package sim
+
+// Aggregate accumulates per-round accounting across an iterative job.
+type Aggregate struct {
+	Rounds            int
+	TotalLatency      float64
+	PerWorkerComputed []int
+	PerWorkerUsed     []int
+	Mispredictions    int
+	ReassignedRows    int
+	BytesMoved        float64
+	Latencies         []float64
+}
+
+// AddRound folds one MDS round into the aggregate.
+func (a *Aggregate) AddRound(r *Round) {
+	a.addCommon(r.Latency, r.ComputedRows, r.UsedRows, r.Mispredicted, r.ReassignedRows, r.BytesMoved)
+}
+
+// AddPolyRound folds one polynomial-code round into the aggregate.
+func (a *Aggregate) AddPolyRound(r *PolyRound) {
+	a.addCommon(r.Latency, r.ComputedRows, r.UsedRows, r.Mispredicted, r.ReassignedRows, r.BytesMoved)
+}
+
+func (a *Aggregate) addCommon(latency float64, computed, used []int, mispred bool, reassigned int, bytes float64) {
+	a.Rounds++
+	a.TotalLatency += latency
+	a.Latencies = append(a.Latencies, latency)
+	if a.PerWorkerComputed == nil {
+		a.PerWorkerComputed = make([]int, len(computed))
+		a.PerWorkerUsed = make([]int, len(used))
+	}
+	for w := range computed {
+		a.PerWorkerComputed[w] += computed[w]
+		a.PerWorkerUsed[w] += used[w]
+	}
+	if mispred {
+		a.Mispredictions++
+	}
+	a.ReassignedRows += reassigned
+	a.BytesMoved += bytes
+}
+
+// MeanLatency returns the average round latency.
+func (a *Aggregate) MeanLatency() float64 {
+	if a.Rounds == 0 {
+		return 0
+	}
+	return a.TotalLatency / float64(a.Rounds)
+}
+
+// WastedFraction returns worker w's wasted-computation fraction across the
+// whole job (the Figures 9/11 metric).
+func (a *Aggregate) WastedFraction(w int) float64 {
+	if w >= len(a.PerWorkerComputed) || a.PerWorkerComputed[w] == 0 {
+		return 0
+	}
+	return float64(a.PerWorkerComputed[w]-a.PerWorkerUsed[w]) / float64(a.PerWorkerComputed[w])
+}
+
+// TotalWastedFraction returns cluster-wide wasted work.
+func (a *Aggregate) TotalWastedFraction() float64 {
+	c, u := 0, 0
+	for w := range a.PerWorkerComputed {
+		c += a.PerWorkerComputed[w]
+		u += a.PerWorkerUsed[w]
+	}
+	if c == 0 {
+		return 0
+	}
+	return float64(c-u) / float64(c)
+}
+
+// MispredictionRate returns the fraction of rounds where the timeout fired.
+func (a *Aggregate) MispredictionRate() float64 {
+	if a.Rounds == 0 {
+		return 0
+	}
+	return float64(a.Mispredictions) / float64(a.Rounds)
+}

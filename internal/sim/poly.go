@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/predict"
+	"github.com/coded-computing/s2c2/internal/sched"
+	"github.com/coded-computing/s2c2/internal/trace"
+)
+
+// PolyCluster simulates polynomial-coded bilinear rounds (the §7.2.3
+// Hessian workload) with or without S2C2 workload distribution. The
+// recovery threshold is a·b instead of k, and a worker's per-row kernel is
+// BlockColsB multiply-accumulate columns wide; otherwise the timing model
+// matches CodedCluster.
+type PolyCluster struct {
+	Enc        *coding.EncodedBilinear
+	Strategy   sched.Strategy
+	Forecaster predict.Forecaster // nil = oracle
+	Trace      *trace.Trace
+	Comm       CommModel
+	Timeout    TimeoutPolicy
+	Numeric    bool
+
+	history [][]float64
+}
+
+// PolyRound reports one bilinear iteration.
+type PolyRound struct {
+	Iter           int
+	Latency        float64
+	Result         *mat.Dense
+	ComputedRows   []int
+	UsedRows       []int
+	ReassignedRows int
+	Mispredicted   bool
+	BytesMoved     float64
+}
+
+// predictSpeeds mirrors CodedCluster.PredictSpeeds.
+func (c *PolyCluster) predictSpeeds(iter int) []float64 {
+	n := c.Trace.NumWorkers()
+	speeds := make([]float64, n)
+	if c.Forecaster == nil {
+		for w := 0; w < n; w++ {
+			speeds[w] = c.Trace.At(w, iter)
+		}
+		return speeds
+	}
+	if len(c.history) == 0 || len(c.history[0]) == 0 {
+		for w := range speeds {
+			speeds[w] = 1
+		}
+		return speeds
+	}
+	for w := 0; w < n; w++ {
+		speeds[w] = c.Forecaster.Predict(c.history[w])
+		if speeds[w] <= 0 {
+			speeds[w] = 0.01
+		}
+	}
+	return speeds
+}
+
+// RunIteration executes one Hessian round on the diagonal vector d.
+//
+// Every assigned row costs RowsM·BlockColsB multiply-accumulates — far
+// more than a mat-vec row — so compute time is scaled by that row weight
+// in multiply-accumulates (ElemRate units).
+func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
+	n := c.Trace.NumWorkers()
+	predicted := c.predictSpeeds(iter)
+	plan, err := c.Strategy.Plan(predicted)
+	if err != nil {
+		return nil, fmt.Errorf("sim: poly iteration %d: %w", iter, err)
+	}
+	threshold := c.Strategy.NeedK()
+	actual := make([]float64, n)
+	for w := 0; w < n; w++ {
+		actual[w] = c.Trace.At(w, iter)
+	}
+	blockRows := c.Enc.BlockColsA
+	round := &PolyRound{
+		Iter:         iter,
+		ComputedRows: make([]int, n),
+		UsedRows:     make([]int, n),
+	}
+	dBytes := float64(8 * len(d))
+	broadcast := c.Comm.TransferTime(dBytes)
+	round.BytesMoved += dBytes * float64(n)
+
+	// Row weight: one output row of Ã_wᵀ·diag(d)·B̃_w costs
+	// RowsM × BlockColsB multiply-accumulates.
+	rowWeight := float64(c.Enc.RowsM * c.Enc.BlockColsB)
+
+	var finishes []workerFinish
+	for w := 0; w < n; w++ {
+		rows := plan.RowsFor(w)
+		if rows == 0 {
+			continue
+		}
+		round.ComputedRows[w] = rows
+		ft := broadcast + computeElems(float64(rows)*rowWeight, actual[w]) + c.Comm.TransferTime(float64(8*rows*c.Enc.BlockColsB))
+		finishes = append(finishes, workerFinish{w: w, finish: ft, rows: rows})
+	}
+	if len(finishes) < threshold {
+		return nil, fmt.Errorf("sim: poly plan uses %d workers, need %d", len(finishes), threshold)
+	}
+	sort.Slice(finishes, func(i, j int) bool { return finishes[i].finish < finishes[j].finish })
+
+	cov := make([]int, blockRows)
+	needed := blockRows
+	coveredAt := -1.0
+	usedUpTo := -1
+	for i, f := range finishes {
+		for _, rg := range plan.Assignments[f.w] {
+			for r := rg.Lo; r < rg.Hi; r++ {
+				cov[r]++
+				if cov[r] == threshold {
+					needed--
+				}
+			}
+		}
+		if needed == 0 {
+			coveredAt = f.finish
+			usedUpTo = i
+			break
+		}
+	}
+	// Deadline rule as in CodedCluster.simulateRound: first-threshold mean
+	// plus the plan's expected makespan under predicted speeds.
+	meanK := 0.0
+	for i := 0; i < threshold; i++ {
+		meanK += finishes[i].finish
+	}
+	meanK /= float64(threshold)
+	deadline := meanK * (1 + c.Timeout.Fraction)
+	planned := 0.0
+	for w := 0; w < n; w++ {
+		rows := plan.RowsFor(w)
+		if rows == 0 {
+			continue
+		}
+		pf := broadcast + computeElems(float64(rows)*rowWeight, predicted[w]) + c.Comm.TransferTime(float64(8*rows*c.Enc.BlockColsB))
+		if pf > planned {
+			planned = pf
+		}
+	}
+	if d := planned * (1 + c.Timeout.Fraction); d > deadline {
+		deadline = d
+	}
+	if deadline < finishes[threshold-1].finish {
+		deadline = finishes[threshold-1].finish
+	}
+
+	usedWorkers := map[int]bool{}
+	if coveredAt >= 0 && coveredAt <= deadline {
+		round.Latency = coveredAt
+		for i := 0; i <= usedUpTo; i++ {
+			usedWorkers[finishes[i].w] = true
+			round.UsedRows[finishes[i].w] = finishes[i].rows
+		}
+	} else {
+		round.Mispredicted = true
+		for r := range cov {
+			cov[r] = 0
+		}
+		for _, f := range finishes {
+			if f.finish <= deadline {
+				usedWorkers[f.w] = true
+				round.UsedRows[f.w] = f.rows
+				for _, rg := range plan.Assignments[f.w] {
+					for r := rg.Lo; r < rg.Hi; r++ {
+						cov[r]++
+					}
+				}
+			}
+		}
+		// Reassign deficient rows among finished workers.
+		type helper struct {
+			w     int
+			extra int
+			has   []bool
+		}
+		var helpers []helper
+		for w := range usedWorkers {
+			has := make([]bool, blockRows)
+			for _, rg := range plan.Assignments[w] {
+				for r := rg.Lo; r < rg.Hi; r++ {
+					has[r] = true
+				}
+			}
+			helpers = append(helpers, helper{w: w, has: has})
+		}
+		sort.Slice(helpers, func(i, j int) bool { return helpers[i].w < helpers[j].w })
+		for r := 0; r < blockRows; r++ {
+			for cov[r] < threshold {
+				best := -1
+				bestLoad := 0.0
+				for hi := range helpers {
+					h := &helpers[hi]
+					if h.has[r] {
+						continue
+					}
+					load := float64(h.extra+1) / maxf(actual[h.w], 1e-9)
+					if best < 0 || load < bestLoad {
+						best, bestLoad = hi, load
+					}
+				}
+				if best < 0 {
+					return nil, fmt.Errorf("sim: poly iteration %d: cannot re-cover row %d", iter, r)
+				}
+				helpers[best].has[r] = true
+				helpers[best].extra++
+				cov[r]++
+				round.ReassignedRows++
+			}
+		}
+		latest := deadline
+		for _, h := range helpers {
+			if h.extra == 0 {
+				continue
+			}
+			round.ComputedRows[h.w] += h.extra
+			round.UsedRows[h.w] += h.extra
+			ft := deadline + c.Comm.TransferTime(64) + computeElems(float64(h.extra)*rowWeight, actual[h.w]) + c.Comm.TransferTime(float64(8*h.extra*c.Enc.BlockColsB))
+			if ft > latest {
+				latest = ft
+			}
+		}
+		round.Latency = latest
+	}
+
+	for _, used := range round.UsedRows {
+		round.BytesMoved += float64(8 * used * c.Enc.BlockColsB)
+	}
+
+	// Observed speeds for the forecaster.
+	observed := make([]float64, n)
+	for _, f := range finishes {
+		ct := f.finish - broadcast
+		if ct <= 0 {
+			ct = 1e-9
+		}
+		observed[f.w] = float64(f.rows) * rowWeight / ct / ElemRate
+	}
+	if c.history == nil {
+		c.history = make([][]float64, n)
+	}
+	for w := 0; w < n; w++ {
+		v := observed[w]
+		if v <= 0 {
+			if len(c.history[w]) > 0 {
+				v = c.history[w][len(c.history[w])-1]
+			} else {
+				v = 1
+			}
+		}
+		c.history[w] = append(c.history[w], v)
+	}
+
+	if c.Numeric {
+		var partials []*coding.Partial
+		for w := range usedWorkers {
+			if plan.RowsFor(w) > 0 {
+				partials = append(partials, c.Enc.WorkerCompute(w, d, plan.Assignments[w]))
+			}
+		}
+		if round.Mispredicted {
+			partials = c.numericRecovery(partials, threshold, d)
+		}
+		dec, err := c.Enc.Decode(partials)
+		if err != nil {
+			return nil, fmt.Errorf("sim: poly iteration %d decode: %w", iter, err)
+		}
+		round.Result = dec
+	}
+	return round, nil
+}
+
+// numericRecovery mirrors CodedCluster.numericRecovery for the bilinear
+// backend.
+func (c *PolyCluster) numericRecovery(partials []*coding.Partial, threshold int, d []float64) []*coding.Partial {
+	blockRows := c.Enc.BlockColsA
+	cov := make([]int, blockRows)
+	has := map[int][]bool{}
+	for _, p := range partials {
+		h := has[p.Worker]
+		if h == nil {
+			h = make([]bool, blockRows)
+			has[p.Worker] = h
+		}
+		for _, rg := range p.Ranges {
+			for r := rg.Lo; r < rg.Hi; r++ {
+				if !h[r] {
+					h[r] = true
+					cov[r]++
+				}
+			}
+		}
+	}
+	workers := make([]int, 0, len(has))
+	for w := range has {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	extraRows := map[int][]coding.Range{}
+	for r := 0; r < blockRows; r++ {
+		for cov[r] < threshold {
+			placed := false
+			for _, w := range workers {
+				if !has[w][r] {
+					has[w][r] = true
+					cov[r]++
+					extraRows[w] = append(extraRows[w], coding.Range{Lo: r, Hi: r + 1})
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+	}
+	for w, ranges := range extraRows {
+		partials = append(partials, c.Enc.WorkerCompute(w, d, ranges))
+	}
+	return partials
+}

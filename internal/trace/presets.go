@@ -1,0 +1,109 @@
+package trace
+
+// Presets mirror the three environments of the paper's evaluation.
+
+// ControlledCluster reproduces the §7.1 local-cluster setup: identical
+// servers with up to ±20% speed variation between non-stragglers, plus
+// `stragglers` nodes that are at least 5× slower than the fastest node for
+// the whole run. Workers 0..stragglers-1 are the stragglers.
+func ControlledCluster(workers, stragglers, steps int, seed int64) *Trace {
+	cfg := Config{
+		Workers:    workers,
+		Steps:      steps,
+		Seed:       seed,
+		BaseMin:    0.8, // ±20% static spread among non-stragglers
+		BaseMax:    1.0,
+		DriftPhi:   0.3,
+		DriftSigma: 0.01, // controlled environment: tiny jitter
+		SwitchProb: 0,    // no tenancy regime shifts on dedicated hardware
+		RegimeMin:  1,
+		RegimeMax:  1,
+		MinSpeed:   0.01,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	specs := make([]StragglerSpec, 0, stragglers)
+	for w := 0; w < stragglers && w < workers; w++ {
+		specs = append(specs, StragglerSpec{Worker: w, Factor: 6.25}) // 0.8/6.25 ≈ 5x..7.8x slower than peers
+	}
+	return tr.ApplyStragglers(specs...)
+}
+
+// CloudStable models the low-mis-prediction Digital Ocean environment of
+// §7.2.1: speeds drift slowly, regimes rarely shift, so a one-step-ahead
+// predictor is nearly perfect.
+func CloudStable(workers, steps int, seed int64) *Trace {
+	cfg := Config{
+		Workers:    workers,
+		Steps:      steps,
+		Seed:       seed,
+		BaseMin:    0.7,
+		BaseMax:    1.0,
+		DriftPhi:   0.2,
+		DriftSigma: 0.015,
+		SwitchProb: 0.005,
+		RegimeMin:  0.8,
+		RegimeMax:  1.1,
+		MinSpeed:   0.01,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// CloudVolatile models the high-mis-prediction environment of §7.2.2:
+// shared VMs whose speeds shift abruptly and substantially, driving
+// predictor mis-prediction rates near the paper's observed 18%.
+func CloudVolatile(workers, steps int, seed int64) *Trace {
+	cfg := Config{
+		Workers:    workers,
+		Steps:      steps,
+		Seed:       seed,
+		BaseMin:    0.6,
+		BaseMax:    1.0,
+		DriftPhi:   0.6, // snaps quickly to the new regime
+		DriftSigma: 0.04,
+		SwitchProb: 0.12,
+		RegimeMin:  0.25,
+		RegimeMax:  1.3,
+		MinSpeed:   0.01,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// DigitalOceanLike reproduces the Figure 2 measurement campaign shape:
+// a large fleet with mostly-stable speeds, occasional regime shifts, and
+// a small fraction of heavily degraded nodes.
+func DigitalOceanLike(workers, steps int, seed int64) *Trace {
+	cfg := Config{
+		Workers:    workers,
+		Steps:      steps,
+		Seed:       seed,
+		BaseMin:    0.5,
+		BaseMax:    1.0,
+		DriftPhi:   0.25,
+		DriftSigma: 0.02,
+		SwitchProb: 0.02,
+		RegimeMin:  0.5,
+		RegimeMax:  1.2,
+		MinSpeed:   0.01,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	// Roughly 1 in 12 nodes experiences a mid-run straggler episode.
+	for w := 0; w < workers; w += 12 {
+		from := (w * 7) % (steps / 2)
+		tr.ApplyStragglers(StragglerSpec{Worker: w, Factor: 8, From: from, To: from + steps/4})
+	}
+	return tr
+}

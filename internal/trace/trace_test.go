@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseConfig() Config {
+	return Config{
+		Workers: 4, Steps: 200, Seed: 1,
+		BaseMin: 0.8, BaseMax: 1.0,
+		DriftPhi: 0.3, DriftSigma: 0.02,
+		SwitchProb: 0.01, RegimeMin: 0.5, RegimeMax: 1.2,
+		MinSpeed: 0.01,
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	cfg := baseConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumWorkers() != 4 || a.Len() != 200 {
+		t.Fatalf("shape %dx%d", a.NumWorkers(), a.Len())
+	}
+	b, _ := Generate(cfg)
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 200; i++ {
+			if a.Speeds[w][i] != b.Speeds[w][i] {
+				t.Fatal("same seed must give identical traces")
+			}
+		}
+	}
+	cfg.Seed = 2
+	c, _ := Generate(cfg)
+	same := true
+	for i := 0; i < 200 && same; i++ {
+		same = a.Speeds[0][i] == c.Speeds[0][i]
+	}
+	if same {
+		t.Fatal("different seeds should give different traces")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := baseConfig()
+	bad.Workers = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("workers=0 must fail")
+	}
+	bad = baseConfig()
+	bad.BaseMax = 0.1 // < BaseMin
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("inverted base range must fail")
+	}
+	bad = baseConfig()
+	bad.SwitchProb = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("bad probability must fail")
+	}
+}
+
+func TestSpeedsPositiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := baseConfig()
+		cfg.Seed = seed
+		tr, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		for w := 0; w < tr.NumWorkers(); w++ {
+			for _, v := range tr.Speeds[w] {
+				if v < cfg.MinSpeed || math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowDriftProperty(t *testing.T) {
+	// The paper's key observation: within a ~10-step neighbourhood, speed
+	// stays within ~10% on average. Check that mean relative step change
+	// in a stable config is small.
+	tr := CloudStable(8, 500, 3)
+	for w := 0; w < 8; w++ {
+		sum := 0.0
+		for i := 1; i < 500; i++ {
+			sum += math.Abs(tr.Speeds[w][i]-tr.Speeds[w][i-1]) / tr.Speeds[w][i-1]
+		}
+		if avg := sum / 499; avg > 0.10 {
+			t.Fatalf("worker %d mean step change %.3f too large for stable preset", w, avg)
+		}
+	}
+}
+
+func TestControlledClusterStragglers(t *testing.T) {
+	tr := ControlledCluster(12, 3, 100, 5)
+	// Stragglers are workers 0..2 and must be at least 5x slower than the
+	// fastest non-straggler at every step.
+	for i := 0; i < 100; i++ {
+		fastest := 0.0
+		for w := 3; w < 12; w++ {
+			if s := tr.Speeds[w][i]; s > fastest {
+				fastest = s
+			}
+		}
+		for w := 0; w < 3; w++ {
+			if tr.Speeds[w][i] > fastest/5 {
+				t.Fatalf("step %d: straggler %d speed %.3f vs fastest %.3f (not 5x slower)",
+					i, w, tr.Speeds[w][i], fastest)
+			}
+		}
+	}
+	// Non-straggler spread stays within the configured ±20% band ±jitter.
+	for i := 0; i < 100; i++ {
+		lo, hi := math.Inf(1), 0.0
+		for w := 3; w < 12; w++ {
+			s := tr.Speeds[w][i]
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		}
+		if hi/lo > 1.5 {
+			t.Fatalf("step %d: non-straggler spread %.2f too wide", i, hi/lo)
+		}
+	}
+}
+
+func TestVolatileIsMoreVolatileThanStable(t *testing.T) {
+	stable := CloudStable(10, 400, 7)
+	volatile := CloudVolatile(10, 400, 7)
+	vs := meanAbsStep(stable)
+	vv := meanAbsStep(volatile)
+	if vv <= vs {
+		t.Fatalf("volatile preset (%.4f) should exceed stable (%.4f)", vv, vs)
+	}
+}
+
+func meanAbsStep(tr *Trace) float64 {
+	sum, n := 0.0, 0
+	for w := 0; w < tr.NumWorkers(); w++ {
+		for i := 1; i < tr.Len(); i++ {
+			sum += math.Abs(tr.Speeds[w][i]-tr.Speeds[w][i-1]) / tr.Speeds[w][i-1]
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestApplyStragglersWindow(t *testing.T) {
+	tr := &Trace{Speeds: [][]float64{{1, 1, 1, 1}}}
+	tr.ApplyStragglers(StragglerSpec{Worker: 0, Factor: 2, From: 1, To: 3})
+	want := []float64{1, 0.5, 0.5, 1}
+	for i, v := range want {
+		if tr.Speeds[0][i] != v {
+			t.Fatalf("got %v want %v", tr.Speeds[0], want)
+		}
+	}
+}
+
+func TestAtWraps(t *testing.T) {
+	tr := &Trace{Speeds: [][]float64{{1, 2, 3}}}
+	if tr.At(0, 4) != 2 {
+		t.Fatalf("At should wrap: got %v", tr.At(0, 4))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := CloudStable(3, 20, 9)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumWorkers() != 3 || back.Len() != 20 {
+		t.Fatalf("round-trip shape %dx%d", back.NumWorkers(), back.Len())
+	}
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 20; i++ {
+			if back.Speeds[w][i] != tr.Speeds[w][i] {
+				t.Fatal("CSV round trip not exact")
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("step,worker0\n")); err == nil {
+		t.Fatal("no data rows must fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("step,worker0\n0,notanumber\n")); err == nil {
+		t.Fatal("bad float must fail")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := CloudStable(2, 10, 1)
+	c := tr.Clone()
+	c.Speeds[0][0] = 999
+	if tr.Speeds[0][0] == 999 {
+		t.Fatal("Clone aliases original")
+	}
+}

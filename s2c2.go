@@ -1,0 +1,300 @@
+// Package s2c2 is a Go implementation of Slack Squeeze Coded Computing
+// (Narra et al., SC '19): straggler-tolerant distributed computation that
+// encodes data once with a conservative (n,k)-MDS or polynomial code and
+// then *adaptively* assigns each worker a slice of its coded partition
+// proportional to its predicted speed, so no compute capacity is wasted
+// when the cluster is healthier than the code assumed.
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - dense linear algebra (Dense, MatVec, ...) — the from-scratch
+//     substrate everything runs on;
+//   - MDS and polynomial codecs (NewMDSCode, NewPolyCode, exact GF(p)
+//     variants) with per-row partial decoding;
+//   - work-assignment strategies (GeneralS2C2 — Algorithm 1 of the paper,
+//     BasicS2C2, ConventionalMDS);
+//   - speed forecasting (NewLSTM, AR1, ARIMA models);
+//   - speed-trace generators mirroring the paper's measured environments;
+//   - a discrete-event cluster simulator (virtual time, real numerics)
+//     and a real TCP master/worker runtime;
+//   - the paper's workloads (logistic regression, SVM, PageRank, graph
+//     filtering, Hessian computation).
+//
+// Quick start (simulated cluster, general S2C2, one straggler):
+//
+//	data := s2c2.NewClassificationDataset(1200, 100, 1)
+//	lr := &s2c2.LogisticRegression{Data: data, LR: 0.5, Lambda: 1e-4}
+//	res, err := s2c2.Simulate(lr, s2c2.SimConfig{
+//		N: 10, K: 7,
+//		Strategy: s2c2.S2C2Strategy(10, 7, 0),
+//		Trace:    s2c2.ControlledCluster(10, 1, 50, 1),
+//		MaxIter:  20,
+//	})
+//
+// See examples/ for runnable programs and cmd/s2c2-exp for the harness
+// that regenerates every figure of the paper.
+package s2c2
+
+import (
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/predict"
+	"github.com/coded-computing/s2c2/internal/rpc"
+	"github.com/coded-computing/s2c2/internal/sched"
+	"github.com/coded-computing/s2c2/internal/sim"
+	"github.com/coded-computing/s2c2/internal/trace"
+	"github.com/coded-computing/s2c2/internal/workloads"
+)
+
+// ---- Linear algebra -------------------------------------------------
+
+// Dense is a row-major dense float64 matrix.
+type Dense = mat.Dense
+
+// NewDense returns a zeroed r-by-c matrix.
+func NewDense(r, c int) *Dense { return mat.New(r, c) }
+
+// NewDenseFromRows builds a matrix from row slices, copying them.
+func NewDenseFromRows(rows [][]float64) *Dense { return mat.NewFromRows(rows) }
+
+// MatVec computes A·x.
+func MatVec(a *Dense, x []float64) []float64 { return mat.MatVec(a, x) }
+
+// ParallelMatVec computes A·x with a goroutine pool.
+func ParallelMatVec(a *Dense, x []float64, workers int) []float64 {
+	return mat.ParallelMatVec(a, x, workers)
+}
+
+// Transpose returns Aᵀ.
+func Transpose(a *Dense) *Dense { return mat.Transpose(a) }
+
+// ---- Coding layer ----------------------------------------------------
+
+// Range is a half-open row interval within a coded partition.
+type Range = coding.Range
+
+// Partial is a worker's partial result over its assigned row ranges.
+type Partial = coding.Partial
+
+// MDSCode is the systematic (n,k) MDS code over float64.
+type MDSCode = coding.MDSCode
+
+// EncodedMatrix holds the n coded partitions of a data matrix.
+type EncodedMatrix = coding.EncodedMatrix
+
+// NewMDSCode builds an (n,k) MDS code (any k of n partitions decode).
+func NewMDSCode(n, k int) (*MDSCode, error) { return coding.NewMDSCode(n, k) }
+
+// GFMDSCode is the bit-exact MDS code over GF(2³¹−1).
+type GFMDSCode = coding.GFMDSCode
+
+// GFElem is an element of GF(2³¹−1).
+type GFElem = gf.Elem
+
+// NewGFMDSCode builds an exact (n,k) code for integer payloads.
+func NewGFMDSCode(n, k int) (*GFMDSCode, error) { return coding.NewGFMDSCode(n, k) }
+
+// PolyCode is the polynomial code for bilinear computations (Hessians).
+type PolyCode = coding.PolyCode
+
+// EncodedBilinear holds per-worker encoded partitions for Aᵀ·diag(d)·B.
+type EncodedBilinear = coding.EncodedBilinear
+
+// NewPolyCode builds a polynomial code with n workers and an a×b block
+// grid (any a·b of n evaluations decode).
+func NewPolyCode(n, a, b int) (*PolyCode, error) { return coding.NewPolyCode(n, a, b) }
+
+// LagrangeCode extends coded computing to arbitrary polynomial functions
+// of the data blocks (Lagrange Coded Computing, exact over GF(2³¹−1)).
+type LagrangeCode = coding.LagrangeCode
+
+// NewLagrangeCode builds a Lagrange code with n workers over k blocks;
+// a degree-d computation decodes from any (k−1)·d+1 worker results.
+func NewLagrangeCode(n, k int) (*LagrangeCode, error) { return coding.NewLagrangeCode(n, k) }
+
+// ---- Strategies (the paper's contribution) ---------------------------
+
+// Plan maps each worker to row ranges within its coded partition.
+type Plan = sched.Plan
+
+// Strategy produces per-iteration plans from predicted speeds.
+type Strategy = sched.Strategy
+
+// GeneralS2C2 is Algorithm 1: speed-proportional cyclic chunk assignment.
+type GeneralS2C2 = sched.GeneralS2C2
+
+// BasicS2C2 is the equal-split variant that only excludes stragglers.
+type BasicS2C2 = sched.BasicS2C2
+
+// ConventionalMDS is the prior-work baseline (fastest k, rest wasted).
+type ConventionalMDS = sched.ConventionalMDS
+
+// ---- Speed prediction -------------------------------------------------
+
+// Forecaster predicts next-iteration worker speeds.
+type Forecaster = predict.Forecaster
+
+// LSTMConfig configures the from-scratch LSTM forecaster.
+type LSTMConfig = predict.LSTMConfig
+
+// NewLSTM builds the §6.1 LSTM (1-d input/output, 4-d hidden by default).
+func NewLSTM(cfg LSTMConfig) *predict.LSTM { return predict.NewLSTM(cfg) }
+
+// DefaultLSTMConfig returns the paper's architecture.
+func DefaultLSTMConfig() LSTMConfig { return predict.DefaultLSTMConfig() }
+
+// AR1 is the ARIMA(1,0,0) baseline forecaster.
+type AR1 = predict.AR1
+
+// Ensemble is a NWS-style meta-forecaster that picks the best candidate
+// model per node from trailing one-step errors.
+type Ensemble = predict.Ensemble
+
+// NewDefaultEnsemble bundles the LSTM and ARIMA family with per-node
+// model selection.
+func NewDefaultEnsemble(seed int64) *Ensemble { return predict.NewDefaultEnsemble(seed) }
+
+// MAPE is the mean absolute percentage error metric (as a fraction).
+func MAPE(pred, actual []float64) float64 { return predict.MAPE(pred, actual) }
+
+// ---- Speed traces ------------------------------------------------------
+
+// Trace holds per-worker speed series driving the simulator.
+type Trace = trace.Trace
+
+// TraceConfig parameterises the generative speed model.
+type TraceConfig = trace.Config
+
+// GenerateTrace produces a deterministic trace from the config.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// ControlledCluster mirrors the paper's local testbed: ±20% variation
+// plus `stragglers` nodes ≥5× slower (workers 0..stragglers-1).
+func ControlledCluster(workers, stragglers, steps int, seed int64) *Trace {
+	return trace.ControlledCluster(workers, stragglers, steps, seed)
+}
+
+// CloudStable mirrors the low-mis-prediction cloud environment.
+func CloudStable(workers, steps int, seed int64) *Trace {
+	return trace.CloudStable(workers, steps, seed)
+}
+
+// CloudVolatile mirrors the high-mis-prediction cloud environment.
+func CloudVolatile(workers, steps int, seed int64) *Trace {
+	return trace.CloudVolatile(workers, steps, seed)
+}
+
+// ---- Simulator ----------------------------------------------------------
+
+// CodedCluster simulates MDS-coded rounds under any strategy.
+type CodedCluster = sim.CodedCluster
+
+// PolyCluster simulates polynomial-coded bilinear rounds.
+type PolyCluster = sim.PolyCluster
+
+// UncodedReplication is the Hadoop/LATE-style replication baseline.
+type UncodedReplication = sim.UncodedReplication
+
+// OverDecomposition is the Charm++-style migration baseline.
+type OverDecomposition = sim.OverDecomposition
+
+// CommModel is the simulator's network cost model.
+type CommModel = sim.CommModel
+
+// TimeoutPolicy is the §4.3 straggler-timeout rule.
+type TimeoutPolicy = sim.TimeoutPolicy
+
+// SimConfig configures an iterative simulated job.
+type SimConfig = sim.JobConfig
+
+// SimResult reports a finished simulated job.
+type SimResult = sim.JobResult
+
+// Aggregate accumulates per-round metrics (latency, waste, bytes).
+type Aggregate = sim.Aggregate
+
+// DefaultComm returns a 10GbE-like network model.
+func DefaultComm() CommModel { return sim.DefaultComm() }
+
+// DefaultTimeout returns the paper's 15% timeout policy.
+func DefaultTimeout() TimeoutPolicy { return sim.DefaultTimeout() }
+
+// S2C2Strategy returns a general-S2C2 strategy factory for SimConfig.
+// granularity 0 selects 4·n chunks (capped at the partition size).
+func S2C2Strategy(n, k, granularity int) sim.StrategyFactory {
+	return sim.S2C2Factory(n, k, granularity)
+}
+
+// BasicS2C2Strategy returns a basic-S2C2 strategy factory.
+func BasicS2C2Strategy(n, k, granularity int) sim.StrategyFactory {
+	return sim.BasicS2C2Factory(n, k, granularity)
+}
+
+// MDSStrategy returns a conventional-MDS strategy factory.
+func MDSStrategy(n, k int) sim.StrategyFactory { return sim.MDSFactory(n, k) }
+
+// Simulate runs an iterative workload on the simulated coded cluster.
+// Defaults are applied for Comm and Timeout when zero-valued.
+func Simulate(w Workload, cfg SimConfig) (*SimResult, error) {
+	if cfg.Comm == (CommModel{}) {
+		cfg.Comm = DefaultComm()
+	}
+	if cfg.Timeout == (TimeoutPolicy{}) {
+		cfg.Timeout = DefaultTimeout()
+	}
+	return sim.RunIterative(w, cfg)
+}
+
+// ---- Workloads -----------------------------------------------------------
+
+// Workload is an iterative computation expressed as coded mat-vec phases.
+type Workload = workloads.Iterative
+
+// ClassificationDataset is a dense binary-classification dataset.
+type ClassificationDataset = workloads.Classification
+
+// NewClassificationDataset generates a gisette-style synthetic dataset.
+func NewClassificationDataset(samples, features int, seed int64) *ClassificationDataset {
+	return workloads.SyntheticClassification(samples, features, seed)
+}
+
+// Graph bundles the adjacency/stochastic/Laplacian matrices of a graph.
+type Graph = workloads.Graph
+
+// NewPowerLawGraph generates a web-like directed graph.
+func NewPowerLawGraph(nodes, meanOutDegree int, seed int64) *Graph {
+	return workloads.PowerLawGraph(nodes, meanOutDegree, seed)
+}
+
+// LogisticRegression is coded batch gradient descent for logistic loss.
+type LogisticRegression = workloads.LogisticRegression
+
+// SVM is coded batch subgradient descent for hinge loss.
+type SVM = workloads.SVM
+
+// PageRank is coded power iteration for graph ranking.
+type PageRank = workloads.PageRank
+
+// GraphFilter is coded n-hop Laplacian filtering.
+type GraphFilter = workloads.GraphFilter
+
+// RunLocal executes a workload without a cluster (ground truth).
+func RunLocal(w Workload, maxIter int) ([]float64, int) { return workloads.RunLocal(w, maxIter) }
+
+// ---- TCP runtime -----------------------------------------------------------
+
+// Master coordinates a real TCP cluster.
+type Master = rpc.Master
+
+// Worker is the TCP worker daemon.
+type Worker = rpc.Worker
+
+// WorkerConfig configures a TCP worker.
+type WorkerConfig = rpc.WorkerConfig
+
+// NewMaster listens for workers on addr (e.g. "127.0.0.1:0").
+func NewMaster(addr string) (*Master, error) { return rpc.NewMaster(addr) }
+
+// NewWorker dials the master and joins the cluster.
+func NewWorker(cfg WorkerConfig) (*Worker, error) { return rpc.NewWorker(cfg) }

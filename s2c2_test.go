@@ -1,0 +1,115 @@
+package s2c2_test
+
+import (
+	"testing"
+
+	s2c2 "github.com/coded-computing/s2c2"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would: encode → assign → compute → decode, plus the high-level Simulate
+// entry point.
+
+func TestPublicCodedMatVecRoundTrip(t *testing.T) {
+	a := s2c2.NewDenseFromRows([][]float64{
+		{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12},
+	})
+	x := []float64{1, -1}
+	want := s2c2.MatVec(a, x)
+
+	code, err := s2c2.NewMDSCode(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := code.Encode(a)
+
+	strat := &s2c2.GeneralS2C2{N: 4, K: 2, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	plan, err := strat.Plan([]float64{1, 1, 1, 0.05}) // worker 3 is nearly dead
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partials []*s2c2.Partial
+	for w := 0; w < 4; w++ {
+		if plan.RowsFor(w) > 0 {
+			partials = append(partials, enc.WorkerCompute(w, x, plan.Assignments[w]))
+		}
+	}
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPublicSimulateQuickstart(t *testing.T) {
+	data := s2c2.NewClassificationDataset(200, 24, 1)
+	lr := &s2c2.LogisticRegression{Data: data, LR: 0.5, Lambda: 1e-4}
+	res, err := s2c2.Simulate(lr, s2c2.SimConfig{
+		N: 6, K: 4,
+		Strategy: s2c2.S2C2Strategy(6, 4, 0),
+		Trace:    s2c2.ControlledCluster(6, 1, 30, 1),
+		Numeric:  true,
+		MaxIter:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 10 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	local, _ := s2c2.RunLocal(&s2c2.LogisticRegression{Data: data, LR: 0.5, Lambda: 1e-4}, 10)
+	for i := range local {
+		if d := res.State[i] - local[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatal("simulated model differs from local ground truth")
+		}
+	}
+	if res.Aggregate.MeanLatency() <= 0 {
+		t.Fatal("latency accounting missing")
+	}
+}
+
+func TestPublicPolynomialHessian(t *testing.T) {
+	data := s2c2.NewClassificationDataset(40, 12, 2)
+	code, err := s2c2.NewPolyCode(6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := code.EncodeHessian(data.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := make([]float64, 40)
+	for i := range d {
+		d[i] = 0.5
+	}
+	var partials []*s2c2.Partial
+	for w := 0; w < 4; w++ {
+		partials = append(partials, enc.WorkerCompute(w, d, []s2c2.Range{{Lo: 0, Hi: enc.BlockColsA}}))
+	}
+	h, err := enc.Decode(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := h.Dims(); r != 12 || c != 12 {
+		t.Fatalf("Hessian dims %dx%d", r, c)
+	}
+}
+
+func TestPublicTraceAndForecaster(t *testing.T) {
+	tr := s2c2.CloudStable(4, 100, 3)
+	var ar s2c2.AR1
+	if err := ar.Fit(tr.Speeds); err != nil {
+		t.Fatal(err)
+	}
+	p := ar.Predict(tr.Speeds[0][:50])
+	if p <= 0 {
+		t.Fatalf("prediction %v", p)
+	}
+	if s2c2.MAPE([]float64{1.1}, []float64{1.0}) <= 0 {
+		t.Fatal("MAPE wiring broken")
+	}
+}
