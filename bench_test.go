@@ -110,6 +110,45 @@ func BenchmarkMatMul256(b *testing.B) {
 	}
 }
 
+func BenchmarkMatMul1024(b *testing.B) {
+	// The acceptance benchmark for the kernel refactor: the cache-blocked
+	// packed kernel vs the seed's naive ikj loop (see internal/kernel's
+	// BenchmarkMatMulNaive1024 for the baseline).
+	rng := rand.New(rand.NewSource(2))
+	x := mat.Rand(1024, 1024, rng)
+	y := mat.Rand(1024, 1024, rng)
+	c := mat.New(1024, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MatMulInto(x, y, c)
+	}
+}
+
+func BenchmarkMDSDecodeWorkspace(b *testing.B) {
+	// DecodeMatVecInto with a reused workspace: the steady-state decode of
+	// an iterative job (0 allocs/op; compare BenchmarkMDSDecodeParityHeavy).
+	rng := rand.New(rand.NewSource(5))
+	a := mat.Rand(2000, 50, rng)
+	code, _ := coding.NewMDSCode(12, 10)
+	enc := code.Encode(a)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	var partials []*coding.Partial
+	for _, w := range []int{0, 1, 2, 3, 4, 5, 6, 7, 10, 11} {
+		partials = append(partials, enc.WorkerCompute(w, x, []coding.Range{{Lo: 0, Hi: enc.BlockRows}}))
+	}
+	ws := enc.NewDecodeWorkspace()
+	dst := make([]float64, enc.OrigRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.DecodeMatVecInto(dst, partials, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMDSEncode(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	a := mat.Rand(2000, 200, rng)

@@ -1,0 +1,3 @@
+module github.com/coded-computing/s2c2
+
+go 1.24

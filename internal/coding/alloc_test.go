@@ -1,0 +1,212 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/mat"
+)
+
+// Allocation-regression tests for the workspace-backed decode paths.
+
+func mdsDecodeFixture(t testing.TB) (*EncodedMatrix, []*Partial) {
+	rng := rand.New(rand.NewSource(40))
+	a := mat.Rand(600, 20, rng)
+	code, err := NewMDSCode(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := code.Encode(a)
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	// Mixed systematic+parity worker set with full partitions.
+	var partials []*Partial
+	for _, w := range []int{0, 1, 2, 3, 4, 5, 8, 9} {
+		partials = append(partials, enc.WorkerCompute(w, x, []Range{{0, enc.BlockRows}}))
+	}
+	return enc, partials
+}
+
+func TestDecodeMatVecIntoZeroAllocsSteadyState(t *testing.T) {
+	enc, partials := mdsDecodeFixture(t)
+	ws := enc.NewDecodeWorkspace()
+	dst := make([]float64, enc.OrigRows)
+	// Warm: first round builds the table and factors the decode set.
+	if _, err := enc.DecodeMatVecInto(dst, partials, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := enc.DecodeMatVecInto(dst, partials, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeMatVecInto allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+func TestDecodeMatVecIntoMatchesDecodeMatVec(t *testing.T) {
+	enc, partials := mdsDecodeFixture(t)
+	want, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := enc.NewDecodeWorkspace()
+	dst := make([]float64, enc.OrigRows)
+	for round := 0; round < 3; round++ {
+		got, err := enc.DecodeMatVecInto(dst, partials, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.VecApproxEqual(got, want, 1e-12) {
+			t.Fatalf("round %d: workspace decode disagrees with one-shot decode", round)
+		}
+	}
+}
+
+func TestDecodeWorkspaceCachesFactorizations(t *testing.T) {
+	enc, partials := mdsDecodeFixture(t)
+	ws := enc.NewDecodeWorkspace()
+	for round := 0; round < 3; round++ {
+		if _, err := enc.DecodeMatVecInto(nil, partials, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ws.sets) != 1 {
+		t.Fatalf("workspace holds %d factored sets after 3 identical rounds, want 1", len(ws.sets))
+	}
+}
+
+func TestWorkerComputeIntoReusesBuffers(t *testing.T) {
+	enc, _ := mdsDecodeFixture(t)
+	x := make([]float64, enc.Cols)
+	p := enc.WorkerComputeInto(0, x, []Range{{0, enc.BlockRows}}, nil)
+	base := &p.Values[0]
+	p2 := enc.WorkerComputeInto(1, x, []Range{{0, enc.BlockRows}}, p)
+	if p2 != p || &p2.Values[0] != base {
+		t.Fatal("WorkerComputeInto did not reuse the destination partial's storage")
+	}
+	if p2.Worker != 1 {
+		t.Fatalf("Worker = %d, want 1", p2.Worker)
+	}
+}
+
+func TestPolyDecodeIntoMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := mat.Rand(60, 24, rng)
+	code, err := NewPolyCode(10, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := code.EncodeHessian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := make([]float64, 60)
+	for i := range d {
+		d[i] = rng.Float64()
+	}
+	var partials []*Partial
+	for w := 0; w < 9; w++ {
+		partials = append(partials, enc.WorkerCompute(w, d, []Range{{0, enc.BlockColsA}}))
+	}
+	want, err := enc.Decode(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := enc.NewDecodeWorkspace()
+	dst := mat.New(enc.ColsA, enc.ColsB)
+	for round := 0; round < 3; round++ {
+		got, err := enc.DecodeInto(dst, partials, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.ApproxEqual(want, 1e-9) {
+			t.Fatalf("round %d: poly workspace decode mismatch", round)
+		}
+	}
+	if len(ws.sets) != 1 {
+		t.Fatalf("poly workspace holds %d inverses, want 1", len(ws.sets))
+	}
+}
+
+func TestEncodeIntoReusesPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	code, err := NewMDSCode(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mat.Rand(40, 8, rng)
+	enc := code.Encode(a)
+	parts0 := enc.Parts[0]
+	b := mat.Rand(40, 8, rng)
+	enc2 := code.EncodeInto(b, enc)
+	if enc2 != enc || enc2.Parts[0] != parts0 {
+		t.Fatal("EncodeInto did not reuse partition storage")
+	}
+	// Re-encoded partitions must decode the new matrix.
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	results := map[int][]float64{}
+	for w := 0; w < 4; w++ {
+		results[w] = mat.MatVec(enc2.Parts[w], x)
+	}
+	got, err := enc2.DecodeFullPartitions(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecApproxEqual(got, mat.MatVec(b, x), 1e-9) {
+		t.Fatal("EncodeInto-reencoded matrix decodes wrong product")
+	}
+}
+
+func TestGFDecodeIntoMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	rows, cols := 100, 10
+	code, err := NewGFMDSCode(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]gf.Elem, rows*cols)
+	for i := range payload {
+		payload[i] = gf.New(rng.Uint64())
+	}
+	enc, err := code.Encode(rows, cols, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]gf.Elem, cols)
+	for i := range x {
+		x[i] = gf.New(rng.Uint64())
+	}
+	var partials []*GFPartial
+	for _, w := range []int{0, 1, 2, 3, 6, 7} {
+		p, err := enc.WorkerMatVec(w, x, []Range{{0, enc.BlockRows}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	want, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := enc.NewDecodeWorkspace()
+	dst := make([]gf.Elem, enc.OrigRows)
+	for round := 0; round < 3; round++ {
+		got, err := enc.DecodeMatVecInto(dst, partials, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: GF workspace decode differs at %d", round, i)
+			}
+		}
+	}
+}

@@ -15,8 +15,6 @@ package coding
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 )
 
 // Range is a half-open row-index interval [Lo, Hi) within a partition.
@@ -42,15 +40,27 @@ func TotalRows(ranges []Range) int {
 // NormalizeRanges sorts ranges, drops empties, and merges overlaps,
 // returning a canonical minimal representation.
 func NormalizeRanges(ranges []Range) []Range {
-	rs := make([]Range, 0, len(ranges))
+	return appendNormalizeRanges(make([]Range, 0, len(ranges)), ranges)
+}
+
+// appendNormalizeRanges is NormalizeRanges appending onto dst (which must
+// be empty) so hot paths can reuse a partial's Range storage. It performs
+// no allocation once dst has capacity.
+func appendNormalizeRanges(dst []Range, ranges []Range) []Range {
 	for _, r := range ranges {
 		if r.Len() > 0 {
-			rs = append(rs, r)
+			dst = append(dst, r)
 		}
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
-	out := rs[:0]
-	for _, r := range rs {
+	// Insertion sort: range lists are short and this avoids the closure
+	// allocation of sort.Slice.
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].Lo < dst[j-1].Lo; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	out := dst[:0]
+	for _, r := range dst {
 		if len(out) > 0 && r.Lo <= out[len(out)-1].Hi {
 			if r.Hi > out[len(out)-1].Hi {
 				out[len(out)-1].Hi = r.Hi
@@ -93,9 +103,12 @@ func (p *Partial) Validate(blockRows int) error {
 }
 
 // rowTable indexes partial results row-by-row for a decode pass.
-// table[w] is nil if worker w returned nothing; otherwise table[w][r] is
-// the offset into values[w] for row r, or -1 when the worker did not
-// compute row r.
+// offsets[w][r] is the offset into values[w] for row r, or -1 when worker
+// w did not compute row r.
+//
+// A rowTable is reusable: build resets and repopulates it, retaining map
+// entries and per-worker slices across decode rounds so a steady-state
+// rebuild performs no allocation once every recurring worker has an entry.
 type rowTable struct {
 	blockRows int
 	rowWidth  int
@@ -104,29 +117,43 @@ type rowTable struct {
 	order     []int // workers in arrival order
 }
 
-func buildRowTable(partials []*Partial, blockRows int) (*rowTable, error) {
-	t := &rowTable{
-		blockRows: blockRows,
-		offsets:   make(map[int][]int, len(partials)),
-		values:    make(map[int][]float64, len(partials)),
+// build (re)populates the table from the partials. Storage from previous
+// builds is reused.
+func (t *rowTable) build(partials []*Partial, blockRows int) error {
+	if t.offsets == nil {
+		t.offsets = make(map[int][]int, len(partials))
+		t.values = make(map[int][]float64, len(partials))
 	}
+	t.blockRows = blockRows
+	t.rowWidth = 0
+	t.order = t.order[:0]
 	for _, p := range partials {
 		if err := p.Validate(blockRows); err != nil {
-			return nil, err
+			return err
 		}
 		if t.rowWidth == 0 {
 			t.rowWidth = p.RowWidth
 		} else if t.rowWidth != p.RowWidth {
-			return nil, fmt.Errorf("coding: mixed row widths %d and %d", t.rowWidth, p.RowWidth)
+			return fmt.Errorf("coding: mixed row widths %d and %d", t.rowWidth, p.RowWidth)
 		}
-		off, ok := t.offsets[p.Worker]
-		if !ok {
-			off = make([]int, blockRows)
+		off := t.offsets[p.Worker]
+		seen := false
+		for _, w := range t.order {
+			if w == p.Worker {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			if cap(off) < blockRows {
+				off = make([]int, blockRows)
+			}
+			off = off[:blockRows]
 			for i := range off {
 				off[i] = -1
 			}
 			t.offsets[p.Worker] = off
-			t.values[p.Worker] = nil
+			t.values[p.Worker] = t.values[p.Worker][:0]
 			t.order = append(t.order, p.Worker)
 		}
 		vals := t.values[p.Worker]
@@ -141,22 +168,22 @@ func buildRowTable(partials []*Partial, blockRows int) (*rowTable, error) {
 			}
 		}
 	}
-	return t, nil
+	return nil
 }
 
-// workersForRow returns up to max workers (in arrival order) that computed
-// the given row.
-func (t *rowTable) workersForRow(row, max int) []int {
-	out := make([]int, 0, max)
+// appendWorkersForRow appends up to max workers (in arrival order) that
+// computed the given row onto dst, reusing its storage.
+func (t *rowTable) appendWorkersForRow(dst []int, row, max int) []int {
+	dst = dst[:0]
 	for _, w := range t.order {
 		if t.offsets[w][row] >= 0 {
-			out = append(out, w)
-			if len(out) == max {
+			dst = append(dst, w)
+			if len(dst) == max {
 				break
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // rowValue returns the RowWidth values worker w computed for row.
@@ -165,10 +192,22 @@ func (t *rowTable) rowValue(w, row int) []float64 {
 	return t.values[w][off : off+t.rowWidth]
 }
 
-func setKey(workers []int) string {
-	var b strings.Builder
-	for _, w := range workers {
-		fmt.Fprintf(&b, "%d,", w)
+// maxCachedSets bounds every per-workspace decode-system cache. Worker
+// sets are canonicalized (sorted) before lookup, so the cache only grows
+// when the *membership* of responding workers churns; if it still
+// overflows, the whole cache is dropped rather than letting a long-lived
+// workspace accumulate factorizations without bound.
+const maxCachedSets = 64
+
+// sameWorkers reports whether a and b hold identical worker sequences.
+func sameWorkers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return b.String()
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }

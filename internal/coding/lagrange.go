@@ -107,26 +107,54 @@ func (c *LagrangeCode) Encode(blocks [][]gf.Elem) ([][]gf.Elem, error) {
 	return shares, nil
 }
 
+// LagrangeWorkspace holds the reusable decode state of one LagrangeCode:
+// the selected worker set, its evaluation points, and the interpolation
+// weight matrix, recycled across rounds. Not safe for concurrent decodes.
+type LagrangeWorkspace struct {
+	workers []int
+	pts     []gf.Elem
+	weights [][]gf.Elem
+}
+
+// NewDecodeWorkspace returns an empty decode workspace for c.
+func (c *LagrangeCode) NewDecodeWorkspace() *LagrangeWorkspace {
+	return &LagrangeWorkspace{}
+}
+
 // Decode reconstructs f(X_1)..f(X_K) from worker results f(u(α_i)).
 // results maps worker index → its computed share (all equal length);
 // degree is the total degree of f. At least RecoveryThreshold(degree)
 // results are required.
 func (c *LagrangeCode) Decode(results map[int][]gf.Elem, degree int) ([][]gf.Elem, error) {
+	return c.DecodeInto(nil, results, degree, nil)
+}
+
+// DecodeInto is Decode writing into dst — k blocks (nil allocates them)
+// whose storage is reused when block lengths match the result size, with
+// ws recycling the interpolation scratch across rounds. Like the other
+// codecs' Into forms, a non-nil dst of the wrong block count is an error.
+func (c *LagrangeCode) DecodeInto(dst [][]gf.Elem, results map[int][]gf.Elem, degree int, ws *LagrangeWorkspace) ([][]gf.Elem, error) {
+	if dst != nil && len(dst) != c.k {
+		return nil, fmt.Errorf("coding: decode dst has %d blocks, want %d", len(dst), c.k)
+	}
 	t := c.RecoveryThreshold(degree)
 	if len(results) < t {
 		return nil, fmt.Errorf("%w: have %d results, degree-%d decode needs %d",
 			ErrInsufficient, len(results), degree, t)
 	}
+	if ws == nil {
+		ws = c.NewDecodeWorkspace()
+	}
 	// Pick t results deterministically (ascending worker index).
-	workers := make([]int, 0, len(results))
+	ws.workers = ws.workers[:0]
 	for w := range results {
 		if w < 0 || w >= c.n {
 			return nil, fmt.Errorf("coding: result from unknown worker %d", w)
 		}
-		workers = append(workers, w)
+		ws.workers = append(ws.workers, w)
 	}
-	sortInts(workers)
-	workers = workers[:t]
+	sortInts(ws.workers)
+	workers := ws.workers[:t]
 	size := -1
 	for _, w := range workers {
 		if size == -1 {
@@ -135,21 +163,36 @@ func (c *LagrangeCode) Decode(results map[int][]gf.Elem, degree int) ([][]gf.Ele
 			return nil, fmt.Errorf("coding: worker %d result length %d, want %d", w, len(results[w]), size)
 		}
 	}
-	pts := make([]gf.Elem, t)
+	if cap(ws.pts) < t {
+		ws.pts = make([]gf.Elem, t)
+	}
+	ws.pts = ws.pts[:t]
 	for i, w := range workers {
-		pts[i] = c.alphas[w]
+		ws.pts[i] = c.alphas[w]
 	}
 	// Interpolation weights from the t sample points to each β_j:
 	// out_j = Σ_i y_i · ℓ_i^{pts}(β_j).
-	weights := make([][]gf.Elem, c.k)
-	for j := 0; j < c.k; j++ {
-		weights[j] = lagrangeBasisAt(pts, c.betas[j])
+	if cap(ws.weights) < c.k {
+		ws.weights = make([][]gf.Elem, c.k)
 	}
-	out := make([][]gf.Elem, c.k)
+	ws.weights = ws.weights[:c.k]
 	for j := 0; j < c.k; j++ {
-		block := make([]gf.Elem, size)
+		ws.weights[j] = appendLagrangeBasisAt(ws.weights[j][:0], ws.pts, c.betas[j])
+	}
+	if dst == nil {
+		dst = make([][]gf.Elem, c.k)
+	}
+	for j := 0; j < c.k; j++ {
+		if len(dst[j]) != size {
+			dst[j] = make([]gf.Elem, size)
+		} else {
+			for e := range dst[j] {
+				dst[j][e] = 0
+			}
+		}
+		block := dst[j]
 		for i, w := range workers {
-			wij := weights[j][i]
+			wij := ws.weights[j][i]
 			if wij == 0 {
 				continue
 			}
@@ -157,16 +200,20 @@ func (c *LagrangeCode) Decode(results map[int][]gf.Elem, degree int) ([][]gf.Ele
 				block[e] = gf.Add(block[e], gf.Mul(wij, v))
 			}
 		}
-		out[j] = block
 	}
-	return out, nil
+	return dst, nil
 }
 
 // lagrangeBasisAt returns [ℓ_0(x), …, ℓ_{m−1}(x)] for the basis defined
 // by the distinct points pts.
 func lagrangeBasisAt(pts []gf.Elem, x gf.Elem) []gf.Elem {
+	return appendLagrangeBasisAt(nil, pts, x)
+}
+
+// appendLagrangeBasisAt appends the basis values onto dst, reusing its
+// storage.
+func appendLagrangeBasisAt(dst []gf.Elem, pts []gf.Elem, x gf.Elem) []gf.Elem {
 	m := len(pts)
-	out := make([]gf.Elem, m)
 	for i := 0; i < m; i++ {
 		num := gf.Elem(1)
 		den := gf.Elem(1)
@@ -177,9 +224,9 @@ func lagrangeBasisAt(pts []gf.Elem, x gf.Elem) []gf.Elem {
 			num = gf.Mul(num, gf.Sub(x, pts[j]))
 			den = gf.Mul(den, gf.Sub(pts[i], pts[j]))
 		}
-		out[i] = gf.Mul(num, gf.Inv(den))
+		dst = append(dst, gf.Mul(num, gf.Inv(den)))
 	}
-	return out
+	return dst
 }
 
 func sortInts(xs []int) {

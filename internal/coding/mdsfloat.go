@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
 )
 
@@ -70,90 +71,130 @@ type EncodedMatrix struct {
 	Cols      int
 	BlockRows int          // rows per partition (= PaddedRows/k)
 	Parts     []*mat.Dense // n coded partitions, each BlockRows×Cols
+
+	pad *mat.Dense // re-encode padding scratch (rows % k != 0 only)
 }
 
 // Encode splits A into k row blocks (zero-padding the tail) and produces
 // the n coded partitions Ã_i = Σ_j G[i][j]·A_j.
 func (c *MDSCode) Encode(a *mat.Dense) *EncodedMatrix {
-	blocks := mat.SplitRows(a, c.k)
-	blockRows, cols := blocks[0].Dims()
-	parts := make([]*mat.Dense, c.n)
+	return c.EncodeInto(a, nil)
+}
+
+// EncodeInto is Encode reusing the partition storage of dst when its shape
+// matches (the re-encode path of iterative jobs whose data matrix
+// changes). dst == nil, or any shape mismatch, allocates fresh partitions.
+func (c *MDSCode) EncodeInto(a *mat.Dense, dst *EncodedMatrix) *EncodedMatrix {
+	cols := a.Cols()
+	paddedRows := mat.PaddedRows(a.Rows(), c.k)
+	blockRows := paddedRows / c.k
+	if dst == nil || dst.Code != c || dst.BlockRows != blockRows || dst.Cols != cols {
+		dst = &EncodedMatrix{
+			Code:  c,
+			Parts: make([]*mat.Dense, c.n),
+		}
+		for i := range dst.Parts {
+			dst.Parts[i] = mat.New(blockRows, cols)
+		}
+	}
+	dst.OrigRows = a.Rows()
+	dst.Cols = cols
+	dst.BlockRows = blockRows
+	padded := a
+	if a.Rows() != paddedRows {
+		// Zero-pad into per-encoding scratch reused across re-encodes.
+		if dst.pad == nil || dst.pad.Rows() != paddedRows || dst.pad.Cols() != cols {
+			dst.pad = mat.New(paddedRows, cols)
+		}
+		data := dst.pad.Data()
+		copy(data, a.Data())
+		kernel.Zero(data[a.Rows()*cols:])
+		padded = dst.pad
+	}
 	for i := 0; i < c.n; i++ {
-		p := mat.New(blockRows, cols)
+		p := dst.Parts[i]
+		p.Fill(0)
 		row := c.gen.Row(i)
 		for j, g := range row {
 			if g != 0 {
-				p.AddScaled(g, blocks[j])
+				// Data blocks are views into the padded matrix: encoding
+				// reads them in place, no per-block copies.
+				p.AddScaled(g, padded.RowSlice(j*blockRows, (j+1)*blockRows))
 			}
 		}
-		parts[i] = p
 	}
-	return &EncodedMatrix{
-		Code:      c,
-		OrigRows:  a.Rows(),
-		Cols:      cols,
-		BlockRows: blockRows,
-		Parts:     parts,
-	}
+	return dst
 }
 
 // WorkerCompute runs the coded mat-vec kernel a worker executes: the rows
 // [ranges] of Ã_w · x. It returns a Partial ready for the decoder.
 func (e *EncodedMatrix) WorkerCompute(w int, x []float64, ranges []Range) *Partial {
-	ranges = NormalizeRanges(ranges)
-	vals := make([]float64, 0, TotalRows(ranges))
-	for _, r := range ranges {
-		vals = append(vals, mat.MatVecRows(e.Parts[w], x, r.Lo, r.Hi)...)
-	}
-	return &Partial{Worker: w, Ranges: ranges, RowWidth: 1, Values: vals}
+	return e.WorkerComputeInto(w, x, ranges, nil)
 }
 
-// DecodeMatVec reconstructs y = A·x (length OrigRows) from worker partials.
-// Every partition row index must be covered by at least k workers. Decode
-// systems are LU-factored once per distinct worker set and reused across
-// rows, so chunk-aligned assignments decode in O(rows·k²) after O(sets·k³).
-func (e *EncodedMatrix) DecodeMatVec(partials []*Partial) ([]float64, error) {
-	k := e.Code.k
-	table, err := buildRowTable(partials, e.BlockRows)
-	if err != nil {
-		return nil, err
+// WorkerComputeInto is WorkerCompute reusing dst's backing storage
+// (Ranges and Values are overwritten). dst == nil allocates a fresh
+// Partial.
+func (e *EncodedMatrix) WorkerComputeInto(w int, x []float64, ranges []Range, dst *Partial) *Partial {
+	if dst == nil {
+		dst = &Partial{}
 	}
-	if table.rowWidth != 0 && table.rowWidth != 1 {
-		return nil, fmt.Errorf("coding: DecodeMatVec expects RowWidth 1, got %d", table.rowWidth)
+	dst.Worker = w
+	dst.RowWidth = 1
+	dst.Ranges = appendNormalizeRanges(dst.Ranges[:0], ranges)
+	total := TotalRows(dst.Ranges)
+	dst.Values = kernel.Grow(dst.Values, total)
+	at := 0
+	for _, r := range dst.Ranges {
+		mat.MatVecRowsInto(e.Parts[w], x, dst.Values[at:at+r.Len()], r.Lo, r.Hi)
+		at += r.Len()
 	}
-	out := make([]float64, e.BlockRows*k)
-	cache := map[string]*decodeSet{}
-	b := make([]float64, k)
-	for row := 0; row < e.BlockRows; row++ {
-		workers := table.workersForRow(row, k)
-		if len(workers) < k {
-			return nil, fmt.Errorf("%w: row %d covered by %d of %d needed workers", ErrInsufficient, row, len(workers), k)
-		}
-		ds, err := e.decodeSetFor(cache, workers)
-		if err != nil {
-			return nil, err
-		}
-		for i, w := range workers {
-			b[i] = table.rowValue(w, row)[0]
-		}
-		z := ds.solve(b)
-		for j := 0; j < k; j++ {
-			out[j*e.BlockRows+row] = z[j]
-		}
-	}
-	return out[:e.OrigRows], nil
+	return dst
 }
 
 // decodeSet is a factored k×k decode system for one set of workers.
 type decodeSet struct {
-	sub *mat.Dense
-	lu  *mat.LU
+	workers []int // owned copy, identifies the set
+	sub     *mat.Dense
+	lu      *mat.LU
 }
 
-func (e *EncodedMatrix) decodeSetFor(cache map[string]*decodeSet, workers []int) (*decodeSet, error) {
-	key := setKey(workers)
-	if ds, ok := cache[key]; ok {
-		return ds, nil
+// DecodeWorkspace holds the reusable state of DecodeMatVec rounds: the
+// row-index table, factored decode systems (cached across rounds, so a
+// recurring worker set is factored exactly once per workspace lifetime),
+// and solve scratch. A workspace belongs to one EncodedMatrix and must not
+// be shared between concurrent decodes.
+type DecodeWorkspace struct {
+	table   rowTable
+	sets    []*decodeSet
+	workers []int
+	b, z    []float64
+	r, dx   []float64 // iterative-refinement scratch
+	out     []float64
+}
+
+// NewDecodeWorkspace returns an empty workspace for decodes against e.
+func (e *EncodedMatrix) NewDecodeWorkspace() *DecodeWorkspace {
+	k := e.Code.k
+	return &DecodeWorkspace{
+		workers: make([]int, 0, k),
+		b:       make([]float64, k),
+		z:       make([]float64, k),
+		r:       make([]float64, k),
+		dx:      make([]float64, k),
+		out:     make([]float64, e.BlockRows*k),
+	}
+}
+
+// setFor returns the factored decode system for the worker set, reusing a
+// cached factorization when the set has been seen before. Lookup compares
+// worker slices directly (the distinct-set count is tiny), so the steady
+// state allocates nothing.
+func (ws *DecodeWorkspace) setFor(e *EncodedMatrix, workers []int) (*decodeSet, error) {
+	for _, ds := range ws.sets {
+		if sameWorkers(ds.workers, workers) {
+			return ds, nil
+		}
 	}
 	k := e.Code.k
 	sub := mat.New(k, k)
@@ -164,23 +205,88 @@ func (e *EncodedMatrix) decodeSetFor(cache map[string]*decodeSet, workers []int)
 	if err != nil {
 		return nil, fmt.Errorf("coding: decode set %v singular: %w", workers, err)
 	}
-	ds := &decodeSet{sub: sub, lu: lu}
-	cache[key] = ds
+	ds := &decodeSet{workers: append([]int(nil), workers...), sub: sub, lu: lu}
+	if len(ws.sets) >= maxCachedSets {
+		ws.sets = ws.sets[:0] // churn guard: drop rather than grow unbounded
+	}
+	ws.sets = append(ws.sets, ds)
 	return ds, nil
 }
 
-// solve runs LU solve with one iterative-refinement sweep.
-func (d *decodeSet) solve(b []float64) []float64 {
-	x := d.lu.Solve(b)
-	r := mat.MatVec(d.sub, x)
+// solveInto runs LU solve with one iterative-refinement sweep, writing the
+// solution into x using the workspace scratch r and dx.
+func (d *decodeSet) solveInto(x, b, r, dx []float64) {
+	d.lu.SolveInto(x, b)
+	mat.MatVecInto(d.sub, x, r)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
-	dx := d.lu.Solve(r)
+	d.lu.SolveInto(dx, r)
 	for i := range x {
 		x[i] += dx[i]
 	}
-	return x
+}
+
+// DecodeMatVec reconstructs y = A·x (length OrigRows) from worker partials.
+// Every partition row index must be covered by at least k workers. Decode
+// systems are LU-factored once per distinct worker set and reused across
+// rows, so chunk-aligned assignments decode in O(rows·k²) after O(sets·k³).
+func (e *EncodedMatrix) DecodeMatVec(partials []*Partial) ([]float64, error) {
+	return e.DecodeMatVecInto(nil, partials, nil)
+}
+
+// DecodeMatVecInto is DecodeMatVec writing into dst (length OrigRows;
+// nil allocates it) using ws for all scratch state. Passing the same
+// workspace across rounds makes the steady-state decode allocation-free
+// and amortises LU factorizations of recurring worker sets.
+func (e *EncodedMatrix) DecodeMatVecInto(dst []float64, partials []*Partial, ws *DecodeWorkspace) ([]float64, error) {
+	if dst != nil && len(dst) != e.OrigRows {
+		return nil, fmt.Errorf("coding: decode dst length %d want %d", len(dst), e.OrigRows)
+	}
+	if ws == nil {
+		ws = e.NewDecodeWorkspace()
+	}
+	k := e.Code.k
+	if err := ws.table.build(partials, e.BlockRows); err != nil {
+		return nil, err
+	}
+	if ws.table.rowWidth != 0 && ws.table.rowWidth != 1 {
+		return nil, fmt.Errorf("coding: DecodeMatVec expects RowWidth 1, got %d", ws.table.rowWidth)
+	}
+	ws.out = kernel.Grow(ws.out, e.BlockRows*k)
+	ws.b = kernel.Grow(ws.b, k)
+	ws.z = kernel.Grow(ws.z, k)
+	ws.r = kernel.Grow(ws.r, k)
+	ws.dx = kernel.Grow(ws.dx, k)
+	var ds *decodeSet
+	for row := 0; row < e.BlockRows; row++ {
+		ws.workers = ws.table.appendWorkersForRow(ws.workers, row, k)
+		if len(ws.workers) < k {
+			return nil, fmt.Errorf("%w: row %d covered by %d of %d needed workers", ErrInsufficient, row, len(ws.workers), k)
+		}
+		// Canonicalize so cache hits don't depend on arrival order (the
+		// same equations in a different order solve to the same values).
+		sortInts(ws.workers)
+		// Consecutive rows usually share a worker set; only look up on change.
+		if ds == nil || !sameWorkers(ds.workers, ws.workers) {
+			var err error
+			if ds, err = ws.setFor(e, ws.workers); err != nil {
+				return nil, err
+			}
+		}
+		for i, w := range ws.workers {
+			ws.b[i] = ws.table.rowValue(w, row)[0]
+		}
+		ds.solveInto(ws.z, ws.b, ws.r, ws.dx)
+		for j := 0; j < k; j++ {
+			ws.out[j*e.BlockRows+row] = ws.z[j]
+		}
+	}
+	if dst == nil {
+		dst = make([]float64, e.OrigRows)
+	}
+	copy(dst, ws.out[:e.OrigRows])
+	return dst, nil
 }
 
 // DecodeFullPartitions reconstructs A·x the conventional-MDS way, from k

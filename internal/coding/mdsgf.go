@@ -110,28 +110,82 @@ type GFPartial struct {
 	Values []gf.Elem
 }
 
+// gfInvSet caches one inverted decode system per distinct worker set.
+type gfInvSet struct {
+	workers []int
+	inv     *gf.Matrix
+}
+
+// GFDecodeWorkspace holds reusable decode state for one GFEncodedMatrix:
+// the per-worker row index, cached inverted systems, and solve scratch.
+// Not safe for concurrent decodes.
+type GFDecodeWorkspace struct {
+	offsets map[int][]int
+	values  map[int][]gf.Elem
+	order   []int
+	sets    []*gfInvSet
+	workers []int
+	b, z    []gf.Elem
+	out     []gf.Elem
+}
+
+// NewDecodeWorkspace returns an empty decode workspace for e.
+func (e *GFEncodedMatrix) NewDecodeWorkspace() *GFDecodeWorkspace {
+	k := e.Code.k
+	return &GFDecodeWorkspace{
+		offsets: map[int][]int{},
+		values:  map[int][]gf.Elem{},
+		workers: make([]int, 0, k),
+		b:       make([]gf.Elem, k),
+		z:       make([]gf.Elem, k),
+		out:     make([]gf.Elem, e.BlockRows*k),
+	}
+}
+
 // DecodeMatVec reconstructs A·x exactly from partials covering every
 // partition row with at least k workers.
 func (e *GFEncodedMatrix) DecodeMatVec(partials []*GFPartial) ([]gf.Elem, error) {
+	return e.DecodeMatVecInto(nil, partials, nil)
+}
+
+// DecodeMatVecInto is DecodeMatVec writing into dst (length OrigRows; nil
+// allocates it), reusing ws across rounds: inverted decode systems are
+// cached per distinct worker set and index/scratch storage is recycled.
+func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial, ws *GFDecodeWorkspace) ([]gf.Elem, error) {
+	if dst != nil && len(dst) != e.OrigRows {
+		return nil, fmt.Errorf("coding: decode dst length %d want %d", len(dst), e.OrigRows)
+	}
+	if ws == nil {
+		ws = e.NewDecodeWorkspace()
+	}
 	k := e.Code.k
-	// Index rows.
-	offsets := make(map[int][]int, len(partials))
-	values := make(map[int][]gf.Elem, len(partials))
-	var order []int
+	// Index rows, reusing per-worker slices from previous rounds.
+	ws.order = ws.order[:0]
 	for _, p := range partials {
-		off, ok := offsets[p.Worker]
-		if !ok {
-			off = make([]int, e.BlockRows)
+		seen := false
+		for _, w := range ws.order {
+			if w == p.Worker {
+				seen = true
+				break
+			}
+		}
+		off := ws.offsets[p.Worker]
+		if !seen {
+			if cap(off) < e.BlockRows {
+				off = make([]int, e.BlockRows)
+			}
+			off = off[:e.BlockRows]
 			for i := range off {
 				off[i] = -1
 			}
-			offsets[p.Worker] = off
-			order = append(order, p.Worker)
+			ws.offsets[p.Worker] = off
+			ws.values[p.Worker] = ws.values[p.Worker][:0]
+			ws.order = append(ws.order, p.Worker)
 		}
-		vals := values[p.Worker]
+		vals := ws.values[p.Worker]
 		base := len(vals)
 		vals = append(vals, p.Values...)
-		values[p.Worker] = vals
+		ws.values[p.Worker] = vals
 		at := base
 		for _, r := range p.Ranges {
 			for row := r.Lo; row < r.Hi; row++ {
@@ -143,44 +197,60 @@ func (e *GFEncodedMatrix) DecodeMatVec(partials []*GFPartial) ([]gf.Elem, error)
 			}
 		}
 	}
-	out := make([]gf.Elem, e.BlockRows*k)
-	invCache := map[string]*gf.Matrix{}
-	workers := make([]int, 0, k)
-	b := make([]gf.Elem, k)
+	if cap(ws.out) < e.BlockRows*k {
+		ws.out = make([]gf.Elem, e.BlockRows*k)
+	}
+	ws.out = ws.out[:e.BlockRows*k]
+	var cur *gfInvSet
 	for row := 0; row < e.BlockRows; row++ {
-		workers = workers[:0]
-		for _, w := range order {
-			if offsets[w][row] >= 0 {
-				workers = append(workers, w)
-				if len(workers) == k {
+		ws.workers = ws.workers[:0]
+		for _, w := range ws.order {
+			if ws.offsets[w][row] >= 0 {
+				ws.workers = append(ws.workers, w)
+				if len(ws.workers) == k {
 					break
 				}
 			}
 		}
-		if len(workers) < k {
-			return nil, fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(workers), k)
+		if len(ws.workers) < k {
+			return nil, fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(ws.workers), k)
 		}
-		key := setKey(workers)
-		inv, ok := invCache[key]
-		if !ok {
-			sub := gf.NewMatrix(k, k)
-			for i, w := range workers {
-				copy(sub.Row(i), e.Code.gen.Row(w))
+		sortInts(ws.workers) // canonical order: cache key ignores arrival order
+		if cur == nil || !sameWorkers(cur.workers, ws.workers) {
+			cur = nil
+			for _, s := range ws.sets {
+				if sameWorkers(s.workers, ws.workers) {
+					cur = s
+					break
+				}
 			}
-			var invertible bool
-			inv, invertible = gf.Invert(sub)
-			if !invertible {
-				return nil, fmt.Errorf("coding: GF decode set %v singular", workers)
+			if cur == nil {
+				sub := gf.NewMatrix(k, k)
+				for i, w := range ws.workers {
+					copy(sub.Row(i), e.Code.gen.Row(w))
+				}
+				inv, invertible := gf.Invert(sub)
+				if !invertible {
+					return nil, fmt.Errorf("coding: GF decode set %v singular", ws.workers)
+				}
+				cur = &gfInvSet{workers: append([]int(nil), ws.workers...), inv: inv}
+				if len(ws.sets) >= maxCachedSets {
+					ws.sets = ws.sets[:0]
+				}
+				ws.sets = append(ws.sets, cur)
 			}
-			invCache[key] = inv
 		}
-		for i, w := range workers {
-			b[i] = values[w][offsets[w][row]]
+		for i, w := range ws.workers {
+			ws.b[i] = ws.values[w][ws.offsets[w][row]]
 		}
-		z := inv.MulVec(b)
+		cur.inv.MulVecInto(ws.z, ws.b)
 		for j := 0; j < k; j++ {
-			out[j*e.BlockRows+row] = z[j]
+			ws.out[j*e.BlockRows+row] = ws.z[j]
 		}
 	}
-	return out[:e.OrigRows], nil
+	if dst == nil {
+		dst = make([]gf.Elem, e.OrigRows)
+	}
+	copy(dst, ws.out[:e.OrigRows])
+	return dst, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
 )
 
@@ -111,36 +112,89 @@ func (c *PolyCode) EncodeHessian(a *mat.Dense) (*EncodedBilinear, error) {
 // WorkerCompute runs worker w's kernel on rows [ranges) of its product
 // block P_w = Ã_wᵀ·diag(d)·B̃_w. Row r of P_w depends on column r of Ã_w.
 func (e *EncodedBilinear) WorkerCompute(w int, d []float64, ranges []Range) *Partial {
-	ranges = NormalizeRanges(ranges)
-	vals := make([]float64, 0, TotalRows(ranges)*e.BlockColsB)
-	for _, r := range ranges {
-		block := mat.ATDiagBRows(e.PartsA[w], d, e.PartsB[w], r.Lo, r.Hi)
-		vals = append(vals, block.Data()...)
+	return e.WorkerComputeInto(w, d, ranges, nil)
+}
+
+// WorkerComputeInto is WorkerCompute reusing dst's backing storage.
+// dst == nil allocates a fresh Partial.
+func (e *EncodedBilinear) WorkerComputeInto(w int, d []float64, ranges []Range, dst *Partial) *Partial {
+	if dst == nil {
+		dst = &Partial{}
 	}
-	return &Partial{Worker: w, Ranges: ranges, RowWidth: e.BlockColsB, Values: vals}
+	dst.Worker = w
+	dst.RowWidth = e.BlockColsB
+	dst.Ranges = appendNormalizeRanges(dst.Ranges[:0], ranges)
+	dst.Values = kernel.Grow(dst.Values, TotalRows(dst.Ranges)*e.BlockColsB)
+	at := 0
+	for _, r := range dst.Ranges {
+		n := r.Len() * e.BlockColsB
+		mat.ATDiagBRowsInto(e.PartsA[w], d, e.PartsB[w], r.Lo, r.Hi, dst.Values[at:at+n])
+		at += n
+	}
+	return dst
+}
+
+// polyInvSet caches one inverted interpolation system per worker set.
+type polyInvSet struct {
+	workers []int
+	inv     *mat.Dense
+}
+
+// PolyDecodeWorkspace holds reusable decode state for one EncodedBilinear:
+// the row-index table, cached Vandermonde inverses, and scratch. Not safe
+// for concurrent decodes.
+type PolyDecodeWorkspace struct {
+	table   rowTable
+	sets    []*polyInvSet
+	workers []int
+}
+
+// NewDecodeWorkspace returns an empty decode workspace for e.
+func (e *EncodedBilinear) NewDecodeWorkspace() *PolyDecodeWorkspace {
+	ab := e.Code.a * e.Code.b
+	return &PolyDecodeWorkspace{workers: make([]int, 0, ab)}
 }
 
 // Decode reconstructs H = Aᵀ·diag(d)·B (ColsA×ColsB) from worker partials.
 // Every row index in [0, BlockColsA) must be covered by at least a·b
 // workers.
 func (e *EncodedBilinear) Decode(partials []*Partial) (*mat.Dense, error) {
+	return e.DecodeInto(nil, partials, nil)
+}
+
+// DecodeInto is Decode writing into dst (ColsA×ColsB; nil allocates it),
+// reusing ws across rounds: interpolation inverses are cached per distinct
+// worker set and index storage is recycled.
+func (e *EncodedBilinear) DecodeInto(dst *mat.Dense, partials []*Partial, ws *PolyDecodeWorkspace) (*mat.Dense, error) {
 	c := e.Code
 	ab := c.a * c.b
-	table, err := buildRowTable(partials, e.BlockColsA)
-	if err != nil {
+	if ws == nil {
+		ws = e.NewDecodeWorkspace()
+	}
+	if err := ws.table.build(partials, e.BlockColsA); err != nil {
 		return nil, err
 	}
-	if table.rowWidth != 0 && table.rowWidth != e.BlockColsB {
-		return nil, fmt.Errorf("coding: Decode expects RowWidth %d, got %d", e.BlockColsB, table.rowWidth)
+	if ws.table.rowWidth != 0 && ws.table.rowWidth != e.BlockColsB {
+		return nil, fmt.Errorf("coding: Decode expects RowWidth %d, got %d", e.BlockColsB, ws.table.rowWidth)
 	}
-	out := mat.New(e.ColsA, e.ColsB)
-	invCache := map[string]*mat.Dense{}
+	out := dst
+	if out == nil {
+		out = mat.New(e.ColsA, e.ColsB)
+	} else {
+		if r, cc := out.Dims(); r != e.ColsA || cc != e.ColsB {
+			return nil, fmt.Errorf("coding: decode dst %dx%d want %dx%d", r, cc, e.ColsA, e.ColsB)
+		}
+		out.Fill(0)
+	}
+	table := &ws.table
 	for row := 0; row < e.BlockColsA; row++ {
-		workers := table.workersForRow(row, ab)
+		ws.workers = table.appendWorkersForRow(ws.workers, row, ab)
+		workers := ws.workers
 		if len(workers) < ab {
 			return nil, fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(workers), ab)
 		}
-		inv, err := e.interpInverse(invCache, workers)
+		sortInts(workers) // canonical order: cache key ignores arrival order
+		inv, err := e.interpInverse(ws, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -175,11 +229,13 @@ func (e *EncodedBilinear) Decode(partials []*Partial) (*mat.Dense, error) {
 }
 
 // interpInverse returns the inverse of the a·b × a·b Vandermonde system for
-// the given worker set, cached per set.
-func (e *EncodedBilinear) interpInverse(cache map[string]*mat.Dense, workers []int) (*mat.Dense, error) {
-	key := setKey(workers)
-	if inv, ok := cache[key]; ok {
-		return inv, nil
+// the given worker set, cached per set in the workspace (linear scan — the
+// distinct-set count per decode is tiny).
+func (e *EncodedBilinear) interpInverse(ws *PolyDecodeWorkspace, workers []int) (*mat.Dense, error) {
+	for _, s := range ws.sets {
+		if sameWorkers(s.workers, workers) {
+			return s.inv, nil
+		}
 	}
 	ab := e.Code.a * e.Code.b
 	v := mat.New(ab, ab)
@@ -197,6 +253,9 @@ func (e *EncodedBilinear) interpInverse(cache map[string]*mat.Dense, workers []i
 	if err != nil {
 		return nil, fmt.Errorf("coding: interpolation set %v singular: %w", workers, err)
 	}
-	cache[key] = inv
+	if len(ws.sets) >= maxCachedSets {
+		ws.sets = ws.sets[:0]
+	}
+	ws.sets = append(ws.sets, &polyInvSet{workers: append([]int(nil), workers...), inv: inv})
 	return inv, nil
 }

@@ -117,10 +117,20 @@ func (m *Matrix) Clone() *Matrix {
 
 // MulVec computes y = M·x over the field.
 func (m *Matrix) MulVec(x []Elem) []Elem {
+	y := make([]Elem, m.rows)
+	m.MulVecInto(y, x)
+	return y
+}
+
+// MulVecInto computes y = M·x over the field into the provided slice
+// (length M.rows). It performs no allocation.
+func (m *Matrix) MulVecInto(y, x []Elem) {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("gf: MulVec length %d want %d", len(x), m.cols))
 	}
-	y := make([]Elem, m.rows)
+	if len(y) != m.rows {
+		panic(fmt.Sprintf("gf: MulVec dst length %d want %d", len(y), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
 		var acc uint64
@@ -132,7 +142,6 @@ func (m *Matrix) MulVec(x []Elem) []Elem {
 		}
 		y[i] = Elem(acc % P)
 	}
-	return y
 }
 
 // Vandermonde returns the r-by-c matrix V[i][j] = xs[i]^j. The xs must be

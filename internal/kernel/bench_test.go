@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Kernel-layer micro-benchmarks: blocked vs naive compute kernels, and the
+// persistent pool vs the spawn-goroutines-per-call pattern it replaced.
+// Run with:
+//
+//	go test ./internal/kernel -bench . -benchmem
+
+func benchMatVec(b *testing.B, f func(dst, a []float64, rows, cols int, x []float64)) {
+	rng := rand.New(rand.NewSource(1))
+	const rows, cols = 1024, 1024
+	a, x := randSlice(rows*cols, rng), randSlice(cols, rng)
+	dst := make([]float64, rows)
+	b.SetBytes(8 * rows * cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, a, rows, cols, x)
+	}
+}
+
+func BenchmarkMatVecKernel1024(b *testing.B) { benchMatVec(b, MatVec) }
+func BenchmarkMatVecNaive1024(b *testing.B)  { benchMatVec(b, naiveMatVec) }
+
+func benchMatMul(b *testing.B, size int, f func(dst, a []float64, m, k int, bb []float64, n int)) {
+	rng := rand.New(rand.NewSource(2))
+	a, bb := randSlice(size*size, rng), randSlice(size*size, rng)
+	dst := make([]float64, size*size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, a, size, size, bb, size)
+	}
+}
+
+func BenchmarkMatMulBlocked256(b *testing.B)  { benchMatMul(b, 256, MatMul) }
+func BenchmarkMatMulNaive256(b *testing.B)    { benchMatMul(b, 256, naiveMatMul) }
+func BenchmarkMatMulBlocked1024(b *testing.B) { benchMatMul(b, 1024, MatMul) }
+func BenchmarkMatMulNaive1024(b *testing.B)   { benchMatMul(b, 1024, naiveMatMul) }
+
+// spawnMatVec is the pre-refactor parallel pattern: fresh goroutines and a
+// WaitGroup per call.
+func spawnMatVec(dst, a []float64, rows, cols int, x []float64, workers int) {
+	var wg sync.WaitGroup
+	band := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := lo + band
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			MatVecRange(dst[lo:hi], a, cols, x, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func BenchmarkParallelMatVecPooled(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const rows, cols = 1024, 1024
+	a, x := randSlice(rows*cols, rng), randSlice(cols, rng)
+	dst := make([]float64, rows)
+	p := Default()
+	b.SetBytes(8 * rows * cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MatVec(dst, a, rows, cols, x, 0)
+	}
+}
+
+func BenchmarkParallelMatVecSpawn(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const rows, cols = 1024, 1024
+	a, x := randSlice(rows*cols, rng), randSlice(cols, rng)
+	dst := make([]float64, rows)
+	workers := Default().Workers()
+	b.SetBytes(8 * rows * cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spawnMatVec(dst, a, rows, cols, x, workers)
+	}
+}

@@ -1,0 +1,275 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent band-parallel executor: a fixed set of goroutines
+// that execute row bands of kernel operations. It replaces the
+// spawn-goroutines-per-call pattern — a steady-state dispatch performs no
+// allocation and no goroutine creation.
+//
+// Work is distributed by atomic chunk-stealing: each participant grabs the
+// next chunk of rows until the range is exhausted, so uneven per-row cost
+// (e.g. sparse bands) self-balances. The dispatching goroutine always
+// participates, which also makes every operation safe to call when the
+// pool is saturated or sized to a single CPU.
+type Pool struct {
+	workers int
+	tasks   chan *job
+	jobs    sync.Pool
+}
+
+// opCode selects the typed operation a job runs. Typed operands (rather
+// than closures) keep dispatch allocation-free.
+type opCode uint8
+
+const (
+	opFn opCode = iota
+	opMatVec
+	opMatMul
+)
+
+type job struct {
+	op   opCode
+	fn   func(lo, hi int) // opFn only; closure allocation is the caller's
+	a, b []float64
+	dst  []float64
+	x    []float64
+	k, n int // matmul inner dim / B cols; n doubles as matvec cols
+
+	total int // row count being split
+	chunk int
+	next  atomic.Int64
+	// pending counts fanned-out channel copies not yet completed; whoever
+	// decrements it to zero signals done (buffered, never closed, drained
+	// on reuse) so the dispatcher can park instead of spinning.
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// finish records one completed channel copy of j, waking its dispatcher
+// when this was the last one.
+func (j *job) finish() {
+	if j.pending.Add(-1) == 0 {
+		select {
+		case j.done <- struct{}{}:
+		default: // dispatcher already observed completion
+		}
+	}
+}
+
+// NewPool returns a pool with the given number of worker goroutines.
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, tasks: make(chan *job, workers)}
+	p.jobs.New = func() any { return &job{done: make(chan struct{}, 1)} }
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Close stops the pool's worker goroutines. Operations already dispatched
+// complete; dispatching on a closed pool panics. The shared Default pool
+// must not be closed.
+func (p *Pool) Close() {
+	close(p.tasks)
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, created on first use with
+// GOMAXPROCS workers.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker() {
+	for j := range p.tasks {
+		j.run()
+		j.finish()
+	}
+}
+
+// run steals chunks until the row range is exhausted.
+func (j *job) run() {
+	for {
+		lo := int(j.next.Add(int64(j.chunk))) - j.chunk
+		if lo >= j.total {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > j.total {
+			hi = j.total
+		}
+		j.exec(lo, hi)
+	}
+}
+
+func (j *job) exec(lo, hi int) {
+	switch j.op {
+	case opMatVec:
+		MatVecRange(j.dst[lo:hi], j.a, j.n, j.x, lo, hi)
+	case opMatMul:
+		MatMulRange(j.dst, j.a, j.total, j.k, j.b, j.n, lo, hi)
+	default:
+		j.fn(lo, hi)
+	}
+}
+
+// dispatch fans the job out to at most fan-1 pool workers (the caller is
+// the remaining participant), runs the caller's share, waits for
+// completion, and recycles the job.
+//
+// Fan-out sends are non-blocking (a saturated pool just means the caller
+// does more of the work), and the completion wait is *help-first*: while
+// fanned copies are outstanding the caller either executes other queued
+// jobs or parks on its job's done signal — it never spins and it never
+// blocks without draining the queue. Without the helping, nested dispatch
+// deadlocks: every worker can be parked waiting on an inner job that only
+// another parked worker could pop.
+func (p *Pool) dispatch(j *job, fan int) {
+	if chunks := (j.total + j.chunk - 1) / j.chunk; fan > chunks {
+		fan = chunks
+	}
+	sent := int64(0)
+	for i := 0; i < fan-1; i++ {
+		select {
+		case p.tasks <- j:
+			sent++
+		default:
+			i = fan // saturated: stop fanning out
+		}
+	}
+	j.pending.Add(sent + 1) // +1: the caller's own share below
+	j.run()
+	j.finish()
+	for j.pending.Load() != 0 {
+		select {
+		case other := <-p.tasks:
+			other.run()
+			other.finish()
+		case <-j.done:
+		}
+	}
+	// Drop slice references before pooling (fields reset individually —
+	// the struct embeds atomics and must not be copied).
+	j.fn = nil
+	j.a, j.b, j.dst, j.x = nil, nil, nil, nil
+	p.jobs.Put(j)
+}
+
+// clampFan normalizes a caller's fan-out cap to [1, workers].
+func (p *Pool) clampFan(maxFan int) int {
+	if maxFan <= 0 || maxFan > p.workers {
+		return p.workers
+	}
+	return maxFan
+}
+
+func (p *Pool) newJob() *job {
+	j := p.jobs.Get().(*job)
+	j.next.Store(0)
+	select {
+	case <-j.done: // drop a stale completion token from the previous use
+	default:
+	}
+	return j
+}
+
+// chunkFor sizes chunks so each is ~targetFlops of work but the range
+// still splits into a few chunks per participant for load balancing.
+func chunkFor(total, rowCost, fan int) int {
+	const targetFlops = 16 * 1024
+	chunk := targetFlops / rowCost
+	if balanced := total / (4 * fan); balanced > 0 && chunk > balanced {
+		chunk = balanced
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// MatVec computes dst = A·x (A rows×cols row-major) across the pool.
+// maxFan <= 0 uses every worker. Steady state performs zero allocations.
+func (p *Pool) MatVec(dst, a []float64, rows, cols int, x []float64, maxFan int) {
+	if rows == 0 {
+		return
+	}
+	fan := p.clampFan(maxFan)
+	if rows*cols < 1<<14 || fan == 1 {
+		MatVec(dst, a, rows, cols, x)
+		return
+	}
+	j := p.newJob()
+	j.op = opMatVec
+	j.a, j.x, j.dst = a, x, dst
+	j.n = cols
+	j.total = rows
+	j.chunk = chunkFor(rows, 2*cols, fan)
+	p.dispatch(j, fan)
+}
+
+// MatMul computes dst = A·B (A m×k, B k×n, dst m×n row-major) across the
+// pool using the cache-blocked kernel per band.
+func (p *Pool) MatMul(dst, a []float64, m, k int, b []float64, n int, maxFan int) {
+	if m == 0 || n == 0 {
+		Zero(dst[:m*n])
+		return
+	}
+	fan := p.clampFan(maxFan)
+	if m*k*n < 1<<16 || fan == 1 {
+		MatMul(dst, a, m, k, b, n)
+		return
+	}
+	j := p.newJob()
+	j.op = opMatMul
+	j.a, j.b, j.dst = a, b, dst
+	j.k, j.n = k, n
+	j.total = m
+	// Few large bands: every band packs the B panels it touches, so small
+	// chunks would duplicate packing work (and defeat register blocking).
+	j.chunk = (m + 2*fan - 1) / (2 * fan)
+	if j.chunk < mrRows {
+		j.chunk = mrRows
+	}
+	p.dispatch(j, fan)
+}
+
+// For runs fn over [0, total) in parallel chunks of at least minChunk rows.
+// The closure may allocate; use the typed operations on hot paths.
+func (p *Pool) For(total, minChunk int, fn func(lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if p.workers == 1 || total <= minChunk {
+		fn(0, total)
+		return
+	}
+	j := p.newJob()
+	j.op = opFn
+	j.fn = fn
+	j.total = total
+	j.chunk = minChunk
+	if balanced := total / (4 * p.workers); balanced > minChunk {
+		j.chunk = balanced
+	}
+	p.dispatch(j, p.workers)
+}

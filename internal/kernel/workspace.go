@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Workspace buffers: sync.Pool-backed float64 scratch recycled across
+// rounds. Two idioms are supported:
+//
+//   - Buf: borrow/return for code without a natural owner (e.g. concurrent
+//     RPC result buffers). GetBuf/Put are allocation-free in steady state.
+//   - Grow: grow-once slices owned by a long-lived struct (decode
+//     workspaces, cluster scratch), which is the preferred pattern on
+//     paths that must be provably zero-alloc.
+
+// Buf is a pooled float64 buffer. F has the requested length; capacity may
+// be larger. Contents are arbitrary on Get.
+type Buf struct {
+	F []float64
+}
+
+// bufClasses pools buffers in power-of-two capacity classes 2^minClass ..
+// 2^maxClass elements. Larger requests fall through to plain allocation.
+const (
+	minClass = 6  // 64 elements (512 B)
+	maxClass = 24 // 16 Mi elements (128 MiB)
+)
+
+var bufClasses [maxClass - minClass + 1]sync.Pool
+
+func classFor(n int) int {
+	if n <= 1<<minClass {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClass
+	if c > maxClass-minClass {
+		return -1
+	}
+	return c
+}
+
+// GetBuf returns a pooled buffer with b.F of length n. Contents are
+// arbitrary; use GetBufZeroed when zeros are required.
+func GetBuf(n int) *Buf {
+	c := classFor(n)
+	if c < 0 {
+		return &Buf{F: make([]float64, n)}
+	}
+	if v := bufClasses[c].Get(); v != nil {
+		b := v.(*Buf)
+		b.F = b.F[:n]
+		return b
+	}
+	return &Buf{F: make([]float64, n, 1<<(minClass+c))}
+}
+
+// GetBufZeroed returns a pooled buffer of length n with all elements zero.
+func GetBufZeroed(n int) *Buf {
+	b := GetBuf(n)
+	Zero(b.F)
+	return b
+}
+
+// Put returns the buffer to its size-class pool. The caller must not use
+// b.F afterwards.
+func (b *Buf) Put() {
+	c := classFor(cap(b.F))
+	if c < 0 {
+		return // oversize: let the GC have it
+	}
+	// Only pool buffers whose capacity is exactly a class size, so a
+	// pooled buffer can always serve any request in its class.
+	if cap(b.F) != 1<<(minClass+c) {
+		return
+	}
+	b.F = b.F[:0]
+	bufClasses[c].Put(b)
+}
+
+// Grow returns s resized to length n, reallocating only when capacity is
+// insufficient. New space is NOT zeroed; see GrowZeroed.
+func Grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// GrowZeroed returns s resized to length n with every element zeroed.
+func GrowZeroed(s []float64, n int) []float64 {
+	s = Grow(s, n)
+	Zero(s)
+	return s
+}
+
+// GrowInts is Grow for int scratch (coverage counters, offsets).
+func GrowInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

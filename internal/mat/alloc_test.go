@@ -1,0 +1,70 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation-regression tests: the Into forms of the hot kernels must not
+// allocate once destination storage exists.
+
+func TestMatVecIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	a := Rand(256, 128, rng)
+	x := randVec(128, rng)
+	y := make([]float64, 256)
+	if allocs := testing.AllocsPerRun(100, func() { MatVecInto(a, x, y) }); allocs != 0 {
+		t.Fatalf("MatVecInto allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestMatVecRowsIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := Rand(256, 64, rng)
+	x := randVec(64, rng)
+	y := make([]float64, 100)
+	if allocs := testing.AllocsPerRun(100, func() { MatVecRowsInto(a, x, y, 50, 150) }); allocs != 0 {
+		t.Fatalf("MatVecRowsInto allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestMatMulIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := Rand(64, 64, rng)
+	b := Rand(64, 64, rng)
+	c := New(64, 64)
+	// Warm the kernel's pack-buffer pool.
+	for i := 0; i < 4; i++ {
+		MatMulInto(a, b, c)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { MatMulInto(a, b, c) }); allocs != 0 {
+		t.Fatalf("MatMulInto allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+func TestLUSolveIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := Rand(12, 12, rng)
+	for i := 0; i < 12; i++ {
+		a.Set(i, i, a.At(i, i)+12) // diagonally dominant: well-conditioned
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(12, rng)
+	x := make([]float64, 12)
+	if allocs := testing.AllocsPerRun(100, func() { f.SolveInto(x, b) }); allocs != 0 {
+		t.Fatalf("LU.SolveInto allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestVecMatIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	a := Rand(100, 50, rng)
+	x := randVec(100, rng)
+	y := make([]float64, 50)
+	if allocs := testing.AllocsPerRun(100, func() { VecMatInto(x, a, y) }); allocs != 0 {
+		t.Fatalf("VecMatInto allocates %v/op, want 0", allocs)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+
+	"github.com/coded-computing/s2c2/internal/kernel"
 )
 
 // Dense is a row-major dense matrix of float64 values.
@@ -141,36 +143,28 @@ func (m *Dense) Fill(v float64) {
 
 // Scale multiplies every entry by a in place and returns m.
 func (m *Dense) Scale(a float64) *Dense {
-	for i := range m.data {
-		m.data[i] *= a
-	}
+	kernel.Scale(a, m.data)
 	return m
 }
 
 // Add accumulates b into m in place (m += b) and returns m.
 func (m *Dense) Add(b *Dense) *Dense {
 	m.checkSameShape(b)
-	for i, v := range b.data {
-		m.data[i] += v
-	}
+	kernel.Axpy(1, b.data, m.data)
 	return m
 }
 
 // Sub subtracts b from m in place (m -= b) and returns m.
 func (m *Dense) Sub(b *Dense) *Dense {
 	m.checkSameShape(b)
-	for i, v := range b.data {
-		m.data[i] -= v
-	}
+	kernel.Axpy(-1, b.data, m.data)
 	return m
 }
 
 // AddScaled accumulates a*b into m in place (m += a*b) and returns m.
 func (m *Dense) AddScaled(a float64, b *Dense) *Dense {
 	m.checkSameShape(b)
-	for i, v := range b.data {
-		m.data[i] += a * v
-	}
+	kernel.Axpy(a, b.data, m.data)
 	return m
 }
 

@@ -69,11 +69,19 @@ func FactorLU(a *Dense) (*LU, error) {
 
 // Solve solves A·x = b for x given the factorization.
 func (f *LU) Solve(b []float64) []float64 {
+	x := make([]float64, f.lu.rows)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto solves A·x = b into the provided slice x, which must not
+// alias b. Both must have length N (the factored dimension). It performs
+// no allocation.
+func (f *LU) SolveInto(x, b []float64) {
 	n := f.lu.rows
-	if len(b) != n {
-		panic(fmt.Sprintf("mat: LU.Solve rhs length %d want %d", len(b), n))
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("mat: LU.SolveInto lengths x=%d b=%d want %d", len(x), len(b), n))
 	}
-	x := make([]float64, n)
 	// Apply permutation.
 	for i, p := range f.piv {
 		x[i] = b[p]
@@ -96,7 +104,6 @@ func (f *LU) Solve(b []float64) []float64 {
 		}
 		x[i] = s / row[i]
 	}
-	return x
 }
 
 // SolveMany solves A·X = B column-block-wise where each element of bs is an

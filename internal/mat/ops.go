@@ -1,6 +1,15 @@
 package mat
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/coded-computing/s2c2/internal/kernel"
+)
+
+// The multiplication entry points validate shapes and delegate the float64
+// loops to internal/kernel, the shared compute substrate. Every operation
+// has an ...Into form writing into caller-owned storage; the non-Into form
+// allocates the result.
 
 // MatVec computes y = A·x into a new slice.
 func MatVec(a *Dense, x []float64) []float64 {
@@ -18,14 +27,7 @@ func MatVecInto(a *Dense, x, y []float64) {
 	if len(y) != a.rows {
 		panic(fmt.Sprintf("mat: MatVec y length %d want %d", len(y), a.rows))
 	}
-	for i := 0; i < a.rows; i++ {
-		row := a.data[i*a.cols : (i+1)*a.cols]
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i] = s
-	}
+	kernel.MatVec(y, a.data, a.rows, a.cols, x)
 }
 
 // MatVecRows computes (A·x)[lo:hi] — only the rows in [lo, hi) — into a
@@ -35,80 +37,81 @@ func MatVecRows(a *Dense, x []float64, lo, hi int) []float64 {
 	if lo < 0 || hi > a.rows || lo > hi {
 		panic(fmt.Sprintf("mat: MatVecRows range [%d,%d) out of %d", lo, hi, a.rows))
 	}
+	y := make([]float64, hi-lo)
+	MatVecRowsInto(a, x, y, lo, hi)
+	return y
+}
+
+// MatVecRowsInto is MatVecRows writing into a caller slice of length hi-lo.
+func MatVecRowsInto(a *Dense, x, y []float64, lo, hi int) {
+	if lo < 0 || hi > a.rows || lo > hi {
+		panic(fmt.Sprintf("mat: MatVecRows range [%d,%d) out of %d", lo, hi, a.rows))
+	}
 	if len(x) != a.cols {
 		panic(fmt.Sprintf("mat: MatVecRows x length %d want %d", len(x), a.cols))
 	}
-	y := make([]float64, hi-lo)
-	for i := lo; i < hi; i++ {
-		row := a.data[i*a.cols : (i+1)*a.cols]
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i-lo] = s
+	if len(y) != hi-lo {
+		panic(fmt.Sprintf("mat: MatVecRows y length %d want %d", len(y), hi-lo))
 	}
-	return y
+	kernel.MatVecRange(y, a.data, a.cols, x, lo, hi)
 }
 
 // VecMat computes y = xᵀ·A (a row vector) into a new slice of length
 // A.Cols(). It streams row-wise for cache efficiency.
 func VecMat(x []float64, a *Dense) []float64 {
-	if len(x) != a.rows {
-		panic(fmt.Sprintf("mat: VecMat x length %d want %d", len(x), a.rows))
-	}
 	y := make([]float64, a.cols)
-	for i := 0; i < a.rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := a.data[i*a.cols : (i+1)*a.cols]
-		for j, v := range row {
-			y[j] += xi * v
-		}
-	}
+	VecMatInto(x, a, y)
 	return y
 }
 
-// MatMul computes C = A·B into a new matrix using an ikj loop order so the
-// innermost loop streams both B and C rows.
-func MatMul(a, b *Dense) *Dense {
-	if a.cols != b.rows {
-		panic(fmt.Sprintf("mat: MatMul inner dim %d vs %d", a.cols, b.rows))
+// VecMatInto is VecMat writing into a caller slice of length A.Cols().
+func VecMatInto(x []float64, a *Dense, y []float64) {
+	if len(x) != a.rows {
+		panic(fmt.Sprintf("mat: VecMat x length %d want %d", len(x), a.rows))
 	}
+	if len(y) != a.cols {
+		panic(fmt.Sprintf("mat: VecMat y length %d want %d", len(y), a.cols))
+	}
+	kernel.VecMat(y, x, a.data, a.rows, a.cols)
+}
+
+// MatMul computes C = A·B into a new matrix using the cache-blocked kernel.
+func MatMul(a, b *Dense) *Dense {
 	c := New(a.rows, b.cols)
-	matMulInto(a, b, c, 0, a.rows)
+	MatMulInto(a, b, c)
 	return c
 }
 
-// matMulInto computes rows [lo,hi) of C = A·B.
-func matMulInto(a, b, c *Dense, lo, hi int) {
-	n := b.cols
-	for i := lo; i < hi; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		crow := c.data[i*n : (i+1)*n]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
+// MatMulInto computes C = A·B into the provided matrix, which must be
+// A.Rows()×B.Cols(). C is overwritten.
+func MatMulInto(a, b, c *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MatMul inner dim %d vs %d", a.cols, b.rows))
 	}
+	if c.rows != a.rows || c.cols != b.cols {
+		panic(fmt.Sprintf("mat: MatMul dst %dx%d want %dx%d", c.rows, c.cols, a.rows, b.cols))
+	}
+	kernel.MatMul(c.data, a.data, a.rows, a.cols, b.data, b.cols)
 }
 
 // Transpose returns Aᵀ as a new matrix.
 func Transpose(a *Dense) *Dense {
 	t := New(a.cols, a.rows)
+	TransposeInto(a, t)
+	return t
+}
+
+// TransposeInto writes Aᵀ into the provided A.Cols()×A.Rows() matrix.
+func TransposeInto(a, t *Dense) {
+	if t.rows != a.cols || t.cols != a.rows {
+		panic(fmt.Sprintf("mat: Transpose dst %dx%d want %dx%d", t.rows, t.cols, a.cols, a.rows))
+	}
 	for i := 0; i < a.rows; i++ {
 		row := a.data[i*a.cols : (i+1)*a.cols]
 		for j, v := range row {
 			t.data[j*a.rows+i] = v
 		}
 	}
-	return t
 }
 
 // MulDiagLeft computes diag(d)·A into a new matrix (scales row i by d[i]).
@@ -118,10 +121,7 @@ func MulDiagLeft(d []float64, a *Dense) *Dense {
 	}
 	out := a.Clone()
 	for i := 0; i < a.rows; i++ {
-		row := out.data[i*a.cols : (i+1)*a.cols]
-		for j := range row {
-			row[j] *= d[i]
-		}
+		kernel.Scale(d[i], out.data[i*a.cols:(i+1)*a.cols])
 	}
 	return out
 }
@@ -133,26 +133,8 @@ func ATDiagA(a *Dense, d []float64) *Dense {
 	if len(d) != a.rows {
 		panic(fmt.Sprintf("mat: ATDiagA d length %d want %d", len(d), a.rows))
 	}
-	n := a.cols
-	out := New(n, n)
-	// Accumulate rank-1 updates d[i] * a_i a_iᵀ where a_i is row i of A.
-	for i := 0; i < a.rows; i++ {
-		di := d[i]
-		if di == 0 {
-			continue
-		}
-		row := a.data[i*n : (i+1)*n]
-		for p := 0; p < n; p++ {
-			s := di * row[p]
-			if s == 0 {
-				continue
-			}
-			orow := out.data[p*n : (p+1)*n]
-			for q, v := range row {
-				orow[q] += s * v
-			}
-		}
-	}
+	out := New(a.cols, a.cols)
+	kernel.ATDiagBRange(out.data, a.data, d, a.data, a.rows, a.cols, a.cols, 0, a.cols)
 	return out
 }
 
@@ -167,24 +149,7 @@ func ATDiagB(a *Dense, d []float64, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: ATDiagB d length %d want %d", len(d), a.rows))
 	}
 	out := New(a.cols, b.cols)
-	for i := 0; i < a.rows; i++ {
-		di := d[i]
-		if di == 0 {
-			continue
-		}
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		brow := b.data[i*b.cols : (i+1)*b.cols]
-		for p, av := range arow {
-			s := di * av
-			if s == 0 {
-				continue
-			}
-			orow := out.data[p*b.cols : (p+1)*b.cols]
-			for q, bv := range brow {
-				orow[q] += s * bv
-			}
-		}
-	}
+	kernel.ATDiagBRange(out.data, a.data, d, b.data, a.rows, a.cols, b.cols, 0, a.cols)
 	return out
 }
 
@@ -195,27 +160,22 @@ func ATDiagBRows(a *Dense, d []float64, b *Dense, lo, hi int) *Dense {
 	if lo < 0 || hi > a.cols || lo > hi {
 		panic(fmt.Sprintf("mat: ATDiagBRows range [%d,%d) out of %d", lo, hi, a.cols))
 	}
+	out := New(hi-lo, b.cols)
+	ATDiagBRowsInto(a, d, b, lo, hi, out.data)
+	return out
+}
+
+// ATDiagBRowsInto is ATDiagBRows writing row-major into a caller slice of
+// length (hi-lo)·B.Cols().
+func ATDiagBRowsInto(a *Dense, d []float64, b *Dense, lo, hi int, dst []float64) {
+	if lo < 0 || hi > a.cols || lo > hi {
+		panic(fmt.Sprintf("mat: ATDiagBRows range [%d,%d) out of %d", lo, hi, a.cols))
+	}
 	if a.rows != b.rows || len(d) != a.rows {
 		panic("mat: ATDiagBRows shape mismatch")
 	}
-	out := New(hi-lo, b.cols)
-	for i := 0; i < a.rows; i++ {
-		di := d[i]
-		if di == 0 {
-			continue
-		}
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		brow := b.data[i*b.cols : (i+1)*b.cols]
-		for p := lo; p < hi; p++ {
-			s := di * arow[p]
-			if s == 0 {
-				continue
-			}
-			orow := out.data[(p-lo)*b.cols : (p-lo+1)*b.cols]
-			for q, bv := range brow {
-				orow[q] += s * bv
-			}
-		}
+	if len(dst) != (hi-lo)*b.cols {
+		panic(fmt.Sprintf("mat: ATDiagBRows dst length %d want %d", len(dst), (hi-lo)*b.cols))
 	}
-	return out
+	kernel.ATDiagBRange(dst, a.data, d, b.data, a.rows, a.cols, b.cols, lo, hi)
 }

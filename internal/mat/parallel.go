@@ -1,12 +1,18 @@
 package mat
 
 import (
-	"runtime"
-	"sync"
+	"fmt"
+
+	"github.com/coded-computing/s2c2/internal/kernel"
 )
 
-// ParallelMatVec computes y = A·x using up to workers goroutines, splitting
-// A's rows into contiguous bands. workers <= 0 means GOMAXPROCS.
+// Parallel multiplication runs on the persistent worker pool in
+// internal/kernel instead of spawning goroutines per call: dispatch is
+// allocation-free in steady state and work is chunk-stolen, so uneven
+// bands self-balance. The workers argument caps the fan-out (<= 0 means
+// the full pool); it no longer controls goroutine creation.
+
+// ParallelMatVec computes y = A·x using up to workers pool participants.
 func ParallelMatVec(a *Dense, x []float64, workers int) []float64 {
 	y := make([]float64, a.rows)
 	ParallelMatVecInto(a, x, y, workers)
@@ -14,77 +20,33 @@ func ParallelMatVec(a *Dense, x []float64, workers int) []float64 {
 }
 
 // ParallelMatVecInto is ParallelMatVec writing into a caller slice.
+// Zero-row matrices and workers exceeding the row count are handled
+// uniformly by the pool's chunking (a worker never receives an empty band).
 func ParallelMatVecInto(a *Dense, x, y []float64, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("mat: ParallelMatVec x length %d want %d", len(x), a.cols))
 	}
-	if workers > a.rows {
-		workers = a.rows
+	if len(y) != a.rows {
+		panic(fmt.Sprintf("mat: ParallelMatVec y length %d want %d", len(y), a.rows))
 	}
-	if workers <= 1 || a.rows < 64 {
-		MatVecInto(a, x, y)
-		return
-	}
-	var wg sync.WaitGroup
-	band := (a.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * band
-		hi := lo + band
-		if hi > a.rows {
-			hi = a.rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				row := a.data[i*a.cols : (i+1)*a.cols]
-				s := 0.0
-				for j, v := range row {
-					s += v * x[j]
-				}
-				y[i] = s
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	kernel.Default().MatVec(y, a.data, a.rows, a.cols, x, workers)
 }
 
-// ParallelMatMul computes C = A·B splitting A's rows across goroutines.
+// ParallelMatMul computes C = A·B splitting A's rows across the pool.
 func ParallelMatMul(a, b *Dense, workers int) *Dense {
-	if a.cols != b.rows {
-		panic("mat: ParallelMatMul inner dimension mismatch")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > a.rows {
-		workers = a.rows
-	}
 	c := New(a.rows, b.cols)
-	if workers <= 1 || a.rows < 32 {
-		matMulInto(a, b, c, 0, a.rows)
-		return c
-	}
-	var wg sync.WaitGroup
-	band := (a.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * band
-		hi := lo + band
-		if hi > a.rows {
-			hi = a.rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulInto(a, b, c, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	ParallelMatMulInto(a, b, c, workers)
 	return c
+}
+
+// ParallelMatMulInto is ParallelMatMul writing into a caller matrix of
+// shape A.Rows()×B.Cols(). C is overwritten.
+func ParallelMatMulInto(a, b, c *Dense, workers int) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: ParallelMatMul inner dim %d vs %d", a.cols, b.rows))
+	}
+	if c.rows != a.rows || c.cols != b.cols {
+		panic(fmt.Sprintf("mat: ParallelMatMul dst %dx%d want %dx%d", c.rows, c.cols, a.rows, b.cols))
+	}
+	kernel.Default().MatMul(c.data, a.data, a.rows, a.cols, b.data, b.cols, workers)
 }

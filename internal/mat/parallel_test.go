@@ -1,0 +1,92 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Regression tests for the band-split edge cases of the parallel
+// multipliers: worker counts exceeding the row count, zero-row and
+// zero-column matrices, and row counts that do not divide evenly.
+
+func TestParallelMatVecWorkersExceedRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, rows := range []int{1, 2, 3, 5} {
+		a := Rand(rows, 17, rng)
+		x := randVec(17, rng)
+		want := MatVec(a, x)
+		for _, w := range []int{rows + 1, 4 * rows, 64} {
+			got := ParallelMatVec(a, x, w)
+			if !VecApproxEqual(got, want, 1e-12) {
+				t.Fatalf("rows=%d workers=%d: mismatch", rows, w)
+			}
+		}
+	}
+}
+
+func TestParallelMatVecZeroRows(t *testing.T) {
+	a := New(0, 5)
+	x := make([]float64, 5)
+	for _, w := range []int{-1, 0, 1, 8} {
+		y := ParallelMatVec(a, x, w)
+		if len(y) != 0 {
+			t.Fatalf("workers=%d: got %d rows", w, len(y))
+		}
+	}
+}
+
+func TestParallelMatVecZeroCols(t *testing.T) {
+	a := New(4, 0)
+	y := ParallelMatVec(a, nil, 3)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("row %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestParallelMatMulWorkersExceedRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, m := range []int{1, 2, 3} {
+		a := Rand(m, 6, rng)
+		b := Rand(6, 9, rng)
+		want := MatMul(a, b)
+		for _, w := range []int{m + 1, 16} {
+			got := ParallelMatMul(a, b, w)
+			if !want.ApproxEqual(got, 1e-12) {
+				t.Fatalf("m=%d workers=%d: mismatch", m, w)
+			}
+		}
+	}
+}
+
+func TestParallelMatMulZeroRows(t *testing.T) {
+	a := New(0, 4)
+	b := New(4, 3)
+	c := ParallelMatMul(a, b, 8)
+	if r, cc := c.Dims(); r != 0 || cc != 3 {
+		t.Fatalf("got %dx%d, want 0x3", r, cc)
+	}
+}
+
+func TestParallelMatMulUnevenBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	// 67 rows across 4 participants: bands of unequal size.
+	a := Rand(67, 31, rng)
+	b := Rand(31, 29, rng)
+	want := MatMul(a, b)
+	got := ParallelMatMul(a, b, 4)
+	if !want.ApproxEqual(got, 1e-10) {
+		t.Fatal("uneven band split mismatch")
+	}
+}
+
+func TestParallelMatVecNegativeWorkersUsesPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := Rand(200, 40, rng)
+	x := randVec(40, rng)
+	want := MatVec(a, x)
+	if !VecApproxEqual(ParallelMatVec(a, x, -3), want, 1e-12) {
+		t.Fatal("negative workers mismatch")
+	}
+}

@@ -3,6 +3,8 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"github.com/coded-computing/s2c2/internal/kernel"
 )
 
 // Vector helpers operate on plain []float64 so callers can interoperate
@@ -13,11 +15,7 @@ func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(x), len(y)))
 	}
-	s := 0.0
-	for i, v := range x {
-		s += v * y[i]
-	}
-	return s
+	return kernel.Dot(x, y)
 }
 
 // Axpy computes y += a*x in place.
@@ -25,16 +23,12 @@ func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	for i, v := range x {
-		y[i] += a * v
-	}
+	kernel.Axpy(a, x, y)
 }
 
 // ScaleVec multiplies every element of x by a in place.
 func ScaleVec(a float64, x []float64) {
-	for i := range x {
-		x[i] *= a
-	}
+	kernel.Scale(a, x)
 }
 
 // AddVec computes z = x + y into a new slice.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
 )
 
@@ -75,7 +76,10 @@ func (w *Worker) Run() error {
 	}
 }
 
-// handleWork computes the assigned rows of this worker's partition.
+// handleWork computes the assigned rows of this worker's partition. The
+// result values live in a pooled buffer (handleWork runs concurrently, so
+// per-goroutine scratch is borrowed, not owned) returned to the pool once
+// the synchronous gob send completes.
 func (w *Worker) handleWork(job *Work) {
 	w.mu.Lock()
 	part := w.partitions[job.Phase]
@@ -85,16 +89,18 @@ func (w *Worker) handleWork(job *Work) {
 	}
 	start := time.Now()
 	ranges := coding.NormalizeRanges(job.Ranges)
-	values := make([]float64, 0, coding.TotalRows(ranges))
+	total := coding.TotalRows(ranges)
+	buf := kernel.GetBuf(total)
+	at := 0
 	for _, r := range ranges {
-		values = append(values, mat.MatVecRows(part, job.X, r.Lo, r.Hi)...)
+		mat.MatVecRowsInto(part, job.X, buf.F[at:at+r.Len()], r.Lo, r.Hi)
+		at += r.Len()
 	}
 	elapsed := time.Since(start)
 	// Straggler emulation: stretch compute time by the slowdown factor
 	// plus the per-row floor.
-	rows := float64(coding.TotalRows(ranges))
 	delay := time.Duration(float64(elapsed)*(w.cfg.Slowdown-1) +
-		float64(w.cfg.PerRowDelay)*rows*w.cfg.Slowdown)
+		float64(w.cfg.PerRowDelay)*float64(total)*w.cfg.Slowdown)
 	if delay > 0 {
 		time.Sleep(delay)
 	}
@@ -102,7 +108,8 @@ func (w *Worker) handleWork(job *Work) {
 		Iter:         job.Iter,
 		Phase:        job.Phase,
 		Ranges:       ranges,
-		Values:       values,
+		Values:       buf.F,
 		ComputeNanos: int64(elapsed),
 	}})
+	buf.Put()
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/predict"
 	"github.com/coded-computing/s2c2/internal/sched"
 	"github.com/coded-computing/s2c2/internal/trace"
@@ -37,8 +38,31 @@ type CodedCluster struct {
 	// the master really decodes (true: end-to-end verification) or only
 	// the timing model runs (false: fast latency sweeps).
 	Numeric bool
+	// ReuseBuffers lets the cluster return Round.Result slices backed by
+	// per-cluster storage that the NEXT RunIteration overwrites. Drivers
+	// that consume each round before requesting the next (sim.RunIterative,
+	// benchmarks) set it to avoid a per-round result allocation; leave it
+	// false if round results must outlive the following iteration.
+	ReuseBuffers bool
 
 	history [][]float64 // observed speed per worker per iteration
+
+	scratch clusterScratch
+}
+
+// clusterScratch is per-cluster round state recycled across iterations:
+// speed vectors, coverage counters, finish-time records, worker partials,
+// and the decode workspace (which also caches LU factorizations of
+// recurring worker sets across rounds).
+type clusterScratch struct {
+	predicted, actual, observed []float64
+	cov                         []int
+	used                        []bool
+	finishes                    []workerFinish
+	partials                    []*coding.Partial
+	partialBuf                  []*coding.Partial // per-worker reusable partials
+	decodeWS                    *coding.DecodeWorkspace
+	result                      []float64
 }
 
 // Round captures one iteration's outcome and accounting.
@@ -74,8 +98,12 @@ func (r *Round) WastedFraction(w int) float64 {
 // otherwise the forecaster's one-step-ahead estimates — or the true trace
 // speeds when no forecaster is configured (oracle mode).
 func (c *CodedCluster) PredictSpeeds(iter int) []float64 {
+	return c.predictSpeedsInto(make([]float64, c.Trace.NumWorkers()), iter)
+}
+
+// predictSpeedsInto is PredictSpeeds writing into caller scratch.
+func (c *CodedCluster) predictSpeedsInto(speeds []float64, iter int) []float64 {
 	n := c.Trace.NumWorkers()
-	speeds := make([]float64, n)
 	if c.Forecaster == nil {
 		for w := 0; w < n; w++ {
 			speeds[w] = c.Trace.At(w, iter)
@@ -127,12 +155,14 @@ func (c *CodedCluster) observe(observed []float64) {
 // observed-speed history.
 func (c *CodedCluster) RunIteration(iter int, x []float64) (*Round, error) {
 	n := c.Trace.NumWorkers()
-	predicted := c.PredictSpeeds(iter)
+	c.scratch.predicted = kernel.Grow(c.scratch.predicted, n)
+	predicted := c.predictSpeedsInto(c.scratch.predicted, iter)
 	plan, err := c.Strategy.Plan(predicted)
 	if err != nil {
 		return nil, fmt.Errorf("sim: iteration %d: %w", iter, err)
 	}
-	actual := make([]float64, n)
+	c.scratch.actual = kernel.Grow(c.scratch.actual, n)
+	actual := c.scratch.actual
 	for w := 0; w < n; w++ {
 		actual[w] = c.Trace.At(w, iter)
 	}
@@ -165,7 +195,7 @@ func (c *CodedCluster) simulateRound(iter int, plan *sched.Plan, actual, predict
 	broadcast := c.Comm.TransferTime(xBytes)
 	round.BytesMoved += xBytes * float64(n)
 
-	var finishes []workerFinish
+	finishes := c.scratch.finishes[:0]
 	for w := 0; w < n; w++ {
 		rows := plan.RowsFor(w)
 		if rows == 0 {
@@ -175,13 +205,18 @@ func (c *CodedCluster) simulateRound(iter int, plan *sched.Plan, actual, predict
 		ft := broadcast + computeElems(float64(rows*c.Enc.Cols), actual[w]) + c.Comm.TransferTime(float64(8*rows))
 		finishes = append(finishes, workerFinish{w: w, finish: ft, rows: rows})
 	}
+	c.scratch.finishes = finishes
 	if len(finishes) < k {
 		return nil, nil, fmt.Errorf("sim: plan uses %d workers, need at least %d", len(finishes), k)
 	}
 	sort.Slice(finishes, func(i, j int) bool { return finishes[i].finish < finishes[j].finish })
 
 	// Find when per-row coverage k is first satisfied, walking arrivals.
-	cov := make([]int, blockRows)
+	cov := kernel.GrowInts(c.scratch.cov, blockRows)
+	for i := range cov {
+		cov[i] = 0
+	}
+	c.scratch.cov = cov
 	needed := blockRows
 	coveredAt := -1.0
 	usedUpTo := -1 // index into finishes of last needed arrival
@@ -232,14 +267,23 @@ func (c *CodedCluster) simulateRound(iter int, plan *sched.Plan, actual, predict
 		deadline = finishes[k-1].finish
 	}
 
-	observed := make([]float64, n)
-	usedWorkers := map[int]bool{}
+	c.scratch.observed = kernel.GrowZeroed(c.scratch.observed, n)
+	observed := c.scratch.observed
+	used := c.scratch.used
+	if cap(used) < n {
+		used = make([]bool, n)
+	}
+	used = used[:n]
+	for i := range used {
+		used[i] = false
+	}
+	c.scratch.used = used
 
 	if coveredAt >= 0 && coveredAt <= deadline {
 		// Normal path: coverage reached before the timeout.
 		round.Latency = coveredAt
 		for i := 0; i <= usedUpTo; i++ {
-			usedWorkers[finishes[i].w] = true
+			used[finishes[i].w] = true
 			round.UsedRows[finishes[i].w] = finishes[i].rows
 		}
 		// Workers finishing later had their results ignored (conventional
@@ -255,7 +299,7 @@ func (c *CodedCluster) simulateRound(iter int, plan *sched.Plan, actual, predict
 		for _, f := range finishes {
 			if f.finish <= deadline {
 				completed[f.w] = true
-				usedWorkers[f.w] = true
+				used[f.w] = true
 				round.UsedRows[f.w] = f.rows
 			} else {
 				round.TimedOut = append(round.TimedOut, f.w)
@@ -352,22 +396,36 @@ func (c *CodedCluster) simulateRound(iter int, plan *sched.Plan, actual, predict
 		observed[f.w] = float64(f.rows*c.Enc.Cols) / ct / ElemRate
 	}
 
-	// Numeric execution and decode.
+	// Numeric execution and decode. Worker partials, the decode workspace
+	// (with its cached LU factorizations), and the result vector are all
+	// recycled across rounds.
 	if c.Numeric {
-		var partials []*coding.Partial
-		for w := range usedWorkers {
-			if plan.RowsFor(w) > 0 {
-				partials = append(partials, c.Enc.WorkerCompute(w, x, plan.Assignments[w]))
+		if c.scratch.partialBuf == nil {
+			c.scratch.partialBuf = make([]*coding.Partial, n)
+		}
+		partials := c.scratch.partials[:0]
+		for w := 0; w < n; w++ {
+			if used[w] && plan.RowsFor(w) > 0 {
+				c.scratch.partialBuf[w] = c.Enc.WorkerComputeInto(w, x, plan.Assignments[w], c.scratch.partialBuf[w])
+				partials = append(partials, c.scratch.partialBuf[w])
 			}
 		}
+		c.scratch.partials = partials
 		if round.Mispredicted {
 			// The timing pass reassigned coverage from timed-out workers to
 			// finished ones; mirror that here so the decode has coverage k.
 			partials = c.numericRecovery(partials, k, x)
 		}
-		dec, err := c.Enc.DecodeMatVec(partials)
+		if c.scratch.decodeWS == nil {
+			c.scratch.decodeWS = c.Enc.NewDecodeWorkspace()
+		}
+		c.scratch.result = kernel.Grow(c.scratch.result, c.Enc.OrigRows)
+		dec, err := c.Enc.DecodeMatVecInto(c.scratch.result, partials, c.scratch.decodeWS)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sim: iteration %d decode: %w", iter, err)
+		}
+		if !c.ReuseBuffers {
+			dec = append([]float64(nil), dec...)
 		}
 		round.Result = dec
 	}

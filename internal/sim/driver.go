@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
 	"github.com/coded-computing/s2c2/internal/predict"
 	"github.com/coded-computing/s2c2/internal/sched"
@@ -86,15 +87,26 @@ func RunIterative(w workloads.Iterative, cfg JobConfig) (*JobResult, error) {
 			Numeric:    cfg.Numeric,
 		}
 	}
+	// Each phase's cluster owns its round buffers: results are consumed
+	// within the iteration, so the clusters may recycle them.
+	for _, cl := range clusters {
+		cl.ReuseBuffers = true
+	}
 	res := &JobResult{Aggregate: &Aggregate{}, PerPhase: make([]*Aggregate, len(matrices))}
 	for p := range res.PerPhase {
 		res.PerPhase[p] = &Aggregate{}
 	}
 	state := w.Init()
+	// Per-phase buffers reused across iterations: the phase outputs and
+	// (in timing-only mode) the locally computed products.
+	outputs := make([][]float64, len(matrices))
+	local := make([][]float64, len(matrices))
+	var iterComputed, iterUsed []int
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		outputs := make([][]float64, len(matrices))
+		for p := range outputs {
+			outputs[p] = nil
+		}
 		iterLatency := 0.0
-		var iterComputed, iterUsed []int
 		mispred := false
 		reassigned := 0
 		bytes := 0.0
@@ -107,7 +119,9 @@ func RunIterative(w workloads.Iterative, cfg JobConfig) (*JobResult, error) {
 			if cfg.Numeric {
 				outputs[p] = round.Result
 			} else {
-				outputs[p] = mat.MatVec(matrices[p], in)
+				local[p] = kernel.Grow(local[p], matrices[p].Rows())
+				mat.MatVecInto(matrices[p], in, local[p])
+				outputs[p] = local[p]
 			}
 			iterLatency += round.Latency
 			if iterComputed == nil {
@@ -124,6 +138,10 @@ func RunIterative(w workloads.Iterative, cfg JobConfig) (*JobResult, error) {
 			res.PerPhase[p].AddRound(round)
 		}
 		res.Aggregate.addCommon(iterLatency, iterComputed, iterUsed, mispred, reassigned, bytes)
+		for i := range iterComputed {
+			iterComputed[i] = 0
+			iterUsed[i] = 0
+		}
 		var done bool
 		state, done = w.Update(state, outputs)
 		res.Iterations = iter + 1
@@ -131,6 +149,8 @@ func RunIterative(w workloads.Iterative, cfg JobConfig) (*JobResult, error) {
 			break
 		}
 	}
-	res.State = state
+	// Workloads may hand back state in reusable internal buffers; the
+	// result must outlive the job.
+	res.State = mat.CloneVec(state)
 	return res, nil
 }

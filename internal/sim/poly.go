@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
 	"github.com/coded-computing/s2c2/internal/predict"
 	"github.com/coded-computing/s2c2/internal/sched"
@@ -24,8 +25,23 @@ type PolyCluster struct {
 	Comm       CommModel
 	Timeout    TimeoutPolicy
 	Numeric    bool
+	// ReuseBuffers lets the cluster back Round.Result with per-cluster
+	// storage overwritten by the next RunIteration (see CodedCluster).
+	ReuseBuffers bool
 
 	history [][]float64
+
+	// Per-round scratch recycled across iterations (see clusterScratch).
+	predictBuf []float64
+	actualBuf  []float64
+	finishes   []workerFinish
+	cov        []int
+	used       []bool
+	observed   []float64
+	partialBuf []*coding.Partial
+	partials   []*coding.Partial
+	decodeWS   *coding.PolyDecodeWorkspace
+	result     *mat.Dense
 }
 
 // PolyRound reports one bilinear iteration.
@@ -40,10 +56,12 @@ type PolyRound struct {
 	BytesMoved     float64
 }
 
-// predictSpeeds mirrors CodedCluster.PredictSpeeds.
+// predictSpeeds mirrors CodedCluster.predictSpeedsInto, writing into the
+// cluster's reusable speed scratch.
 func (c *PolyCluster) predictSpeeds(iter int) []float64 {
 	n := c.Trace.NumWorkers()
-	speeds := make([]float64, n)
+	c.predictBuf = kernel.Grow(c.predictBuf, n)
+	speeds := c.predictBuf
 	if c.Forecaster == nil {
 		for w := 0; w < n; w++ {
 			speeds[w] = c.Trace.At(w, iter)
@@ -78,7 +96,8 @@ func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 		return nil, fmt.Errorf("sim: poly iteration %d: %w", iter, err)
 	}
 	threshold := c.Strategy.NeedK()
-	actual := make([]float64, n)
+	c.actualBuf = kernel.Grow(c.actualBuf, n)
+	actual := c.actualBuf
 	for w := 0; w < n; w++ {
 		actual[w] = c.Trace.At(w, iter)
 	}
@@ -96,7 +115,7 @@ func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 	// RowsM × BlockColsB multiply-accumulates.
 	rowWeight := float64(c.Enc.RowsM * c.Enc.BlockColsB)
 
-	var finishes []workerFinish
+	finishes := c.finishes[:0]
 	for w := 0; w < n; w++ {
 		rows := plan.RowsFor(w)
 		if rows == 0 {
@@ -106,12 +125,17 @@ func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 		ft := broadcast + computeElems(float64(rows)*rowWeight, actual[w]) + c.Comm.TransferTime(float64(8*rows*c.Enc.BlockColsB))
 		finishes = append(finishes, workerFinish{w: w, finish: ft, rows: rows})
 	}
+	c.finishes = finishes
 	if len(finishes) < threshold {
 		return nil, fmt.Errorf("sim: poly plan uses %d workers, need %d", len(finishes), threshold)
 	}
 	sort.Slice(finishes, func(i, j int) bool { return finishes[i].finish < finishes[j].finish })
 
-	cov := make([]int, blockRows)
+	cov := kernel.GrowInts(c.cov, blockRows)
+	for i := range cov {
+		cov[i] = 0
+	}
+	c.cov = cov
 	needed := blockRows
 	coveredAt := -1.0
 	usedUpTo := -1
@@ -156,7 +180,15 @@ func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 		deadline = finishes[threshold-1].finish
 	}
 
-	usedWorkers := map[int]bool{}
+	usedWorkers := c.used
+	if cap(usedWorkers) < n {
+		usedWorkers = make([]bool, n)
+	}
+	usedWorkers = usedWorkers[:n]
+	for i := range usedWorkers {
+		usedWorkers[i] = false
+	}
+	c.used = usedWorkers
 	if coveredAt >= 0 && coveredAt <= deadline {
 		round.Latency = coveredAt
 		for i := 0; i <= usedUpTo; i++ {
@@ -186,7 +218,10 @@ func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 			has   []bool
 		}
 		var helpers []helper
-		for w := range usedWorkers {
+		for w, u := range usedWorkers {
+			if !u {
+				continue
+			}
 			has := make([]bool, blockRows)
 			for _, rg := range plan.Assignments[w] {
 				for r := rg.Lo; r < rg.Hi; r++ {
@@ -195,7 +230,6 @@ func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 			}
 			helpers = append(helpers, helper{w: w, has: has})
 		}
-		sort.Slice(helpers, func(i, j int) bool { return helpers[i].w < helpers[j].w })
 		for r := 0; r < blockRows; r++ {
 			for cov[r] < threshold {
 				best := -1
@@ -239,7 +273,8 @@ func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 	}
 
 	// Observed speeds for the forecaster.
-	observed := make([]float64, n)
+	c.observed = kernel.GrowZeroed(c.observed, n)
+	observed := c.observed
 	for _, f := range finishes {
 		ct := f.finish - broadcast
 		if ct <= 0 {
@@ -263,18 +298,32 @@ func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 	}
 
 	if c.Numeric {
-		var partials []*coding.Partial
-		for w := range usedWorkers {
-			if plan.RowsFor(w) > 0 {
-				partials = append(partials, c.Enc.WorkerCompute(w, d, plan.Assignments[w]))
+		if c.partialBuf == nil {
+			c.partialBuf = make([]*coding.Partial, n)
+		}
+		partials := c.partials[:0]
+		for w := 0; w < n; w++ {
+			if usedWorkers[w] && plan.RowsFor(w) > 0 {
+				c.partialBuf[w] = c.Enc.WorkerComputeInto(w, d, plan.Assignments[w], c.partialBuf[w])
+				partials = append(partials, c.partialBuf[w])
 			}
 		}
+		c.partials = partials
 		if round.Mispredicted {
 			partials = c.numericRecovery(partials, threshold, d)
 		}
-		dec, err := c.Enc.Decode(partials)
+		if c.decodeWS == nil {
+			c.decodeWS = c.Enc.NewDecodeWorkspace()
+		}
+		if c.result == nil {
+			c.result = mat.New(c.Enc.ColsA, c.Enc.ColsB)
+		}
+		dec, err := c.Enc.DecodeInto(c.result, partials, c.decodeWS)
 		if err != nil {
 			return nil, fmt.Errorf("sim: poly iteration %d decode: %w", iter, err)
+		}
+		if !c.ReuseBuffers {
+			dec = dec.Clone()
 		}
 		round.Result = dec
 	}

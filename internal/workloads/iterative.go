@@ -28,22 +28,61 @@ type Iterative interface {
 
 // RunLocal executes an Iterative workload without any cluster — the
 // ground-truth oracle used by tests and by timing-only simulations.
+// Phase outputs are computed into per-phase buffers reused across
+// iterations; the returned state is a fresh copy.
 func RunLocal(w Iterative, maxIter int) ([]float64, int) {
 	ms := w.Matrices()
 	state := w.Init()
+	outputs := make([][]float64, len(ms))
+	iters := maxIter
 	for iter := 0; iter < maxIter; iter++ {
-		outputs := make([][]float64, len(ms))
 		for p := range ms {
 			in := w.PhaseInput(p, state, outputs[:p])
-			outputs[p] = mat.MatVec(ms[p], in)
+			if cap(outputs[p]) < ms[p].Rows() {
+				outputs[p] = make([]float64, ms[p].Rows())
+			}
+			outputs[p] = outputs[p][:ms[p].Rows()]
+			mat.MatVecInto(ms[p], in, outputs[p])
 		}
 		var done bool
 		state, done = w.Update(state, outputs)
 		if done {
-			return state, iter + 1
+			iters = iter + 1
+			break
 		}
 	}
-	return state, maxIter
+	return mat.CloneVec(state), iters
+}
+
+// stepBuffers is the reusable iterate storage of a gradient-style
+// workload: Update writes the next state into whichever of the two
+// buffers the current state does not occupy, so states ping-pong without
+// per-iteration allocation. PhaseInput scratch rides along.
+type stepBuffers struct {
+	a, b    []float64
+	phaseIn []float64
+}
+
+// next returns a buffer of length n guaranteed not to alias state.
+func (s *stepBuffers) next(state []float64, n int) []float64 {
+	if cap(s.a) < n {
+		s.a = make([]float64, n)
+	}
+	if cap(s.b) < n {
+		s.b = make([]float64, n)
+	}
+	if len(state) > 0 && len(s.a) > 0 && &s.a[0] == &state[0] {
+		return s.b[:n]
+	}
+	return s.a[:n]
+}
+
+// input returns the PhaseInput scratch buffer resized to n.
+func (s *stepBuffers) input(n int) []float64 {
+	if cap(s.phaseIn) < n {
+		s.phaseIn = make([]float64, n)
+	}
+	return s.phaseIn[:n]
 }
 
 // LogisticRegression is batch gradient descent for ℓ2-regularised
@@ -55,7 +94,8 @@ type LogisticRegression struct {
 	// norm that stops the descent.
 	LR, Lambda, Tol float64
 
-	xt *mat.Dense
+	xt  *mat.Dense
+	buf stepBuffers
 }
 
 // Name implements Iterative.
@@ -79,9 +119,9 @@ func (l *LogisticRegression) PhaseInput(p int, state []float64, outputs [][]floa
 	if p == 0 {
 		return state // X·w
 	}
-	// Phase 1 input: residual r_i = σ(z_i) − y01_i.
+	// Phase 1 input: residual r_i = σ(z_i) − y01_i, in reused scratch.
 	z := outputs[0]
-	r := make([]float64, len(z))
+	r := l.buf.input(len(z))
 	for i, zi := range z {
 		y01 := 0.0
 		if l.Data.Y[i] > 0 {
@@ -92,15 +132,16 @@ func (l *LogisticRegression) PhaseInput(p int, state []float64, outputs [][]floa
 	return r
 }
 
-// Update applies the gradient step.
+// Update applies the gradient step, writing the new iterate into
+// preallocated ping-pong state storage.
 func (l *LogisticRegression) Update(state []float64, outputs [][]float64) ([]float64, bool) {
 	grad := outputs[1]
 	m := float64(l.Data.X.Rows())
-	next := mat.CloneVec(state)
+	next := l.buf.next(state, len(state))
 	gn := 0.0
 	for j := range next {
 		g := grad[j]/m + l.Lambda*state[j]
-		next[j] -= l.LR * g
+		next[j] = state[j] - l.LR*g
 		gn += g * g
 	}
 	return next, math.Sqrt(gn) < l.Tol
@@ -145,7 +186,8 @@ type SVM struct {
 	Data            *Classification
 	LR, Lambda, Tol float64
 
-	xt *mat.Dense
+	xt  *mat.Dense
+	buf stepBuffers
 }
 
 // Name implements Iterative.
@@ -168,8 +210,9 @@ func (s *SVM) PhaseInput(p int, state []float64, outputs [][]float64) []float64 
 		return state
 	}
 	z := outputs[0]
-	r := make([]float64, len(z))
+	r := s.buf.input(len(z))
 	for i, zi := range z {
+		r[i] = 0
 		if s.Data.Y[i]*zi < 1 {
 			r[i] = -s.Data.Y[i] // hinge subgradient
 		}
@@ -177,15 +220,15 @@ func (s *SVM) PhaseInput(p int, state []float64, outputs [][]float64) []float64 
 	return r
 }
 
-// Update applies the subgradient step.
+// Update applies the subgradient step into ping-pong state storage.
 func (s *SVM) Update(state []float64, outputs [][]float64) ([]float64, bool) {
 	grad := outputs[1]
 	m := float64(s.Data.X.Rows())
-	next := mat.CloneVec(state)
+	next := s.buf.next(state, len(state))
 	gn := 0.0
 	for j := range next {
 		g := grad[j]/m + s.Lambda*state[j]
-		next[j] -= s.LR * g
+		next[j] = state[j] - s.LR*g
 		gn += g * g
 	}
 	return next, math.Sqrt(gn) < s.Tol
@@ -213,6 +256,8 @@ type PageRank struct {
 	Graph   *Graph
 	Damping float64
 	Tol     float64
+
+	buf stepBuffers
 }
 
 // Name implements Iterative.
@@ -234,11 +279,12 @@ func (p *PageRank) Init() []float64 {
 // PhaseInput implements Iterative.
 func (p *PageRank) PhaseInput(_ int, state []float64, _ [][]float64) []float64 { return state }
 
-// Update applies damping and checks the ℓ1 residual.
+// Update applies damping and checks the ℓ1 residual, writing the next
+// distribution into ping-pong state storage.
 func (p *PageRank) Update(state []float64, outputs [][]float64) ([]float64, bool) {
 	mx := outputs[0]
 	n := float64(p.Graph.Nodes)
-	next := make([]float64, len(mx))
+	next := p.buf.next(state, len(mx))
 	diff := 0.0
 	for i := range next {
 		next[i] = p.Damping*mx[i] + (1-p.Damping)/n
@@ -254,6 +300,7 @@ type GraphFilter struct {
 	Hops  int
 
 	done int
+	buf  stepBuffers
 }
 
 // Name implements Iterative.
@@ -272,10 +319,12 @@ func (g *GraphFilter) Init() []float64 {
 // PhaseInput implements Iterative.
 func (g *GraphFilter) PhaseInput(_ int, state []float64, _ [][]float64) []float64 { return state }
 
-// Update stops after Hops applications.
-func (g *GraphFilter) Update(_ []float64, outputs [][]float64) ([]float64, bool) {
+// Update stops after Hops applications. The filtered signal is written
+// into ping-pong state storage.
+func (g *GraphFilter) Update(state []float64, outputs [][]float64) ([]float64, bool) {
 	g.done++
-	out := mat.CloneVec(outputs[0])
+	out := g.buf.next(state, len(outputs[0]))
+	copy(out, outputs[0])
 	// Normalise to keep magnitudes bounded across hops.
 	if n := mat.NormInf(out); n > 0 {
 		mat.ScaleVec(1/n, out)

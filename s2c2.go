@@ -61,9 +61,29 @@ func NewDenseFromRows(rows [][]float64) *Dense { return mat.NewFromRows(rows) }
 // MatVec computes A·x.
 func MatVec(a *Dense, x []float64) []float64 { return mat.MatVec(a, x) }
 
-// ParallelMatVec computes A·x with a goroutine pool.
+// MatVecInto computes A·x into a caller slice (zero allocations).
+func MatVecInto(a *Dense, x, y []float64) { mat.MatVecInto(a, x, y) }
+
+// MatMul computes A·B with the cache-blocked kernel.
+func MatMul(a, b *Dense) *Dense { return mat.MatMul(a, b) }
+
+// MatMulInto computes A·B into a caller matrix.
+func MatMulInto(a, b, c *Dense) { mat.MatMulInto(a, b, c) }
+
+// ParallelMatVec computes A·x on the persistent worker pool; workers caps
+// the fan-out (<= 0 uses every pool worker).
 func ParallelMatVec(a *Dense, x []float64, workers int) []float64 {
 	return mat.ParallelMatVec(a, x, workers)
+}
+
+// ParallelMatVecInto is ParallelMatVec writing into a caller slice.
+func ParallelMatVecInto(a *Dense, x, y []float64, workers int) {
+	mat.ParallelMatVecInto(a, x, y, workers)
+}
+
+// ParallelMatMul computes A·B splitting row bands across the pool.
+func ParallelMatMul(a, b *Dense, workers int) *Dense {
+	return mat.ParallelMatMul(a, b, workers)
 }
 
 // Transpose returns Aᵀ.
@@ -85,6 +105,11 @@ type EncodedMatrix = coding.EncodedMatrix
 
 // NewMDSCode builds an (n,k) MDS code (any k of n partitions decode).
 func NewMDSCode(n, k int) (*MDSCode, error) { return coding.NewMDSCode(n, k) }
+
+// DecodeWorkspace holds reusable MDS decode state (cached factorizations,
+// index tables, scratch); pass one to EncodedMatrix.DecodeMatVecInto to
+// make steady-state decoding allocation-free.
+type DecodeWorkspace = coding.DecodeWorkspace
 
 // GFMDSCode is the bit-exact MDS code over GF(2³¹−1).
 type GFMDSCode = coding.GFMDSCode
