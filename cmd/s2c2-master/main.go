@@ -61,6 +61,7 @@ func run(listen string, n, k, iters, samples, feats int, timeoutFrac float64) er
 	if err != nil {
 		return err
 	}
+	code.SetExec(m.Exec()) // encode on the master's configured pool
 	encs := make([]*coding.EncodedMatrix, len(matrices))
 	strategies := make([]*sched.GeneralS2C2, len(matrices))
 	for p, mtx := range matrices {
@@ -84,7 +85,7 @@ func run(listen string, n, k, iters, samples, feats int, timeoutFrac float64) er
 		outputs := make([][]float64, len(matrices))
 		for p := range matrices {
 			in := lr.PhaseInput(p, state, outputs[:p])
-			plan, err := strategies[p].Plan(speeds)
+			plan, err := m.PlanRound(strategies[p], speeds)
 			if err != nil {
 				return err
 			}

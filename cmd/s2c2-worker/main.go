@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/rpc"
 )
 
@@ -22,6 +23,7 @@ func main() {
 		master   = flag.String("master", "127.0.0.1:7077", "master host:port")
 		slowdown = flag.Float64("slowdown", 1, "artificial slowdown factor (straggler emulation)")
 		perRow   = flag.Duration("per-row-delay", 0, "fixed extra cost per computed row")
+		maxFan   = flag.Int("max-fan", 0, "cap on kernel-pool fan-out per operation (0 = all cores; set when co-hosting workers)")
 	)
 	flag.Parse()
 
@@ -29,6 +31,7 @@ func main() {
 		MasterAddr:  *master,
 		Slowdown:    *slowdown,
 		PerRowDelay: *perRow,
+		Exec:        kernel.Exec{MaxFan: *maxFan},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s2c2-worker:", err)

@@ -86,86 +86,107 @@ type Partial struct {
 // NumRows returns how many partition rows the partial covers.
 func (p *Partial) NumRows() int { return TotalRows(p.Ranges) }
 
-// Validate checks internal consistency of the partial.
+// Validate checks internal consistency of the partial. It applies the
+// same checks rowTable.add runs when the partial enters a decode.
 func (p *Partial) Validate(blockRows int) error {
-	if p.RowWidth <= 0 {
-		return fmt.Errorf("coding: partial from worker %d has RowWidth %d", p.Worker, p.RowWidth)
+	return validatePartial(p.Worker, p.Ranges, len(p.Values), p.RowWidth, blockRows)
+}
+
+// validatePartial is the single validation rule shared by Partial.Validate
+// and rowTable.add: positive row width, in-bounds ranges, and a value
+// count matching rows × width.
+func validatePartial(worker int, ranges []Range, numValues, rowWidth, blockRows int) error {
+	if rowWidth <= 0 {
+		return fmt.Errorf("coding: partial from worker %d has RowWidth %d", worker, rowWidth)
 	}
-	for _, r := range p.Ranges {
+	rows := 0
+	for _, r := range ranges {
 		if r.Lo < 0 || r.Hi > blockRows || r.Lo > r.Hi {
-			return fmt.Errorf("coding: partial from worker %d has range [%d,%d) outside [0,%d)", p.Worker, r.Lo, r.Hi, blockRows)
+			return fmt.Errorf("coding: partial from worker %d has range [%d,%d) outside [0,%d)", worker, r.Lo, r.Hi, blockRows)
 		}
+		rows += r.Len()
 	}
-	if want := p.NumRows() * p.RowWidth; len(p.Values) != want {
-		return fmt.Errorf("coding: partial from worker %d has %d values, want %d", p.Worker, len(p.Values), want)
+	if want := rows * rowWidth; numValues != want {
+		return fmt.Errorf("coding: partial from worker %d has %d values, want %d", worker, numValues, want)
 	}
 	return nil
 }
 
-// rowTable indexes partial results row-by-row for a decode pass.
-// offsets[w][r] is the offset into values[w] for row r, or -1 when worker
-// w did not compute row r.
+// rowTable indexes partial results row-by-row for a decode pass, generic
+// over the value element (float64 for the MDS/polynomial codecs, gf.Elem
+// for the exact-field codec — one implementation of the trickiest reuse
+// logic instead of two). offsets[w][r] is the offset into values[w] for
+// row r, or -1 when worker w did not compute row r.
 //
-// A rowTable is reusable: build resets and repopulates it, retaining map
-// entries and per-worker slices across decode rounds so a steady-state
-// rebuild performs no allocation once every recurring worker has an entry.
-type rowTable struct {
+// A rowTable is reusable: reset clears it and add repopulates it,
+// retaining map entries and per-worker slices across decode rounds so a
+// steady-state rebuild performs no allocation once every recurring worker
+// has an entry.
+type rowTable[T any] struct {
 	blockRows int
 	rowWidth  int
 	offsets   map[int][]int
-	values    map[int][]float64
+	values    map[int][]T
 	order     []int // workers in arrival order
 }
 
-// build (re)populates the table from the partials. Storage from previous
-// builds is reused.
-func (t *rowTable) build(partials []*Partial, blockRows int) error {
+// reset prepares the table for a new decode round over partitions of
+// blockRows rows, keeping per-worker storage for reuse.
+func (t *rowTable[T]) reset(blockRows int) {
 	if t.offsets == nil {
-		t.offsets = make(map[int][]int, len(partials))
-		t.values = make(map[int][]float64, len(partials))
+		t.offsets = make(map[int][]int, 8)
+		t.values = make(map[int][]T, 8)
 	}
 	t.blockRows = blockRows
 	t.rowWidth = 0
 	t.order = t.order[:0]
-	for _, p := range partials {
-		if err := p.Validate(blockRows); err != nil {
-			return err
+}
+
+// add registers one partial result: the given worker computed values for
+// the rows in ranges, rowWidth values per row. Duplicate (worker, row)
+// entries are legal — the rpc reassignment path delivers a worker's
+// original ranges and its reassigned extras as separate partials, and a
+// slow worker's late duplicate of an already-covered row may follow. The
+// last registered offset wins, which is sound because every copy of a
+// (worker, row) value is the same deterministic kernel output.
+func (t *rowTable[T]) add(worker int, ranges []Range, values []T, rowWidth int) error {
+	if err := validatePartial(worker, ranges, len(values), rowWidth, t.blockRows); err != nil {
+		return err
+	}
+	if t.rowWidth == 0 {
+		t.rowWidth = rowWidth
+	} else if t.rowWidth != rowWidth {
+		return fmt.Errorf("coding: mixed row widths %d and %d", t.rowWidth, rowWidth)
+	}
+	off := t.offsets[worker]
+	seen := false
+	for _, w := range t.order {
+		if w == worker {
+			seen = true
+			break
 		}
-		if t.rowWidth == 0 {
-			t.rowWidth = p.RowWidth
-		} else if t.rowWidth != p.RowWidth {
-			return fmt.Errorf("coding: mixed row widths %d and %d", t.rowWidth, p.RowWidth)
+	}
+	if !seen {
+		if cap(off) < t.blockRows {
+			off = make([]int, t.blockRows)
 		}
-		off := t.offsets[p.Worker]
-		seen := false
-		for _, w := range t.order {
-			if w == p.Worker {
-				seen = true
-				break
-			}
+		off = off[:t.blockRows]
+		for i := range off {
+			off[i] = -1
 		}
-		if !seen {
-			if cap(off) < blockRows {
-				off = make([]int, blockRows)
-			}
-			off = off[:blockRows]
-			for i := range off {
-				off[i] = -1
-			}
-			t.offsets[p.Worker] = off
-			t.values[p.Worker] = t.values[p.Worker][:0]
-			t.order = append(t.order, p.Worker)
-		}
-		vals := t.values[p.Worker]
-		base := len(vals)
-		vals = append(vals, p.Values...)
-		t.values[p.Worker] = vals
-		at := base
-		for _, r := range p.Ranges {
-			for row := r.Lo; row < r.Hi; row++ {
-				off[row] = at
-				at += p.RowWidth
-			}
+		t.offsets[worker] = off
+		t.values[worker] = t.values[worker][:0]
+		t.order = append(t.order, worker)
+	}
+	vals := t.values[worker]
+	base := len(vals)
+	vals = append(vals, values...)
+	t.values[worker] = vals
+	at := base
+	for _, r := range ranges {
+		for row := r.Lo; row < r.Hi; row++ {
+			off[row] = at
+			at += rowWidth
 		}
 	}
 	return nil
@@ -173,7 +194,7 @@ func (t *rowTable) build(partials []*Partial, blockRows int) error {
 
 // appendWorkersForRow appends up to max workers (in arrival order) that
 // computed the given row onto dst, reusing its storage.
-func (t *rowTable) appendWorkersForRow(dst []int, row, max int) []int {
+func (t *rowTable[T]) appendWorkersForRow(dst []int, row, max int) []int {
 	dst = dst[:0]
 	for _, w := range t.order {
 		if t.offsets[w][row] >= 0 {
@@ -186,10 +207,22 @@ func (t *rowTable) appendWorkersForRow(dst []int, row, max int) []int {
 	return dst
 }
 
-// rowValue returns the RowWidth values worker w computed for row.
-func (t *rowTable) rowValue(w, row int) []float64 {
+// rowValue returns the rowWidth values worker w computed for row.
+func (t *rowTable[T]) rowValue(w, row int) []T {
 	off := t.offsets[w][row]
 	return t.values[w][off : off+t.rowWidth]
+}
+
+// buildPartials populates the table from float64 partials, the shared
+// entry point of the MDS and polynomial decode paths.
+func buildPartials(t *rowTable[float64], partials []*Partial, blockRows int) error {
+	t.reset(blockRows)
+	for _, p := range partials {
+		if err := t.add(p.Worker, p.Ranges, p.Values, p.RowWidth); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // maxCachedSets bounds every per-workspace decode-system cache. Worker

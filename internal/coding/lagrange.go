@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/kernel"
 )
 
 // LagrangeCode implements Lagrange Coded Computing (Yu et al.,
@@ -28,6 +29,7 @@ type LagrangeCode struct {
 	k, n   int
 	betas  []gf.Elem
 	alphas []gf.Elem
+	exec   kernel.Exec
 }
 
 // NewLagrangeCode builds a code with n workers over k data blocks.
@@ -46,6 +48,10 @@ func NewLagrangeCode(n, k int) (*LagrangeCode, error) {
 	}
 	return &LagrangeCode{k: k, n: n, betas: betas, alphas: alphas}, nil
 }
+
+// SetExec pins the code's parallel encode loops to the given pool and
+// fan-out; the zero Exec uses the shared kernel pool with full fan-out.
+func (c *LagrangeCode) SetExec(e kernel.Exec) { c.exec = e }
 
 // K returns the number of data blocks.
 func (c *LagrangeCode) K() int { return c.k }
@@ -84,26 +90,37 @@ func (c *LagrangeCode) Encode(blocks [][]gf.Elem) ([][]gf.Elem, error) {
 		}
 	}
 	shares := make([][]gf.Elem, c.n)
+	coeffs := make([][]gf.Elem, c.n)
 	for i := 0; i < c.n; i++ {
 		// Systematic fast path: α_i == β_i for i < k.
 		if i < c.k {
 			shares[i] = append([]gf.Elem(nil), blocks[i]...)
 			continue
 		}
-		// ℓ_j(α_i) coefficients.
-		coeffs := lagrangeBasisAt(c.betas, c.alphas[i])
-		share := make([]gf.Elem, size)
-		for j, b := range blocks {
-			cj := coeffs[j]
-			if cj == 0 {
-				continue
-			}
-			for e, v := range b {
-				share[e] = gf.Add(share[e], gf.Mul(cj, v))
+		// ℓ_j(α_i) coefficients, computed up front so the element sweep
+		// below can split freely across the pool.
+		coeffs[i] = lagrangeBasisAt(c.betas, c.alphas[i])
+		shares[i] = make([]gf.Elem, size)
+	}
+	if c.n == c.k {
+		return shares, nil // fully systematic: nothing left to mix
+	}
+	// Band-split the parity mixing over the element dimension: each
+	// participant owns elements [lo, hi) of every non-systematic share.
+	c.exec.For(size, encodeChunk(c.n-c.k, c.k, 1), func(lo, hi int) {
+		for i := c.k; i < c.n; i++ {
+			share := shares[i]
+			for j, b := range blocks {
+				cj := coeffs[i][j]
+				if cj == 0 {
+					continue
+				}
+				for e := lo; e < hi; e++ {
+					share[e] = gf.Add(share[e], gf.Mul(cj, b[e]))
+				}
 			}
 		}
-		shares[i] = share
-	}
+	})
 	return shares, nil
 }
 

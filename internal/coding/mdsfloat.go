@@ -26,6 +26,7 @@ var ErrInsufficient = errors.New("coding: insufficient results to decode")
 type MDSCode struct {
 	n, k int
 	gen  *mat.Dense // n×k generator
+	exec kernel.Exec
 }
 
 // NewMDSCode builds an (n,k) code. Requires 1 <= k <= n.
@@ -50,6 +51,12 @@ func NewMDSCode(n, k int) (*MDSCode, error) {
 	}
 	return &MDSCode{n: n, k: k, gen: gen}, nil
 }
+
+// SetExec pins the code's parallel loops (encoding, today) to the given
+// pool and fan-out. The zero Exec — the default — uses the shared kernel
+// pool with full fan-out; co-tenant clusters in one process should give
+// each code its own pool or a bounded MaxFan.
+func (c *MDSCode) SetExec(e kernel.Exec) { c.exec = e }
 
 // N returns the number of coded partitions.
 func (c *MDSCode) N() int { return c.n }
@@ -111,19 +118,37 @@ func (c *MDSCode) EncodeInto(a *mat.Dense, dst *EncodedMatrix) *EncodedMatrix {
 		kernel.Zero(data[a.Rows()*cols:])
 		padded = dst.pad
 	}
-	for i := 0; i < c.n; i++ {
-		p := dst.Parts[i]
-		p.Fill(0)
-		row := c.gen.Row(i)
-		for j, g := range row {
-			if g != 0 {
-				// Data blocks are views into the padded matrix: encoding
-				// reads them in place, no per-block copies.
-				p.AddScaled(g, padded.RowSlice(j*blockRows, (j+1)*blockRows))
+	// Band-split the axpy sweeps across the pool: each participant owns a
+	// disjoint row band [lo, hi) of every partition, so no two goroutines
+	// ever write the same destination rows. Data blocks are row bands of
+	// the padded matrix read in place — no per-block copies.
+	src := padded.Data()
+	c.exec.For(blockRows, encodeChunk(c.n, c.k, cols), func(lo, hi int) {
+		for i := 0; i < c.n; i++ {
+			band := dst.Parts[i].Data()[lo*cols : hi*cols]
+			kernel.Zero(band)
+			for j, g := range c.gen.Row(i) {
+				if g != 0 {
+					kernel.Axpy(g, src[(j*blockRows+lo)*cols:(j*blockRows+hi)*cols], band)
+				}
 			}
 		}
-	}
+	})
 	return dst
+}
+
+// encodeChunk sizes encode bands so each chunk is a cache-friendly amount
+// of axpy work (~16k flops) across all n partitions and k blocks.
+func encodeChunk(n, k, cols int) int {
+	rowCost := 2 * n * k * cols
+	if rowCost < 1 {
+		rowCost = 1
+	}
+	chunk := 16 * 1024 / rowCost
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
 }
 
 // WorkerCompute runs the coded mat-vec kernel a worker executes: the rows
@@ -165,7 +190,7 @@ type decodeSet struct {
 // and solve scratch. A workspace belongs to one EncodedMatrix and must not
 // be shared between concurrent decodes.
 type DecodeWorkspace struct {
-	table   rowTable
+	table   rowTable[float64]
 	sets    []*decodeSet
 	workers []int
 	b, z    []float64
@@ -247,7 +272,7 @@ func (e *EncodedMatrix) DecodeMatVecInto(dst []float64, partials []*Partial, ws 
 		ws = e.NewDecodeWorkspace()
 	}
 	k := e.Code.k
-	if err := ws.table.build(partials, e.BlockRows); err != nil {
+	if err := buildPartials(&ws.table, partials, e.BlockRows); err != nil {
 		return nil, err
 	}
 	if ws.table.rowWidth != 0 && ws.table.rowWidth != 1 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/kernel"
 )
 
 // GFMDSCode is the exact (n,k) MDS code over GF(2³¹−1). Its generator is a
@@ -13,6 +14,7 @@ import (
 type GFMDSCode struct {
 	n, k int
 	gen  *gf.Matrix // n×k Vandermonde
+	exec kernel.Exec
 }
 
 // NewGFMDSCode builds an exact (n,k) code.
@@ -26,6 +28,10 @@ func NewGFMDSCode(n, k int) (*GFMDSCode, error) {
 	}
 	return &GFMDSCode{n: n, k: k, gen: gf.Vandermonde(xs, k)}, nil
 }
+
+// SetExec pins the code's parallel encode loops to the given pool and
+// fan-out; the zero Exec uses the shared kernel pool with full fan-out.
+func (c *GFMDSCode) SetExec(e kernel.Exec) { c.exec = e }
 
 // N returns the number of coded partitions.
 func (c *GFMDSCode) N() int { return c.n }
@@ -64,21 +70,27 @@ func (c *GFMDSCode) Encode(rows, cols int, data []gf.Elem) (*GFEncodedMatrix, er
 	}
 	parts := make([]*gf.Matrix, c.n)
 	for i := 0; i < c.n; i++ {
-		p := gf.NewMatrix(blockRows, cols)
-		for j := 0; j < c.k; j++ {
-			g := c.gen.At(i, j)
-			if g == 0 {
-				continue
-			}
-			for r := 0; r < blockRows; r++ {
-				prow, brow := p.Row(r), blocks[j].Row(r)
-				for q := range prow {
-					prow[q] = gf.Add(prow[q], gf.Mul(g, brow[q]))
+		parts[i] = gf.NewMatrix(blockRows, cols)
+	}
+	// Band-split the field mixing across the pool: each participant owns
+	// rows [lo, hi) of every partition.
+	c.exec.For(blockRows, encodeChunk(c.n, c.k, cols), func(lo, hi int) {
+		for i := 0; i < c.n; i++ {
+			p := parts[i]
+			for j := 0; j < c.k; j++ {
+				g := c.gen.At(i, j)
+				if g == 0 {
+					continue
+				}
+				for r := lo; r < hi; r++ {
+					prow, brow := p.Row(r), blocks[j].Row(r)
+					for q := range prow {
+						prow[q] = gf.Add(prow[q], gf.Mul(g, brow[q]))
+					}
 				}
 			}
 		}
-		parts[i] = p
-	}
+	})
 	return &GFEncodedMatrix{Code: c, OrigRows: rows, Cols: cols, BlockRows: blockRows, Parts: parts}, nil
 }
 
@@ -117,12 +129,10 @@ type gfInvSet struct {
 }
 
 // GFDecodeWorkspace holds reusable decode state for one GFEncodedMatrix:
-// the per-worker row index, cached inverted systems, and solve scratch.
-// Not safe for concurrent decodes.
+// the per-worker row index (the shared generic rowTable), cached inverted
+// systems, and solve scratch. Not safe for concurrent decodes.
 type GFDecodeWorkspace struct {
-	offsets map[int][]int
-	values  map[int][]gf.Elem
-	order   []int
+	table   rowTable[gf.Elem]
 	sets    []*gfInvSet
 	workers []int
 	b, z    []gf.Elem
@@ -133,8 +143,6 @@ type GFDecodeWorkspace struct {
 func (e *GFEncodedMatrix) NewDecodeWorkspace() *GFDecodeWorkspace {
 	k := e.Code.k
 	return &GFDecodeWorkspace{
-		offsets: map[int][]int{},
-		values:  map[int][]gf.Elem{},
 		workers: make([]int, 0, k),
 		b:       make([]gf.Elem, k),
 		z:       make([]gf.Elem, k),
@@ -159,42 +167,12 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 		ws = e.NewDecodeWorkspace()
 	}
 	k := e.Code.k
-	// Index rows, reusing per-worker slices from previous rounds.
-	ws.order = ws.order[:0]
+	// Index rows via the shared generic rowTable, reusing per-worker
+	// slices from previous rounds.
+	ws.table.reset(e.BlockRows)
 	for _, p := range partials {
-		seen := false
-		for _, w := range ws.order {
-			if w == p.Worker {
-				seen = true
-				break
-			}
-		}
-		off := ws.offsets[p.Worker]
-		if !seen {
-			if cap(off) < e.BlockRows {
-				off = make([]int, e.BlockRows)
-			}
-			off = off[:e.BlockRows]
-			for i := range off {
-				off[i] = -1
-			}
-			ws.offsets[p.Worker] = off
-			ws.values[p.Worker] = ws.values[p.Worker][:0]
-			ws.order = append(ws.order, p.Worker)
-		}
-		vals := ws.values[p.Worker]
-		base := len(vals)
-		vals = append(vals, p.Values...)
-		ws.values[p.Worker] = vals
-		at := base
-		for _, r := range p.Ranges {
-			for row := r.Lo; row < r.Hi; row++ {
-				if row < 0 || row >= e.BlockRows {
-					return nil, fmt.Errorf("coding: row %d outside partition", row)
-				}
-				off[row] = at
-				at++
-			}
+		if err := ws.table.add(p.Worker, p.Ranges, p.Values, 1); err != nil {
+			return nil, err
 		}
 	}
 	if cap(ws.out) < e.BlockRows*k {
@@ -203,15 +181,7 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 	ws.out = ws.out[:e.BlockRows*k]
 	var cur *gfInvSet
 	for row := 0; row < e.BlockRows; row++ {
-		ws.workers = ws.workers[:0]
-		for _, w := range ws.order {
-			if ws.offsets[w][row] >= 0 {
-				ws.workers = append(ws.workers, w)
-				if len(ws.workers) == k {
-					break
-				}
-			}
-		}
+		ws.workers = ws.table.appendWorkersForRow(ws.workers, row, k)
 		if len(ws.workers) < k {
 			return nil, fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(ws.workers), k)
 		}
@@ -241,7 +211,7 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 			}
 		}
 		for i, w := range ws.workers {
-			ws.b[i] = ws.values[w][ws.offsets[w][row]]
+			ws.b[i] = ws.table.rowValue(w, row)[0]
 		}
 		cur.inv.MulVecInto(ws.z, ws.b)
 		for j := 0; j < k; j++ {

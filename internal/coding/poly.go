@@ -27,6 +27,7 @@ import (
 type PolyCode struct {
 	a, b, n int
 	alphas  []float64
+	exec    kernel.Exec
 }
 
 // NewPolyCode builds a polynomial code with n workers and an a×b block
@@ -42,6 +43,10 @@ func NewPolyCode(n, a, b int) (*PolyCode, error) {
 	}
 	return &PolyCode{a: a, b: b, n: n, alphas: alphas}, nil
 }
+
+// SetExec pins the code's parallel encode loops to the given pool and
+// fan-out; the zero Exec uses the shared kernel pool with full fan-out.
+func (c *PolyCode) SetExec(e kernel.Exec) { c.exec = e }
 
 // N returns the number of workers the code targets.
 func (c *PolyCode) N() int { return c.n }
@@ -82,22 +87,30 @@ func (c *PolyCode) EncodeBilinear(a, b *mat.Dense) (*EncodedBilinear, error) {
 		PartsB:     make([]*mat.Dense, c.n),
 	}
 	for i := 0; i < c.n; i++ {
-		pa := mat.New(a.Rows(), e.BlockColsA)
-		coeff := 1.0
-		for j := 0; j < c.a; j++ {
-			pa.AddScaled(coeff, blocksA[j])
-			coeff *= c.alphas[i]
-		}
-		pb := mat.New(b.Rows(), e.BlockColsB)
-		alphaToA := math.Pow(c.alphas[i], float64(c.a))
-		coeff = 1.0
-		for l := 0; l < c.b; l++ {
-			pb.AddScaled(coeff, blocksB[l])
-			coeff *= alphaToA
-		}
-		e.PartsA[i] = pa
-		e.PartsB[i] = pb
+		e.PartsA[i] = mat.New(a.Rows(), e.BlockColsA)
+		e.PartsB[i] = mat.New(b.Rows(), e.BlockColsB)
 	}
+	// Band-split the encode over the shared row dimension: a participant
+	// owns rows [lo, hi) of every encoded partition, A-side and B-side.
+	rows := a.Rows()
+	bcA, bcB := e.BlockColsA, e.BlockColsB
+	c.exec.For(rows, encodeChunk(c.n, c.a+c.b, bcA+bcB), func(lo, hi int) {
+		for i := 0; i < c.n; i++ {
+			pa := e.PartsA[i].Data()[lo*bcA : hi*bcA]
+			coeff := 1.0
+			for j := 0; j < c.a; j++ {
+				kernel.Axpy(coeff, blocksA[j].Data()[lo*bcA:hi*bcA], pa)
+				coeff *= c.alphas[i]
+			}
+			pb := e.PartsB[i].Data()[lo*bcB : hi*bcB]
+			alphaToA := math.Pow(c.alphas[i], float64(c.a))
+			coeff = 1.0
+			for l := 0; l < c.b; l++ {
+				kernel.Axpy(coeff, blocksB[l].Data()[lo*bcB:hi*bcB], pb)
+				coeff *= alphaToA
+			}
+		}
+	})
 	return e, nil
 }
 
@@ -144,9 +157,10 @@ type polyInvSet struct {
 // the row-index table, cached Vandermonde inverses, and scratch. Not safe
 // for concurrent decodes.
 type PolyDecodeWorkspace struct {
-	table   rowTable
+	table   rowTable[float64]
 	sets    []*polyInvSet
 	workers []int
+	segs    []rowSegment
 }
 
 // NewDecodeWorkspace returns an empty decode workspace for e.
@@ -171,7 +185,7 @@ func (e *EncodedBilinear) DecodeInto(dst *mat.Dense, partials []*Partial, ws *Po
 	if ws == nil {
 		ws = e.NewDecodeWorkspace()
 	}
-	if err := ws.table.build(partials, e.BlockColsA); err != nil {
+	if err := buildPartials(&ws.table, partials, e.BlockColsA); err != nil {
 		return nil, err
 	}
 	if ws.table.rowWidth != 0 && ws.table.rowWidth != e.BlockColsB {
@@ -186,46 +200,92 @@ func (e *EncodedBilinear) DecodeInto(dst *mat.Dense, partials []*Partial, ws *Po
 		}
 		out.Fill(0)
 	}
+	// Segment the rows into maximal runs sharing one worker set, then
+	// scatter coefficients block-wise: for a fixed (coefficient, worker)
+	// pair the inner loop streams the worker's stored values sequentially
+	// and writes consecutive output rows, instead of the cache-hostile
+	// row-at-a-time interleaving of all workers.
+	if err := e.segmentRows(ws, ab); err != nil {
+		return nil, err
+	}
 	table := &ws.table
-	for row := 0; row < e.BlockColsA; row++ {
-		ws.workers = table.appendWorkersForRow(ws.workers, row, ab)
-		workers := ws.workers
-		if len(workers) < ab {
-			return nil, fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(workers), ab)
-		}
-		sortInts(workers) // canonical order: cache key ignores arrival order
-		inv, err := e.interpInverse(ws, workers)
+	for si := range ws.segs {
+		seg := &ws.segs[si]
+		inv, err := e.interpInverse(ws, seg.set)
 		if err != nil {
 			return nil, err
 		}
-		// coeffs[e] = Σ_i inv[e][i] · rowvals_i, one BlockColsB-wide vector
-		// per polynomial coefficient e = j + a·l.
+		// coeffs[exp] = Σ_i inv[exp][i] · rowvals_i, one BlockColsB-wide
+		// vector per polynomial coefficient exp = j + a·l.
 		for exp := 0; exp < ab; exp++ {
 			j := exp % c.a
 			l := exp / c.a
-			globalRow := j*e.BlockColsA + row
-			if globalRow >= e.ColsA {
-				continue // padding column of A
+			// Rows whose global output row j·BlockColsA+row falls into A's
+			// padding decode to nothing; clip once per (segment, exp).
+			rowHi := e.ColsA - j*e.BlockColsA
+			if rowHi > seg.hi {
+				rowHi = seg.hi
+			}
+			if rowHi <= seg.lo {
+				continue
 			}
 			dstBase := l * e.BlockColsB
-			dst := out.Row(globalRow)
-			for i, w := range workers {
+			width := e.ColsB - dstBase // clip B's padding columns
+			if width > e.BlockColsB {
+				width = e.BlockColsB
+			}
+			if width <= 0 {
+				continue
+			}
+			for i, w := range seg.set {
 				f := inv.At(exp, i)
 				if f == 0 {
 					continue
 				}
-				src := table.rowValue(w, row)
-				for q, v := range src {
-					gc := dstBase + q
-					if gc >= e.ColsB {
-						break // padding column of B
-					}
-					dst[gc] += f * v
+				offs := table.offsets[w]
+				vals := table.values[w]
+				for row := seg.lo; row < rowHi; row++ {
+					src := vals[offs[row] : offs[row]+width]
+					kernel.Axpy(f, src, out.Row(j*e.BlockColsA + row)[dstBase:dstBase+width])
 				}
 			}
 		}
 	}
 	return out, nil
+}
+
+// rowSegment is a maximal run of partition rows [lo, hi) decoded by one
+// canonical worker set; set storage is recycled across rounds.
+type rowSegment struct {
+	lo, hi int
+	set    []int
+}
+
+// segmentRows groups the rows of the decode into per-worker-set segments,
+// writing them into ws.segs (storage reused across rounds).
+func (e *EncodedBilinear) segmentRows(ws *PolyDecodeWorkspace, ab int) error {
+	segs := ws.segs[:0]
+	for row := 0; row < e.BlockColsA; row++ {
+		ws.workers = ws.table.appendWorkersForRow(ws.workers, row, ab)
+		if len(ws.workers) < ab {
+			return fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(ws.workers), ab)
+		}
+		sortInts(ws.workers) // canonical order: cache key ignores arrival order
+		if n := len(segs); n > 0 && segs[n-1].hi == row && sameWorkers(segs[n-1].set, ws.workers) {
+			segs[n-1].hi = row + 1
+			continue
+		}
+		if len(segs) < cap(segs) {
+			segs = segs[:len(segs)+1]
+		} else {
+			segs = append(segs, rowSegment{})
+		}
+		s := &segs[len(segs)-1]
+		s.lo, s.hi = row, row+1
+		s.set = append(s.set[:0], ws.workers...)
+	}
+	ws.segs = segs
+	return nil
 }
 
 // interpInverse returns the inverse of the a·b × a·b Vandermonde system for

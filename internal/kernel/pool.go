@@ -253,13 +253,20 @@ func (p *Pool) MatMul(dst, a []float64, m, k int, b []float64, n int, maxFan int
 // For runs fn over [0, total) in parallel chunks of at least minChunk rows.
 // The closure may allocate; use the typed operations on hot paths.
 func (p *Pool) For(total, minChunk int, fn func(lo, hi int)) {
+	p.ForMax(total, minChunk, 0, fn)
+}
+
+// ForMax is For with the fan-out capped at maxFan participants (<= 0 uses
+// every pool worker). A fan of one runs fn(0, total) on the caller.
+func (p *Pool) ForMax(total, minChunk, maxFan int, fn func(lo, hi int)) {
 	if total <= 0 {
 		return
 	}
 	if minChunk < 1 {
 		minChunk = 1
 	}
-	if p.workers == 1 || total <= minChunk {
+	fan := p.clampFan(maxFan)
+	if fan == 1 || total <= minChunk {
 		fn(0, total)
 		return
 	}
@@ -268,8 +275,8 @@ func (p *Pool) For(total, minChunk int, fn func(lo, hi int)) {
 	j.fn = fn
 	j.total = total
 	j.chunk = minChunk
-	if balanced := total / (4 * p.workers); balanced > minChunk {
+	if balanced := total / (4 * fan); balanced > minChunk {
 		j.chunk = balanced
 	}
-	p.dispatch(j, p.workers)
+	p.dispatch(j, fan)
 }

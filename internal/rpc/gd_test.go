@@ -46,7 +46,7 @@ func TestTCPGradientDescentEndToEnd(t *testing.T) {
 		outputs := make([][]float64, len(matrices))
 		for p := range matrices {
 			in := lr.PhaseInput(p, state, outputs[:p])
-			plan, err := strategies[p].Plan(speeds)
+			plan, err := m.PlanRound(strategies[p], speeds)
 			if err != nil {
 				t.Fatal(err)
 			}

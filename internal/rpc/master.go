@@ -3,36 +3,68 @@ package rpc
 import (
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/sched"
 )
+
+// MasterConfig configures a master.
+type MasterConfig struct {
+	// Addr is the listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Exec pins the master's compute (and, via Exec(), the codecs a
+	// driver wires to this master) to a pool and fan-out, so co-tenant
+	// masters in one process stop contending for the shared
+	// GOMAXPROCS-sized default pool. The zero value uses the default.
+	Exec kernel.Exec
+	// ReuseRound lets RunRound return partials and stats backed by a
+	// per-master workspace that the NEXT RunRound overwrites. Drivers
+	// that decode each round before starting the next (every iterative
+	// workload) set it to make the steady-state gather path
+	// allocation-free; leave it false if round results must outlive the
+	// following round.
+	ReuseRound bool
+}
 
 // Master coordinates a real TCP cluster: it accepts worker connections,
 // pushes coded partitions, runs assignment rounds, and decodes results.
 type Master struct {
+	cfg     MasterConfig
 	ln      net.Listener
-	workers []*conn
 	results chan *Result
 	errs    chan error
+	quit    chan struct{}
 
 	mu        sync.Mutex
+	workers   []*conn
+	closing   bool
 	blockRows map[int]int // phase → partition rows
+
+	wg      sync.WaitGroup // readLoops
+	round   roundWorkspace
+	planBuf sched.PlanBuffer
 }
 
-// NewMaster listens on addr (e.g. "127.0.0.1:0").
+// NewMaster listens on addr (e.g. "127.0.0.1:0") with a default config.
 func NewMaster(addr string) (*Master, error) {
-	ln, err := net.Listen("tcp", addr)
+	return NewMasterWithConfig(MasterConfig{Addr: addr})
+}
+
+// NewMasterWithConfig listens according to cfg.
+func NewMasterWithConfig(cfg MasterConfig) (*Master, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listen: %w", err)
 	}
 	return &Master{
+		cfg:       cfg,
 		ln:        ln,
 		results:   make(chan *Result, 1024),
 		errs:      make(chan error, 16),
+		quit:      make(chan struct{}),
 		blockRows: map[int]int{},
 	}, nil
 }
@@ -40,19 +72,27 @@ func NewMaster(addr string) (*Master, error) {
 // Addr returns the listen address workers should dial.
 func (m *Master) Addr() string { return m.ln.Addr().String() }
 
-// WaitForWorkers accepts exactly n worker connections (assigning worker
-// IDs in connection order) within the deadline.
+// Exec returns the execution resources this master was configured with;
+// drivers pass it to the codecs they pair with the master (SetExec) so
+// one process can host several masters without pool contention.
+func (m *Master) Exec() kernel.Exec { return m.cfg.Exec }
+
+// WaitForWorkers accepts worker connections (assigning worker IDs in
+// connection order) until n are connected or the deadline expires. The
+// listener's accept deadline is cleared again on every return path, so a
+// later call — e.g. retrying after a timeout, or growing the cluster —
+// starts fresh instead of failing on a stale deadline.
 func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for len(m.workers) < n {
-		if tl, ok := m.ln.(*net.TCPListener); ok {
-			if err := tl.SetDeadline(deadline); err != nil {
-				return err
-			}
+	if tl, ok := m.ln.(*net.TCPListener); ok {
+		if err := tl.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return err
 		}
+		defer tl.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
+	}
+	for m.NumWorkers() < n {
 		c, err := m.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("rpc: accept (have %d/%d workers): %w", len(m.workers), n, err)
+			return fmt.Errorf("rpc: accept (have %d/%d workers): %w", m.NumWorkers(), n, err)
 		}
 		wc := newConn(c)
 		env, err := wc.recv()
@@ -60,18 +100,26 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 			wc.close()
 			return fmt.Errorf("rpc: bad hello from %s: %v", c.RemoteAddr(), err)
 		}
+		m.mu.Lock()
 		id := len(m.workers)
 		m.workers = append(m.workers, wc)
+		m.mu.Unlock()
+		m.wg.Add(1)
 		go m.readLoop(id, wc)
 	}
 	return nil
 }
 
-// readLoop pumps one worker's results into the shared channel.
+// readLoop pumps one worker's results into the shared channel until the
+// connection drops or the master shuts down.
 func (m *Master) readLoop(id int, wc *conn) {
+	defer m.wg.Done()
 	for {
 		env, err := wc.recv()
 		if err != nil {
+			if m.isClosing() {
+				return // orderly shutdown: the close raced the read, by design
+			}
 			select {
 			case m.errs <- fmt.Errorf("rpc: worker %d: %w", id, err):
 			default:
@@ -80,23 +128,48 @@ func (m *Master) readLoop(id int, wc *conn) {
 		}
 		if env.Kind == KindResult && env.Result != nil {
 			env.Result.Worker = id
-			m.results <- env.Result
+			select {
+			case m.results <- env.Result:
+			case <-m.quit:
+				return
+			}
 		}
 	}
 }
 
+func (m *Master) isClosing() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closing
+}
+
 // NumWorkers returns the connected worker count.
-func (m *Master) NumWorkers() int { return len(m.workers) }
+func (m *Master) NumWorkers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.workers)
+}
+
+// conns returns the current worker connections. The slice is append-only
+// (WaitForWorkers only ever appends under the lock), so callers may
+// iterate the length captured here but must not assume later growth is
+// invisible.
+func (m *Master) conns() []*conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workers
+}
 
 // DistributePartitions ships phase p's coded partitions (partition w to
 // worker w). This is the one-time setup cost of coded computing.
 func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
-	if len(enc.Parts) != len(m.workers) {
-		return fmt.Errorf("rpc: %d partitions for %d workers", len(enc.Parts), len(m.workers))
+	workers := m.conns()
+	if len(enc.Parts) != len(workers) {
+		return fmt.Errorf("rpc: %d partitions for %d workers", len(enc.Parts), len(workers))
 	}
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(m.workers))
-	for w, wc := range m.workers {
+	errCh := make(chan error, len(workers))
+	for w, wc := range workers {
 		wg.Add(1)
 		go func(w int, wc *conn) {
 			defer wg.Done()
@@ -133,12 +206,150 @@ type RoundStats struct {
 	TimedOut []int
 }
 
+// roundWorkspace is the master's reusable per-round gather state:
+// coverage counters, a per-(worker,row) delivery bitmap that makes
+// duplicate deliveries idempotent, the partial structs handed to the
+// decoder, response bookkeeping, and reassignment scratch. One warm
+// workspace makes the steady-state gather path allocation-free (the gob
+// layer's own decode allocations are the network's cost, not the
+// round's).
+type roundWorkspace struct {
+	stats RoundStats
+
+	n, k, blockRows int
+	needed          int // rows still below coverage k
+	nResponded      int
+
+	cov        []int  // per-row coverage by distinct workers
+	coveredBy  []bool // n×blockRows: worker w delivered (or was assigned) row r
+	partialSeq []coding.Partial
+	nPartials  int
+	partials   []*coding.Partial
+	responded  []bool
+	respTimes  []time.Duration
+
+	// Reassignment scratch, grown lazily on the first timeout.
+	extraMark   []bool // n×blockRows: row r reassigned to worker w this round
+	extraRows   []int
+	extraRanges [][]coding.Range
+}
+
+// begin resets the workspace for a round of n workers over blockRows-row
+// partitions with decode threshold k.
+func (ws *roundWorkspace) begin(n, blockRows, k int) {
+	ws.n, ws.k, ws.blockRows = n, k, blockRows
+	ws.needed = blockRows
+	ws.nResponded = 0
+	ws.nPartials = 0
+
+	if cap(ws.stats.ResponseTime) < n {
+		ws.stats.ResponseTime = make([]time.Duration, n)
+	}
+	ws.stats.ResponseTime = ws.stats.ResponseTime[:n]
+	for i := range ws.stats.ResponseTime {
+		ws.stats.ResponseTime[i] = 0
+	}
+	ws.stats.AssignedRows = kernel.GrowInts(ws.stats.AssignedRows, n)
+	for i := range ws.stats.AssignedRows {
+		ws.stats.AssignedRows[i] = 0
+	}
+	ws.stats.Reassigned = 0
+	ws.stats.TimedOut = ws.stats.TimedOut[:0]
+
+	ws.cov = kernel.GrowInts(ws.cov, blockRows)
+	for i := range ws.cov {
+		ws.cov[i] = 0
+	}
+	if cap(ws.coveredBy) < n*blockRows {
+		ws.coveredBy = make([]bool, n*blockRows)
+	}
+	ws.coveredBy = ws.coveredBy[:n*blockRows]
+	for i := range ws.coveredBy {
+		ws.coveredBy[i] = false
+	}
+	// Each worker sends at most one result per Work message, and a round
+	// sends at most one original plus one reassignment message per
+	// worker, so 2n partial structs cover any round; a misbehaving
+	// worker's surplus falls back to allocation.
+	if cap(ws.partialSeq) < 2*n {
+		ws.partialSeq = make([]coding.Partial, 2*n)
+	}
+	ws.partialSeq = ws.partialSeq[:2*n]
+	ws.partials = ws.partials[:0]
+	if cap(ws.responded) < n {
+		ws.responded = make([]bool, n)
+	}
+	ws.responded = ws.responded[:n]
+	for i := range ws.responded {
+		ws.responded[i] = false
+	}
+	ws.respTimes = ws.respTimes[:0]
+}
+
+// addResult folds one worker result into the round: it wraps the values
+// as a decoder partial and advances per-row coverage. Coverage counts
+// each (worker, row) pair once, so duplicate deliveries — a slow worker's
+// late original overlapping its reassigned rows, or a buggy worker
+// re-sending ranges — can never inflate coverage past what the decoder
+// will actually find.
+func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
+	if r.Worker < 0 || r.Worker >= ws.n {
+		return fmt.Errorf("rpc: result from unknown worker %d", r.Worker)
+	}
+	for _, rg := range r.Ranges {
+		if rg.Lo < 0 || rg.Hi > ws.blockRows || rg.Lo > rg.Hi {
+			return fmt.Errorf("rpc: worker %d result range [%d,%d) outside [0,%d)", r.Worker, rg.Lo, rg.Hi, ws.blockRows)
+		}
+	}
+	var p *coding.Partial
+	if ws.nPartials < len(ws.partialSeq) {
+		p = &ws.partialSeq[ws.nPartials]
+	} else {
+		p = &coding.Partial{}
+	}
+	ws.nPartials++
+	p.Worker = r.Worker
+	p.RowWidth = 1
+	p.Ranges = r.Ranges
+	p.Values = r.Values
+	ws.partials = append(ws.partials, p)
+	if !ws.responded[r.Worker] {
+		ws.responded[r.Worker] = true
+		ws.nResponded++
+		ws.stats.ResponseTime[r.Worker] = elapsed
+		ws.respTimes = append(ws.respTimes, elapsed)
+	}
+	base := r.Worker * ws.blockRows
+	for _, rg := range r.Ranges {
+		for row := rg.Lo; row < rg.Hi; row++ {
+			if ws.coveredBy[base+row] {
+				continue // duplicate (worker, row): coverage already counted
+			}
+			ws.coveredBy[base+row] = true
+			ws.cov[row]++
+			if ws.cov[row] == ws.k {
+				ws.needed--
+			}
+		}
+	}
+	return nil
+}
+
+// PlanRound builds the next round's plan from the master's double-
+// buffered plan storage: the previous round's plan stays intact (it may
+// still be referenced by a draining round) while the new one is written
+// into the other buffer. Steady-state planning allocates nothing.
+func (m *Master) PlanRound(s sched.Strategy, speeds []float64) (*sched.Plan, error) {
+	return m.planBuf.Next(s, speeds)
+}
+
 // RunRound sends the plan's assignments for (iter, phase), gathers
 // partials until per-row coverage k is met, applying the §4.3 timeout:
 // once the first k workers respond, the rest get timeoutFrac of the mean
 // response time before their pending rows are reassigned to finished
 // workers. It returns the collected partials (decode with the encoder)
-// and the round's stats.
+// and the round's stats. With ReuseRound set, both alias the master's
+// round workspace and are valid until the next RunRound.
 func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
 	m.mu.Lock()
 	blockRows := m.blockRows[phase]
@@ -146,19 +357,19 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 	if blockRows == 0 {
 		return nil, nil, fmt.Errorf("rpc: phase %d has no distributed partitions", phase)
 	}
-	n := len(m.workers)
-	stats := &RoundStats{
-		ResponseTime: make([]time.Duration, n),
-		AssignedRows: make([]int, n),
-	}
+	workers := m.conns()
+	n := len(workers)
+	ws := &m.round
+	ws.begin(n, blockRows, k)
 	start := time.Now()
 	active := 0
-	for w, wc := range m.workers {
+	for w, wc := range workers {
 		ranges := plan.Assignments[w]
-		if coding.TotalRows(ranges) == 0 {
+		rows := coding.TotalRows(ranges)
+		if rows == 0 {
 			continue
 		}
-		stats.AssignedRows[w] = coding.TotalRows(ranges)
+		ws.stats.AssignedRows[w] = rows
 		if err := wc.send(&Envelope{Kind: KindWork, Work: &Work{
 			Iter: iter, Phase: phase, X: x, Ranges: ranges,
 		}}); err != nil {
@@ -166,94 +377,77 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 		}
 		active++
 	}
-
-	var partials []*coding.Partial
-	responded := map[int]bool{}
-	var responseTimes []time.Duration
-	cov := make([]int, blockRows)
-	needed := blockRows
-	addPartial := func(r *Result) {
-		p := &coding.Partial{Worker: r.Worker, Ranges: r.Ranges, RowWidth: 1, Values: r.Values}
-		partials = append(partials, p)
-		if !responded[r.Worker] {
-			responded[r.Worker] = true
-			stats.ResponseTime[r.Worker] = time.Since(start)
-			responseTimes = append(responseTimes, stats.ResponseTime[r.Worker])
-		}
-		for _, rg := range r.Ranges {
-			for row := rg.Lo; row < rg.Hi; row++ {
-				cov[row]++
-				if cov[row] == k {
-					needed--
-				}
-			}
-		}
-	}
-
 	if active < k {
 		return nil, nil, fmt.Errorf("rpc: plan activates %d workers, decoding needs %d", active, k)
 	}
+
 	// Phase 1: wait for the first k responders (coded computing cannot
 	// decode with fewer).
 	hardDeadline := time.After(30 * time.Second)
-	for len(responded) < k {
+	for ws.nResponded < k {
 		select {
 		case r := <-m.results:
 			if r.Iter != iter || r.Phase != phase {
 				continue // stale result from a reassigned/abandoned round
 			}
-			addPartial(r)
+			if err := ws.addResult(r, time.Since(start)); err != nil {
+				return nil, nil, err
+			}
 		case err := <-m.errs:
 			return nil, nil, err
+		case <-m.quit:
+			return nil, nil, fmt.Errorf("rpc: master shut down during round (%d,%d)", iter, phase)
 		case <-hardDeadline:
 			return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled waiting for %d responders", iter, phase, k)
 		}
 	}
-	if needed == 0 {
-		return partials, stats, nil
+	if ws.needed == 0 {
+		return m.finishRound(ws)
 	}
 
 	// Phase 2: grace window = timeoutFrac × mean response of the first k.
-	sort.Slice(responseTimes, func(i, j int) bool { return responseTimes[i] < responseTimes[j] })
+	sortDurations(ws.respTimes)
 	mean := time.Duration(0)
-	for i := 0; i < k && i < len(responseTimes); i++ {
-		mean += responseTimes[i]
+	for i := 0; i < k && i < len(ws.respTimes); i++ {
+		mean += ws.respTimes[i]
 	}
 	mean /= time.Duration(k)
 	grace := time.Duration(float64(mean) * timeoutFrac)
 	graceTimer := time.After(grace)
-	for needed > 0 {
+	for ws.needed > 0 {
 		select {
 		case r := <-m.results:
 			if r.Iter != iter || r.Phase != phase {
 				continue
 			}
-			addPartial(r)
-		case err := <-m.errs:
-			return nil, nil, err
-		case <-graceTimer:
-			// Timeout fired: reassign pending coverage to responders.
-			extra, timedOut, err := m.reassign(iter, phase, x, plan, cov, k, responded, blockRows)
-			if err != nil {
+			if err := ws.addResult(r, time.Since(start)); err != nil {
 				return nil, nil, err
 			}
-			stats.TimedOut = timedOut
-			for w, rows := range extra {
-				stats.AssignedRows[w] += rows
-				stats.Reassigned += rows
+		case err := <-m.errs:
+			return nil, nil, err
+		case <-m.quit:
+			return nil, nil, fmt.Errorf("rpc: master shut down during round (%d,%d)", iter, phase)
+		case <-graceTimer:
+			// Timeout fired: reassign pending coverage to responders.
+			if err := m.reassign(ws, iter, phase, x, plan); err != nil {
+				return nil, nil, err
 			}
 			graceTimer = nil
 			// Collect until coverage completes (reassigned results arrive
 			// tagged with the same iter/phase).
-			for needed > 0 {
+			for ws.needed > 0 {
 				select {
 				case r := <-m.results:
 					if r.Iter != iter || r.Phase != phase {
 						continue
 					}
-					addPartial(r)
+					if err := ws.addResult(r, time.Since(start)); err != nil {
+						return nil, nil, err
+					}
 				case err := <-m.errs:
 					return nil, nil, err
+				case <-m.quit:
+					return nil, nil, fmt.Errorf("rpc: master shut down during round (%d,%d)", iter, phase)
 				case <-hardDeadline:
 					return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled after reassignment", iter, phase)
 				}
@@ -262,74 +456,131 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 			return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled", iter, phase)
 		}
 	}
+	return m.finishRound(ws)
+}
+
+// finishRound hands the gathered round to the caller: workspace-backed
+// when ReuseRound is set, deep-copied bookkeeping otherwise (values still
+// alias the per-message receive buffers, which nothing overwrites).
+func (m *Master) finishRound(ws *roundWorkspace) ([]*coding.Partial, *RoundStats, error) {
+	if m.cfg.ReuseRound {
+		return ws.partials, &ws.stats, nil
+	}
+	partials := make([]*coding.Partial, len(ws.partials))
+	for i, p := range ws.partials {
+		q := *p
+		partials[i] = &q
+	}
+	stats := &RoundStats{
+		ResponseTime: append([]time.Duration(nil), ws.stats.ResponseTime...),
+		AssignedRows: append([]int(nil), ws.stats.AssignedRows...),
+		Reassigned:   ws.stats.Reassigned,
+		TimedOut:     append([]int(nil), ws.stats.TimedOut...),
+	}
 	return partials, stats, nil
 }
 
 // reassign sends uncovered rows to responders that do not already cover
-// them, returning extra rows per worker and the abandoned workers.
-func (m *Master) reassign(iter, phase int, x []float64, plan *sched.Plan, cov []int, k int, responded map[int]bool, blockRows int) (map[int]int, []int, error) {
-	var timedOut []int
+// them (delivered rows and rows just reassigned both disqualify), filling
+// stats.TimedOut and the per-worker extra accounting.
+func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64, plan *sched.Plan) error {
 	for w := range plan.Assignments {
-		if coding.TotalRows(plan.Assignments[w]) > 0 && !responded[w] {
-			timedOut = append(timedOut, w)
+		if ws.stats.AssignedRows[w] > 0 && !ws.responded[w] {
+			ws.stats.TimedOut = append(ws.stats.TimedOut, w)
 		}
 	}
-	sort.Ints(timedOut)
-	// has[w][r]: responder w already covers row r.
-	has := map[int][]bool{}
-	var helpers []int
-	for w := range responded {
-		h := make([]bool, blockRows)
-		for _, rg := range plan.Assignments[w] {
-			for r := rg.Lo; r < rg.Hi; r++ {
-				h[r] = true
-			}
-		}
-		has[w] = h
-		helpers = append(helpers, w)
+	// Lazily sized: only rounds that actually time out pay for this.
+	if cap(ws.extraMark) < ws.n*ws.blockRows {
+		ws.extraMark = make([]bool, ws.n*ws.blockRows)
 	}
-	sort.Ints(helpers)
-	extraRanges := map[int][]coding.Range{}
-	extraRows := map[int]int{}
-	for r := 0; r < blockRows; r++ {
-		for c := cov[r]; c < k; c++ {
-			placed := false
-			// Round-robin over helpers, preferring the least loaded.
+	ws.extraMark = ws.extraMark[:ws.n*ws.blockRows]
+	for i := range ws.extraMark {
+		ws.extraMark[i] = false
+	}
+	ws.extraRows = kernel.GrowInts(ws.extraRows, ws.n)
+	for i := range ws.extraRows {
+		ws.extraRows[i] = 0
+	}
+	if cap(ws.extraRanges) < ws.n {
+		ws.extraRanges = make([][]coding.Range, ws.n)
+	}
+	ws.extraRanges = ws.extraRanges[:ws.n]
+	for i := range ws.extraRanges {
+		ws.extraRanges[i] = ws.extraRanges[i][:0]
+	}
+	for r := 0; r < ws.blockRows; r++ {
+		for c := ws.cov[r]; c < ws.k; c++ {
+			// Least-loaded responder that can still add coverage for r.
 			best := -1
-			for _, w := range helpers {
-				if has[w][r] {
+			for w := 0; w < ws.n; w++ {
+				if !ws.responded[w] || ws.coveredBy[w*ws.blockRows+r] || ws.extraMark[w*ws.blockRows+r] {
 					continue
 				}
-				if best < 0 || extraRows[w] < extraRows[best] {
+				if best < 0 || ws.extraRows[w] < ws.extraRows[best] {
 					best = w
 				}
 			}
-			if best >= 0 {
-				has[best][r] = true
-				extraRanges[best] = append(extraRanges[best], coding.Range{Lo: r, Hi: r + 1})
-				extraRows[best]++
-				placed = true
+			if best < 0 {
+				return fmt.Errorf("rpc: cannot re-cover row %d", r)
 			}
-			if !placed {
-				return nil, nil, fmt.Errorf("rpc: cannot re-cover row %d", r)
+			ws.extraMark[best*ws.blockRows+r] = true
+			ws.extraRows[best]++
+			// Rows are visited in ascending order, so per-worker ranges
+			// stay normalized by construction.
+			rs := ws.extraRanges[best]
+			if len(rs) > 0 && rs[len(rs)-1].Hi == r {
+				rs[len(rs)-1].Hi = r + 1
+			} else {
+				rs = append(rs, coding.Range{Lo: r, Hi: r + 1})
 			}
+			ws.extraRanges[best] = rs
 		}
 	}
-	for w, ranges := range extraRanges {
-		if err := m.workers[w].send(&Envelope{Kind: KindWork, Work: &Work{
-			Iter: iter, Phase: phase, X: x, Ranges: coding.NormalizeRanges(ranges),
+	workers := m.conns()
+	for w, ranges := range ws.extraRanges {
+		if len(ranges) == 0 {
+			continue
+		}
+		if err := workers[w].send(&Envelope{Kind: KindWork, Work: &Work{
+			Iter: iter, Phase: phase, X: x, Ranges: ranges,
 		}}); err != nil {
-			return nil, nil, err
+			return err
 		}
+		ws.stats.AssignedRows[w] += ws.extraRows[w]
+		ws.stats.Reassigned += ws.extraRows[w]
 	}
-	return extraRows, timedOut, nil
+	return nil
 }
 
-// Shutdown tells all workers to exit and closes the listener.
+// sortDurations is an ascending insertion sort (short slices, no closure
+// allocation).
+func sortDurations(ds []time.Duration) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// Shutdown tells all workers to exit, closes every connection and the
+// listener, and waits for the reader goroutines to drain. It is
+// idempotent and safe to call while reads are in flight: readers observe
+// the closing flag and exit silently instead of reporting the torn
+// connection as a worker failure.
 func (m *Master) Shutdown() {
-	for _, wc := range m.workers {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return
+	}
+	m.closing = true
+	workers := append([]*conn(nil), m.workers...)
+	m.mu.Unlock()
+	close(m.quit) // unblock readers parked on a full results channel
+	for _, wc := range workers {
 		wc.send(&Envelope{Kind: KindShutdown}) //nolint:errcheck // best effort
 		wc.close()
 	}
 	m.ln.Close()
+	m.wg.Wait()
 }

@@ -75,12 +75,15 @@ type Envelope struct {
 	Result    *Result
 }
 
-// conn wraps a TCP connection with gob codecs and a write lock.
+// conn wraps a TCP connection with gob codecs and a write lock. close is
+// idempotent, so a shutdown path and an error path may both close it.
 type conn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	mu  sync.Mutex
+	c         net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	mu        sync.Mutex
+	closeOnce sync.Once
+	closeErr  error
 }
 
 func newConn(c net.Conn) *conn {
@@ -104,4 +107,7 @@ func (c *conn) recv() (*Envelope, error) {
 	return &e, nil
 }
 
-func (c *conn) close() error { return c.c.Close() }
+func (c *conn) close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.c.Close() })
+	return c.closeErr
+}

@@ -1,0 +1,314 @@
+package rpc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/sched"
+)
+
+// TestWaitForWorkersClearsDeadline is the stale-deadline regression: a
+// WaitForWorkers call that returns (here: times out) must clear the
+// accept deadline it set, so a later call can still accept connections.
+func TestWaitForWorkersClearsDeadline(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	if err := m.WaitForWorkers(1, 50*time.Millisecond); err == nil {
+		t.Fatal("WaitForWorkers with no workers should time out")
+	}
+	go func() {
+		w, err := NewWorker(WorkerConfig{MasterAddr: m.Addr()})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		w.Run() //nolint:errcheck // shutdown closes the conn
+	}()
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatalf("second WaitForWorkers failed after a timed-out first call: %v", err)
+	}
+}
+
+// TestTimeoutReassignmentDecodesBitExact forces a timeout + reassignment
+// and checks that the round's partials — which contain two partials from
+// the same helper worker (original ranges + reassigned extras) — decode
+// bit-identically to the same partial set recomputed locally.
+func TestTimeoutReassignmentDecodesBitExact(t *testing.T) {
+	n, k := 4, 2
+	m := startCluster(t, n, map[int]float64{3: 300})
+
+	rng := rand.New(rand.NewSource(30))
+	a := mat.Rand(48, 6, rng)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	// Mis-prediction: the planner believes all four are equally fast, so
+	// the dead-slow worker 3 gets real work and must be timed out.
+	plan, err := strat.Plan([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials, stats, err := m.RunRound(0, 0, x, plan, k, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reassigned == 0 {
+		t.Fatal("expected reassigned rows after the timeout")
+	}
+	// The reassignment path must have delivered two partials from at
+	// least one helper worker.
+	perWorker := map[int]int{}
+	for _, p := range partials {
+		perWorker[p.Worker]++
+	}
+	dup := false
+	for _, c := range perWorker {
+		if c > 1 {
+			dup = true
+		}
+	}
+	if !dup {
+		t.Fatalf("expected a worker with original + reassigned partials, got %v", perWorker)
+	}
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the identical partial set locally (same workers, same
+	// ranges — the worker kernel and the local kernel are the same code)
+	// and require a bit-exact decode match.
+	local := make([]*coding.Partial, len(partials))
+	for i, p := range partials {
+		local[i] = enc.WorkerCompute(p.Worker, x, p.Ranges)
+		if len(local[i].Values) != len(p.Values) {
+			t.Fatalf("partial %d: local recompute has %d values, rpc delivered %d", i, len(local[i].Values), len(p.Values))
+		}
+		for q := range p.Values {
+			if p.Values[q] != local[i].Values[q] {
+				t.Fatalf("partial %d value %d: rpc %v != local %v", i, q, p.Values[q], local[i].Values[q])
+			}
+		}
+	}
+	want, err := enc.DecodeMatVec(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: decode over rpc partials %v differs bit-wise from local decode %v", i, got[i], want[i])
+		}
+	}
+	// And the decode must of course match the true product numerically.
+	if !mat.VecApproxEqual(got, mat.MatVec(a, x), 1e-8) {
+		t.Fatal("decode after reassignment mismatch")
+	}
+}
+
+// TestShutdownDuringActiveRound exercises the Shutdown/readLoop ordering:
+// closing the master while workers are mid-computation (and reads are in
+// flight) must not panic, deadlock, or leave goroutines stuck. Run with
+// -race this also checks the connection teardown for data races.
+func TestShutdownDuringActiveRound(t *testing.T) {
+	n, k := 3, 2
+	m := startCluster(t, n, map[int]float64{0: 50, 1: 50, 2: 50})
+	rng := rand.New(rand.NewSource(31))
+	a := mat.Rand(60, 4, rng)
+	x := []float64{1, 2, 3, 4}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	plan, _ := strat.Plan([]float64{1, 1, 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The round races the shutdown: either outcome (success before
+		// the close, or an error after it) is acceptable — what matters
+		// is that it returns.
+		m.RunRound(0, 0, x, plan, k, 10.0) //nolint:errcheck
+	}()
+	time.Sleep(2 * time.Millisecond) // let the work messages go out
+	m.Shutdown()
+	m.Shutdown() // idempotent
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunRound did not return after Shutdown")
+	}
+}
+
+// TestRunRoundReuseRound runs an iterative job on a ReuseRound master:
+// each round's partials alias the master's workspace, are decoded before
+// the next round, and every decode must stay correct.
+func TestRunRoundReuseRound(t *testing.T) {
+	n, k := 4, 3
+	cfg := MasterConfig{Addr: "127.0.0.1:0", ReuseRound: true}
+	m, err := NewMasterWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	for i := 0; i < n; i++ {
+		go func() {
+			w, err := NewWorker(WorkerConfig{MasterAddr: m.Addr(), PerRowDelay: 50 * time.Microsecond})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			w.Run() //nolint:errcheck
+		}()
+		if err := m.WaitForWorkers(i+1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(32))
+	a := mat.Rand(30, 5, rng)
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	ws := enc.NewDecodeWorkspace()
+	dst := make([]float64, enc.OrigRows)
+	speeds := []float64{1, 1, 1, 1}
+	for iter := 0; iter < 5; iter++ {
+		x := make([]float64, 5)
+		for i := range x {
+			x[i] = float64(iter) + rng.Float64()
+		}
+		plan, err := m.PlanRound(strat, speeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials, _, err := m.RunRound(iter, 0, x, plan, k, 10.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.DecodeMatVecInto(dst, partials, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.VecApproxEqual(got, mat.MatVec(a, x), 1e-8) {
+			t.Fatalf("iteration %d: ReuseRound decode mismatch", iter)
+		}
+	}
+}
+
+// gatherFixture builds a synthetic full round of worker results against a
+// real encoding, bypassing the network.
+func gatherFixture(tb testing.TB) (*coding.EncodedMatrix, []*Result, []float64) {
+	rng := rand.New(rand.NewSource(33))
+	a := mat.Rand(600, 20, rng)
+	code, err := coding.NewMDSCode(10, 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	enc := code.Encode(a)
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	var results []*Result
+	for _, w := range []int{0, 1, 2, 3, 4, 5, 8, 9} {
+		p := enc.WorkerCompute(w, x, []coding.Range{{Lo: 0, Hi: enc.BlockRows}})
+		results = append(results, &Result{
+			Iter: 0, Phase: 0, Worker: w, Ranges: p.Ranges, Values: p.Values,
+		})
+	}
+	return enc, results, mat.MatVec(a, x)
+}
+
+// TestGatherAndDecodeZeroAllocsSteadyState is the acceptance criterion:
+// a steady-state round's master-side gather bookkeeping plus the decode
+// must allocate nothing. (The gob receive path allocates per network
+// message by nature; this pins everything the master itself does.)
+func TestGatherAndDecodeZeroAllocsSteadyState(t *testing.T) {
+	enc, results, want := gatherFixture(t)
+	m := &Master{cfg: MasterConfig{ReuseRound: true}}
+	n, k := 10, 8
+	decWS := enc.NewDecodeWorkspace()
+	dst := make([]float64, enc.OrigRows)
+	runRound := func() {
+		ws := &m.round
+		ws.begin(n, enc.BlockRows, k)
+		for _, r := range results {
+			if err := ws.addResult(r, time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ws.needed != 0 {
+			t.Fatal("fixture round did not reach coverage")
+		}
+		partials, stats, err := m.finishRound(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.AssignedRows == nil {
+			t.Fatal("missing stats")
+		}
+		if _, err := enc.DecodeMatVecInto(dst, partials, decWS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runRound() // warm: sizes the workspace, factors the decode set
+	if !mat.VecApproxEqual(dst, want, 1e-8) {
+		t.Fatal("gather+decode fixture produced a wrong result")
+	}
+	allocs := testing.AllocsPerRun(50, runRound)
+	if allocs != 0 {
+		t.Fatalf("steady-state gather+decode allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestGatherDeduplicatesCoverage pins the duplicate-delivery hardening: a
+// worker re-sending rows it already delivered must not advance coverage,
+// so the master can never hand the decoder a round it cannot decode.
+func TestGatherDeduplicatesCoverage(t *testing.T) {
+	m := &Master{cfg: MasterConfig{ReuseRound: true}}
+	ws := &m.round
+	ws.begin(3, 4, 2)
+	r := &Result{Worker: 0, Ranges: []coding.Range{{Lo: 0, Hi: 4}}, Values: []float64{1, 2, 3, 4}}
+	if err := ws.addResult(r, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.addResult(r, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ws.needed != 4 {
+		t.Fatalf("duplicate delivery advanced coverage: needed=%d, want 4", ws.needed)
+	}
+	for row, c := range ws.cov {
+		if c != 1 {
+			t.Fatalf("row %d coverage %d after duplicate delivery, want 1", row, c)
+		}
+	}
+	// A second distinct worker completes coverage at k=2.
+	r2 := &Result{Worker: 2, Ranges: []coding.Range{{Lo: 0, Hi: 4}}, Values: []float64{5, 6, 7, 8}}
+	if err := ws.addResult(r2, 3*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ws.needed != 0 {
+		t.Fatalf("coverage incomplete after second worker: needed=%d", ws.needed)
+	}
+	// Malformed ranges are rejected, not indexed out of bounds.
+	bad := &Result{Worker: 1, Ranges: []coding.Range{{Lo: 2, Hi: 9}}, Values: make([]float64, 7)}
+	if err := ws.addResult(bad, time.Millisecond); err == nil {
+		t.Fatal("out-of-partition result range must be rejected")
+	}
+}

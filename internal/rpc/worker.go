@@ -22,6 +22,11 @@ type WorkerConfig struct {
 	// effects are visible even on tiny test matrices. Zero is fine for
 	// real workloads.
 	PerRowDelay time.Duration
+	// Exec pins this worker's kernel execution to a pool and fan-out. The
+	// zero value uses the shared default pool with full fan-out (serial
+	// on a single-core host); co-tenant workers in one process should cap
+	// MaxFan or bring their own pool.
+	Exec kernel.Exec
 }
 
 // Worker is the daemon side of the runtime: it stores coded partitions
@@ -76,6 +81,18 @@ func (w *Worker) Run() error {
 	}
 }
 
+// matVecChunk sizes row chunks so each is ~16k flops of mat-vec work.
+func matVecChunk(cols int) int {
+	if cols < 1 {
+		cols = 1
+	}
+	chunk := 16 * 1024 / (2 * cols)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
 // handleWork computes the assigned rows of this worker's partition. The
 // result values live in a pooled buffer (handleWork runs concurrently, so
 // per-goroutine scratch is borrowed, not owned) returned to the pool once
@@ -91,9 +108,17 @@ func (w *Worker) handleWork(job *Work) {
 	ranges := coding.NormalizeRanges(job.Ranges)
 	total := coding.TotalRows(ranges)
 	buf := kernel.GetBuf(total)
+	cols := part.Cols()
 	at := 0
 	for _, r := range ranges {
-		mat.MatVecRowsInto(part, job.X, buf.F[at:at+r.Len()], r.Lo, r.Hi)
+		seg := buf.F[at : at+r.Len()]
+		lo := r.Lo
+		// Band-split the assigned rows on the worker's configured pool;
+		// on a one-core host (or MaxFan 1) this degenerates to the plain
+		// serial sweep.
+		w.cfg.Exec.For(r.Len(), matVecChunk(cols), func(clo, chi int) {
+			kernel.MatVecRange(seg[clo:chi], part.Data(), cols, job.X, lo+clo, lo+chi)
+		})
 		at += r.Len()
 	}
 	elapsed := time.Since(start)

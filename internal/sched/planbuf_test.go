@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func plansEqual(a, b *Plan) bool {
+	if a.BlockRows != b.BlockRows || len(a.Assignments) != len(b.Assignments) {
+		return false
+	}
+	for w := range a.Assignments {
+		if len(a.Assignments[w]) != len(b.Assignments[w]) {
+			return false
+		}
+		for i, r := range a.Assignments[w] {
+			if b.Assignments[w][i] != r {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPlanIntoMatchesPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(n)
+		blockRows := 1 + rng.Intn(300)
+		gran := rng.Intn(6 * n) // 0 selects the default
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = rng.Float64() * 3
+		}
+		fresh := &GeneralS2C2{N: n, K: k, BlockRows: blockRows, Granularity: gran}
+		want, err := fresh.Plan(speeds)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		reused := &GeneralS2C2{N: n, K: k, BlockRows: blockRows, Granularity: gran}
+		var dst *Plan
+		for round := 0; round < 3; round++ {
+			dst, err = reused.PlanInto(speeds, dst)
+			if err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			if !plansEqual(want, dst) {
+				t.Fatalf("trial %d round %d: PlanInto differs from Plan\nwant %+v\ngot  %+v",
+					trial, round, want.Assignments, dst.Assignments)
+			}
+		}
+	}
+}
+
+func TestConventionalMDSPlanIntoMatchesPlan(t *testing.T) {
+	c := &ConventionalMDS{N: 5, K: 3, BlockRows: 17}
+	speeds := []float64{1, 2, 3, 4, 5}
+	want, err := c.Plan(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst *Plan
+	for round := 0; round < 3; round++ {
+		dst, err = c.PlanInto(speeds, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(want, dst) {
+			t.Fatalf("round %d: PlanInto differs from Plan", round)
+		}
+	}
+}
+
+func TestBasicS2C2PlanIntoMatchesPlan(t *testing.T) {
+	speeds := []float64{1, 1, 0.1, 1}
+	fresh := &BasicS2C2{N: 4, K: 2, BlockRows: 40}
+	want, err := fresh.Plan(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := &BasicS2C2{N: 4, K: 2, BlockRows: 40}
+	var dst *Plan
+	for round := 0; round < 3; round++ {
+		dst, err = reused.PlanInto(speeds, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(want, dst) {
+			t.Fatalf("round %d: PlanInto differs from Plan", round)
+		}
+	}
+}
+
+// TestPlanBufferSteadyStateZeroAllocs pins the double-buffer contract:
+// once both buffers are warm, planning a round allocates nothing.
+func TestPlanBufferSteadyStateZeroAllocs(t *testing.T) {
+	s := &GeneralS2C2{N: 8, K: 6, BlockRows: 250}
+	speeds := []float64{1, 0.8, 1.2, 0.5, 1, 1, 0.9, 1.1}
+	var buf PlanBuffer
+	for i := 0; i < 4; i++ { // warm both buffers
+		if _, err := buf.Next(s, speeds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := buf.Next(s, speeds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PlanBuffer.Next allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+// TestPlanBufferKeepsPreviousPlanIntact verifies the double buffering:
+// the plan from round i must remain readable (unmodified) while round
+// i+1 is planned into the other buffer.
+func TestPlanBufferKeepsPreviousPlanIntact(t *testing.T) {
+	s := &GeneralS2C2{N: 4, K: 2, BlockRows: 60, Granularity: 12}
+	var buf PlanBuffer
+	fast := []float64{1, 1, 1, 1}
+	skew := []float64{2, 1, 0.25, 1}
+	p1, err := buf.Next(s, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := s.Plan(fast) // independent copy of p1's contents
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buf.Next(s, skew); err != nil {
+		t.Fatal(err)
+	}
+	if !plansEqual(p1, snapshot) {
+		t.Fatal("planning the next round mutated the previous round's plan")
+	}
+}

@@ -3,9 +3,9 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/kernel"
 )
 
 // GeneralS2C2 implements Algorithm 1. Each partition is over-decomposed
@@ -20,6 +20,10 @@ type GeneralS2C2 struct {
 	// Higher values track speed differences more precisely at slightly
 	// higher planning cost. 0 selects a default of 4×N.
 	Granularity int
+
+	// Planning scratch recycled across rounds; PlanInto on one strategy
+	// value is therefore not safe for concurrent use.
+	alloc, order []int
 }
 
 // Name implements Strategy.
@@ -46,6 +50,14 @@ func (g *GeneralS2C2) granularity() int {
 
 // Plan implements Algorithm 1 of the paper.
 func (g *GeneralS2C2) Plan(speeds []float64) (*Plan, error) {
+	return g.PlanInto(speeds, nil)
+}
+
+// PlanInto is Plan writing into dst, reusing its assignment storage (nil
+// allocates a fresh plan). A warm (strategy, plan) pair plans steady-state
+// rounds without allocation; pair it with a PlanBuffer so the previous
+// round's plan stays readable while the next one is built.
+func (g *GeneralS2C2) PlanInto(speeds []float64, dst *Plan) (*Plan, error) {
 	if len(speeds) != g.N {
 		return nil, fmt.Errorf("sched: got %d speeds for %d workers", len(speeds), g.N)
 	}
@@ -53,32 +65,35 @@ func (g *GeneralS2C2) Plan(speeds []float64) (*Plan, error) {
 		return nil, fmt.Errorf("sched: invalid (n,k)=(%d,%d)", g.N, g.K)
 	}
 	m := g.granularity()
-	alloc, err := AllocateChunks(speeds, g.K, m)
-	if err != nil {
+	g.alloc = kernel.GrowInts(g.alloc, g.N)
+	if err := allocateChunksInto(g.alloc, speeds, g.K, m); err != nil {
 		return nil, err
 	}
 	// Lay out contiguous cyclic chunk intervals in descending-speed order
-	// (the order AllocateChunks used), so coverage is exactly k per chunk.
-	order := speedOrder(speeds)
-	plan := &Plan{BlockRows: g.BlockRows, Assignments: make([][]coding.Range, g.N)}
+	// (the order allocateChunksInto used), so coverage is exactly k per
+	// chunk.
+	g.order = appendSpeedOrder(g.order[:0], speeds)
+	if dst == nil {
+		dst = &Plan{}
+	}
+	dst.BlockRows = g.BlockRows
+	if cap(dst.Assignments) < g.N {
+		assignments := make([][]coding.Range, g.N)
+		copy(assignments, dst.Assignments)
+		dst.Assignments = assignments
+	}
+	dst.Assignments = dst.Assignments[:g.N]
 	begin := 0
-	for _, w := range order {
-		a := alloc[w]
+	for _, w := range g.order {
+		a := g.alloc[w]
 		if a == 0 {
-			plan.Assignments[w] = nil
+			dst.Assignments[w] = dst.Assignments[w][:0]
 			continue
 		}
-		end := begin + a
-		var chunkRanges []coding.Range
-		if end <= m {
-			chunkRanges = []coding.Range{{Lo: begin, Hi: end}}
-		} else {
-			chunkRanges = []coding.Range{{Lo: begin, Hi: m}, {Lo: 0, Hi: end - m}}
-		}
-		plan.Assignments[w] = chunksToRows(chunkRanges, g.BlockRows, m)
-		begin = end % m
+		dst.Assignments[w] = appendChunkRows(dst.Assignments[w][:0], begin, begin+a, g.BlockRows, m)
+		begin = (begin + a) % m
 	}
-	return plan, nil
+	return dst, nil
 }
 
 // AllocateChunks distributes k×m chunk-computations over the workers
@@ -94,12 +109,21 @@ func (g *GeneralS2C2) Plan(speeds []float64) (*Plan, error) {
 // that keeps the realised makespan within one chunk of the fractional
 // optimum.
 func AllocateChunks(speeds []float64, k, m int) ([]int, error) {
-	n := len(speeds)
+	alloc := make([]int, len(speeds))
+	if err := allocateChunksInto(alloc, speeds, k, m); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// allocateChunksInto is AllocateChunks writing into caller scratch of
+// length len(speeds).
+func allocateChunksInto(alloc []int, speeds []float64, k, m int) error {
 	positive := 0
 	total := 0.0
 	for _, s := range speeds {
 		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-			return nil, fmt.Errorf("sched: invalid speed %v", s)
+			return fmt.Errorf("sched: invalid speed %v", s)
 		}
 		if s > 0 {
 			positive++
@@ -107,12 +131,12 @@ func AllocateChunks(speeds []float64, k, m int) ([]int, error) {
 		}
 	}
 	if positive < k {
-		return nil, fmt.Errorf("sched: only %d workers with positive speed, need >= %d", positive, k)
+		return fmt.Errorf("sched: only %d workers with positive speed, need >= %d", positive, k)
 	}
-	alloc := make([]int, n)
 	want := k * m
 	placed := 0
 	for w, s := range speeds {
+		alloc[w] = 0
 		if s <= 0 {
 			continue
 		}
@@ -138,37 +162,64 @@ func AllocateChunks(speeds []float64, k, m int) ([]int, error) {
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("sched: cannot place %d of %d chunk-computations", want-placed, want)
+			return fmt.Errorf("sched: cannot place %d of %d chunk-computations", want-placed, want)
 		}
 		alloc[best]++
 		placed++
 	}
-	return alloc, nil
+	return nil
 }
 
 // speedOrder returns worker indices sorted by descending speed (stable on
 // ties by index, keeping plans deterministic).
 func speedOrder(speeds []float64) []int {
-	order := make([]int, len(speeds))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return speeds[order[a]] > speeds[order[b]] })
-	return order
+	return appendSpeedOrder(make([]int, 0, len(speeds)), speeds)
 }
 
-// chunksToRows converts chunk intervals to row ranges using uniform
-// banding: chunk c spans rows [c·rows/m, (c+1)·rows/m).
-func chunksToRows(chunks []coding.Range, blockRows, m int) []coding.Range {
-	out := make([]coding.Range, 0, len(chunks))
-	for _, c := range chunks {
-		lo := c.Lo * blockRows / m
-		hi := c.Hi * blockRows / m
-		if hi > lo {
-			out = append(out, coding.Range{Lo: lo, Hi: hi})
+// appendSpeedOrder is speedOrder appending onto dst (which must be
+// empty), reusing its storage. Insertion sort with a strict comparison
+// keeps ties in index order and avoids sort.SliceStable's closure
+// allocation.
+func appendSpeedOrder(dst []int, speeds []float64) []int {
+	for i := range speeds {
+		dst = append(dst, i)
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && speeds[dst[j]] > speeds[dst[j-1]]; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
 		}
 	}
-	return coding.NormalizeRanges(out)
+	return dst
+}
+
+// appendChunkRows converts the cyclic chunk interval [begin, end) (end may
+// exceed m, wrapping around) to normalized row ranges appended onto dst
+// (which must be empty), using uniform banding: chunk c spans rows
+// [c·rows/m, (c+1)·rows/m).
+func appendChunkRows(dst []coding.Range, begin, end, blockRows, m int) []coding.Range {
+	if end <= m {
+		lo, hi := begin*blockRows/m, end*blockRows/m
+		if hi > lo {
+			dst = append(dst, coding.Range{Lo: lo, Hi: hi})
+		}
+		return dst
+	}
+	// Wrapped: chunks [begin, m) and [0, end-m). Row order is ascending —
+	// the wrapped prefix first — and the two ranges merge when banding
+	// makes them touch (notably a full-partition assignment).
+	headHi := (end - m) * blockRows / m
+	tailLo := begin * blockRows / m
+	if headHi >= tailLo {
+		dst = append(dst, coding.Range{Lo: 0, Hi: blockRows})
+		return dst
+	}
+	if headHi > 0 {
+		dst = append(dst, coding.Range{Lo: 0, Hi: headHi})
+	}
+	if blockRows > tailLo {
+		dst = append(dst, coding.Range{Lo: tailLo, Hi: blockRows})
+	}
+	return dst
 }
 
 // ChunkRowBounds exposes the chunk→row banding for callers that must
@@ -189,6 +240,10 @@ type BasicS2C2 struct {
 	// StragglerFactor is the slowdown ratio that classifies stragglers;
 	// 0 selects the paper's 5.
 	StragglerFactor float64
+
+	// Planning scratch recycled across rounds (see GeneralS2C2).
+	binary []float64
+	inner  *GeneralS2C2
 }
 
 // Name implements Strategy.
@@ -200,6 +255,12 @@ func (b *BasicS2C2) NeedK() int { return b.K }
 // Plan classifies stragglers, then delegates to the general algorithm
 // with binary speeds.
 func (b *BasicS2C2) Plan(speeds []float64) (*Plan, error) {
+	return b.PlanInto(speeds, nil)
+}
+
+// PlanInto is Plan writing into dst, reusing its assignment storage (nil
+// allocates a fresh plan).
+func (b *BasicS2C2) PlanInto(speeds []float64, dst *Plan) (*Plan, error) {
 	if len(speeds) != b.N {
 		return nil, fmt.Errorf("sched: got %d speeds for %d workers", len(speeds), b.N)
 	}
@@ -213,9 +274,11 @@ func (b *BasicS2C2) Plan(speeds []float64) (*Plan, error) {
 			max = s
 		}
 	}
-	binary := make([]float64, b.N)
+	b.binary = kernel.Grow(b.binary, b.N)
+	binary := b.binary
 	live := 0
 	for i, s := range speeds {
+		binary[i] = 0
 		if s > 0 && s >= max/factor {
 			binary[i] = 1
 			live++
@@ -234,6 +297,9 @@ func (b *BasicS2C2) Plan(speeds []float64) (*Plan, error) {
 			}
 		}
 	}
-	g := &GeneralS2C2{N: b.N, K: b.K, BlockRows: b.BlockRows, Granularity: b.Granularity}
-	return g.Plan(binary)
+	if b.inner == nil {
+		b.inner = &GeneralS2C2{}
+	}
+	b.inner.N, b.inner.K, b.inner.BlockRows, b.inner.Granularity = b.N, b.K, b.BlockRows, b.Granularity
+	return b.inner.PlanInto(binary, dst)
 }

@@ -92,12 +92,66 @@ func (c *ConventionalMDS) NeedK() int { return c.K }
 
 // Plan assigns the full partition to every worker regardless of speed.
 func (c *ConventionalMDS) Plan(speeds []float64) (*Plan, error) {
+	return c.PlanInto(speeds, nil)
+}
+
+// PlanInto is Plan writing into dst, reusing its assignment storage (nil
+// allocates a fresh plan).
+func (c *ConventionalMDS) PlanInto(speeds []float64, dst *Plan) (*Plan, error) {
 	if len(speeds) != c.N {
 		return nil, fmt.Errorf("sched: got %d speeds for %d workers", len(speeds), c.N)
 	}
-	p := &Plan{BlockRows: c.BlockRows, Assignments: make([][]coding.Range, c.N)}
-	for w := 0; w < c.N; w++ {
-		p.Assignments[w] = []coding.Range{{Lo: 0, Hi: c.BlockRows}}
+	if dst == nil {
+		dst = &Plan{}
 	}
+	dst.BlockRows = c.BlockRows
+	if cap(dst.Assignments) < c.N {
+		assignments := make([][]coding.Range, c.N)
+		copy(assignments, dst.Assignments)
+		dst.Assignments = assignments
+	}
+	dst.Assignments = dst.Assignments[:c.N]
+	for w := 0; w < c.N; w++ {
+		dst.Assignments[w] = append(dst.Assignments[w][:0], coding.Range{Lo: 0, Hi: c.BlockRows})
+	}
+	return dst, nil
+}
+
+// IntoPlanner is the optional reuse form of Strategy: PlanInto writes the
+// round's assignment into a caller-owned Plan, recycling its storage. All
+// built-in strategies implement it.
+type IntoPlanner interface {
+	PlanInto(predictedSpeeds []float64, dst *Plan) (*Plan, error)
+}
+
+// PlanBuffer double-buffers round plans: Next plans into the older of two
+// reusable Plans, so the previous round's plan — which a master may still
+// be reading while its round drains (late results, reassignment) — stays
+// intact while the next one is built. With an IntoPlanner strategy the
+// steady state allocates nothing.
+//
+// The zero value is ready to use. Not safe for concurrent Next calls.
+type PlanBuffer struct {
+	plans [2]*Plan
+	cur   int
+}
+
+// Next builds the next round's plan from the predicted speeds, recycling
+// the plan returned two calls ago.
+func (b *PlanBuffer) Next(s Strategy, speeds []float64) (*Plan, error) {
+	b.cur ^= 1
+	if ip, ok := s.(IntoPlanner); ok {
+		p, err := ip.PlanInto(speeds, b.plans[b.cur])
+		if err != nil {
+			return nil, err
+		}
+		b.plans[b.cur] = p
+		return p, nil
+	}
+	p, err := s.Plan(speeds)
+	if err != nil {
+		return nil, err
+	}
+	b.plans[b.cur] = p
 	return p, nil
 }

@@ -63,6 +63,7 @@ type clusterScratch struct {
 	partialBuf                  []*coding.Partial // per-worker reusable partials
 	decodeWS                    *coding.DecodeWorkspace
 	result                      []float64
+	planBuf                     sched.PlanBuffer // double-buffered round plans
 }
 
 // Round captures one iteration's outcome and accounting.
@@ -157,7 +158,7 @@ func (c *CodedCluster) RunIteration(iter int, x []float64) (*Round, error) {
 	n := c.Trace.NumWorkers()
 	c.scratch.predicted = kernel.Grow(c.scratch.predicted, n)
 	predicted := c.predictSpeedsInto(c.scratch.predicted, iter)
-	plan, err := c.Strategy.Plan(predicted)
+	plan, err := c.scratch.planBuf.Next(c.Strategy, predicted)
 	if err != nil {
 		return nil, fmt.Errorf("sim: iteration %d: %w", iter, err)
 	}

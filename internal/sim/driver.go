@@ -50,6 +50,10 @@ type JobConfig struct {
 	// timing model runs but state updates use locally computed products.
 	Numeric bool
 	MaxIter int
+	// Exec pins this job's encode parallelism to a pool and fan-out, so
+	// co-tenant jobs in one process stop contending for the shared
+	// GOMAXPROCS-sized default pool. The zero value uses the default.
+	Exec kernel.Exec
 }
 
 // JobResult reports a finished iterative job.
@@ -76,6 +80,7 @@ func RunIterative(w workloads.Iterative, cfg JobConfig) (*JobResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		code.SetExec(cfg.Exec)
 		enc := code.Encode(m)
 		clusters[p] = &CodedCluster{
 			Enc:        enc,

@@ -42,6 +42,7 @@ type PolyCluster struct {
 	partials   []*coding.Partial
 	decodeWS   *coding.PolyDecodeWorkspace
 	result     *mat.Dense
+	planBuf    sched.PlanBuffer // double-buffered round plans
 }
 
 // PolyRound reports one bilinear iteration.
@@ -91,7 +92,7 @@ func (c *PolyCluster) predictSpeeds(iter int) []float64 {
 func (c *PolyCluster) RunIteration(iter int, d []float64) (*PolyRound, error) {
 	n := c.Trace.NumWorkers()
 	predicted := c.predictSpeeds(iter)
-	plan, err := c.Strategy.Plan(predicted)
+	plan, err := c.planBuf.Next(c.Strategy, predicted)
 	if err != nil {
 		return nil, fmt.Errorf("sim: poly iteration %d: %w", iter, err)
 	}

@@ -38,6 +38,7 @@ package s2c2
 import (
 	"github.com/coded-computing/s2c2/internal/coding"
 	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
 	"github.com/coded-computing/s2c2/internal/predict"
 	"github.com/coded-computing/s2c2/internal/rpc"
@@ -318,8 +319,24 @@ type Worker = rpc.Worker
 // WorkerConfig configures a TCP worker.
 type WorkerConfig = rpc.WorkerConfig
 
+// MasterConfig configures a TCP master (execution pool, round-buffer
+// reuse).
+type MasterConfig = rpc.MasterConfig
+
+// Exec selects the worker pool and fan-out a component runs on; use it to
+// isolate co-tenant clusters in one process. The zero value shares the
+// process-wide pool.
+type Exec = kernel.Exec
+
+// NewKernelPool builds a dedicated compute pool of the given size for use
+// in an Exec (workers <= 0 selects GOMAXPROCS).
+func NewKernelPool(workers int) *kernel.Pool { return kernel.NewPool(workers) }
+
 // NewMaster listens for workers on addr (e.g. "127.0.0.1:0").
 func NewMaster(addr string) (*Master, error) { return rpc.NewMaster(addr) }
+
+// NewMasterWithConfig listens according to cfg.
+func NewMasterWithConfig(cfg MasterConfig) (*Master, error) { return rpc.NewMasterWithConfig(cfg) }
 
 // NewWorker dials the master and joins the cluster.
 func NewWorker(cfg WorkerConfig) (*Worker, error) { return rpc.NewWorker(cfg) }
