@@ -26,23 +26,32 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":7077", "listen address")
-		workers = flag.Int("workers", 4, "number of workers (n)")
-		k       = flag.Int("k", 3, "MDS recovery threshold (k)")
-		iters   = flag.Int("iters", 10, "gradient-descent iterations")
-		samples = flag.Int("samples", 2000, "dataset rows")
-		feats   = flag.Int("features", 200, "dataset columns")
-		timeout = flag.Float64("timeout", 0.15, "straggler timeout fraction (§4.3)")
+		listen      = flag.String("listen", ":7077", "listen address")
+		workers     = flag.Int("workers", 4, "number of workers (n)")
+		k           = flag.Int("k", 3, "MDS recovery threshold (k)")
+		iters       = flag.Int("iters", 10, "gradient-descent iterations")
+		samples     = flag.Int("samples", 2000, "dataset rows")
+		feats       = flag.Int("features", 200, "dataset columns")
+		timeout     = flag.Float64("timeout", 0.15, "straggler timeout fraction (§4.3)")
+		stall       = flag.Duration("stall-timeout", 0, "hard per-round stall deadline (0 = 30s default)")
+		chunkRows   = flag.Int("chunk-rows", 0, "rows per streamed partition chunk (0 = ~256 KiB chunks)")
+		chunkWindow = flag.Int("chunk-window", 0, "unacknowledged chunks in flight per worker (0 = 4)")
 	)
 	flag.Parse()
-	if err := run(*listen, *workers, *k, *iters, *samples, *feats, *timeout); err != nil {
+	cfg := rpc.MasterConfig{
+		Addr:         *listen,
+		StallTimeout: *stall,
+		ChunkRows:    *chunkRows,
+		ChunkWindow:  *chunkWindow,
+	}
+	if err := run(cfg, *workers, *k, *iters, *samples, *feats, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "s2c2-master:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, n, k, iters, samples, feats int, timeoutFrac float64) error {
-	m, err := rpc.NewMaster(listen)
+func run(cfg rpc.MasterConfig, n, k, iters, samples, feats int, timeoutFrac float64) error {
+	m, err := rpc.NewMasterWithConfig(cfg)
 	if err != nil {
 		return err
 	}

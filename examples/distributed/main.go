@@ -1,17 +1,19 @@
 // Distributed: a real TCP cluster on loopback — master plus four worker
 // processes-worth of goroutines, one of them an 8× straggler.
 //
-// This exercises the actual network runtime (gob over TCP, §6 of the
-// paper): coded partitions are shipped once, every round broadcasts the
-// vector plus per-worker S2C2 assignments, the master measures real
-// response times, applies the 15% timeout, and decodes from whichever
-// workers cover each row. The same binaries (cmd/s2c2-master,
+// This exercises the actual network runtime (the binary wire protocol
+// over TCP, §6 of the paper): coded partitions are streamed once in
+// credit-controlled chunks, every round broadcasts the vector plus
+// per-worker S2C2 assignments under a per-round context, the master
+// measures real response times, applies the 15% timeout, and decodes from
+// whichever workers cover each row. The same binaries (cmd/s2c2-master,
 // cmd/s2c2-worker) run across real machines.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -24,7 +26,12 @@ func main() {
 		n, k  = 4, 3
 		iters = 8
 	)
-	master, err := s2c2.NewMaster("127.0.0.1:0")
+	master, err := s2c2.NewMasterWithConfig(s2c2.MasterConfig{
+		Addr:         "127.0.0.1:0",
+		StallTimeout: 10 * time.Second, // fail rounds fast on a loopback demo
+		ChunkRows:    64,               // stream partitions in 64-row chunks
+		ChunkWindow:  4,                // ≤ 4 unacknowledged chunks in flight
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +88,12 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		partials, stats, err := master.RunRound(iter, 0, w, plan, k, 0.15)
+		// Each round runs under its own context: a caller could cancel a
+		// straggling round and move on instead of waiting out the stall
+		// deadline.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		partials, stats, err := master.RunRoundContext(ctx, iter, 0, w, plan, k, 0.15)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -40,13 +40,13 @@ func TotalRows(ranges []Range) int {
 // NormalizeRanges sorts ranges, drops empties, and merges overlaps,
 // returning a canonical minimal representation.
 func NormalizeRanges(ranges []Range) []Range {
-	return appendNormalizeRanges(make([]Range, 0, len(ranges)), ranges)
+	return AppendNormalizeRanges(make([]Range, 0, len(ranges)), ranges)
 }
 
-// appendNormalizeRanges is NormalizeRanges appending onto dst (which must
-// be empty) so hot paths can reuse a partial's Range storage. It performs
-// no allocation once dst has capacity.
-func appendNormalizeRanges(dst []Range, ranges []Range) []Range {
+// AppendNormalizeRanges is NormalizeRanges appending onto dst (which must
+// be empty and must not alias ranges) so hot paths can reuse a result's
+// Range storage. It performs no allocation once dst has capacity.
+func AppendNormalizeRanges(dst []Range, ranges []Range) []Range {
 	for _, r := range ranges {
 		if r.Len() > 0 {
 			dst = append(dst, r)

@@ -29,6 +29,10 @@ type LagrangeCode struct {
 	k, n   int
 	betas  []gf.Elem
 	alphas []gf.Elem
+	// parity[i-k][j] = ℓ_j(α_i) for the non-systematic shares: the mixing
+	// coefficients depend only on the code's points, so they are computed
+	// once here instead of on every encode.
+	parity [][]gf.Elem
 	exec   kernel.Exec
 }
 
@@ -46,7 +50,11 @@ func NewLagrangeCode(n, k int) (*LagrangeCode, error) {
 	for i := range alphas {
 		alphas[i] = gf.Elem(i + 1) // α_i = β_i for i < k → systematic prefix
 	}
-	return &LagrangeCode{k: k, n: n, betas: betas, alphas: alphas}, nil
+	parity := make([][]gf.Elem, n-k)
+	for i := k; i < n; i++ {
+		parity[i-k] = lagrangeBasisAt(betas, alphas[i])
+	}
+	return &LagrangeCode{k: k, n: n, betas: betas, alphas: alphas, parity: parity}, nil
 }
 
 // SetExec pins the code's parallel encode loops to the given pool and
@@ -80,6 +88,16 @@ func (c *LagrangeCode) MaxDegree() int {
 // Encode produces the n shares u(α_i) from k equal-length data blocks,
 // elementwise. Share i has the same length as each block.
 func (c *LagrangeCode) Encode(blocks [][]gf.Elem) ([][]gf.Elem, error) {
+	return c.EncodeInto(nil, blocks)
+}
+
+// EncodeInto is Encode writing into dst, reusing its share storage when
+// lengths match — the re-encode path of iterative Lagrange jobs, which
+// would otherwise re-allocate every share each iteration. dst == nil
+// allocates fresh shares; a non-nil dst must have n slots (their backing
+// arrays may be nil or of any capacity). Steady-state re-encodes with a
+// warm dst perform no allocation.
+func (c *LagrangeCode) EncodeInto(dst [][]gf.Elem, blocks [][]gf.Elem) ([][]gf.Elem, error) {
 	if len(blocks) != c.k {
 		return nil, fmt.Errorf("coding: got %d blocks for k=%d", len(blocks), c.k)
 	}
@@ -89,39 +107,48 @@ func (c *LagrangeCode) Encode(blocks [][]gf.Elem) ([][]gf.Elem, error) {
 			return nil, fmt.Errorf("coding: block %d has length %d, want %d", j, len(b), size)
 		}
 	}
-	shares := make([][]gf.Elem, c.n)
-	coeffs := make([][]gf.Elem, c.n)
+	if dst == nil {
+		dst = make([][]gf.Elem, c.n)
+	} else if len(dst) != c.n {
+		return nil, fmt.Errorf("coding: encode dst has %d shares, want %d", len(dst), c.n)
+	}
 	for i := 0; i < c.n; i++ {
-		// Systematic fast path: α_i == β_i for i < k.
+		dst[i] = kernel.GrowSlice(dst[i], size)
 		if i < c.k {
-			shares[i] = append([]gf.Elem(nil), blocks[i]...)
-			continue
+			// Systematic fast path: α_i == β_i for i < k.
+			copy(dst[i], blocks[i])
+		} else {
+			clear(dst[i])
 		}
-		// ℓ_j(α_i) coefficients, computed up front so the element sweep
-		// below can split freely across the pool.
-		coeffs[i] = lagrangeBasisAt(c.betas, c.alphas[i])
-		shares[i] = make([]gf.Elem, size)
 	}
 	if c.n == c.k {
-		return shares, nil // fully systematic: nothing left to mix
+		return dst, nil // fully systematic: nothing left to mix
 	}
 	// Band-split the parity mixing over the element dimension: each
 	// participant owns elements [lo, hi) of every non-systematic share.
-	c.exec.For(size, encodeChunk(c.n-c.k, c.k, 1), func(lo, hi int) {
-		for i := c.k; i < c.n; i++ {
-			share := shares[i]
-			for j, b := range blocks {
-				cj := coeffs[i][j]
-				if cj == 0 {
-					continue
-				}
-				for e := lo; e < hi; e++ {
-					share[e] = gf.Add(share[e], gf.Mul(cj, b[e]))
-				}
-			}
+	// The serial case calls mixParity directly — no closure, so warm
+	// steady-state re-encodes allocate nothing.
+	if c.exec.Workers() == 1 {
+		c.mixParity(dst, blocks, 0, size)
+	} else {
+		c.exec.For(size, encodeChunk(c.n-c.k, c.k, 1), func(lo, hi int) {
+			c.mixParity(dst, blocks, lo, hi)
+		})
+	}
+	return dst, nil
+}
+
+// mixParity accumulates elements [lo, hi) of every non-systematic share
+// with the gf.Axpy mul-accumulate kernel over the cached ℓ_j(α_i)
+// coefficients.
+func (c *LagrangeCode) mixParity(shares, blocks [][]gf.Elem, lo, hi int) {
+	for i := c.k; i < c.n; i++ {
+		share := shares[i]
+		coeffs := c.parity[i-c.k]
+		for j, b := range blocks {
+			gf.Axpy(share[lo:hi], coeffs[j], b[lo:hi])
 		}
-	})
-	return shares, nil
+	}
 }
 
 // LagrangeWorkspace holds the reusable decode state of one LagrangeCode:
@@ -200,22 +227,13 @@ func (c *LagrangeCode) DecodeInto(dst [][]gf.Elem, results map[int][]gf.Elem, de
 		dst = make([][]gf.Elem, c.k)
 	}
 	for j := 0; j < c.k; j++ {
-		if len(dst[j]) != size {
-			dst[j] = make([]gf.Elem, size)
-		} else {
-			for e := range dst[j] {
-				dst[j][e] = 0
-			}
-		}
+		dst[j] = kernel.GrowSlice(dst[j], size)
+		clear(dst[j])
+		// Back-substitution: accumulate each selected worker's share into
+		// the output block with the mul-accumulate kernel.
 		block := dst[j]
 		for i, w := range workers {
-			wij := ws.weights[j][i]
-			if wij == 0 {
-				continue
-			}
-			for e, v := range results[w] {
-				block[e] = gf.Add(block[e], gf.Mul(wij, v))
-			}
+			gf.Axpy(block, ws.weights[j][i], results[w])
 		}
 	}
 	return dst, nil

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/kernel"
 )
 
 func TestLagrangeValidation(t *testing.T) {
@@ -204,5 +205,95 @@ func assertBlocksEqual(t *testing.T, got, want [][]gf.Elem) {
 				t.Fatalf("block %d elem %d: got %d want %d", j, e, got[j][e], want[j][e])
 			}
 		}
+	}
+}
+
+// TestLagrangeEncodeIntoMatchesEncode pins the share-reuse path: EncodeInto
+// over a warm destination must reuse every share's storage and produce
+// exactly the shares a fresh Encode produces.
+func TestLagrangeEncodeIntoMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	c, err := NewLagrangeCode(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 64
+	newBlocks := func() [][]gf.Elem {
+		blocks := make([][]gf.Elem, 3)
+		for j := range blocks {
+			blocks[j] = make([]gf.Elem, size)
+			for e := range blocks[j] {
+				blocks[j][e] = gf.New(rng.Uint64())
+			}
+		}
+		return blocks
+	}
+	blocks := newBlocks()
+	dst, err := c.EncodeInto(nil, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]*gf.Elem, len(dst))
+	for i := range dst {
+		base[i] = &dst[i][0]
+	}
+	for round := 0; round < 3; round++ {
+		blocks = newBlocks() // iterative job: the data changes every round
+		want, err := c.Encode(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.EncodeInto(dst, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if &got[i][0] != base[i] {
+				t.Fatalf("round %d: share %d storage was reallocated", round, i)
+			}
+			for e := range want[i] {
+				if got[i][e] != want[i][e] {
+					t.Fatalf("round %d: share %d element %d: %d != %d", round, i, e, got[i][e], want[i][e])
+				}
+			}
+		}
+	}
+	if _, err := c.EncodeInto(make([][]gf.Elem, 2), blocks); err == nil {
+		t.Fatal("EncodeInto must reject a dst with the wrong share count")
+	}
+}
+
+// TestLagrangeEncodeIntoZeroAllocsSteadyState is the re-encode alloc
+// regression: iterative Lagrange jobs re-encoding into a warm destination
+// must not allocate. Pinned on the serial path — parallel dispatch adds
+// one closure allocation by design (Pool.For documents it).
+func TestLagrangeEncodeIntoZeroAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	c, err := NewLagrangeCode(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetExec(kernel.Serial())
+	const size = 256
+	blocks := make([][]gf.Elem, 4)
+	for j := range blocks {
+		blocks[j] = make([]gf.Elem, size)
+		for e := range blocks[j] {
+			blocks[j][e] = gf.New(rng.Uint64())
+		}
+	}
+	dst, err := c.EncodeInto(nil, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		var err error
+		dst, err = c.EncodeInto(dst, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeInto allocates %v/op in steady state, want 0", allocs)
 	}
 }

@@ -166,7 +166,7 @@ func (e *EncodedMatrix) WorkerComputeInto(w int, x []float64, ranges []Range, ds
 	}
 	dst.Worker = w
 	dst.RowWidth = 1
-	dst.Ranges = appendNormalizeRanges(dst.Ranges[:0], ranges)
+	dst.Ranges = AppendNormalizeRanges(dst.Ranges[:0], ranges)
 	total := TotalRows(dst.Ranges)
 	dst.Values = kernel.Grow(dst.Values, total)
 	at := 0

@@ -73,7 +73,8 @@ func (c *GFMDSCode) Encode(rows, cols int, data []gf.Elem) (*GFEncodedMatrix, er
 		parts[i] = gf.NewMatrix(blockRows, cols)
 	}
 	// Band-split the field mixing across the pool: each participant owns
-	// rows [lo, hi) of every partition.
+	// rows [lo, hi) of every partition. The inner sweep is the gf.Axpy
+	// mul-accumulate kernel, not a scalar Add/Mul chain.
 	c.exec.For(blockRows, encodeChunk(c.n, c.k, cols), func(lo, hi int) {
 		for i := 0; i < c.n; i++ {
 			p := parts[i]
@@ -83,10 +84,7 @@ func (c *GFMDSCode) Encode(rows, cols int, data []gf.Elem) (*GFEncodedMatrix, er
 					continue
 				}
 				for r := lo; r < hi; r++ {
-					prow, brow := p.Row(r), blocks[j].Row(r)
-					for q := range prow {
-						prow[q] = gf.Add(prow[q], gf.Mul(g, brow[q]))
-					}
+					gf.Axpy(p.Row(r), g, blocks[j].Row(r))
 				}
 			}
 		}

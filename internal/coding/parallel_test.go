@@ -320,3 +320,69 @@ func BenchmarkPolyDecodeBatched(b *testing.B) {
 		}
 	}
 }
+
+// TestPolyDecodeParallelMatchesSerial pins the fanned-out decode scatter:
+// a decode spanning multiple per-worker-set segments must produce
+// bit-identical output on the pool and on the serial path (each output
+// row is accumulated by exactly one participant, in the same order).
+func TestPolyDecodeParallelMatchesSerial(t *testing.T) {
+	build := func(exec kernel.Exec) (*EncodedBilinear, []*Partial, []float64) {
+		rng := rand.New(rand.NewSource(74)) // same data both runs
+		a := mat.Rand(40, 256, rng)
+		code, err := NewPolyCode(6, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code.SetExec(exec)
+		enc, err := code.EncodeHessian(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.decodeFlops() < polyParallelMinFlops {
+			t.Fatalf("fixture below the parallel threshold: %d < %d", enc.decodeFlops(), polyParallelMinFlops)
+		}
+		d := make([]float64, 40)
+		for i := range d {
+			d[i] = rng.Float64()
+		}
+		// Two row segments with different worker sets: workers 0-3 cover
+		// the lower half, workers 2-5 the upper half.
+		half := enc.BlockColsA / 2
+		var partials []*Partial
+		for w := 0; w < 6; w++ {
+			var ranges []Range
+			switch {
+			case w < 2:
+				ranges = []Range{{0, half}}
+			case w < 4:
+				ranges = []Range{{0, enc.BlockColsA}}
+			default:
+				ranges = []Range{{half, enc.BlockColsA}}
+			}
+			partials = append(partials, enc.WorkerCompute(w, d, ranges))
+		}
+		return enc, partials, d
+	}
+	encS, partialsS, _ := build(kernel.Serial())
+	want, err := encS.DecodeInto(nil, partialsS, encS.NewDecodeWorkspace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	encP, partialsP, _ := build(kernel.Exec{Pool: kernel.NewPool(4)})
+	ws := encP.NewDecodeWorkspace()
+	for round := 0; round < 3; round++ {
+		got, err := encP.DecodeInto(nil, partialsP, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ws.segs) < 2 {
+			t.Fatalf("fixture produced %d segments, want >= 2", len(ws.segs))
+		}
+		wd, gd := want.Data(), got.Data()
+		for q := range wd {
+			if wd[q] != gd[q] {
+				t.Fatalf("round %d: decode differs at %d: %v vs %v", round, q, wd[q], gd[q])
+			}
+		}
+	}
+}

@@ -136,7 +136,7 @@ func (e *EncodedBilinear) WorkerComputeInto(w int, d []float64, ranges []Range, 
 	}
 	dst.Worker = w
 	dst.RowWidth = e.BlockColsB
-	dst.Ranges = appendNormalizeRanges(dst.Ranges[:0], ranges)
+	dst.Ranges = AppendNormalizeRanges(dst.Ranges[:0], ranges)
 	dst.Values = kernel.Grow(dst.Values, TotalRows(dst.Ranges)*e.BlockColsB)
 	at := 0
 	for _, r := range dst.Ranges {
@@ -161,6 +161,7 @@ type PolyDecodeWorkspace struct {
 	sets    []*polyInvSet
 	workers []int
 	segs    []rowSegment
+	segInvs []*mat.Dense // per-segment inverse, resolved before the scatter
 }
 
 // NewDecodeWorkspace returns an empty decode workspace for e.
@@ -208,50 +209,92 @@ func (e *EncodedBilinear) DecodeInto(dst *mat.Dense, partials []*Partial, ws *Po
 	if err := e.segmentRows(ws, ab); err != nil {
 		return nil, err
 	}
-	table := &ws.table
+	// Resolve every segment's interpolation inverse up front: the per-set
+	// cache mutates, so this stays serial, leaving the scatter below with
+	// read-only shared state.
+	if cap(ws.segInvs) < len(ws.segs) {
+		ws.segInvs = make([]*mat.Dense, len(ws.segs))
+	}
+	ws.segInvs = ws.segInvs[:len(ws.segs)]
 	for si := range ws.segs {
-		seg := &ws.segs[si]
-		inv, err := e.interpInverse(ws, seg.set)
+		inv, err := e.interpInverse(ws, ws.segs[si].set)
 		if err != nil {
 			return nil, err
 		}
-		// coeffs[exp] = Σ_i inv[exp][i] · rowvals_i, one BlockColsB-wide
-		// vector per polynomial coefficient exp = j + a·l.
-		for exp := 0; exp < ab; exp++ {
-			j := exp % c.a
-			l := exp / c.a
-			// Rows whose global output row j·BlockColsA+row falls into A's
-			// padding decode to nothing; clip once per (segment, exp).
-			rowHi := e.ColsA - j*e.BlockColsA
-			if rowHi > seg.hi {
-				rowHi = seg.hi
+		ws.segInvs[si] = inv
+	}
+	// Segments write disjoint output rows (a global row j·BlockColsA+row
+	// determines (j, row) uniquely, and each segment owns its row window),
+	// so they fan out on the code's pool once the decode is big enough to
+	// amortize dispatch; small decodes stay serial.
+	if e.decodeFlops() >= polyParallelMinFlops {
+		e.Code.exec.For(len(ws.segs), 1, func(lo, hi int) {
+			for si := lo; si < hi; si++ {
+				e.scatterSegment(ws, si, out)
 			}
-			if rowHi <= seg.lo {
-				continue
-			}
-			dstBase := l * e.BlockColsB
-			width := e.ColsB - dstBase // clip B's padding columns
-			if width > e.BlockColsB {
-				width = e.BlockColsB
-			}
-			if width <= 0 {
-				continue
-			}
-			for i, w := range seg.set {
-				f := inv.At(exp, i)
-				if f == 0 {
-					continue
-				}
-				offs := table.offsets[w]
-				vals := table.values[w]
-				for row := seg.lo; row < rowHi; row++ {
-					src := vals[offs[row] : offs[row]+width]
-					kernel.Axpy(f, src, out.Row(j*e.BlockColsA + row)[dstBase:dstBase+width])
-				}
-			}
+		})
+	} else {
+		for si := range ws.segs {
+			e.scatterSegment(ws, si, out)
 		}
 	}
 	return out, nil
+}
+
+// polyParallelMinFlops gates the decode scatter's fan-out: below it, pool
+// dispatch overhead outweighs the win and segments run serially.
+const polyParallelMinFlops = 128 << 10
+
+// decodeFlops estimates the scatter work of one full decode (2 flops per
+// accumulated value across ab coefficients × ab workers per row).
+func (e *EncodedBilinear) decodeFlops() int {
+	ab := e.Code.a * e.Code.b
+	return 2 * e.BlockColsA * ab * ab * e.BlockColsB
+}
+
+// scatterSegment accumulates one segment's rows into the output:
+// coeffs[exp] = Σ_i inv[exp][i] · rowvals_i, one BlockColsB-wide vector
+// per polynomial coefficient exp = j + a·l. Distinct segments touch
+// disjoint output rows, so concurrent calls never conflict.
+func (e *EncodedBilinear) scatterSegment(ws *PolyDecodeWorkspace, si int, out *mat.Dense) {
+	c := e.Code
+	ab := c.a * c.b
+	seg := &ws.segs[si]
+	inv := ws.segInvs[si]
+	table := &ws.table
+	for exp := 0; exp < ab; exp++ {
+		j := exp % c.a
+		l := exp / c.a
+		// Rows whose global output row j·BlockColsA+row falls into A's
+		// padding decode to nothing; clip once per (segment, exp).
+		rowHi := e.ColsA - j*e.BlockColsA
+		if rowHi > seg.hi {
+			rowHi = seg.hi
+		}
+		if rowHi <= seg.lo {
+			continue
+		}
+		dstBase := l * e.BlockColsB
+		width := e.ColsB - dstBase // clip B's padding columns
+		if width > e.BlockColsB {
+			width = e.BlockColsB
+		}
+		if width <= 0 {
+			continue
+		}
+		for i, w := range seg.set {
+			f := inv.At(exp, i)
+			if f == 0 {
+				continue
+			}
+			offs := table.offsets[w]
+			vals := table.values[w]
+			for row := seg.lo; row < rowHi; row++ {
+				src := vals[offs[row] : offs[row]+width]
+				kernel.Axpy(f, src, out.Row(j*e.BlockColsA + row)[dstBase:dstBase+width])
+			}
+		}
+	}
 }
 
 // rowSegment is a maximal run of partition rows [lo, hi) decoded by one

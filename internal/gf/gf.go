@@ -85,6 +85,46 @@ func Inv(a Elem) Elem {
 // Div returns a/b mod P.
 func Div(a, b Elem) Elem { return Mul(a, Inv(b)) }
 
+// mulAdd returns d + c·s mod P using Mersenne folding instead of a
+// hardware divide: for x < 2⁶³, x ≡ (x >> 31) + (x & P) (mod P), and two
+// folds bring any d + c·s product into [0, P+3), leaving one conditional
+// subtract. This is the scalar core of Axpy.
+func mulAdd(d, c, s Elem) Elem {
+	x := uint64(d) + uint64(c)*uint64(s) // < 2³¹ + (P−1)² < 2⁶³
+	x = (x >> 31) + (x & uint64(P))      // < 2³³
+	x = (x >> 31) + (x & uint64(P))      // < P + 4
+	if x >= P {
+		x -= P
+	}
+	return Elem(x)
+}
+
+// Axpy computes dst[i] ← dst[i] + c·src[i] over the field — the
+// mul-accumulate kernel of the coding layer's GF paths (MDS/Lagrange
+// encode mixing, decode back-substitution). It replaces the per-element
+// Add(Mul(...)) chain and its two hardware divides with branch-light
+// Mersenne folding, unrolled over four lanes. Results are exactly the
+// field operations' (this is modular arithmetic, not floating point).
+func Axpy(dst []Elem, c Elem, src []Elem) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf: Axpy length %d want %d", len(src), len(dst)))
+	}
+	if c == 0 {
+		return
+	}
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := mulAdd(dst[i], c, src[i])
+		d1 := mulAdd(dst[i+1], c, src[i+1])
+		d2 := mulAdd(dst[i+2], c, src[i+2])
+		d3 := mulAdd(dst[i+3], c, src[i+3])
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = mulAdd(dst[i], c, src[i])
+	}
+}
+
 // Matrix is a dense matrix over GF(P) in row-major order.
 type Matrix struct {
 	rows, cols int

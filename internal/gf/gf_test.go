@@ -6,6 +6,78 @@ import (
 	"testing/quick"
 )
 
+// TestAxpyMatchesScalarOps checks the mul-accumulate kernel against the
+// definitional Add/Mul chain over random data, every unroll-tail length,
+// and the field's edge values.
+func TestAxpyMatchesScalarOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edge := []Elem{0, 1, 2, Elem(P - 1), Elem(P - 2), Elem(P / 2)}
+	coeffs := append([]Elem{}, edge...)
+	for i := 0; i < 10; i++ {
+		coeffs = append(coeffs, New(rng.Uint64()))
+	}
+	for _, c := range coeffs {
+		for n := 0; n <= 17; n++ { // covers empty, tails 1-3, and full lanes
+			dst := make([]Elem, n)
+			src := make([]Elem, n)
+			for i := range dst {
+				if i < len(edge) {
+					dst[i], src[i] = edge[i], edge[(i+1)%len(edge)]
+				} else {
+					dst[i], src[i] = New(rng.Uint64()), New(rng.Uint64())
+				}
+			}
+			want := make([]Elem, n)
+			for i := range want {
+				want[i] = Add(dst[i], Mul(c, src[i]))
+			}
+			Axpy(dst, c, src)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("c=%d n=%d i=%d: Axpy %d != scalar %d", c, n, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAxpyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Axpy with mismatched lengths must panic")
+		}
+	}()
+	Axpy(make([]Elem, 3), 1, make([]Elem, 4))
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	dst := make([]Elem, 4096)
+	src := make([]Elem, 4096)
+	for i := range src {
+		src[i] = New(uint64(i) * 2654435761)
+	}
+	b.SetBytes(4096 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(dst, 123456789, src)
+	}
+}
+
+func BenchmarkAxpyScalarReference(b *testing.B) {
+	dst := make([]Elem, 4096)
+	src := make([]Elem, 4096)
+	for i := range src {
+		src[i] = New(uint64(i) * 2654435761)
+	}
+	b.SetBytes(4096 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst {
+			dst[j] = Add(dst[j], Mul(123456789, src[j]))
+		}
+	}
+}
+
 func TestFieldAxiomsSpot(t *testing.T) {
 	a, b := Elem(P-1), Elem(5)
 	if Add(a, b) != Elem(4) {

@@ -78,14 +78,20 @@ func (b *Buf) Put() {
 	bufClasses[c].Put(b)
 }
 
-// Grow returns s resized to length n, reallocating only when capacity is
-// insufficient. New space is NOT zeroed; see GrowZeroed.
-func Grow(s []float64, n int) []float64 {
+// GrowSlice returns s resized to length n, reallocating only when
+// capacity is insufficient — the one grow-don't-copy helper behind every
+// typed scratch slice in the stack. Contents of new space are
+// unspecified; on reallocation old contents are NOT carried over.
+func GrowSlice[T any](s []T, n int) []T {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]T, n)
 	}
 	return s[:n]
 }
+
+// Grow returns s resized to length n, reallocating only when capacity is
+// insufficient. New space is NOT zeroed; see GrowZeroed.
+func Grow(s []float64, n int) []float64 { return GrowSlice(s, n) }
 
 // GrowZeroed returns s resized to length n with every element zeroed.
 func GrowZeroed(s []float64, n int) []float64 {
@@ -95,9 +101,4 @@ func GrowZeroed(s []float64, n int) []float64 {
 }
 
 // GrowInts is Grow for int scratch (coverage counters, offsets).
-func GrowInts(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n)
-	}
-	return s[:n]
-}
+func GrowInts(s []int, n int) []int { return GrowSlice(s, n) }

@@ -1,14 +1,18 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/coded-computing/s2c2/internal/coding"
 	"github.com/coded-computing/s2c2/internal/kernel"
+	"github.com/coded-computing/s2c2/internal/mat"
 	"github.com/coded-computing/s2c2/internal/sched"
+	"github.com/coded-computing/s2c2/internal/wire"
 )
 
 // MasterConfig configures a master.
@@ -27,10 +31,90 @@ type MasterConfig struct {
 	// allocation-free; leave it false if round results must outlive the
 	// following round.
 	ReuseRound bool
+	// StallTimeout bounds how long a round waits for responders (both
+	// before and after reassignment) and how long a streamed partition
+	// transfer waits for a chunk credit. Zero selects 30 seconds.
+	StallTimeout time.Duration
+	// ChunkRows is the row granularity of streamed partition transfers
+	// on the wire transport. Zero sizes chunks to ~256 KiB of row data.
+	ChunkRows int
+	// ChunkWindow is the credit window of a streamed partition transfer:
+	// the number of unacknowledged chunks the master keeps in flight per
+	// worker. Zero selects 4; values are clamped to [1, 128].
+	ChunkWindow int
+}
+
+// defaultStallTimeout applies when MasterConfig.StallTimeout is zero.
+const defaultStallTimeout = 30 * time.Second
+
+// ackBuffer sizes each worker's credit channel; it only needs to cover
+// the largest permitted ChunkWindow plus slack for stale credits from an
+// aborted transfer.
+const ackBuffer = 256
+
+func (m *Master) stallTimeout() time.Duration {
+	if m.cfg.StallTimeout > 0 {
+		return m.cfg.StallTimeout
+	}
+	return defaultStallTimeout
+}
+
+func (m *Master) chunkRowsFor(cols int) int {
+	if cols < 1 {
+		cols = 1
+	}
+	// A chunk's row data must stay well under the receiver's frame limit
+	// no matter what ChunkRows was configured to; 32 MiB of float64s per
+	// chunk leaves ample headroom below maxRPCFrame. (A single row wider
+	// than that still ships as a one-row chunk — the rpc frame cap of
+	// 1 GiB covers rows up to 128 Mi columns.)
+	maxRows := (32 << 20) / 8 / cols
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	rows := m.cfg.ChunkRows
+	if rows <= 0 {
+		rows = 32 * 1024 / cols // ~256 KiB of float64 row data per chunk
+	}
+	if rows > maxRows {
+		rows = maxRows
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+func (m *Master) chunkWindow() int {
+	w := m.cfg.ChunkWindow
+	if w <= 0 {
+		w = 4
+	}
+	if w > 128 {
+		w = 128
+	}
+	return w
+}
+
+// workerConn is the master's per-worker connection state: the transport
+// plus the channels its readLoop uses to route flow-control credits and
+// signal connection loss.
+type workerConn struct {
+	t transport
+	// acks receives one (phase, seq) credit per stored partition chunk;
+	// the streaming sender blocks on it when its window is exhausted.
+	acks chan PartitionAck
+	// dead closes when the readLoop exits, so a partition transfer in
+	// flight fails promptly instead of waiting out the stall timeout.
+	dead chan struct{}
+	// xfer serializes partition transfers on this connection: concurrent
+	// DistributePartitions calls for different phases would otherwise
+	// consume (and drop) each other's credits off the shared acks channel.
+	xfer sync.Mutex
 }
 
 // Master coordinates a real TCP cluster: it accepts worker connections,
-// pushes coded partitions, runs assignment rounds, and decodes results.
+// streams coded partitions, runs assignment rounds, and decodes results.
 type Master struct {
 	cfg     MasterConfig
 	ln      net.Listener
@@ -39,13 +123,15 @@ type Master struct {
 	quit    chan struct{}
 
 	mu        sync.Mutex
-	workers   []*conn
+	workers   []*workerConn
 	closing   bool
 	blockRows map[int]int // phase → partition rows
 
 	wg      sync.WaitGroup // readLoops
 	round   roundWorkspace
 	planBuf sched.PlanBuffer
+	resPool sync.Pool    // *Result receive slots recycled across rounds
+	xferSeq atomic.Int64 // partition-transfer sequence (stale-ack fencing)
 }
 
 // NewMaster listens on addr (e.g. "127.0.0.1:0") with a default config.
@@ -77,10 +163,31 @@ func (m *Master) Addr() string { return m.ln.Addr().String() }
 // one process can host several masters without pool contention.
 func (m *Master) Exec() kernel.Exec { return m.cfg.Exec }
 
+// getResult returns a pooled receive slot (readLoops decode results into
+// these; RunRound recycles them once the round's partials are released).
+func (m *Master) getResult() *Result {
+	if v := m.resPool.Get(); v != nil {
+		return v.(*Result)
+	}
+	return &Result{}
+}
+
+func (m *Master) putResult(r *Result) { m.resPool.Put(r) }
+
+// handshakeTimeout bounds how long one accepted connection may take to
+// complete its handshake and hello before WaitForWorkers moves on.
+const handshakeTimeout = 5 * time.Second
+
 // WaitForWorkers accepts worker connections (assigning worker IDs in
-// connection order) until n are connected or the deadline expires. The
-// listener's accept deadline is cleared again on every return path, so a
-// later call — e.g. retrying after a timeout, or growing the cluster —
+// connection order) until n are connected or the deadline expires. Each
+// connection performs the wire handshake; its version byte selects the
+// binary frame transport or the gob fallback, so one cluster may mix both.
+// Connections that fail the handshake or hello — wrong magic, an
+// unsupported version, a stalled client — are rejected and accepting
+// continues; they cannot wedge the master.
+//
+// The listener's accept deadline is cleared again on every return path, so
+// a later call — e.g. retrying after a timeout, or growing the cluster —
 // starts fresh instead of failing on a stale deadline.
 func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 	if tl, ok := m.ln.(*net.TCPListener); ok {
@@ -89,16 +196,20 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 		}
 		defer tl.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
 	}
+	var lastReject error
 	for m.NumWorkers() < n {
 		c, err := m.ln.Accept()
 		if err != nil {
+			if lastReject != nil {
+				return fmt.Errorf("rpc: accept (have %d/%d workers, last rejected conn: %v): %w",
+					m.NumWorkers(), n, lastReject, err)
+			}
 			return fmt.Errorf("rpc: accept (have %d/%d workers): %w", m.NumWorkers(), n, err)
 		}
-		wc := newConn(c)
-		env, err := wc.recv()
-		if err != nil || env.Kind != KindHello {
-			wc.close()
-			return fmt.Errorf("rpc: bad hello from %s: %v", c.RemoteAddr(), err)
+		wc, err := m.admit(c)
+		if err != nil {
+			lastReject = fmt.Errorf("%s: %w", c.RemoteAddr(), err)
+			continue
 		}
 		m.mu.Lock()
 		id := len(m.workers)
@@ -110,13 +221,45 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 	return nil
 }
 
-// readLoop pumps one worker's results into the shared channel until the
-// connection drops or the master shuts down.
-func (m *Master) readLoop(id int, wc *conn) {
+// admit runs the handshake + hello exchange on a freshly accepted
+// connection under a deadline, returning the registered worker state or
+// closing the connection.
+func (m *Master) admit(c net.Conn) (*workerConn, error) {
+	c.SetDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck
+	version, err := wire.ReadHandshake(c)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	t, err := newTransport(c, version, m.stallTimeout())
+	if err != nil {
+		c.Close()
+		return nil, err // version mismatch: reject this conn, keep serving
+	}
+	var msg Msg
+	if err := t.recv(&msg); err != nil {
+		t.close()
+		return nil, fmt.Errorf("rpc: hello: %w", err)
+	}
+	if msg.Kind != KindHello {
+		t.close()
+		return nil, fmt.Errorf("rpc: first message kind %d, want hello", msg.Kind)
+	}
+	c.SetDeadline(time.Time{}) //nolint:errcheck
+	return &workerConn{t: t, acks: make(chan PartitionAck, ackBuffer), dead: make(chan struct{})}, nil
+}
+
+// readLoop pumps one worker's messages into the master until the
+// connection drops or the master shuts down: results go to the shared
+// round channel (decoded into pooled slots — the steady-state receive path
+// allocates nothing), partition acks return credits to the streaming
+// sender.
+func (m *Master) readLoop(id int, wc *workerConn) {
 	defer m.wg.Done()
+	defer close(wc.dead)
+	msg := &Msg{}
 	for {
-		env, err := wc.recv()
-		if err != nil {
+		if err := wc.t.recv(msg); err != nil {
 			if m.isClosing() {
 				return // orderly shutdown: the close raced the read, by design
 			}
@@ -126,12 +269,29 @@ func (m *Master) readLoop(id int, wc *conn) {
 			}
 			return
 		}
-		if env.Kind == KindResult && env.Result != nil {
-			env.Result.Worker = id
+		switch msg.Kind {
+		case KindResult:
+			r := m.getResult()
+			// Swap structs: the pooled slot takes the decoded message
+			// (slices included), the message slot inherits the pooled
+			// capacity for the next decode. No copying, no allocation.
+			*r, msg.Result = msg.Result, *r
+			r.Worker = id
 			select {
-			case m.results <- env.Result:
+			case m.results <- r:
 			case <-m.quit:
 				return
+			}
+		case KindPartitionAck:
+			// Never block the readLoop on the credit channel: a full
+			// buffer means stale acks from aborted transfers accumulated
+			// with nothing draining them, and parking here would stop
+			// Result forwarding for this worker permanently. Dropping is
+			// safe — credits are (phase, seq)-fenced, and an active
+			// transfer that loses one is bounded by its stall timeout.
+			select {
+			case wc.acks <- msg.PartAck:
+			default:
 			}
 		}
 	}
@@ -154,14 +314,18 @@ func (m *Master) NumWorkers() int {
 // (WaitForWorkers only ever appends under the lock), so callers may
 // iterate the length captured here but must not assume later growth is
 // invisible.
-func (m *Master) conns() []*conn {
+func (m *Master) conns() []*workerConn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.workers
 }
 
 // DistributePartitions ships phase p's coded partitions (partition w to
-// worker w). This is the one-time setup cost of coded computing.
+// worker w), all workers in parallel. On the wire transport each partition
+// is streamed in ChunkRows-row chunks under a ChunkWindow credit window —
+// the worker acknowledges every chunk it has stored, so peak transport
+// memory is O(chunk), not O(partition), on both ends. Gob-fallback workers
+// receive their partition as one monolithic message.
 func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
 	workers := m.conns()
 	if len(enc.Parts) != len(workers) {
@@ -171,13 +335,11 @@ func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) erro
 	errCh := make(chan error, len(workers))
 	for w, wc := range workers {
 		wg.Add(1)
-		go func(w int, wc *conn) {
+		go func(w int, wc *workerConn) {
 			defer wg.Done()
-			part := enc.Parts[w]
-			rows, cols := part.Dims()
-			errCh <- wc.send(&Envelope{Kind: KindPartition, Partition: &Partition{
-				Phase: phase, Rows: rows, Cols: cols, Data: part.Data(),
-			}})
+			if err := m.shipPartition(wc, phase, enc.Parts[w]); err != nil {
+				errCh <- fmt.Errorf("rpc: partition to worker %d: %w", w, err)
+			}
 		}(w, wc)
 	}
 	wg.Wait()
@@ -190,6 +352,93 @@ func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) erro
 	m.mu.Lock()
 	m.blockRows[phase] = enc.BlockRows
 	m.mu.Unlock()
+	return nil
+}
+
+// shipPartition delivers one partition over the connection's transport:
+// chunked with credit-based flow control on the wire transport, monolithic
+// on the gob fallback.
+func (m *Master) shipPartition(wc *workerConn, phase int, part *mat.Dense) error {
+	rows, cols := part.Dims()
+	if !wc.t.streamsPartitions() {
+		return wc.t.sendPartition(&Partition{Phase: phase, Rows: rows, Cols: cols, Data: part.Data()})
+	}
+	// One transfer at a time per connection: the credit channel is shared,
+	// so interleaved transfers would steal each other's acks.
+	wc.xfer.Lock()
+	defer wc.xfer.Unlock()
+	// With the transfer lock held, any credit still buffered belongs to an
+	// aborted earlier transfer and is provably dead — drain now so stale
+	// credits can never crowd this transfer's fresh ones out of the
+	// buffer (readLoop drops credits rather than block when it fills).
+drain:
+	for {
+		select {
+		case <-wc.acks:
+		default:
+			break drain
+		}
+	}
+	// The transfer sequence fences this stream: chunks carry it, acks echo
+	// it, and credits from any earlier (possibly aborted) transfer are
+	// dropped below instead of inflating this transfer's window or failing
+	// it spuriously.
+	seq := int(m.xferSeq.Add(1))
+	chunkRows := m.chunkRowsFor(cols)
+	if err := wc.t.sendPartitionStart(&PartitionStart{
+		Phase: phase, Seq: seq, Rows: rows, Cols: cols, ChunkRows: chunkRows,
+	}); err != nil {
+		return err
+	}
+	stall := m.stallTimeout()
+	timer := time.NewTimer(stall)
+	defer timer.Stop()
+	awaitCredit := func() error {
+		timer.Stop()
+		timer.Reset(stall)
+		for {
+			select {
+			case ack := <-wc.acks:
+				if ack.Phase != phase || ack.Seq != seq {
+					continue // stale credit from an aborted earlier transfer
+				}
+				return nil
+			case <-wc.dead:
+				return fmt.Errorf("rpc: connection lost mid-transfer")
+			case <-m.quit:
+				return fmt.Errorf("rpc: master shut down mid-transfer")
+			case <-timer.C:
+				return fmt.Errorf("rpc: no chunk credit within %v", stall)
+			}
+		}
+	}
+	window := m.chunkWindow()
+	outstanding := 0
+	data := part.Data()
+	for lo := 0; lo < rows; lo += chunkRows {
+		hi := lo + chunkRows
+		if hi > rows {
+			hi = rows
+		}
+		for outstanding >= window {
+			if err := awaitCredit(); err != nil {
+				return err
+			}
+			outstanding--
+		}
+		if err := wc.t.sendPartitionChunk(phase, seq, lo, hi, data[lo*cols:hi*cols]); err != nil {
+			return err
+		}
+		outstanding++
+	}
+	// Wait until the worker has stored every chunk: when shipPartition
+	// returns, the partition is usable, not merely in flight.
+	for outstanding > 0 {
+		if err := awaitCredit(); err != nil {
+			return err
+		}
+		outstanding--
+	}
 	return nil
 }
 
@@ -209,10 +458,10 @@ type RoundStats struct {
 // roundWorkspace is the master's reusable per-round gather state:
 // coverage counters, a per-(worker,row) delivery bitmap that makes
 // duplicate deliveries idempotent, the partial structs handed to the
-// decoder, response bookkeeping, and reassignment scratch. One warm
-// workspace makes the steady-state gather path allocation-free (the gob
-// layer's own decode allocations are the network's cost, not the
-// round's).
+// decoder, response bookkeeping, reassignment scratch, the pooled result
+// slots the round retains, and the round's reusable timers and send
+// struct. One warm workspace makes the whole steady-state round —
+// sending work, receiving results, decoding — allocation-free.
 type roundWorkspace struct {
 	stats RoundStats
 
@@ -232,6 +481,28 @@ type roundWorkspace struct {
 	extraMark   []bool // n×blockRows: row r reassigned to worker w this round
 	extraRows   []int
 	extraRanges [][]coding.Range
+
+	// retained lists the pooled result slots whose slices this round's
+	// partials alias; they recycle at the start of the next round.
+	retained []*Result
+	// workMsg is the reusable master→worker send struct (sends are
+	// synchronous, so one slot serves the whole round).
+	workMsg Work
+	// hardTimer and graceTimer are reused across rounds (Go 1.23 timer
+	// semantics: Stop+Reset without draining is race-free).
+	hardTimer  *time.Timer
+	graceTimer *time.Timer
+}
+
+// armTimer (re)arms one of the workspace's reusable timers.
+func armTimer(t **time.Timer, d time.Duration) *time.Timer {
+	if *t == nil {
+		*t = time.NewTimer(d)
+		return *t
+	}
+	(*t).Stop()
+	(*t).Reset(d)
+	return *t
 }
 
 // begin resets the workspace for a round of n workers over blockRows-row
@@ -267,10 +538,13 @@ func (ws *roundWorkspace) begin(n, blockRows, k int) {
 	for i := range ws.coveredBy {
 		ws.coveredBy[i] = false
 	}
-	// Each worker sends at most one result per Work message, and a round
+	// A worker normally sends one result per Work message, and a round
 	// sends at most one original plus one reassignment message per
-	// worker, so 2n partial structs cover any round; a misbehaving
-	// worker's surplus falls back to allocation.
+	// worker, so 2n partial structs cover the common case. Workers whose
+	// results exceed WorkerConfig.MaxResultRows split them into several
+	// messages — that surplus (like a misbehaving worker's) falls back to
+	// allocation, trading the 0-alloc property for bounded frames on
+	// multi-gigabyte partitions.
 	if cap(ws.partialSeq) < 2*n {
 		ws.partialSeq = make([]coding.Partial, 2*n)
 	}
@@ -284,6 +558,9 @@ func (ws *roundWorkspace) begin(n, blockRows, k int) {
 		ws.responded[i] = false
 	}
 	ws.respTimes = ws.respTimes[:0]
+	if cap(ws.retained) < 2*n {
+		ws.retained = make([]*Result, 0, 2*n)
+	}
 }
 
 // addResult folds one worker result into the round: it wraps the values
@@ -313,7 +590,12 @@ func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
 	p.Ranges = r.Ranges
 	p.Values = r.Values
 	ws.partials = append(ws.partials, p)
-	if !ws.responded[r.Worker] {
+	// A Partial segment contributes coverage but does not count as the
+	// worker having responded: response time (the §4.3 timeout's and the
+	// predictor's input) is recorded only when the final segment of a
+	// split result lands, so large results are not systematically
+	// under-measured.
+	if !r.Partial && !ws.responded[r.Worker] {
 		ws.responded[r.Worker] = true
 		ws.nResponded++
 		ws.stats.ResponseTime[r.Worker] = elapsed
@@ -343,14 +625,24 @@ func (m *Master) PlanRound(s sched.Strategy, speeds []float64) (*sched.Plan, err
 	return m.planBuf.Next(s, speeds)
 }
 
-// RunRound sends the plan's assignments for (iter, phase), gathers
+// RunRound is RunRoundContext with a background context.
+func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	return m.RunRoundContext(context.Background(), iter, phase, x, plan, k, timeoutFrac)
+}
+
+// RunRoundContext sends the plan's assignments for (iter, phase), gathers
 // partials until per-row coverage k is met, applying the §4.3 timeout:
 // once the first k workers respond, the rest get timeoutFrac of the mean
 // response time before their pending rows are reassigned to finished
 // workers. It returns the collected partials (decode with the encoder)
 // and the round's stats. With ReuseRound set, both alias the master's
 // round workspace and are valid until the next RunRound.
-func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+//
+// The context cancels the round between messages: when ctx is done the
+// round returns its error, abandoning any stragglers (their late results
+// are discarded by the next round's stale filter). The configured
+// StallTimeout still bounds the round independently of ctx.
+func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
 	m.mu.Lock()
 	blockRows := m.blockRows[phase]
 	m.mu.Unlock()
@@ -360,6 +652,7 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 	workers := m.conns()
 	n := len(workers)
 	ws := &m.round
+	m.recycleRound(ws)
 	ws.begin(n, blockRows, k)
 	start := time.Now()
 	active := 0
@@ -370,9 +663,8 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 			continue
 		}
 		ws.stats.AssignedRows[w] = rows
-		if err := wc.send(&Envelope{Kind: KindWork, Work: &Work{
-			Iter: iter, Phase: phase, X: x, Ranges: ranges,
-		}}); err != nil {
+		ws.workMsg = Work{Iter: iter, Phase: phase, X: x, Ranges: ranges}
+		if err := wc.t.sendWork(&ws.workMsg); err != nil {
 			return nil, nil, fmt.Errorf("rpc: send work to %d: %w", w, err)
 		}
 		active++
@@ -383,21 +675,26 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 
 	// Phase 1: wait for the first k responders (coded computing cannot
 	// decode with fewer).
-	hardDeadline := time.After(30 * time.Second)
+	hard := armTimer(&ws.hardTimer, m.stallTimeout())
+	defer hard.Stop()
 	for ws.nResponded < k {
 		select {
 		case r := <-m.results:
 			if r.Iter != iter || r.Phase != phase {
-				continue // stale result from a reassigned/abandoned round
+				m.putResult(r) // stale result from an abandoned round
+				continue
 			}
 			if err := ws.addResult(r, time.Since(start)); err != nil {
 				return nil, nil, err
 			}
+			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
 			return nil, nil, err
 		case <-m.quit:
 			return nil, nil, fmt.Errorf("rpc: master shut down during round (%d,%d)", iter, phase)
-		case <-hardDeadline:
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("rpc: round (%d,%d) canceled: %w", iter, phase, ctx.Err())
+		case <-hard.C:
 			return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled waiting for %d responders", iter, phase, k)
 		}
 	}
@@ -405,71 +702,76 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 		return m.finishRound(ws)
 	}
 
-	// Phase 2: grace window = timeoutFrac × mean response of the first k.
+	// Phase 2: grace window = timeoutFrac × mean response of the first k;
+	// when it expires, pending coverage is reassigned to responders and
+	// the round keeps collecting until coverage completes.
 	sortDurations(ws.respTimes)
 	mean := time.Duration(0)
 	for i := 0; i < k && i < len(ws.respTimes); i++ {
 		mean += ws.respTimes[i]
 	}
 	mean /= time.Duration(k)
-	grace := time.Duration(float64(mean) * timeoutFrac)
-	graceTimer := time.After(grace)
+	grace := armTimer(&ws.graceTimer, time.Duration(float64(mean)*timeoutFrac))
+	defer grace.Stop()
 	for ws.needed > 0 {
 		select {
 		case r := <-m.results:
 			if r.Iter != iter || r.Phase != phase {
+				m.putResult(r)
 				continue
 			}
 			if err := ws.addResult(r, time.Since(start)); err != nil {
 				return nil, nil, err
 			}
+			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
 			return nil, nil, err
 		case <-m.quit:
 			return nil, nil, fmt.Errorf("rpc: master shut down during round (%d,%d)", iter, phase)
-		case <-graceTimer:
-			// Timeout fired: reassign pending coverage to responders.
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("rpc: round (%d,%d) canceled: %w", iter, phase, ctx.Err())
+		case <-grace.C:
+			// Timeout fired: reassign pending coverage to responders
+			// (reassigned results arrive tagged with the same iter/phase,
+			// so the same collection loop finishes the round).
 			if err := m.reassign(ws, iter, phase, x, plan); err != nil {
 				return nil, nil, err
 			}
-			graceTimer = nil
-			// Collect until coverage completes (reassigned results arrive
-			// tagged with the same iter/phase).
-			for ws.needed > 0 {
-				select {
-				case r := <-m.results:
-					if r.Iter != iter || r.Phase != phase {
-						continue
-					}
-					if err := ws.addResult(r, time.Since(start)); err != nil {
-						return nil, nil, err
-					}
-				case err := <-m.errs:
-					return nil, nil, err
-				case <-m.quit:
-					return nil, nil, fmt.Errorf("rpc: master shut down during round (%d,%d)", iter, phase)
-				case <-hardDeadline:
-					return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled after reassignment", iter, phase)
-				}
-			}
-		case <-hardDeadline:
+		case <-hard.C:
 			return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled", iter, phase)
 		}
 	}
 	return m.finishRound(ws)
 }
 
+// recycleRound returns the previous round's pooled result slots to the
+// receive pool. Callers of the previous RunRound have released its
+// partials by contract (ReuseRound) or received copies (default), so the
+// slots are free for the readLoops to decode into again.
+func (m *Master) recycleRound(ws *roundWorkspace) {
+	for i, r := range ws.retained {
+		m.putResult(r)
+		ws.retained[i] = nil
+	}
+	ws.retained = ws.retained[:0]
+}
+
 // finishRound hands the gathered round to the caller: workspace-backed
-// when ReuseRound is set, deep-copied bookkeeping otherwise (values still
-// alias the per-message receive buffers, which nothing overwrites).
+// when ReuseRound is set, deep copies otherwise (the pooled receive slots
+// the workspace-backed form aliases are overwritten by the next round, so
+// the default mode must not alias them).
 func (m *Master) finishRound(ws *roundWorkspace) ([]*coding.Partial, *RoundStats, error) {
 	if m.cfg.ReuseRound {
 		return ws.partials, &ws.stats, nil
 	}
 	partials := make([]*coding.Partial, len(ws.partials))
 	for i, p := range ws.partials {
-		q := *p
-		partials[i] = &q
+		partials[i] = &coding.Partial{
+			Worker:   p.Worker,
+			RowWidth: p.RowWidth,
+			Ranges:   append([]coding.Range(nil), p.Ranges...),
+			Values:   append([]float64(nil), p.Values...),
+		}
 	}
 	stats := &RoundStats{
 		ResponseTime: append([]time.Duration(nil), ws.stats.ResponseTime...),
@@ -541,9 +843,8 @@ func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64, plan
 		if len(ranges) == 0 {
 			continue
 		}
-		if err := workers[w].send(&Envelope{Kind: KindWork, Work: &Work{
-			Iter: iter, Phase: phase, X: x, Ranges: ranges,
-		}}); err != nil {
+		ws.workMsg = Work{Iter: iter, Phase: phase, X: x, Ranges: ranges}
+		if err := workers[w].t.sendWork(&ws.workMsg); err != nil {
 			return err
 		}
 		ws.stats.AssignedRows[w] += ws.extraRows[w]
@@ -574,12 +875,12 @@ func (m *Master) Shutdown() {
 		return
 	}
 	m.closing = true
-	workers := append([]*conn(nil), m.workers...)
+	workers := append([]*workerConn(nil), m.workers...)
 	m.mu.Unlock()
 	close(m.quit) // unblock readers parked on a full results channel
 	for _, wc := range workers {
-		wc.send(&Envelope{Kind: KindShutdown}) //nolint:errcheck // best effort
-		wc.close()
+		wc.t.sendShutdown() //nolint:errcheck // best effort
+		wc.t.close()
 	}
 	m.ln.Close()
 	m.wg.Wait()

@@ -1,0 +1,6 @@
+//go:build !race
+
+package rpc
+
+// raceEnabled flags the race detector; see race_test.go.
+const raceEnabled = false

@@ -1,50 +1,104 @@
 // Package rpc is the real-network runtime of the system: a master and
-// worker speaking a gob-encoded protocol over TCP (stdlib net only). It
-// mirrors the paper's implementation (§6): the master encodes and
-// distributes coded partitions once, then each iteration broadcasts the
-// input vector together with per-worker S2C2 work assignments; workers run
-// the coded kernel over their assigned row ranges and stream results back;
-// the master measures per-worker response times (the predictor's input),
-// applies the §4.3 timeout, reassigns pending coverage, and decodes.
+// worker speaking a framed binary protocol over TCP (stdlib net only). It
+// mirrors the paper's implementation (§6): the master encodes the data
+// once and streams coded partitions to the workers in bounded, credit-
+// controlled chunks; each iteration broadcasts the input vector together
+// with per-worker S2C2 work assignments; workers run the coded kernel over
+// their assigned row ranges and stream results back; the master measures
+// per-worker response times (the predictor's input), applies the §4.3
+// timeout, reassigns pending coverage, and decodes.
+//
+// Transport: every connection opens with the wire-package handshake. The
+// default encoding (wire.VersionWire) is the length-prefixed binary frame
+// format of internal/wire — per-connection send/receive buffers are reused
+// across messages, payloads decode straight into caller-owned storage, and
+// the steady-state network round allocates nothing on the master. The
+// legacy encoding/gob envelope stream (wire.VersionGob) remains available
+// behind the handshake version byte as a compatibility fallback; a single
+// master serves both kinds of worker at once.
 //
 // Workers accept an artificial slowdown factor so straggler scenarios are
 // reproducible on a laptop (the controlled-cluster methodology of §6.5).
 package rpc
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/kernel"
+	"github.com/coded-computing/s2c2/internal/wire"
 )
 
-// Kind discriminates protocol envelopes.
+// Kind discriminates protocol messages.
 type Kind int
 
-// Protocol message kinds.
+// Protocol message kinds. The first five keep their historical values so
+// the gob envelope encoding stays stable; note that cross-version
+// compatibility is governed by the handshake (pre-handshake peers are
+// rejected at admit), not by these values.
 const (
-	KindHello Kind = iota + 1
-	KindPartition
+	KindHello     Kind = iota + 1
+	KindPartition      // monolithic partition (gob fallback only)
 	KindWork
 	KindResult
 	KindShutdown
+	KindPartitionStart // begin a streamed partition (wire transport)
+	KindPartitionChunk // one row band of a streamed partition
+	KindPartitionAck   // chunk stored; returns one flow-control credit
 )
 
-// Hello is the worker's first message after dialing.
+// Hello is the worker's first message after the transport handshake.
 type Hello struct {
 	// Slowdown is the worker's self-reported artificial slowdown factor
 	// (1 = full speed); used only for logging/experiments.
 	Slowdown float64
 }
 
-// Partition carries one phase's coded partition to a worker.
+// Partition carries one phase's whole coded partition in a single message.
+// Only the gob fallback ships partitions this way; the wire transport
+// streams PartitionStart + PartitionChunk instead so peak transport memory
+// is O(chunk), not O(partition).
 type Partition struct {
 	Phase int
 	Rows  int
 	Cols  int
 	Data  []float64
+}
+
+// PartitionStart announces a streamed partition: the worker allocates the
+// Rows×Cols destination matrix and expects chunks covering every row.
+// Seq identifies this transfer; chunks carry it and acks echo it, so
+// credits from an aborted earlier transfer can never be mistaken for this
+// one's (they would otherwise inflate the flow-control window or fail a
+// healthy later transfer).
+type PartitionStart struct {
+	Phase     int
+	Seq       int
+	Rows      int
+	Cols      int
+	ChunkRows int // row granularity the master will stream at (informational)
+}
+
+// PartitionChunk carries rows [Lo, Hi) of a streamed partition. The row
+// data stays in the receive buffer until the worker decodes it straight
+// into the partition matrix (Msg.ChunkInto). Only the wire transport
+// streams chunks; the gob fallback ships partitions monolithically.
+type PartitionChunk struct {
+	Phase  int
+	Seq    int
+	Lo, Hi int
+}
+
+// PartitionAck acknowledges one stored chunk, returning a flow-control
+// credit to the master's streaming window for transfer (Phase, Seq).
+type PartitionAck struct {
+	Phase int
+	Seq   int
 }
 
 // Work assigns row ranges for one round.
@@ -55,18 +109,23 @@ type Work struct {
 	Ranges []coding.Range
 }
 
-// Result returns the computed rows.
+// Result returns the computed rows. A result larger than the worker's
+// MaxResultRows arrives as several messages; every segment but the last
+// sets Partial, so the master counts the worker as responded — and
+// records its response time for the §4.3 timeout and the speed predictor
+// — only when the full result has been delivered.
 type Result struct {
 	Iter         int
 	Phase        int
 	Worker       int
+	Partial      bool
 	Ranges       []coding.Range
 	Values       []float64
 	ComputeNanos int64
 }
 
-// Envelope is the single wire type; exactly one payload field is set,
-// per Kind.
+// Envelope is the gob fallback's single wire type; exactly one payload
+// field is set, per Kind. The wire transport does not use it.
 type Envelope struct {
 	Kind      Kind
 	Hello     *Hello
@@ -75,39 +134,408 @@ type Envelope struct {
 	Result    *Result
 }
 
-// conn wraps a TCP connection with gob codecs and a write lock. close is
-// idempotent, so a shutdown path and an error path may both close it.
-type conn struct {
-	c         net.Conn
-	enc       *gob.Encoder
-	dec       *gob.Decoder
+// Msg is a reusable receive slot: transport.recv decodes the next message
+// into it, overwriting slice fields in place (capacity is retained across
+// messages). A message that must outlive the next recv — a Work handed to
+// a concurrent handler, a Result queued for the round — is transferred out
+// by swapping structs with a pooled instance, which moves slice ownership
+// without copying.
+type Msg struct {
+	Kind      Kind
+	Hello     Hello
+	Partition Partition
+	PartStart PartitionStart
+	PartChunk PartitionChunk
+	PartAck   PartitionAck
+	Work      Work
+	Result    Result
+
+	// chunk holds the undecoded row payload of a wire-transport
+	// PartitionChunk until ChunkInto drains it into the destination rows.
+	chunk *wire.Payload
+}
+
+// ChunkInto decodes the pending partition chunk's row data into dst, the
+// caller-owned matrix rows [Lo, Hi) — the only copy the data makes after
+// the socket read. It drains the chunk: a second call (or a call on a
+// message that is not a partition chunk) is an error.
+func (m *Msg) ChunkInto(dst []float64) error {
+	if m.chunk == nil {
+		return fmt.Errorf("rpc: no pending chunk payload")
+	}
+	p := m.chunk
+	m.chunk = nil
+	return p.Float64sInto(dst)
+}
+
+// transport is the message layer spoken over one connection. Sends may be
+// called from multiple goroutines (implementations serialize internally);
+// recv must only be called from the connection's single reader goroutine.
+type transport interface {
+	sendHello(h *Hello) error
+	sendWork(w *Work) error
+	sendResult(r *Result) error
+	sendShutdown() error
+	sendPartition(p *Partition) error
+	sendPartitionStart(p *PartitionStart) error
+	sendPartitionChunk(phase, seq, lo, hi int, data []float64) error
+	sendPartitionAck(phase, seq int) error
+	// streamsPartitions reports whether partitions ship as
+	// PartitionStart/Chunk streams (true) or as one monolithic
+	// Partition message (false) — the capability the master's
+	// distribution path dispatches on.
+	streamsPartitions() bool
+	recv(m *Msg) error
+	close() error
+}
+
+// maxRPCFrame is the frame-body cap the rpc transport accepts — larger
+// than wire.DefaultMaxFrame so a single partition row, work broadcast, or
+// result segment of an extremely wide matrix (up to 128 Mi float64s)
+// still fits one frame, while corrupt or hostile length prefixes are
+// still rejected before any buffer is sized to them.
+const maxRPCFrame = 1 << 30
+
+// newTransport wraps an accepted/dialed connection in the transport
+// selected by the handshake version byte. writeTimeout bounds every frame
+// write: a peer that stops reading (frozen process, full socket buffer)
+// makes sends fail with a deadline error instead of blocking forever
+// while holding the connection's write mutex — which would otherwise
+// wedge rounds, partition transfers, and even Shutdown's best-effort
+// goodbye.
+func newTransport(c net.Conn, version byte, writeTimeout time.Duration) (transport, error) {
+	switch version {
+	case wire.VersionWire:
+		return newWireConn(c, writeTimeout), nil
+	case wire.VersionGob:
+		return newGobConn(c, writeTimeout), nil
+	default:
+		return nil, fmt.Errorf("rpc: unsupported protocol version %d", version)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// wire transport
+
+// wireConn frames messages with internal/wire. One Writer (guarded by mu)
+// and one Reader per connection; both reuse their buffers across messages,
+// so a steady-state round performs no per-message allocation.
+type wireConn struct {
+	c            net.Conn
+	br           *bufio.Reader
+	writeTimeout time.Duration
+
+	mu sync.Mutex // serializes frame writes
+	w  *wire.Writer
+	r  *wire.Reader
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newWireConn(c net.Conn, writeTimeout time.Duration) *wireConn {
+	br := bufio.NewReaderSize(c, 64<<10)
+	r := wire.NewReader(br)
+	r.SetMaxFrame(maxRPCFrame)
+	return &wireConn{c: c, br: br, writeTimeout: writeTimeout, w: wire.NewWriter(c), r: r}
+}
+
+// writeDeadlineFor scales a per-send write deadline with the payload —
+// the base timeout plus one second per MiB — so a large frame on a slow
+// link gets transfer time proportional to its size while a peer that has
+// stopped reading entirely is still detected within the base timeout.
+func writeDeadlineFor(base time.Duration, payloadBytes int) time.Duration {
+	return base + time.Duration(payloadBytes>>20)*time.Second
+}
+
+// end finishes the frame under construction and flushes it to the socket
+// under the write deadline. A deadline failure leaves a torn frame on the
+// stream, so the error is fatal for the connection (callers abort and the
+// peer's reader fails on the truncation).
+func (c *wireConn) end() error {
+	if c.c != nil && c.writeTimeout > 0 {
+		d := writeDeadlineFor(c.writeTimeout, c.w.PendingBytes())
+		c.c.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck
+	}
+	return c.w.End()
+}
+
+func (c *wireConn) sendHello(h *Hello) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypeHello)
+	c.w.Float64(h.Slowdown)
+	return c.end()
+}
+
+func (c *wireConn) sendWork(wk *Work) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypeWork)
+	c.w.Int(wk.Iter)
+	c.w.Int(wk.Phase)
+	c.w.Float64s(wk.X)
+	writeRanges(c.w, wk.Ranges)
+	return c.end()
+}
+
+func (c *wireConn) sendResult(r *Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypeResult)
+	c.w.Int(r.Iter)
+	c.w.Int(r.Phase)
+	c.w.Int(r.Worker)
+	if r.Partial {
+		c.w.Uvarint(1)
+	} else {
+		c.w.Uvarint(0)
+	}
+	c.w.Uvarint(uint64(r.ComputeNanos))
+	writeRanges(c.w, r.Ranges)
+	c.w.Float64s(r.Values)
+	return c.end()
+}
+
+func (c *wireConn) sendShutdown() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypeShutdown)
+	return c.end()
+}
+
+// sendPartition is the monolithic form; the wire transport streams
+// partitions instead, so shipping one as a single oversized frame would
+// defeat the bounded-memory design.
+func (c *wireConn) sendPartition(p *Partition) error {
+	return fmt.Errorf("rpc: wire transport streams partitions; use sendPartitionStart/Chunk")
+}
+
+func (c *wireConn) streamsPartitions() bool { return true }
+
+func (c *wireConn) sendPartitionStart(p *PartitionStart) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypePartitionStart)
+	c.w.Int(p.Phase)
+	c.w.Int(p.Seq)
+	c.w.Int(p.Rows)
+	c.w.Int(p.Cols)
+	c.w.Int(p.ChunkRows)
+	return c.end()
+}
+
+func (c *wireConn) sendPartitionChunk(phase, seq, lo, hi int, data []float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypePartitionChunk)
+	c.w.Int(phase)
+	c.w.Int(seq)
+	c.w.Int(lo)
+	c.w.Int(hi)
+	c.w.Float64s(data)
+	return c.end()
+}
+
+func (c *wireConn) sendPartitionAck(phase, seq int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypePartitionAck)
+	c.w.Int(phase)
+	c.w.Int(seq)
+	return c.end()
+}
+
+func (c *wireConn) recv(m *Msg) error {
+	typ, p, err := c.r.Next()
+	if err != nil {
+		return err
+	}
+	m.chunk = nil
+	switch typ {
+	case wire.TypeHello:
+		m.Kind = KindHello
+		m.Hello.Slowdown = p.Float64()
+	case wire.TypeWork:
+		m.Kind = KindWork
+		m.Work.Iter = p.Int()
+		m.Work.Phase = p.Int()
+		m.Work.X = p.Float64s(m.Work.X)
+		m.Work.Ranges = readRanges(p, m.Work.Ranges)
+	case wire.TypeResult:
+		m.Kind = KindResult
+		m.Result.Iter = p.Int()
+		m.Result.Phase = p.Int()
+		m.Result.Worker = p.Int()
+		m.Result.Partial = p.Uvarint() != 0
+		m.Result.ComputeNanos = int64(p.Uvarint())
+		m.Result.Ranges = readRanges(p, m.Result.Ranges)
+		m.Result.Values = p.Float64s(m.Result.Values)
+	case wire.TypePartitionStart:
+		m.Kind = KindPartitionStart
+		m.PartStart.Phase = p.Int()
+		m.PartStart.Seq = p.Int()
+		m.PartStart.Rows = p.Int()
+		m.PartStart.Cols = p.Int()
+		m.PartStart.ChunkRows = p.Int()
+	case wire.TypePartitionChunk:
+		m.Kind = KindPartitionChunk
+		m.PartChunk.Phase = p.Int()
+		m.PartChunk.Seq = p.Int()
+		m.PartChunk.Lo = p.Int()
+		m.PartChunk.Hi = p.Int()
+		if err := p.Err(); err != nil {
+			return err
+		}
+		m.chunk = p // row payload decoded by ChunkInto, straight into the matrix
+		return nil
+	case wire.TypePartitionAck:
+		m.Kind = KindPartitionAck
+		m.PartAck.Phase = p.Int()
+		m.PartAck.Seq = p.Int()
+	case wire.TypeShutdown:
+		m.Kind = KindShutdown
+	default:
+		return fmt.Errorf("rpc: unknown frame type %d", typ)
+	}
+	return p.Err()
+}
+
+func (c *wireConn) close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.c.Close() })
+	return c.closeErr
+}
+
+// writeRanges appends a count-prefixed list of [lo, hi) varint pairs.
+func writeRanges(w *wire.Writer, ranges []coding.Range) {
+	w.Int(len(ranges))
+	for _, r := range ranges {
+		w.Int(r.Lo)
+		w.Int(r.Hi)
+	}
+}
+
+// readRanges decodes a range list, reusing dst's capacity.
+func readRanges(p *wire.Payload, dst []coding.Range) []coding.Range {
+	n := p.Int()
+	// Every range costs at least two payload bytes; a count the remaining
+	// bytes cannot hold is corrupt, rejected before any allocation. The
+	// comparison divides rather than multiplies so a hostile count cannot
+	// overflow the guard.
+	if p.Err() != nil || n > p.Remaining()/2 {
+		p.Reject()
+		return dst[:0]
+	}
+	dst = kernel.GrowSlice(dst, n)
+	for i := range dst {
+		dst[i].Lo = p.Int()
+		dst[i].Hi = p.Int()
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// gob fallback transport
+
+// gobConn is the legacy envelope stream. Each message is one gob-encoded
+// Envelope; decode allocates per message (that is the fallback's cost).
+type gobConn struct {
+	c            net.Conn
+	enc          *gob.Encoder
+	dec          *gob.Decoder
+	writeTimeout time.Duration
+
 	mu        sync.Mutex
 	closeOnce sync.Once
 	closeErr  error
 }
 
-func newConn(c net.Conn) *conn {
-	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+func newGobConn(c net.Conn, writeTimeout time.Duration) *gobConn {
+	return &gobConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), writeTimeout: writeTimeout}
 }
 
-func (c *conn) send(e *Envelope) error {
+func (c *gobConn) send(e *Envelope) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.c != nil && c.writeTimeout > 0 {
+		// The gob fallback ships partitions monolithically, so the
+		// deadline must scale with the payload or a multi-GiB partition
+		// on a slow link would fail where the pre-deadline code worked.
+		bytes := 0
+		switch {
+		case e.Partition != nil:
+			bytes = 8 * len(e.Partition.Data)
+		case e.Work != nil:
+			bytes = 8 * len(e.Work.X)
+		case e.Result != nil:
+			bytes = 8 * len(e.Result.Values)
+		}
+		d := writeDeadlineFor(c.writeTimeout, bytes)
+		c.c.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck
+	}
 	return c.enc.Encode(e)
 }
 
-func (c *conn) recv() (*Envelope, error) {
-	var e Envelope
-	if err := c.dec.Decode(&e); err != nil {
-		return nil, err
-	}
-	if e.Kind == 0 {
-		return nil, fmt.Errorf("rpc: envelope missing kind")
-	}
-	return &e, nil
+func (c *gobConn) sendHello(h *Hello) error { return c.send(&Envelope{Kind: KindHello, Hello: h}) }
+func (c *gobConn) sendWork(w *Work) error   { return c.send(&Envelope{Kind: KindWork, Work: w}) }
+func (c *gobConn) sendResult(r *Result) error {
+	return c.send(&Envelope{Kind: KindResult, Result: r})
+}
+func (c *gobConn) sendShutdown() error { return c.send(&Envelope{Kind: KindShutdown}) }
+func (c *gobConn) sendPartition(p *Partition) error {
+	return c.send(&Envelope{Kind: KindPartition, Partition: p})
 }
 
-func (c *conn) close() error {
+// The streamed-partition messages exist only on the wire transport; the
+// gob fallback ships partitions monolithically.
+func (c *gobConn) sendPartitionStart(*PartitionStart) error {
+	return fmt.Errorf("rpc: gob transport does not stream partitions")
+}
+func (c *gobConn) sendPartitionChunk(int, int, int, int, []float64) error {
+	return fmt.Errorf("rpc: gob transport does not stream partitions")
+}
+func (c *gobConn) sendPartitionAck(int, int) error {
+	return fmt.Errorf("rpc: gob transport does not stream partitions")
+}
+
+func (c *gobConn) streamsPartitions() bool { return false }
+
+func (c *gobConn) recv(m *Msg) error {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return err
+	}
+	m.Kind = e.Kind
+	m.chunk = nil
+	switch e.Kind {
+	case KindHello:
+		if e.Hello == nil {
+			return fmt.Errorf("rpc: envelope missing hello payload")
+		}
+		m.Hello = *e.Hello
+	case KindPartition:
+		if e.Partition == nil {
+			return fmt.Errorf("rpc: envelope missing partition payload")
+		}
+		m.Partition = *e.Partition
+	case KindWork:
+		if e.Work == nil {
+			return fmt.Errorf("rpc: envelope missing work payload")
+		}
+		m.Work = *e.Work
+	case KindResult:
+		if e.Result == nil {
+			return fmt.Errorf("rpc: envelope missing result payload")
+		}
+		m.Result = *e.Result
+	case KindShutdown:
+	default:
+		return fmt.Errorf("rpc: envelope missing kind")
+	}
+	return nil
+}
+
+func (c *gobConn) close() error {
 	c.closeOnce.Do(func() { c.closeErr = c.c.Close() })
 	return c.closeErr
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package rpc
+
+// raceEnabled flags the race detector: allocation-regression tests skip
+// under it, because the detector's sync.Pool instrumentation deliberately
+// drops pooled items (forcing reallocation) and its own bookkeeping
+// allocates — neither reflects the production allocation profile.
+const raceEnabled = true

@@ -1,0 +1,649 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/sched"
+	"github.com/coded-computing/s2c2/internal/wire"
+)
+
+// startClusterCfg is startCluster with explicit master and worker config
+// control (transport selection, streaming knobs, stall deadline).
+func startClusterCfg(t *testing.T, n int, mcfg MasterConfig, wcfg func(i int) WorkerConfig) *Master {
+	t.Helper()
+	if mcfg.Addr == "" {
+		mcfg.Addr = "127.0.0.1:0"
+	}
+	m, err := NewMasterWithConfig(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	for i := 0; i < n; i++ {
+		cfg := wcfg(i)
+		cfg.MasterAddr = m.Addr()
+		go func() {
+			w, err := NewWorker(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			w.Run() //nolint:errcheck // shutdown closes the conn
+		}()
+		if err := m.WaitForWorkers(i+1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// runDeterministicRound runs one full-coverage (k = n) round on a fresh
+// cluster and returns the decoded product. With k = n every worker's
+// result enters the decode, so the output is independent of arrival order
+// — the property that makes transport comparisons bit-exact.
+func runDeterministicRound(t *testing.T, useGob bool, mcfg MasterConfig) []float64 {
+	t.Helper()
+	const n = 3
+	m := startClusterCfg(t, n, mcfg, func(i int) WorkerConfig {
+		return WorkerConfig{UseGob: useGob}
+	})
+	rng := rand.New(rand.NewSource(77))
+	a := mat.Rand(47, 6, rng)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	code, err := coding.NewMDSCode(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: n, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	plan, err := strat.Plan([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials, _, err := m.RunRound(0, 0, x, plan, n, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestGobWireDecodeBitIdentical is the transport-equivalence acceptance
+// criterion: the same round run over the gob fallback and over the wire
+// protocol must decode to bit-identical outputs (the wire format ships
+// raw IEEE-754 bits, so no value may change in transit).
+func TestGobWireDecodeBitIdentical(t *testing.T) {
+	gob := runDeterministicRound(t, true, MasterConfig{})
+	wireOut := runDeterministicRound(t, false, MasterConfig{})
+	if len(gob) != len(wireOut) {
+		t.Fatalf("length mismatch: gob %d, wire %d", len(gob), len(wireOut))
+	}
+	for i := range gob {
+		if gob[i] != wireOut[i] {
+			t.Fatalf("row %d: gob %v != wire %v", i, gob[i], wireOut[i])
+		}
+	}
+}
+
+// TestMixedTransportCluster runs one cluster where half the workers speak
+// the wire protocol and half the gob fallback: the handshake version byte
+// selects per connection, and rounds must decode correctly across both.
+func TestMixedTransportCluster(t *testing.T) {
+	n, k := 4, 3
+	m := startClusterCfg(t, n, MasterConfig{}, func(i int) WorkerConfig {
+		return WorkerConfig{UseGob: i%2 == 0, PerRowDelay: 50 * time.Microsecond}
+	})
+	rng := rand.New(rand.NewSource(78))
+	a := mat.Rand(36, 5, rng)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	want := mat.MatVec(a, x)
+	for iter := 0; iter < 3; iter++ {
+		plan, err := strat.Plan([]float64{1, 1, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials, _, err := m.RunRound(iter, 0, x, plan, k, 10.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.DecodeMatVec(partials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.VecApproxEqual(got, want, 1e-8) {
+			t.Fatalf("iteration %d: mixed-transport decode mismatch", iter)
+		}
+	}
+}
+
+// TestChunkedDistributionTinyChunks forces many-chunk streams (one row
+// per chunk, window 2) and checks the reassembled partitions compute the
+// right products — the credit-based flow control path under maximal
+// chunking.
+func TestChunkedDistributionTinyChunks(t *testing.T) {
+	n, k := 3, 2
+	m := startClusterCfg(t, n, MasterConfig{ChunkRows: 1, ChunkWindow: 2},
+		func(i int) WorkerConfig { return WorkerConfig{} })
+	rng := rand.New(rand.NewSource(79))
+	a := mat.Rand(30, 4, rng)
+	x := []float64{0.25, -1, 2, 0.5}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	plan, _ := strat.Plan([]float64{1, 1, 1})
+	partials, _, err := m.RunRound(0, 0, x, plan, k, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecApproxEqual(got, mat.MatVec(a, x), 1e-8) {
+		t.Fatal("decode mismatch after tiny-chunk distribution")
+	}
+}
+
+// TestHandshakeVersionMismatch pins the handshake rejection path: clients
+// with the wrong magic or an unsupported version byte are turned away
+// without wedging the master, which keeps serving well-formed workers.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+
+	// Client 1: right magic, unknown version byte.
+	badVersion, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer badVersion.Close()
+	if _, err := badVersion.Write([]byte{'S', '2', 'C', '2', 99}); err != nil {
+		t.Fatal(err)
+	}
+	// Client 2: wrong magic entirely.
+	badMagic, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer badMagic.Close()
+	if _, err := badMagic.Write([]byte("GARBAGE!!")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A real worker must still be admitted after both rejects.
+	go func() {
+		w, err := NewWorker(WorkerConfig{MasterAddr: m.Addr()})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		w.Run() //nolint:errcheck
+	}()
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatalf("master did not survive handshake rejects: %v", err)
+	}
+	if got := m.NumWorkers(); got != 1 {
+		t.Fatalf("NumWorkers = %d, want 1 (rejected conns must not register)", got)
+	}
+
+	// Both rejected connections must have been closed by the master.
+	for name, c := range map[string]net.Conn{"bad version": badVersion, "bad magic": badMagic} {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("%s conn still open after reject", name)
+		}
+	}
+}
+
+// TestWorkerRejectsCorruptFrames pins the worker-side framing guards: an
+// oversized length prefix and a truncated frame must both surface as
+// errors from Run, not decode garbage.
+func TestWorkerRejectsCorruptFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		send func(c net.Conn)
+		want string
+	}{
+		{
+			name: "oversized length prefix",
+			send: func(c net.Conn) {
+				c.Write(binary.AppendUvarint(nil, uint64(maxRPCFrame)+1)) //nolint:errcheck
+			},
+			want: "size limit",
+		},
+		{
+			name: "truncated frame",
+			send: func(c net.Conn) {
+				// Declare a 100-byte body, deliver 3, then close.
+				b := binary.AppendUvarint(nil, 100)
+				b = append(b, byte(wire.TypeWork), 0, 0)
+				c.Write(b) //nolint:errcheck
+				c.Close()
+			},
+			want: "unexpected EOF",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			done := make(chan error, 1)
+			go func() {
+				w, err := NewWorker(WorkerConfig{MasterAddr: ln.Addr().String()})
+				if err != nil {
+					done <- err
+					return
+				}
+				done <- w.Run()
+			}()
+			c, err := ln.Accept()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := wire.ReadHandshake(c); err != nil {
+				t.Fatal(err)
+			}
+			// Consume the hello frame so the stream position is clean.
+			r := wire.NewReader(c)
+			if typ, _, err := r.Next(); err != nil || typ != wire.TypeHello {
+				t.Fatalf("hello: %v %v", typ, err)
+			}
+			tc.send(c)
+			select {
+			case err := <-done:
+				if err == nil || !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("worker exited with %v, want error containing %q", err, tc.want)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("worker did not exit on corrupt frame")
+			}
+		})
+	}
+}
+
+// TestLargeResultsSplitAcrossMessages pins the result-size ceiling fix: a
+// result larger than maxResultRows must arrive as several range-aligned
+// Result messages (each a bounded frame), and the round must gather and
+// decode them exactly as if the result were monolithic.
+func TestLargeResultsSplitAcrossMessages(t *testing.T) {
+	n, k := 3, 2
+	m := startClusterCfg(t, n, MasterConfig{}, func(i int) WorkerConfig {
+		return WorkerConfig{MaxResultRows: 7} // force splitting on a laptop-sized fixture
+	})
+	rng := rand.New(rand.NewSource(82))
+	a := mat.Rand(60, 4, rng) // blockRows 30 >> 7: every worker splits
+	x := []float64{1, -0.5, 2, 0.25}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	plan, _ := strat.Plan([]float64{1, 1, 1})
+	partials, _, err := m.RunRound(0, 0, x, plan, k, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWorker := map[int]int{}
+	for _, p := range partials {
+		perWorker[p.Worker]++
+	}
+	for w, c := range perWorker {
+		if c < 2 {
+			t.Fatalf("worker %d delivered %d partials; expected split results", w, c)
+		}
+	}
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecApproxEqual(got, mat.MatVec(a, x), 1e-8) {
+		t.Fatal("decode mismatch over split results")
+	}
+}
+
+// TestWorkerRejectsOutOfOrderChunks pins the sequential-streaming guard:
+// a duplicate chunk could otherwise drive the remaining-row count to zero
+// and publish a partition whose uncovered rows are silently zero. The
+// worker must treat it as a protocol error instead.
+func TestWorkerRejectsOutOfOrderChunks(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		w, err := NewWorker(WorkerConfig{MasterAddr: ln.Addr().String()})
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- w.Run()
+	}()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := wire.ReadHandshake(c); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(c)
+	if typ, _, err := r.Next(); err != nil || typ != wire.TypeHello {
+		t.Fatalf("hello: %v %v", typ, err)
+	}
+	w := wire.NewWriter(c)
+	w.Begin(wire.TypePartitionStart)
+	w.Int(0) // phase
+	w.Int(1) // seq
+	w.Int(4) // rows
+	w.Int(1) // cols
+	w.Int(2) // chunk rows
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	sendChunk := func(lo, hi int) {
+		w.Begin(wire.TypePartitionChunk)
+		w.Int(0) // phase
+		w.Int(1) // seq
+		w.Int(lo)
+		w.Int(hi)
+		w.Float64s(make([]float64, hi-lo))
+		if err := w.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sendChunk(0, 2)
+	sendChunk(0, 2) // duplicate: would complete the row count without rows [2,4)
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "out of order") {
+			t.Fatalf("worker exited with %v, want out-of-order chunk error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not reject the duplicate chunk")
+	}
+}
+
+// TestDistributePartitionsConnDropMidStream drops the connection in the
+// middle of a chunked partition transfer: DistributePartitions must fail
+// promptly (the reader's death signal, not the stall deadline, ends the
+// wait) and report the transfer error.
+func TestDistributePartitionsConnDropMidStream(t *testing.T) {
+	m, err := NewMasterWithConfig(MasterConfig{
+		Addr:         "127.0.0.1:0",
+		ChunkRows:    1,
+		ChunkWindow:  2,
+		StallTimeout: 10 * time.Second, // must NOT be what bounds this test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+
+	// A hand-rolled wire client: handshake + hello, ack the first two
+	// chunks, then drop the connection mid-stream.
+	go func() {
+		c, err := net.Dial("tcp", m.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		if err := wire.WriteHandshake(c, wire.VersionWire); err != nil {
+			t.Error(err)
+			return
+		}
+		w := wire.NewWriter(c)
+		w.Begin(wire.TypeHello)
+		w.Float64(1)
+		if err := w.End(); err != nil {
+			t.Error(err)
+			return
+		}
+		r := wire.NewReader(c)
+		acked := 0
+		for {
+			typ, p, err := r.Next()
+			if err != nil {
+				return // master closed on us after the failure: fine
+			}
+			if typ != wire.TypePartitionChunk {
+				continue
+			}
+			phase, seq := p.Int(), p.Int()
+			if acked >= 2 {
+				return // defer closes the conn mid-stream
+			}
+			acked++
+			w.Begin(wire.TypePartitionAck)
+			w.Int(phase)
+			w.Int(seq)
+			if err := w.End(); err != nil {
+				return
+			}
+		}
+	}()
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	a := mat.NewFromRows([][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}})
+	code, _ := coding.NewMDSCode(1, 1)
+	enc := code.Encode(a)
+	start := time.Now()
+	err = m.DistributePartitions(0, enc)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("DistributePartitions succeeded despite a mid-stream connection drop")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("failure took %v — the drop was detected by the stall deadline, not the dead connection", elapsed)
+	}
+	// The partition must not have been installed for rounds.
+	plan := &sched.Plan{BlockRows: enc.BlockRows, Assignments: [][]coding.Range{{{Lo: 0, Hi: enc.BlockRows}}}}
+	if _, _, err := m.RunRound(0, 0, []float64{1}, plan, 1, 1.0); err == nil {
+		t.Fatal("round ran against a partition whose transfer failed")
+	}
+}
+
+// TestRunRoundContextCancel pins per-round cancellation: a canceled
+// context must end the round promptly with the context's error while the
+// cluster stays usable for the next round.
+func TestRunRoundContextCancel(t *testing.T) {
+	n, k := 2, 2
+	m := startClusterCfg(t, n, MasterConfig{}, func(i int) WorkerConfig {
+		return WorkerConfig{PerRowDelay: 20 * time.Millisecond} // slow enough to outlive the ctx
+	})
+	rng := rand.New(rand.NewSource(80))
+	a := mat.Rand(40, 4, rng)
+	x := []float64{1, 2, 3, 4}
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	plan, _ := strat.Plan([]float64{1, 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := m.RunRoundContext(ctx, 0, 0, x, plan, k, 10.0)
+	if err == nil {
+		t.Fatal("canceled round returned no error")
+	}
+	if !strings.Contains(err.Error(), "canceled") && !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("unexpected cancellation error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+
+	// The cluster must still complete a later round (the canceled round's
+	// late results are discarded by the stale filter).
+	partials, _, err := m.RunRound(1, 0, x, plan, k, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.DecodeMatVec(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecApproxEqual(got, mat.MatVec(a, x), 1e-8) {
+		t.Fatal("decode mismatch on the round after a cancellation")
+	}
+}
+
+// TestMasterStallTimeoutConfigurable pins the MasterConfig.StallTimeout
+// knob: a round against workers that never respond must fail after the
+// configured deadline, not the 30-second default.
+func TestMasterStallTimeoutConfigurable(t *testing.T) {
+	n, k := 2, 2
+	m := startClusterCfg(t, n, MasterConfig{StallTimeout: 100 * time.Millisecond},
+		func(i int) WorkerConfig {
+			return WorkerConfig{PerRowDelay: time.Second} // effectively never responds
+		})
+	rng := rand.New(rand.NewSource(81))
+	a := mat.Rand(20, 4, rng)
+	code, _ := coding.NewMDSCode(n, k)
+	enc := code.Encode(a)
+	if err := m.DistributePartitions(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	plan, _ := strat.Plan([]float64{1, 1})
+	start := time.Now()
+	_, _, err := m.RunRound(0, 0, []float64{1, 1, 1, 1}, plan, k, 10.0)
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v, want stall", err)
+	}
+	if elapsed < 80*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("stall fired after %v with a 100ms configured deadline", elapsed)
+	}
+}
+
+// TestMasterWireRoundZeroAllocsSteadyState is the transport acceptance
+// criterion: a steady-state round on the master — sending the work
+// assignments, receiving every result frame through the wire transport,
+// gathering, and decoding — allocates nothing. The harness drives the
+// master-side wireConn synchronously over an in-memory byte stream so the
+// measurement covers exactly the master's per-round path (frame encode,
+// frame decode into pooled slots, gather bookkeeping, decode).
+func TestMasterWireRoundZeroAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items, forcing reallocation")
+	}
+	enc, results, want := gatherFixture(t)
+	n, k := 10, 8
+
+	// Pre-encode the round's result frames once, as the workers would.
+	var stream bytes.Buffer
+	sender := &wireConn{w: wire.NewWriter(&stream)}
+	for _, r := range results {
+		if err := sender.sendResult(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := bytes.NewReader(stream.Bytes())
+	tc := &wireConn{w: wire.NewWriter(io.Discard), r: wire.NewReader(src)}
+
+	m := &Master{cfg: MasterConfig{ReuseRound: true}}
+	decWS := enc.NewDecodeWorkspace()
+	dst := make([]float64, enc.OrigRows)
+	x := make([]float64, enc.Cols)
+	assignment := []coding.Range{{Lo: 0, Hi: enc.BlockRows}}
+	msg := &Msg{}
+
+	runRound := func() {
+		ws := &m.round
+		m.recycleRound(ws)
+		ws.begin(n, enc.BlockRows, k)
+		// Send tasks: one work frame per active worker.
+		for w := 0; w < n; w++ {
+			ws.workMsg = Work{Iter: 0, Phase: 0, X: x, Ranges: assignment}
+			if err := tc.sendWork(&ws.workMsg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Receive results: decode each frame into a pooled slot (the
+		// readLoop's swap idiom) and gather.
+		src.Reset(stream.Bytes())
+		tc.r.Reset(src)
+		for range results {
+			if err := tc.recv(msg); err != nil {
+				t.Fatal(err)
+			}
+			if msg.Kind != KindResult {
+				t.Fatalf("kind %d", msg.Kind)
+			}
+			r := m.getResult()
+			*r, msg.Result = msg.Result, *r
+			if err := ws.addResult(r, time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			ws.retained = append(ws.retained, r)
+		}
+		if ws.needed != 0 {
+			t.Fatal("fixture round did not reach coverage")
+		}
+		partials, stats, err := m.finishRound(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.AssignedRows == nil {
+			t.Fatal("missing stats")
+		}
+		if _, err := enc.DecodeMatVecInto(dst, partials, decWS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runRound() // warm: sizes buffers, pools the result slots, factors the decode set
+	if !mat.VecApproxEqual(dst, want, 1e-8) {
+		t.Fatal("wire round fixture produced a wrong result")
+	}
+	allocs := testing.AllocsPerRun(50, runRound)
+	if allocs != 0 {
+		t.Fatalf("steady-state wire round allocates %v/op on the master, want 0", allocs)
+	}
+}

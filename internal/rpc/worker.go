@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/coded-computing/s2c2/internal/coding"
 	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/wire"
 )
 
 // WorkerConfig configures a worker daemon.
@@ -27,30 +29,105 @@ type WorkerConfig struct {
 	// on a single-core host); co-tenant workers in one process should cap
 	// MaxFan or bring their own pool.
 	Exec kernel.Exec
+	// UseGob selects the legacy gob envelope transport instead of the
+	// binary wire protocol — the compatibility fallback behind the
+	// handshake version byte.
+	UseGob bool
+	// MaxResultRows bounds one Result message's row count so result
+	// frames stay well under the receiver's frame limit no matter how
+	// large the partition is; larger results are split into several
+	// messages, which the master's gather accepts natively. Zero selects
+	// 4 Mi rows (≈ 32 MiB of values).
+	MaxResultRows int
+	// WriteTimeout is the base per-send write deadline (scaled up with
+	// payload size), mirroring MasterConfig.StallTimeout on the master
+	// side; raise it together with the master's on slow links. Zero
+	// selects 30 seconds.
+	WriteTimeout time.Duration
+}
+
+// partBuild is a streamed partition being assembled from chunks.
+type partBuild struct {
+	m         *mat.Dense
+	seq       int // transfer sequence, echoed in every chunk ack
+	remaining int // rows not yet received
+}
+
+// maxPartitionElems bounds the matrix a partition header may ask the
+// worker to allocate (16 GiB of float64), rejecting corrupt or hostile
+// headers before any allocation. Typed int64 so the constant (and the
+// bounds arithmetic below) stays valid on 32-bit platforms, and clamped
+// at init so Rows·Cols — and its byte count — always fits the platform
+// int (on 386, 2³¹ elements exactly would pass an int64-only check and
+// then overflow mat.New's int multiplication).
+var maxPartitionElems = func() int64 {
+	const want = int64(1) << 31
+	if host := int64(math.MaxInt / 8); host < want {
+		return host
+	}
+	return want
+}()
+
+// validPartitionDims is the one shape guard both partition ingest paths
+// (monolithic and streamed) apply: non-negative rows, positive cols, and
+// a Rows·Cols product bounded by division so a hostile header cannot
+// overflow the check into passing.
+func validPartitionDims(rows, cols int) bool {
+	return rows >= 0 && cols > 0 && int64(rows) <= maxPartitionElems/int64(cols)
 }
 
 // Worker is the daemon side of the runtime: it stores coded partitions
 // and executes assigned row ranges on demand.
 type Worker struct {
 	cfg WorkerConfig
-	c   *conn
+	c   transport
 
 	mu         sync.Mutex
 	partitions map[int]*mat.Dense // phase → coded partition
+	pending    map[int]*partBuild // phase → partition mid-stream
+
+	workPool sync.Pool // *Work slots for concurrent handlers
+	resPool  sync.Pool // *Result send slots
 }
 
-// NewWorker dials the master and performs the hello handshake.
+// NewWorker dials the master, performs the transport handshake (the
+// binary wire protocol by default, gob when cfg.UseGob is set), and sends
+// the hello.
 func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Slowdown <= 0 {
 		cfg.Slowdown = 1
+	}
+	if cfg.MaxResultRows <= 0 {
+		cfg.MaxResultRows = 4 << 20
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = defaultStallTimeout
 	}
 	nc, err := net.Dial("tcp", cfg.MasterAddr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial master: %w", err)
 	}
-	w := &Worker{cfg: cfg, c: newConn(nc), partitions: map[int]*mat.Dense{}}
-	if err := w.c.send(&Envelope{Kind: KindHello, Hello: &Hello{Slowdown: cfg.Slowdown}}); err != nil {
+	version := wire.VersionWire
+	if cfg.UseGob {
+		version = wire.VersionGob
+	}
+	if err := wire.WriteHandshake(nc, version); err != nil {
 		nc.Close()
+		return nil, err
+	}
+	t, err := newTransport(nc, version, cfg.WriteTimeout)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	w := &Worker{
+		cfg:        cfg,
+		c:          t,
+		partitions: map[int]*mat.Dense{},
+		pending:    map[int]*partBuild{},
+	}
+	if err := t.sendHello(&Hello{Slowdown: cfg.Slowdown}); err != nil {
+		t.close()
 		return nil, err
 	}
 	return w, nil
@@ -60,25 +137,123 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 // are served concurrently so a reassignment can overtake a slow round.
 func (w *Worker) Run() error {
 	defer w.c.close()
+	msg := &Msg{}
 	for {
-		env, err := w.c.recv()
-		if err != nil {
+		if err := w.c.recv(msg); err != nil {
 			return err
 		}
-		switch env.Kind {
+		switch msg.Kind {
 		case KindPartition:
-			p := env.Partition
+			// Monolithic partition (gob fallback): the decoded data is a
+			// fresh allocation, adopted as the matrix storage directly.
+			p := &msg.Partition
+			if !validPartitionDims(p.Rows, p.Cols) || len(p.Data) != p.Rows*p.Cols {
+				return fmt.Errorf("rpc: partition %dx%d with %d values", p.Rows, p.Cols, len(p.Data))
+			}
 			w.mu.Lock()
 			w.partitions[p.Phase] = mat.NewFromData(p.Rows, p.Cols, p.Data)
 			w.mu.Unlock()
+		case KindPartitionStart:
+			if err := w.startPartition(&msg.PartStart); err != nil {
+				return err
+			}
+		case KindPartitionChunk:
+			if err := w.storeChunk(msg); err != nil {
+				return err
+			}
 		case KindWork:
-			go w.handleWork(env.Work)
+			// Hand the assignment to a concurrent handler by swapping the
+			// message's Work with a pooled slot: ownership of the decoded
+			// slices moves without copying, and the next recv reuses the
+			// slot's old capacity.
+			job := w.getWork()
+			*job, msg.Work = msg.Work, *job
+			go w.handleWork(job)
 		case KindShutdown:
 			return nil
 		default:
-			return fmt.Errorf("rpc: worker got unexpected kind %d", env.Kind)
+			return fmt.Errorf("rpc: worker got unexpected kind %d", msg.Kind)
 		}
 	}
+}
+
+// startPartition allocates the destination matrix of a streamed
+// partition. Chunks decode straight into it; the partition becomes
+// visible to work requests only once every row has arrived.
+func (w *Worker) startPartition(ps *PartitionStart) error {
+	if !validPartitionDims(ps.Rows, ps.Cols) {
+		return fmt.Errorf("rpc: partition start %dx%d rejected", ps.Rows, ps.Cols)
+	}
+	b := &partBuild{m: mat.New(ps.Rows, ps.Cols), seq: ps.Seq, remaining: ps.Rows}
+	w.mu.Lock()
+	// The master serializes transfers per connection, so every build still
+	// pending when a new stream starts belongs to an abandoned transfer.
+	// Dropping them all bounds the memory pinned by aborted transfers to
+	// a single build.
+	clear(w.pending)
+	if b.remaining == 0 {
+		w.partitions[ps.Phase] = b.m
+	} else {
+		w.pending[ps.Phase] = b
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// storeChunk decodes one row band straight into the partition matrix
+// (the wire transport's zero-intermediate-copy path) and returns a credit
+// to the master's streaming window.
+func (w *Worker) storeChunk(msg *Msg) error {
+	pc := &msg.PartChunk
+	w.mu.Lock()
+	b := w.pending[pc.Phase]
+	w.mu.Unlock()
+	if b == nil {
+		return fmt.Errorf("rpc: chunk for phase %d with no partition in progress", pc.Phase)
+	}
+	if pc.Seq != b.seq {
+		return fmt.Errorf("rpc: chunk seq %d for phase %d, transfer in progress is seq %d", pc.Seq, pc.Phase, b.seq)
+	}
+	rows, cols := b.m.Dims()
+	if pc.Lo < 0 || pc.Hi > rows || pc.Lo >= pc.Hi {
+		return fmt.Errorf("rpc: chunk rows [%d,%d) outside partition [0,%d)", pc.Lo, pc.Hi, rows)
+	}
+	// The master streams rows strictly in order, so the chunk must start
+	// exactly where the previous one ended. Without this, a duplicate or
+	// overlapping chunk could drive `remaining` to zero and publish a
+	// partition whose uncovered rows are silently zero — corrupt results
+	// instead of a protocol error.
+	if got := rows - b.remaining; pc.Lo != got {
+		return fmt.Errorf("rpc: chunk rows [%d,%d) out of order, expected start %d", pc.Lo, pc.Hi, got)
+	}
+	if err := msg.ChunkInto(b.m.Data()[pc.Lo*cols : pc.Hi*cols]); err != nil {
+		return err
+	}
+	b.remaining -= pc.Hi - pc.Lo
+	if err := w.c.sendPartitionAck(pc.Phase, b.seq); err != nil {
+		return err
+	}
+	if b.remaining <= 0 {
+		w.mu.Lock()
+		w.partitions[pc.Phase] = b.m
+		delete(w.pending, pc.Phase)
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+func (w *Worker) getWork() *Work {
+	if v := w.workPool.Get(); v != nil {
+		return v.(*Work)
+	}
+	return &Work{}
+}
+
+func (w *Worker) getResult() *Result {
+	if v := w.resPool.Get(); v != nil {
+		return v.(*Result)
+	}
+	return &Result{}
 }
 
 // matVecChunk sizes row chunks so each is ~16k flops of mat-vec work.
@@ -93,11 +268,13 @@ func matVecChunk(cols int) int {
 	return chunk
 }
 
-// handleWork computes the assigned rows of this worker's partition. The
-// result values live in a pooled buffer (handleWork runs concurrently, so
-// per-goroutine scratch is borrowed, not owned) returned to the pool once
-// the synchronous gob send completes.
+// handleWork computes the assigned rows of this worker's partition into a
+// pooled result slot (handleWork runs concurrently, so per-goroutine
+// storage is borrowed, not owned) returned to the pool once the
+// synchronous send completes — the worker side of a steady-state round
+// allocates nothing either.
 func (w *Worker) handleWork(job *Work) {
+	defer w.workPool.Put(job)
 	w.mu.Lock()
 	part := w.partitions[job.Phase]
 	w.mu.Unlock()
@@ -105,13 +282,17 @@ func (w *Worker) handleWork(job *Work) {
 		return // partition not yet delivered; master will time us out
 	}
 	start := time.Now()
-	ranges := coding.NormalizeRanges(job.Ranges)
-	total := coding.TotalRows(ranges)
-	buf := kernel.GetBuf(total)
+	res := w.getResult()
+	// Reset every scalar field: a pooled slot may carry Partial=true from
+	// a split send whose error path skipped the final flush.
+	res.Iter, res.Phase, res.Worker, res.Partial = job.Iter, job.Phase, 0, false
+	res.Ranges = coding.AppendNormalizeRanges(res.Ranges[:0], job.Ranges)
+	total := coding.TotalRows(res.Ranges)
+	res.Values = kernel.Grow(res.Values, total)
 	cols := part.Cols()
 	at := 0
-	for _, r := range ranges {
-		seg := buf.F[at : at+r.Len()]
+	for _, r := range res.Ranges {
+		seg := res.Values[at : at+r.Len()]
 		lo := r.Lo
 		// Band-split the assigned rows on the worker's configured pool;
 		// on a one-core host (or MaxFan 1) this degenerates to the plain
@@ -122,6 +303,7 @@ func (w *Worker) handleWork(job *Work) {
 		at += r.Len()
 	}
 	elapsed := time.Since(start)
+	res.ComputeNanos = int64(elapsed)
 	// Straggler emulation: stretch compute time by the slowdown factor
 	// plus the per-row floor.
 	delay := time.Duration(float64(elapsed)*(w.cfg.Slowdown-1) +
@@ -129,12 +311,58 @@ func (w *Worker) handleWork(job *Work) {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
-	w.c.send(&Envelope{Kind: KindResult, Result: &Result{ //nolint:errcheck // conn errors surface in Run
-		Iter:         job.Iter,
-		Phase:        job.Phase,
-		Ranges:       ranges,
-		Values:       buf.F,
-		ComputeNanos: int64(elapsed),
-	}})
-	buf.Put()
+	w.sendResultBounded(res) //nolint:errcheck // conn errors surface in Run
+	w.resPool.Put(res)
+}
+
+// sendResultBounded sends res, splitting it into range-aligned segments
+// of at most cfg.MaxResultRows rows when necessary so result frames never
+// outgrow the receiver's frame limit.
+func (w *Worker) sendResultBounded(res *Result) error {
+	maxRows := w.cfg.MaxResultRows
+	total := coding.TotalRows(res.Ranges)
+	if total <= maxRows {
+		return w.c.sendResult(res)
+	}
+	sub := w.getResult()
+	sub.Iter, sub.Phase, sub.Worker, sub.ComputeNanos = res.Iter, res.Phase, res.Worker, res.ComputeNanos
+	sub.Ranges = sub.Ranges[:0]
+	var err error
+	at, rows := 0, 0 // consumed offset into res.Values, rows in the open segment
+	flush := func() {
+		// Only the segment completing the result clears Partial — the
+		// master counts the worker as responded on that one.
+		sub.Partial = at+rows < total
+		sub.Values = res.Values[at : at+rows]
+		err = w.c.sendResult(sub)
+		at += rows
+		rows = 0
+		sub.Ranges = sub.Ranges[:0]
+	}
+	for _, r := range res.Ranges {
+		lo := r.Lo
+		for lo < r.Hi && err == nil {
+			take := r.Hi - lo
+			if take > maxRows-rows {
+				take = maxRows - rows
+			}
+			sub.Ranges = append(sub.Ranges, coding.Range{Lo: lo, Hi: lo + take})
+			rows += take
+			lo += take
+			if rows == maxRows {
+				flush()
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if err == nil && rows > 0 {
+		flush()
+	}
+	// sub.Values aliased segments of res.Values; detach before pooling so
+	// two pooled results can never share a backing array.
+	sub.Values = nil
+	w.resPool.Put(sub)
+	return err
 }

@@ -1,0 +1,397 @@
+// Package wire is the binary framing layer of the network runtime: a
+// length-prefixed frame format with varint headers and raw little-endian
+// payloads, designed so both ends of a connection run allocation-free in
+// steady state.
+//
+// Every frame is
+//
+//	uvarint(len(body)) · body
+//	body = type byte · type-specific fields
+//
+// where multi-byte integers are unsigned varints and numeric bulk payloads
+// are raw element bytes (float64 as IEEE-754 bits, field elements as
+// uint32, both little-endian) prefixed by an element count. A Writer owns
+// one scratch buffer reused across frames; a Reader owns one receive
+// buffer plus a Payload cursor that decodes fields in place, so the only
+// per-message cost is the copy into caller-owned storage (matrices, pooled
+// result slices) — there is no intermediate message object.
+//
+// Connections open with a 5-byte handshake — the 4-byte magic "S2C2"
+// followed by a version byte — letting one listener speak both this format
+// (VersionWire) and the legacy gob encoding (VersionGob) per connection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Handshake versions. The version byte follows the 4-byte magic and
+// selects the message encoding for the rest of the connection.
+const (
+	// VersionGob selects the legacy encoding/gob envelope stream, kept as
+	// a compatibility fallback.
+	VersionGob byte = 0
+	// VersionWire selects this package's binary frame format.
+	VersionWire byte = 1
+)
+
+// magic opens every connection, before the version byte.
+var magic = [4]byte{'S', '2', 'C', '2'}
+
+// ErrBadMagic reports a handshake that does not start with the protocol
+// magic.
+var ErrBadMagic = errors.New("wire: bad handshake magic")
+
+// WriteHandshake sends the magic and version. The dialing side calls it
+// exactly once, before any frame.
+func WriteHandshake(w io.Writer, version byte) error {
+	var hs [5]byte
+	copy(hs[:], magic[:])
+	hs[4] = version
+	_, err := w.Write(hs[:])
+	return err
+}
+
+// ReadHandshake consumes and validates the magic, returning the peer's
+// version byte. Callers decide which versions they accept.
+func ReadHandshake(r io.Reader) (byte, error) {
+	var hs [5]byte
+	if _, err := io.ReadFull(r, hs[:]); err != nil {
+		return 0, fmt.Errorf("wire: handshake: %w", err)
+	}
+	if [4]byte(hs[:4]) != magic {
+		return 0, ErrBadMagic
+	}
+	return hs[4], nil
+}
+
+// Type discriminates frames. The zero value is invalid so a zeroed frame
+// can never masquerade as a message.
+type Type byte
+
+// Frame types of the master↔worker protocol.
+const (
+	TypeHello          Type = 1 + iota // worker → master: join
+	TypeWork                           // master → worker: row assignment
+	TypeResult                         // worker → master: computed rows
+	TypePartitionStart                 // master → worker: begin streamed partition
+	TypePartitionChunk                 // master → worker: one row band
+	TypePartitionAck                   // worker → master: chunk stored (credit return)
+	TypeShutdown                       // master → worker: exit
+)
+
+// DefaultMaxFrame bounds accepted frame bodies. Partitions are streamed in
+// bounded chunks, so legitimate frames are far smaller; the limit exists to
+// reject corrupt or hostile length prefixes before any buffer is sized to
+// them.
+const DefaultMaxFrame = 64 << 20
+
+// Frame decode errors. These are sentinel values (not fmt-wrapped per
+// message) so the receive path stays allocation-free.
+var (
+	// ErrFrameTooBig reports a length prefix above the reader's limit.
+	ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
+	// ErrTruncated reports a payload shorter than its fields claim.
+	ErrTruncated = errors.New("wire: truncated frame payload")
+	// ErrMalformed reports an undecodable varint or corrupt field.
+	ErrMalformed = errors.New("wire: malformed frame")
+)
+
+// Writer frames messages onto an io.Writer through one reused scratch
+// buffer: Begin starts a frame, the append methods build its body, End
+// length-prefixes and writes it. The body is built after a reserved header
+// region so the finished frame (prefix + body) goes out in a single Write.
+// Writers are not safe for concurrent use; the rpc layer serializes sends
+// per connection.
+type Writer struct {
+	w    io.Writer
+	buf  []byte // reserved header space, then the frame body
+	head [binary.MaxVarintLen64]byte
+}
+
+// headReserve is the space kept ahead of the body for the length prefix.
+const headReserve = binary.MaxVarintLen64
+
+// NewWriter returns a Writer framing onto w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Reset points the Writer at a new destination, keeping its buffer.
+func (w *Writer) Reset(dst io.Writer) { w.w = dst }
+
+// Begin starts a frame of the given type, discarding any unfinished frame.
+func (w *Writer) Begin(t Type) {
+	w.buf = growBytes(w.buf[:0], headReserve)
+	w.buf = append(w.buf, byte(t))
+}
+
+// Uvarint appends an unsigned varint field.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Int appends a non-negative int as a varint.
+func (w *Writer) Int(v int) { w.Uvarint(uint64(v)) }
+
+// Float64 appends one float64 as raw IEEE-754 bits.
+func (w *Writer) Float64(v float64) {
+	at := len(w.buf)
+	w.buf = growBytes(w.buf, at+8)
+	binary.LittleEndian.PutUint64(w.buf[at:], math.Float64bits(v))
+}
+
+// Float64s appends a count-prefixed float64 payload as raw IEEE-754 bits.
+func (w *Writer) Float64s(vs []float64) {
+	w.Uvarint(uint64(len(vs)))
+	at := len(w.buf)
+	w.buf = growBytes(w.buf, at+8*len(vs))
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(w.buf[at:], math.Float64bits(v))
+		at += 8
+	}
+}
+
+// Uint32s appends a count-prefixed uint32 payload (field-element rows).
+func (w *Writer) Uint32s(vs []uint32) {
+	w.Uvarint(uint64(len(vs)))
+	at := len(w.buf)
+	w.buf = growBytes(w.buf, at+4*len(vs))
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(w.buf[at:], v)
+		at += 4
+	}
+}
+
+// PendingBytes reports the size of the frame under construction (callers
+// use it to scale write deadlines with the payload).
+func (w *Writer) PendingBytes() int { return len(w.buf) }
+
+// End writes the frame started by Begin — the body's length prefix
+// followed by the body — as one Write call. The scratch buffer is retained
+// for the next frame.
+func (w *Writer) End() error {
+	body := len(w.buf) - headReserve
+	n := binary.PutUvarint(w.head[:], uint64(body))
+	start := headReserve - n
+	copy(w.buf[start:], w.head[:n])
+	_, err := w.w.Write(w.buf[start:])
+	return err
+}
+
+// Reader decodes frames from an io.Reader through one reused receive
+// buffer. Not safe for concurrent use.
+type Reader struct {
+	r        io.Reader
+	buf      []byte
+	pay      Payload
+	maxFrame int
+	// one-byte scratch for the length prefix (readByte without a bufio
+	// layer's allocation).
+	b [1]byte
+}
+
+// NewReader returns a Reader with the DefaultMaxFrame limit.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, maxFrame: DefaultMaxFrame}
+}
+
+// SetMaxFrame overrides the accepted frame-body limit.
+func (r *Reader) SetMaxFrame(n int) { r.maxFrame = n }
+
+// Reset points the Reader at a new source, keeping its buffers.
+func (r *Reader) Reset(src io.Reader) { r.r = src }
+
+// ReadByte reads one length-prefix byte. It exists so binary.ReadUvarint
+// can consume the prefix through the Reader itself without an adapter
+// allocation; wrap network sources in a bufio.Reader (as the rpc layer
+// does) to avoid single-byte reads hitting the kernel.
+func (r *Reader) ReadByte() (byte, error) {
+	if br, ok := r.r.(io.ByteReader); ok {
+		return br.ReadByte()
+	}
+	_, err := io.ReadFull(r.r, r.b[:1])
+	return r.b[0], err
+}
+
+// Next reads one frame, returning its type and a Payload cursor over the
+// body. The cursor (and any byte view it exposes) is valid only until the
+// next call to Next.
+func (r *Reader) Next() (Type, *Payload, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if size > uint64(r.maxFrame) {
+		return 0, nil, ErrFrameTooBig
+	}
+	if size < 1 {
+		return 0, nil, ErrMalformed // a frame has at least its type byte
+	}
+	r.buf = growBytes(r.buf, int(size))
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	r.pay = Payload{b: r.buf[1:]}
+	return Type(r.buf[0]), &r.pay, nil
+}
+
+// Payload is a decode cursor over one frame body. Decoding methods record
+// the first failure in a sticky error — callers run the field reads
+// straight through and check Err once at the end. All sticky errors are
+// package sentinels, so the error path allocates nothing.
+type Payload struct {
+	b   []byte
+	off int
+	err error
+}
+
+// Err returns the first decode failure, or nil.
+func (p *Payload) Err() error { return p.err }
+
+// Remaining reports the undecoded byte count.
+func (p *Payload) Remaining() int { return len(p.b) - p.off }
+
+// Reject marks the payload malformed. Decoders use it when a structurally
+// valid field fails a higher-level invariant (e.g. an element count that
+// cannot fit in the remaining bytes) so the failure surfaces through the
+// same sticky-error path as raw decode errors.
+func (p *Payload) Reject() {
+	if p.err == nil {
+		p.err = ErrMalformed
+	}
+}
+
+// Float64 decodes one float64 field (0 after a failure).
+func (p *Payload) Float64() float64 {
+	if p.err != nil {
+		return 0
+	}
+	if p.Remaining() < 8 {
+		p.err = ErrTruncated
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.b[p.off:]))
+	p.off += 8
+	return v
+}
+
+// Uvarint decodes one varint field (0 after a failure).
+func (p *Payload) Uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		if n == 0 {
+			p.err = ErrTruncated
+		} else {
+			p.err = ErrMalformed
+		}
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+// Int decodes a non-negative int field. Values above MaxInt/2 for the
+// platform's int are rejected, so the result is always safe to use in
+// size arithmetic.
+func (p *Payload) Int() int {
+	v := p.Uvarint()
+	if p.err == nil && v > math.MaxInt/2 {
+		p.err = ErrMalformed
+		return 0
+	}
+	return int(v)
+}
+
+// Float64s decodes a count-prefixed float64 payload, reusing dst's
+// capacity (the caller-owned buffer idiom: pass last round's slice back in
+// and steady state never reallocates). The count is validated against the
+// remaining bytes by division — never by multiplication, which a hostile
+// count could overflow into passing — before anything is sized to it.
+func (p *Payload) Float64s(dst []float64) []float64 {
+	n := p.Int()
+	if p.err != nil {
+		return dst[:0]
+	}
+	if n > p.Remaining()/8 {
+		p.err = ErrTruncated
+		return dst[:0]
+	}
+	dst = grow(dst, n)
+	p.float64sInto(dst)
+	return dst
+}
+
+// Float64sInto decodes a count-prefixed float64 payload directly into dst,
+// requiring the count to match len(dst) exactly — the zero-copy path for
+// writing a partition chunk straight into its matrix rows.
+func (p *Payload) Float64sInto(dst []float64) error {
+	n := p.Int()
+	if p.err != nil {
+		return p.err
+	}
+	if n != len(dst) {
+		p.err = ErrMalformed
+		return p.err
+	}
+	if n > p.Remaining()/8 {
+		p.err = ErrTruncated
+		return p.err
+	}
+	p.float64sInto(dst)
+	return p.err
+}
+
+func (p *Payload) float64sInto(dst []float64) {
+	b := p.b[p.off:]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	p.off += 8 * len(dst)
+}
+
+// Uint32s decodes a count-prefixed uint32 payload, reusing dst's capacity.
+func (p *Payload) Uint32s(dst []uint32) []uint32 {
+	n := p.Int()
+	if p.err != nil {
+		return dst[:0]
+	}
+	if n > p.Remaining()/4 {
+		p.err = ErrTruncated
+		return dst[:0]
+	}
+	dst = grow(dst, n)
+	b := p.b[p.off:]
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	p.off += 4 * n
+	return dst
+}
+
+// growBytes returns s with length n, reallocating only when capacity is
+// insufficient (geometric growth via append).
+func growBytes(s []byte, n int) []byte {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s[:cap(s)], make([]byte, n-cap(s))...)
+}
+
+// grow is the package-local grow-don't-copy helper (this package stays
+// dependency-free by design, so it does not import the kernel package's
+// GrowSlice). Contents are unspecified after a reallocation.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}

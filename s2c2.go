@@ -320,7 +320,8 @@ type Worker = rpc.Worker
 type WorkerConfig = rpc.WorkerConfig
 
 // MasterConfig configures a TCP master (execution pool, round-buffer
-// reuse).
+// reuse, stall deadline, partition-streaming chunk size and credit
+// window).
 type MasterConfig = rpc.MasterConfig
 
 // Exec selects the worker pool and fan-out a component runs on; use it to
