@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/kernel"
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/rpc"
+	"github.com/coded-computing/s2c2/internal/sched"
+)
+
+// Kernel/backend benchmark harness (-kernelbench FILE): times the hot
+// kernels (MatMul, MatVec, gf.Axpy) and one end-to-end distributed round
+// on the scalar backend and on the dispatched vector backend, and writes
+// the comparison as JSON — the perf-trajectory artifact for the SIMD
+// backend work (BENCH_PR4.json).
+
+type kernelBenchResult struct {
+	Name    string  `json:"name"`
+	Backend string  `json:"backend"`
+	NsPerOp float64 `json:"ns_per_op"`
+	GFLOPS  float64 `json:"gflops,omitempty"`
+	GBps    float64 `json:"gb_per_s,omitempty"`
+}
+
+type kernelBenchReport struct {
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	GOARCH      string              `json:"goarch"`
+	Backends    []string            `json:"backends"`
+	Dispatched  string              `json:"dispatched"`
+	Results     []kernelBenchResult `json:"results"`
+	// Speedups maps benchmark name to dispatched-over-scalar ratio.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// bestNs runs fn iters times per trial over several trials and returns
+// the fastest per-run wall time in nanoseconds.
+func bestNs(trials, iters int, fn func()) float64 {
+	best := time.Duration(1 << 62)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		if d := time.Since(start) / time.Duration(iters); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds())
+}
+
+func runKernelBench(path string) error {
+	dispatched := kernel.ActiveBackend()
+	report := kernelBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		Backends:    kernel.Backends(),
+		Dispatched:  dispatched,
+		Speedups:    map[string]float64{},
+	}
+	backends := []string{"generic"}
+	if dispatched != "generic" {
+		backends = append(backends, dispatched)
+	}
+	defer kernel.SetBackend(dispatched) //nolint:errcheck
+
+	// Inputs shared across backends so the comparison is apples to apples.
+	rng := rand.New(rand.NewSource(4))
+	const mm = 1024
+	mmA, mmB := randFloats(mm*mm, rng), randFloats(mm*mm, rng)
+	mmDst := make([]float64, mm*mm)
+	const mv = 1024
+	mvA, mvX := randFloats(mv*mv, rng), randFloats(mv, rng)
+	mvDst := make([]float64, mv)
+	const gfN = 1 << 14
+	gfDst, gfSrc := make([]gf.Elem, gfN), make([]gf.Elem, gfN)
+	for i := range gfSrc {
+		gfSrc[i] = gf.New(rng.Uint64())
+		gfDst[i] = gf.New(rng.Uint64())
+	}
+
+	// End-to-end round: a loopback cluster of 4 in-process workers over an
+	// MDS(4,3)-coded 16384×1024 mat-vec (large enough that worker compute,
+	// not RPC framing, dominates the round). Workers share this process,
+	// so SetBackend switches their compute path too.
+	master, err := rpc.NewMaster("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer master.Shutdown()
+	const nWorkers, kParts = 4, 3
+	for i := 0; i < nWorkers; i++ {
+		go func() {
+			w, err := rpc.NewWorker(rpc.WorkerConfig{MasterAddr: master.Addr()})
+			if err != nil {
+				return
+			}
+			w.Run() //nolint:errcheck // shutdown closes the conn
+		}()
+		if err := master.WaitForWorkers(i+1, 10*time.Second); err != nil {
+			return err
+		}
+	}
+	a := mat.Rand(16384, 1024, rng)
+	x := randFloats(1024, rng)
+	code, err := coding.NewMDSCode(nWorkers, kParts)
+	if err != nil {
+		return err
+	}
+	enc := code.Encode(a)
+	if err := master.DistributePartitions(0, enc); err != nil {
+		return err
+	}
+	strat := &sched.GeneralS2C2{N: nWorkers, K: kParts, BlockRows: enc.BlockRows, Granularity: enc.BlockRows}
+	iter := 0
+	var roundErr error // sticky: a failed round must fail the harness, not get timed
+	runRound := func() {
+		if roundErr != nil {
+			return
+		}
+		plan, err := strat.Plan([]float64{1, 1, 1, 1})
+		if err != nil {
+			roundErr = err
+			return
+		}
+		partials, _, err := master.RunRound(iter, 0, x, plan, kParts, 10.0)
+		iter++
+		if err != nil {
+			roundErr = err
+			return
+		}
+		if _, err := enc.DecodeMatVec(partials); err != nil {
+			roundErr = err
+		}
+	}
+	runRound() // warm pools and connections before timing
+	if roundErr != nil {
+		return fmt.Errorf("kernelbench: warm-up round: %w", roundErr)
+	}
+
+	for _, backend := range backends {
+		if err := kernel.SetBackend(backend); err != nil {
+			return err
+		}
+		report.Results = append(report.Results,
+			kernelBenchResult{
+				Name: "MatMul1024", Backend: backend,
+				NsPerOp: bestNs(3, 1, func() { kernel.MatMul(mmDst, mmA, mm, mm, mmB, mm) }),
+			},
+			kernelBenchResult{
+				Name: "MatVec1024", Backend: backend,
+				NsPerOp: bestNs(7, 20, func() { kernel.MatVec(mvDst, mvA, mv, mv, mvX) }),
+			},
+			kernelBenchResult{
+				Name: "GFAxpy16k", Backend: backend,
+				NsPerOp: bestNs(7, 200, func() { gf.Axpy(gfDst, 123456789, gfSrc) }),
+			},
+			kernelBenchResult{
+				Name: "DistributedRound16384x1024", Backend: backend,
+				NsPerOp: bestNs(5, 3, runRound),
+			},
+		)
+		if roundErr != nil {
+			return fmt.Errorf("kernelbench: distributed round on %s backend: %w", backend, roundErr)
+		}
+	}
+	for i := range report.Results {
+		r := &report.Results[i]
+		switch r.Name {
+		case "MatMul1024":
+			r.GFLOPS = 2 * float64(mm) * float64(mm) * float64(mm) / r.NsPerOp
+		case "MatVec1024":
+			r.GFLOPS = 2 * float64(mv) * float64(mv) / r.NsPerOp
+		case "GFAxpy16k":
+			r.GBps = 4 * float64(gfN) / r.NsPerOp // source stream bytes per second
+		}
+	}
+	scalar := map[string]float64{}
+	for _, r := range report.Results {
+		if r.Backend == "generic" {
+			scalar[r.Name] = r.NsPerOp
+		}
+	}
+	for _, r := range report.Results {
+		if r.Backend == report.Dispatched && r.Backend != "generic" {
+			report.Speedups[r.Name] = scalar[r.Name] / r.NsPerOp
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kernelbench: dispatched backend %s, wrote %s\n", report.Dispatched, path)
+	return nil
+}
+
+func randFloats(n int, rng *rand.Rand) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 2*rng.Float64() - 1
+	}
+	return s
+}

@@ -11,6 +11,7 @@
 //	s2c2-exp -iters 15        # iterations per job (paper: 15)
 //	s2c2-exp -lstm            # use the LSTM forecaster (slower)
 //	s2c2-exp -csv traces.csv  # also export the Figure 2 speed traces
+//	s2c2-exp -kernelbench BENCH_PR4.json  # kernel-backend benchmark JSON
 package main
 
 import (
@@ -25,15 +26,23 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (default: all)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		scale = flag.Int("scale", 1, "problem-size multiplier")
-		iters = flag.Int("iters", 15, "iterations per job")
-		seed  = flag.Int64("seed", 42, "master seed")
-		lstm  = flag.Bool("lstm", false, "use the LSTM speed predictor")
-		csv   = flag.String("csv", "", "export Figure 2 speed traces to this CSV file")
+		exp    = flag.String("exp", "", "experiment ID to run (default: all)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		scale  = flag.Int("scale", 1, "problem-size multiplier")
+		iters  = flag.Int("iters", 15, "iterations per job")
+		seed   = flag.Int64("seed", 42, "master seed")
+		lstm   = flag.Bool("lstm", false, "use the LSTM speed predictor")
+		csv    = flag.String("csv", "", "export Figure 2 speed traces to this CSV file")
+		kbench = flag.String("kernelbench", "", "write kernel-backend benchmark JSON to this file and exit")
 	)
 	flag.Parse()
+
+	if *kbench != "" {
+		if err := runKernelBench(*kbench); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ids := make([]string, 0, len(experiments.Registry))
 	for id := range experiments.Registry {

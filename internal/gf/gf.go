@@ -8,7 +8,12 @@
 // path for integer payloads.
 package gf
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+
+	"github.com/coded-computing/s2c2/internal/kernel"
+)
 
 // P is the field modulus, the Mersenne prime 2³¹−1.
 const P uint64 = 1<<31 - 1
@@ -85,26 +90,22 @@ func Inv(a Elem) Elem {
 // Div returns a/b mod P.
 func Div(a, b Elem) Elem { return Mul(a, Inv(b)) }
 
-// mulAdd returns d + c·s mod P using Mersenne folding instead of a
-// hardware divide: for x < 2⁶³, x ≡ (x >> 31) + (x & P) (mod P), and two
-// folds bring any d + c·s product into [0, P+3), leaving one conditional
-// subtract. This is the scalar core of Axpy.
-func mulAdd(d, c, s Elem) Elem {
-	x := uint64(d) + uint64(c)*uint64(s) // < 2³¹ + (P−1)² < 2⁶³
-	x = (x >> 31) + (x & uint64(P))      // < 2³³
-	x = (x >> 31) + (x & uint64(P))      // < P + 4
-	if x >= P {
-		x -= P
+// asU32 reinterprets a slice of field elements as raw uint32 lanes for the
+// kernel layer (Elem is defined as uint32, so the layouts are identical).
+func asU32(s []Elem) []uint32 {
+	if len(s) == 0 {
+		return nil
 	}
-	return Elem(x)
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&s[0])), len(s))
 }
 
 // Axpy computes dst[i] ← dst[i] + c·src[i] over the field — the
 // mul-accumulate kernel of the coding layer's GF paths (MDS/Lagrange
-// encode mixing, decode back-substitution). It replaces the per-element
-// Add(Mul(...)) chain and its two hardware divides with branch-light
-// Mersenne folding, unrolled over four lanes. Results are exactly the
-// field operations' (this is modular arithmetic, not floating point).
+// encode mixing, decode back-substitution). It dispatches through
+// kernel.GFAxpyMod31: branch-light Mersenne folding instead of hardware
+// divides on the portable backend, 4-lane folded vectors on the AVX2
+// backend. Results are exactly the field operations' on every backend
+// (this is modular arithmetic, not floating point).
 func Axpy(dst []Elem, c Elem, src []Elem) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf: Axpy length %d want %d", len(src), len(dst)))
@@ -112,17 +113,7 @@ func Axpy(dst []Elem, c Elem, src []Elem) {
 	if c == 0 {
 		return
 	}
-	i := 0
-	for ; i+4 <= len(dst); i += 4 {
-		d0 := mulAdd(dst[i], c, src[i])
-		d1 := mulAdd(dst[i+1], c, src[i+1])
-		d2 := mulAdd(dst[i+2], c, src[i+2])
-		d3 := mulAdd(dst[i+3], c, src[i+3])
-		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
-	}
-	for ; i < len(dst); i++ {
-		dst[i] = mulAdd(dst[i], c, src[i])
-	}
+	kernel.GFAxpyMod31(asU32(dst), uint32(c), asU32(src))
 }
 
 // Matrix is a dense matrix over GF(P) in row-major order.
@@ -164,6 +155,12 @@ func (m *Matrix) MulVec(x []Elem) []Elem {
 
 // MulVecInto computes y = M·x over the field into the provided slice
 // (length M.rows). It performs no allocation.
+//
+// The row reduction uses the same Mersenne folding as Axpy instead of
+// per-element hardware divides: each 62-bit product is added to the
+// accumulator and folded once via x ≡ (x >> 31) + (x & P) (mod P), which
+// keeps the accumulator under 2³³ so the next product cannot overflow; a
+// final fold plus one conditional subtract lands in [0, P).
 func (m *Matrix) MulVecInto(y, x []Elem) {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("gf: MulVec length %d want %d", len(x), m.cols))
@@ -175,12 +172,14 @@ func (m *Matrix) MulVecInto(y, x []Elem) {
 		row := m.Row(i)
 		var acc uint64
 		for j, v := range row {
-			acc += uint64(Mul(v, x[j]))
-			if acc >= P<<32 {
-				acc %= P
-			}
+			acc += uint64(v) * uint64(x[j])       // < 2³³ + (P−1)² < 2⁶³
+			acc = (acc >> 31) + (acc & uint64(P)) // < 2³³
 		}
-		y[i] = Elem(acc % P)
+		acc = (acc >> 31) + (acc & uint64(P)) // < P + 4
+		if acc >= P {
+			acc -= P
+		}
+		y[i] = Elem(acc)
 	}
 }
 

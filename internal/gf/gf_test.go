@@ -4,38 +4,140 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/coded-computing/s2c2/internal/kernel"
 )
 
 // TestAxpyMatchesScalarOps checks the mul-accumulate kernel against the
 // definitional Add/Mul chain over random data, every unroll-tail length,
-// and the field's edge values.
+// and the field's edge values — on every kernel backend compiled into
+// this binary (GF results must be exact everywhere, vector lanes
+// included).
 func TestAxpyMatchesScalarOps(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	edge := []Elem{0, 1, 2, Elem(P - 1), Elem(P - 2), Elem(P / 2)}
-	coeffs := append([]Elem{}, edge...)
-	for i := 0; i < 10; i++ {
-		coeffs = append(coeffs, New(rng.Uint64()))
+	prev := kernel.ActiveBackend()
+	defer kernel.SetBackend(prev) //nolint:errcheck
+	for _, backend := range kernel.Backends() {
+		if err := kernel.SetBackend(backend); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		edge := []Elem{0, 1, 2, Elem(P - 1), Elem(P - 2), Elem(P / 2)}
+		coeffs := append([]Elem{}, edge...)
+		for i := 0; i < 10; i++ {
+			coeffs = append(coeffs, New(rng.Uint64()))
+		}
+		for _, c := range coeffs {
+			for n := 0; n <= 35; n++ { // covers empty, vector+scalar tails, full lanes
+				dst := make([]Elem, n)
+				src := make([]Elem, n)
+				for i := range dst {
+					if i < len(edge) {
+						dst[i], src[i] = edge[i], edge[(i+1)%len(edge)]
+					} else {
+						dst[i], src[i] = New(rng.Uint64()), New(rng.Uint64())
+					}
+				}
+				want := make([]Elem, n)
+				for i := range want {
+					want[i] = Add(dst[i], Mul(c, src[i]))
+				}
+				Axpy(dst, c, src)
+				for i := range want {
+					if dst[i] != want[i] {
+						t.Fatalf("backend=%s c=%d n=%d i=%d: Axpy %d != scalar %d",
+							backend, c, n, i, dst[i], want[i])
+					}
+				}
+			}
+		}
 	}
-	for _, c := range coeffs {
-		for n := 0; n <= 17; n++ { // covers empty, tails 1-3, and full lanes
-			dst := make([]Elem, n)
-			src := make([]Elem, n)
-			for i := range dst {
-				if i < len(edge) {
-					dst[i], src[i] = edge[i], edge[(i+1)%len(edge)]
-				} else {
-					dst[i], src[i] = New(rng.Uint64()), New(rng.Uint64())
+}
+
+// naiveMulVec is the definitional y = M·x: per-element Mul and Add, the
+// pre-folding implementation the optimized reduction must agree with.
+func naiveMulVec(m *Matrix, x []Elem) []Elem {
+	y := make([]Elem, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var acc Elem
+		for j, v := range m.Row(i) {
+			acc = Add(acc, Mul(v, x[j]))
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// TestMulVecIntoExhaustiveSmall enumerates every assignment of boundary
+// values (0, 1, 2, P−2, P−1) to tiny matrix/vector shapes, so the folded
+// reduction's carry and subtract edges are all exercised.
+func TestMulVecIntoExhaustiveSmall(t *testing.T) {
+	bound := []Elem{0, 1, 2, Elem(P - 2), Elem(P - 1)}
+	for _, dims := range [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {1, 3}} {
+		rows, cols := dims[0], dims[1]
+		cells := rows*cols + cols // matrix entries plus vector entries
+		total := 1
+		for i := 0; i < cells; i++ {
+			total *= len(bound)
+		}
+		m := NewMatrix(rows, cols)
+		x := make([]Elem, cols)
+		y := make([]Elem, rows)
+		for idx := 0; idx < total; idx++ {
+			v := idx
+			for i := 0; i < rows*cols; i++ {
+				m.data[i] = bound[v%len(bound)]
+				v /= len(bound)
+			}
+			for i := 0; i < cols; i++ {
+				x[i] = bound[v%len(bound)]
+				v /= len(bound)
+			}
+			m.MulVecInto(y, x)
+			want := naiveMulVec(m, x)
+			for i := range want {
+				if y[i] != want[i] {
+					t.Fatalf("%dx%d case %d row %d: folded %d != naive %d",
+						rows, cols, idx, i, y[i], want[i])
 				}
 			}
-			want := make([]Elem, n)
-			for i := range want {
-				want[i] = Add(dst[i], Mul(c, src[i]))
-			}
-			Axpy(dst, c, src)
-			for i := range want {
-				if dst[i] != want[i] {
-					t.Fatalf("c=%d n=%d i=%d: Axpy %d != scalar %d", c, n, i, dst[i], want[i])
-				}
+		}
+	}
+}
+
+// TestMulVecIntoMatchesNaive covers longer rows (accumulator stays folded
+// across many worst-case products) and random shapes.
+func TestMulVecIntoMatchesNaive(t *testing.T) {
+	// Worst-case accumulation: every operand P−1, row long enough that an
+	// unfolded accumulator would overflow many times over.
+	m := NewMatrix(1, 4097)
+	x := make([]Elem, 4097)
+	for i := range x {
+		m.data[i] = Elem(P - 1)
+		x[i] = Elem(P - 1)
+	}
+	y := make([]Elem, 1)
+	m.MulVecInto(y, x)
+	if want := naiveMulVec(m, x); y[0] != want[0] {
+		t.Fatalf("worst-case row: folded %d != naive %d", y[0], want[0])
+	}
+
+	rng := rand.New(rand.NewSource(21))
+	for _, cols := range []int{3, 4, 5, 7, 8, 9, 16, 17, 33, 100} {
+		rows := 1 + rng.Intn(6)
+		m := NewMatrix(rows, cols)
+		for i := range m.data {
+			m.data[i] = New(rng.Uint64())
+		}
+		x := make([]Elem, cols)
+		for i := range x {
+			x[i] = New(rng.Uint64())
+		}
+		y := make([]Elem, rows)
+		m.MulVecInto(y, x)
+		want := naiveMulVec(m, x)
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("%dx%d row %d: folded %d != naive %d", rows, cols, i, y[i], want[i])
 			}
 		}
 	}

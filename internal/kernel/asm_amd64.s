@@ -1,0 +1,302 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2+FMA micro-kernels. Operand order follows Go assembler convention
+// (destination last, reversed from Intel syntax): VFMADD231PD s3, s2, d
+// computes d += s2 * s3.
+//
+// Every kernel uses a fixed accumulation order, so results are
+// bit-identical run to run. Callers guarantee vector lengths are
+// multiples of 8 (wrappers in avx2_amd64.go handle tails in Go).
+
+// func dotAVX2(x, y *float64, n int) float64
+//
+// Four independent YMM accumulators (enough to cover FMA latency at the
+// 2-loads/cycle port limit), reduced pairwise then across lanes.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-32
+	MOVQ   x+0(FP), SI
+	MOVQ   y+8(FP), DI
+	MOVQ   n+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	MOVQ   CX, BX
+	SHRQ   $4, BX
+	JZ     dot_tail8
+
+dot_loop16:
+	VMOVUPD     (SI), Y4
+	VMOVUPD     32(SI), Y5
+	VMOVUPD     64(SI), Y6
+	VMOVUPD     96(SI), Y7
+	VFMADD231PD (DI), Y4, Y0
+	VFMADD231PD 32(DI), Y5, Y1
+	VFMADD231PD 64(DI), Y6, Y2
+	VFMADD231PD 96(DI), Y7, Y3
+	ADDQ        $128, SI
+	ADDQ        $128, DI
+	DECQ        BX
+	JNZ         dot_loop16
+
+dot_tail8:
+	TESTQ       $8, CX
+	JZ          dot_reduce
+	VMOVUPD     (SI), Y4
+	VMOVUPD     32(SI), Y5
+	VFMADD231PD (DI), Y4, Y0
+	VFMADD231PD 32(DI), Y5, Y1
+
+dot_reduce:
+	VADDPD       Y1, Y0, Y0
+	VADDPD       Y3, Y2, Y2
+	VADDPD       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VUNPCKHPD    X0, X0, X1
+	VADDSD       X1, X0, X0
+	VMOVSD       X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func axpyAVX2(a float64, x, y *float64, n int)
+//
+// y += a*x over four YMM lanes per iteration (fused multiply-add, one
+// rounding per element).
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-32
+	VBROADCASTSD a+0(FP), Y0
+	MOVQ         x+8(FP), SI
+	MOVQ         y+16(FP), DI
+	MOVQ         n+24(FP), CX
+	MOVQ         CX, BX
+	SHRQ         $4, BX
+	JZ           axpy_tail8
+
+axpy_loop16:
+	VMOVUPD     (DI), Y1
+	VMOVUPD     32(DI), Y2
+	VMOVUPD     64(DI), Y3
+	VMOVUPD     96(DI), Y4
+	VFMADD231PD (SI), Y0, Y1
+	VFMADD231PD 32(SI), Y0, Y2
+	VFMADD231PD 64(SI), Y0, Y3
+	VFMADD231PD 96(SI), Y0, Y4
+	VMOVUPD     Y1, (DI)
+	VMOVUPD     Y2, 32(DI)
+	VMOVUPD     Y3, 64(DI)
+	VMOVUPD     Y4, 96(DI)
+	ADDQ        $128, SI
+	ADDQ        $128, DI
+	DECQ        BX
+	JNZ         axpy_loop16
+
+axpy_tail8:
+	TESTQ       $8, CX
+	JZ          axpy_done
+	VMOVUPD     (DI), Y1
+	VMOVUPD     32(DI), Y2
+	VFMADD231PD (SI), Y0, Y1
+	VFMADD231PD 32(SI), Y0, Y2
+	VMOVUPD     Y1, (DI)
+	VMOVUPD     Y2, 32(DI)
+
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func mulTile4x8AVX2(c *float64, stride int, a0, a1, a2, a3, bt *float64, kc int)
+//
+// The 4×8 register micro-kernel: eight YMM accumulators hold the C tile
+// across the whole kc sweep (two column blocks × four rows); each k step
+// is two B loads, four A broadcasts, eight FMAs. C is loaded and stored
+// once, with the accumulators added in (dst += A·B semantics).
+TEXT ·mulTile4x8AVX2(SB), NOSPLIT, $0-64
+	MOVQ   a0+16(FP), SI
+	MOVQ   a1+24(FP), DI
+	MOVQ   a2+32(FP), R8
+	MOVQ   a3+40(FP), R9
+	MOVQ   bt+48(FP), R10
+	MOVQ   kc+56(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	TESTQ  CX, CX
+	JZ     tile4_store
+
+tile4_loop:
+	VMOVUPD      (R10), Y8
+	VMOVUPD      32(R10), Y9
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD (DI), Y11
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD (R8), Y12
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VBROADCASTSD (R9), Y13
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         $64, R10
+	ADDQ         $8, SI
+	ADDQ         $8, DI
+	ADDQ         $8, R8
+	ADDQ         $8, R9
+	DECQ         CX
+	JNZ          tile4_loop
+
+tile4_store:
+	MOVQ    c+0(FP), AX
+	MOVQ    stride+8(FP), BX
+	SHLQ    $3, BX
+	VADDPD  (AX), Y0, Y0
+	VADDPD  32(AX), Y1, Y1
+	VMOVUPD Y0, (AX)
+	VMOVUPD Y1, 32(AX)
+	ADDQ    BX, AX
+	VADDPD  (AX), Y2, Y2
+	VADDPD  32(AX), Y3, Y3
+	VMOVUPD Y2, (AX)
+	VMOVUPD Y3, 32(AX)
+	ADDQ    BX, AX
+	VADDPD  (AX), Y4, Y4
+	VADDPD  32(AX), Y5, Y5
+	VMOVUPD Y4, (AX)
+	VMOVUPD Y5, 32(AX)
+	ADDQ    BX, AX
+	VADDPD  (AX), Y6, Y6
+	VADDPD  32(AX), Y7, Y7
+	VMOVUPD Y6, (AX)
+	VMOVUPD Y7, 32(AX)
+	VZEROUPPER
+	RET
+
+// func mulTile1x8AVX2(c, a0, bt *float64, kc int)
+//
+// Single-row tail of the 4×8 micro-kernel: one 8-wide accumulator pair.
+TEXT ·mulTile1x8AVX2(SB), NOSPLIT, $0-32
+	MOVQ   a0+8(FP), SI
+	MOVQ   bt+16(FP), R10
+	MOVQ   kc+24(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	TESTQ  CX, CX
+	JZ     tile1_store
+
+tile1_loop:
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD  (R10), Y10, Y0
+	VFMADD231PD  32(R10), Y10, Y1
+	ADDQ         $64, R10
+	ADDQ         $8, SI
+	DECQ         CX
+	JNZ          tile1_loop
+
+tile1_store:
+	MOVQ    c+0(FP), AX
+	VADDPD  (AX), Y0, Y0
+	VADDPD  32(AX), Y1, Y1
+	VMOVUPD Y0, (AX)
+	VMOVUPD Y1, 32(AX)
+	VZEROUPPER
+	RET
+
+// GF(2³¹−1) constants for the Mersenne-folded mul-accumulate: the prime in
+// every 64-bit lane, p−1 for the final conditional subtract, and the
+// VPERMD index vector packing qword results back to dwords.
+DATA gfP31<>+0(SB)/8, $0x7FFFFFFF
+DATA gfP31<>+8(SB)/8, $0x7FFFFFFF
+DATA gfP31<>+16(SB)/8, $0x7FFFFFFF
+DATA gfP31<>+24(SB)/8, $0x7FFFFFFF
+GLOBL gfP31<>(SB), RODATA|NOPTR, $32
+
+DATA gfP31m1<>+0(SB)/8, $0x7FFFFFFE
+DATA gfP31m1<>+8(SB)/8, $0x7FFFFFFE
+DATA gfP31m1<>+16(SB)/8, $0x7FFFFFFE
+DATA gfP31m1<>+24(SB)/8, $0x7FFFFFFE
+GLOBL gfP31m1<>(SB), RODATA|NOPTR, $32
+
+DATA gfPackIdx<>+0(SB)/4, $0
+DATA gfPackIdx<>+4(SB)/4, $2
+DATA gfPackIdx<>+8(SB)/4, $4
+DATA gfPackIdx<>+12(SB)/4, $6
+DATA gfPackIdx<>+16(SB)/4, $0
+DATA gfPackIdx<>+20(SB)/4, $0
+DATA gfPackIdx<>+24(SB)/4, $0
+DATA gfPackIdx<>+28(SB)/4, $0
+GLOBL gfPackIdx<>(SB), RODATA|NOPTR, $32
+
+// func gfAxpyAVX2(dst *uint32, c uint32, src *uint32, n int)
+//
+// dst[i] += c·src[i] mod 2³¹−1, eight elements per iteration as two
+// interleaved 4-lane 64-bit chains: widen dwords to qwords (VPMOVZXDQ),
+// VPMULUDQ the 31-bit operands into 62-bit products, add dst, then two
+// Mersenne folds x → (x>>31) + (x&p) and one masked subtract bring each
+// lane into [0, p). Exact — same values as the scalar fold.
+TEXT ·gfAxpyAVX2(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVL         c+8(FP), AX
+	MOVQ         src+16(FP), SI
+	MOVQ         n+24(FP), CX
+	MOVQ         AX, X0
+	VPBROADCASTQ X0, Y0
+	VMOVDQU      gfP31<>(SB), Y12
+	VMOVDQU      gfP31m1<>(SB), Y13
+	VMOVDQU      gfPackIdx<>(SB), Y11
+	SHRQ         $3, CX
+	JZ           gf_done
+
+gf_loop:
+	VPMOVZXDQ (SI), Y1
+	VPMOVZXDQ 16(SI), Y5
+	VPMOVZXDQ (DI), Y2
+	VPMOVZXDQ 16(DI), Y6
+	VPMULUDQ  Y0, Y1, Y1
+	VPMULUDQ  Y0, Y5, Y5
+	VPADDQ    Y2, Y1, Y1
+	VPADDQ    Y6, Y5, Y5
+
+	// fold 1: x = (x >> 31) + (x & p)
+	VPSRLQ $31, Y1, Y2
+	VPSRLQ $31, Y5, Y6
+	VPAND  Y12, Y1, Y1
+	VPAND  Y12, Y5, Y5
+	VPADDQ Y2, Y1, Y1
+	VPADDQ Y6, Y5, Y5
+
+	// fold 2
+	VPSRLQ $31, Y1, Y2
+	VPSRLQ $31, Y5, Y6
+	VPAND  Y12, Y1, Y1
+	VPAND  Y12, Y5, Y5
+	VPADDQ Y2, Y1, Y1
+	VPADDQ Y6, Y5, Y5
+
+	// conditional subtract: x -= p when x > p-1
+	VPCMPGTQ Y13, Y1, Y2
+	VPCMPGTQ Y13, Y5, Y6
+	VPAND    Y12, Y2, Y2
+	VPAND    Y12, Y6, Y6
+	VPSUBQ   Y2, Y1, Y1
+	VPSUBQ   Y6, Y5, Y5
+
+	// pack qword lanes back to dwords and store
+	VPERMD  Y1, Y11, Y1
+	VPERMD  Y5, Y11, Y5
+	VMOVDQU X1, (DI)
+	VMOVDQU X5, 16(DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     gf_loop
+
+gf_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,195 @@
+//go:build amd64 && !noasm
+
+package kernel
+
+import "math"
+
+// The AVX2 backend: hand-written assembly micro-kernels using 256-bit FMA
+// accumulators (asm_amd64.s), plus the Go blocking/packing drivers that
+// feed them. Accumulation order is fixed (see each wrapper), so results
+// are bit-identical run to run on this backend; versus the generic
+// backend, float64 results differ only by accumulated rounding (different
+// summation order and fused multiply-adds) and GF results are exact.
+
+// nrColsAVX2 is the packed-tile width of the AVX2 mat-mul micro-kernel:
+// two 4-lane YMM column blocks per C row, four C rows, so the 4×8 tile
+// lives in eight YMM accumulators across the whole kc sweep.
+const nrColsAVX2 = 8
+
+var avx2Backend = &backendImpl{
+	name:           "avx2",
+	dot:            dotVec,
+	axpy:           axpyVec,
+	matVecRange:    matVecRangeVec,
+	matMulAccRange: matMulAccRangeAVX2,
+	gfAxpy:         gfAxpyVec,
+	chunkFlops:     64 * 1024,
+}
+
+// dotAVX2 processes n elements (n must be a multiple of 8) with four
+// independent YMM FMA accumulators, reduced in a fixed order.
+//
+//go:noescape
+func dotAVX2(x, y *float64, n int) float64
+
+// axpyAVX2 computes y[0:n] += a*x[0:n]; n must be a multiple of 8.
+//
+//go:noescape
+func axpyAVX2(a float64, x, y *float64, n int)
+
+// mulTile4x8AVX2 accumulates a 4-row × 8-col C tile (rows stride elements
+// apart) from four A row fragments and a packed kc×8 B tile.
+//
+//go:noescape
+func mulTile4x8AVX2(c *float64, stride int, a0, a1, a2, a3, bt *float64, kc int)
+
+// mulTile1x8AVX2 is the single-row tail of mulTile4x8AVX2.
+//
+//go:noescape
+func mulTile1x8AVX2(c, a0, bt *float64, kc int)
+
+// gfAxpyAVX2 computes dst[0:n] += c·src[0:n] over GF(2³¹−1) in 4-lane
+// 64-bit vectors (Mersenne folding); n must be a multiple of 8.
+//
+//go:noescape
+func gfAxpyAVX2(dst *uint32, c uint32, src *uint32, n int)
+
+// dotVec sums the vectorized prefix in the assembly kernel, then folds the
+// up-to-7-element tail in sequentially — one fixed order per length.
+func dotVec(x, y []float64) float64 {
+	n := len(x)
+	y = y[:n]
+	var s float64
+	if nv := n &^ 7; nv > 0 {
+		s = dotAVX2(&x[0], &y[0], nv)
+	}
+	for i := n &^ 7; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// axpyVec must be elementwise position-independent: callers band flat
+// slices at arbitrary offsets (parallel encode) and the results must be
+// bit-identical to one unbanded call. The assembly lanes use fused
+// multiply-adds, so the scalar tail uses math.FMA (hardware FMA on any
+// CPU this backend dispatches on) for the identical single rounding.
+func axpyVec(a float64, x, y []float64) {
+	n := len(y)
+	x = x[:n]
+	if nv := n &^ 7; nv > 0 {
+		axpyAVX2(a, &x[0], &y[0], nv)
+	}
+	for i := n &^ 7; i < n; i++ {
+		y[i] = math.FMA(a, x[i], y[i])
+	}
+}
+
+func matVecRangeVec(dst, a []float64, cols int, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = dotVec(a[i*cols:(i+1)*cols], x)
+	}
+}
+
+// matMulAccRangeAVX2 accumulates rows [lo, hi) of A·B into dst with the
+// same kcBlock×ncBlock cache blocking as the generic backend but 8-column
+// packed tiles feeding the 4×8 FMA micro-kernel. Edge tiles (final panel
+// columns when nc is not a multiple of 8) are computed full-width into a
+// zero-padded scratch tile and accumulated column-by-column, so the
+// assembly kernel never needs column masking.
+func matMulAccRangeAVX2(dst, a []float64, k int, b []float64, n, lo, hi int) {
+	if hi <= lo || n == 0 || k == 0 {
+		return
+	}
+	buf := GetBuf(kcBlock * ncBlock)
+	defer buf.Put()
+	var edge [mrRows * nrColsAVX2]float64
+	for kk := 0; kk < k; kk += kcBlock {
+		kc := min(kcBlock, k-kk)
+		for jj := 0; jj < n; jj += ncBlock {
+			nc := min(ncBlock, n-jj)
+			packPanel8(buf.F, b, n, kk, kc, jj, nc)
+			tiles := (nc + nrColsAVX2 - 1) / nrColsAVX2
+			i := lo
+			for ; i+mrRows <= hi; i += mrRows {
+				a0 := &a[i*k+kk]
+				a1 := &a[(i+1)*k+kk]
+				a2 := &a[(i+2)*k+kk]
+				a3 := &a[(i+3)*k+kk]
+				for t := 0; t < tiles; t++ {
+					bt := &buf.F[t*kc*nrColsAVX2]
+					j := jj + t*nrColsAVX2
+					if w := nc - t*nrColsAVX2; w < nrColsAVX2 {
+						edge = [mrRows * nrColsAVX2]float64{}
+						mulTile4x8AVX2(&edge[0], nrColsAVX2, a0, a1, a2, a3, bt, kc)
+						for r := 0; r < mrRows; r++ {
+							row := dst[(i+r)*n+j : (i+r)*n+j+w]
+							for c := range row {
+								row[c] += edge[r*nrColsAVX2+c]
+							}
+						}
+					} else {
+						mulTile4x8AVX2(&dst[i*n+j], n, a0, a1, a2, a3, bt, kc)
+					}
+				}
+			}
+			for ; i < hi; i++ {
+				a0 := &a[i*k+kk]
+				for t := 0; t < tiles; t++ {
+					bt := &buf.F[t*kc*nrColsAVX2]
+					j := jj + t*nrColsAVX2
+					if w := nc - t*nrColsAVX2; w < nrColsAVX2 {
+						edge = [mrRows * nrColsAVX2]float64{}
+						mulTile1x8AVX2(&edge[0], a0, bt, kc)
+						row := dst[i*n+j : i*n+j+w]
+						for c := range row {
+							row[c] += edge[c]
+						}
+					} else {
+						mulTile1x8AVX2(&dst[i*n+j], a0, bt, kc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// packPanel8 copies the B panel rows [kk,kk+kc) × cols [jj,jj+nc) into dst
+// as 8-column tiles, each tile stored kc×8 row-major, the final tile
+// zero-padded to width 8. The padded panel never exceeds kcBlock×ncBlock
+// elements because ncBlock is a multiple of 8.
+func packPanel8(dst, b []float64, n, kk, kc, jj, nc int) {
+	tiles := (nc + nrColsAVX2 - 1) / nrColsAVX2
+	for t := 0; t < tiles; t++ {
+		base := t * kc * nrColsAVX2
+		j0 := jj + t*nrColsAVX2
+		w := nc - t*nrColsAVX2
+		if w >= nrColsAVX2 {
+			for kx := 0; kx < kc; kx++ {
+				src := b[(kk+kx)*n+j0 : (kk+kx)*n+j0+nrColsAVX2]
+				copy(dst[base+kx*nrColsAVX2:base+(kx+1)*nrColsAVX2], src)
+			}
+			continue
+		}
+		for kx := 0; kx < kc; kx++ {
+			d := dst[base+kx*nrColsAVX2 : base+(kx+1)*nrColsAVX2]
+			for c := 0; c < nrColsAVX2; c++ {
+				if c < w {
+					d[c] = b[(kk+kx)*n+j0+c]
+				} else {
+					d[c] = 0
+				}
+			}
+		}
+	}
+}
+
+func gfAxpyVec(dst []uint32, c uint32, src []uint32) {
+	src = src[:len(dst)]
+	if nv := len(dst) &^ 7; nv > 0 {
+		gfAxpyAVX2(&dst[0], c, &src[0], nv)
+	}
+	for i := len(dst) &^ 7; i < len(dst); i++ {
+		dst[i] = gfMulAdd31(dst[i], c, src[i])
+	}
+}

@@ -1,0 +1,94 @@
+package kernel
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// A backendImpl bundles one implementation of every dispatched micro-kernel.
+// The generic (portable Go) backend is the reference; vector backends must
+// agree with it exactly for GF(2³¹−1) arithmetic and within accumulated
+// rounding tolerance for float64 (each backend is individually
+// deterministic: a fixed accumulation order, bit-identical run to run).
+type backendImpl struct {
+	name string
+
+	dot  func(x, y []float64) float64
+	axpy func(a float64, x, y []float64) // caller has rejected a == 0
+
+	// matVecRange computes dst[i-lo] = (A·x)[i] for i in [lo, hi).
+	matVecRange func(dst, a []float64, cols int, x []float64, lo, hi int)
+
+	// matMulAccRange accumulates rows [lo, hi) of A·B into dst.
+	matMulAccRange func(dst, a []float64, k int, b []float64, n, lo, hi int)
+
+	// gfAxpy computes dst[i] ← dst[i] + c·src[i] mod 2³¹−1 (exact; inputs
+	// fully reduced, c != 0, lengths equal).
+	gfAxpy func(dst []uint32, c uint32, src []uint32)
+
+	// chunkFlops is the per-chunk flop target the pool sizes row chunks
+	// for: wider backends retire flops faster, so they want bigger chunks.
+	chunkFlops int
+}
+
+// BackendEnv is the environment variable consulted once at init to force a
+// kernel backend (e.g. S2C2_KERNEL_BACKEND=generic). Unknown names are
+// ignored and the best available backend stays selected; ActiveBackend
+// reports what actually runs.
+const BackendEnv = "S2C2_KERNEL_BACKEND"
+
+// allBackends lists every backend compiled into this binary and usable on
+// this CPU, generic first. archBackends is supplied per GOARCH (and is
+// empty under the noasm build tag).
+var allBackends = append([]*backendImpl{genericBackend}, archBackends()...)
+
+// active is the backend every dispatched kernel routes through. It is set
+// during package init and only changes via SetBackend.
+var active atomic.Pointer[backendImpl]
+
+func init() {
+	b := allBackends[len(allBackends)-1] // best available: vector if present
+	if env := os.Getenv(BackendEnv); env != "" {
+		for _, cand := range allBackends {
+			if strings.EqualFold(cand.name, env) {
+				b = cand
+			}
+		}
+	}
+	active.Store(b)
+}
+
+// ActiveBackend reports the name of the backend the dispatched kernels are
+// currently routed through ("generic", "avx2", ...). It is the hook CI and
+// the bench harness use to assert which path ran.
+func ActiveBackend() string { return active.Load().name }
+
+// Backends lists the names of every backend available in this process,
+// sorted, generic always included. Vector backends appear only when the
+// binary was built with them (no noasm tag) and the CPU supports them.
+func Backends() []string {
+	names := make([]string, len(allBackends))
+	for i, b := range allBackends {
+		names[i] = b.name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetBackend routes all subsequent dispatched kernel calls through the
+// named backend. It is intended for tests and benchmarks comparing
+// backends; the swap is atomic, but operations already in flight finish on
+// the backend they started with.
+func SetBackend(name string) error {
+	for _, b := range allBackends {
+		if strings.EqualFold(b.name, name) {
+			active.Store(b)
+			return nil
+		}
+	}
+	return fmt.Errorf("kernel: unknown backend %q (available: %s)",
+		name, strings.Join(Backends(), ", "))
+}

@@ -1,0 +1,39 @@
+//go:build amd64 && !noasm
+
+package kernel
+
+// Hand-rolled CPUID feature detection (the module is dependency-free, so
+// no golang.org/x/sys/cpu). Detection runs once during package variable
+// initialization; see archBackends.
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbv() (eax, edx uint32)
+
+// cpuHasAVX2FMA reports whether the CPU and OS support the AVX2 backend:
+// AVX2 + FMA instruction sets, and XMM/YMM register state enabled by the
+// OS (XCR0 bits 1 and 2).
+func cpuHasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12 // leaf 1 ECX
+		osxsaveBit = 1 << 27 // leaf 1 ECX
+		avxBit     = 1 << 28 // leaf 1 ECX
+		avx2Bit    = 1 << 5  // leaf 7 EBX
+		ymmState   = 0x6     // XCR0: XMM (bit 1) + YMM (bit 2)
+	)
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsaveBit == 0 || c1&avxBit == 0 || c1&fmaBit == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&ymmState != ymmState {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&avx2Bit != 0
+}

@@ -1,0 +1,13 @@
+//go:build amd64 && !noasm
+
+package kernel
+
+// archBackends reports the vector backends this CPU can run. The AVX2
+// backend additionally needs FMA and OS-enabled YMM state; absent any of
+// those the generic backend is the only choice.
+func archBackends() []*backendImpl {
+	if !cpuHasAVX2FMA() {
+		return nil
+	}
+	return []*backendImpl{avx2Backend}
+}

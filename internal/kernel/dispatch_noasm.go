@@ -1,0 +1,7 @@
+//go:build !amd64 || noasm
+
+package kernel
+
+// archBackends reports no vector backends: either this is not amd64 or
+// the noasm build tag forced the portable path.
+func archBackends() []*backendImpl { return nil }

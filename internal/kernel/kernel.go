@@ -1,12 +1,23 @@
 // Package kernel is the shared compute substrate of the S2C2 stack: flat
-// float64 kernels (dot, axpy, mat-vec, cache-blocked mat-mul), a persistent
-// sized worker pool for band-parallel execution, and sync.Pool-backed
-// workspace buffers.
+// float64 kernels (dot, axpy, mat-vec, cache-blocked mat-mul), the
+// GF(2³¹−1) mul-accumulate lane kernel, a persistent sized worker pool for
+// band-parallel execution, and sync.Pool-backed workspace buffers.
 //
-// Everything above this package — mat, coding, sim, rpc, workloads — routes
-// its float64 hot loops through these kernels, so a performance improvement
-// here (SIMD, better blocking, a future cgo/BLAS backend) lifts the whole
-// stack at once.
+// Everything above this package — mat, gf, coding, sim, rpc, workloads —
+// routes its hot loops through these kernels, so a performance improvement
+// here lifts the whole stack at once.
+//
+// # Backends
+//
+// Every kernel dispatches through a backend selected once at init:
+// "generic" is portable scalar Go and the reference semantics; "avx2"
+// (amd64, no noasm tag, CPU with AVX2+FMA) uses hand-written assembly with
+// 256-bit FMA accumulators. Selection is observable via ActiveBackend and
+// forceable via the S2C2_KERNEL_BACKEND environment variable or
+// SetBackend. Each backend uses a fixed accumulation order, so results are
+// bit-identical run to run *within* a backend; across backends, float64
+// results agree within accumulated rounding tolerance and GF results agree
+// exactly.
 //
 // Kernels operate on raw row-major slices and perform no argument
 // validation; callers (normally package mat) own shape checking. All
@@ -15,46 +26,30 @@ package kernel
 
 // Register blocking and cache blocking parameters.
 //
-// The mat-mul micro-kernel computes 4 rows of C per sweep over a B panel,
-// cutting B traffic 4× versus the naive row-at-a-time loop. Panels of
-// kcBlock B-rows by ncBlock columns (256 KiB at the defaults) are sized to
-// stay resident in L2 across the sweep.
+// The generic mat-mul micro-kernel computes 4 rows of C per sweep over a B
+// panel, cutting B traffic 4× versus the naive row-at-a-time loop. Panels
+// of kcBlock B-rows by ncBlock columns (512 KiB at the defaults) are sized
+// to stay resident in L2 across the sweep. The AVX2 backend shares the
+// panel dimensions but packs 8-column tiles (see avx2_amd64.go).
 const (
 	mrRows  = 4   // micro-kernel C rows
-	nrCols  = 4   // micro-kernel C cols
+	nrCols  = 4   // generic micro-kernel C cols
 	kcBlock = 256 // B panel rows (shared dim block)
 	ncBlock = 256 // B panel cols
 )
 
-// Dot returns the inner product of x and y (lengths must match). Four
-// independent accumulators expose instruction-level parallelism; the
-// summation order therefore differs from a sequential loop by O(ε).
+// Dot returns the inner product of x and y (lengths must match).
 func Dot(x, y []float64) float64 {
-	n := len(x)
-	y = y[:n]
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += x[i] * y[i]
-		s1 += x[i+1] * y[i+1]
-		s2 += x[i+2] * y[i+2]
-		s3 += x[i+3] * y[i+3]
-	}
-	for ; i < n; i++ {
-		s0 += x[i] * y[i]
-	}
-	return (s0 + s1) + (s2 + s3)
+	return active.Load().dot(x, y)
 }
 
-// Axpy computes y += a*x elementwise (lengths must match).
+// Axpy computes y += a*x elementwise (lengths must match). a == 0 is a
+// no-op on every backend (NaN/Inf in x are not propagated).
 func Axpy(a float64, x, y []float64) {
 	if a == 0 {
 		return
 	}
-	x = x[:len(y)]
-	for i, v := range x {
-		y[i] += a * v
-	}
+	active.Load().axpy(a, x, y)
 }
 
 // Scale multiplies every element of x by a in place.
@@ -73,203 +68,59 @@ func Zero(x []float64) {
 
 // MatVec computes dst = A·x for row-major A (rows×cols).
 func MatVec(dst, a []float64, rows, cols int, x []float64) {
-	MatVecRange(dst, a, cols, x, 0, rows)
+	active.Load().matVecRange(dst, a, cols, x, 0, rows)
 }
 
 // MatVecRange computes dst[i-lo] = (A·x)[i] for i in [lo, hi).
 // dst has length hi-lo.
 func MatVecRange(dst, a []float64, cols int, x []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		dst[i-lo] = Dot(a[i*cols:(i+1)*cols], x)
-	}
+	active.Load().matVecRange(dst, a, cols, x, lo, hi)
 }
 
 // VecMat computes dst = xᵀ·A (length cols) for row-major A (rows×cols),
 // streaming row-wise. dst is overwritten.
 func VecMat(dst, x, a []float64, rows, cols int) {
 	Zero(dst)
+	bk := active.Load()
 	for i := 0; i < rows; i++ {
-		Axpy(x[i], a[i*cols:(i+1)*cols], dst)
+		if x[i] == 0 {
+			continue
+		}
+		bk.axpy(x[i], a[i*cols:(i+1)*cols], dst)
 	}
 }
 
 // MatMul computes dst = A·B for row-major A (m×k) and B (k×n), overwriting
 // dst (m×n). The loop nest is cache-blocked (kcBlock×ncBlock B panels) and
-// register-blocked (mrRows C rows per panel sweep).
+// register-blocked (a backend-specific micro-kernel per panel sweep).
 func MatMul(dst, a []float64, m, k int, b []float64, n int) {
 	Zero(dst[:m*n])
-	MatMulAccRange(dst, a, m, k, b, n, 0, m)
+	active.Load().matMulAccRange(dst, a, k, b, n, 0, m)
 }
 
 // MatMulRange computes rows [lo, hi) of dst = A·B, overwriting those rows.
 // Bands are independent, so disjoint row ranges may run concurrently.
 func MatMulRange(dst, a []float64, m, k int, b []float64, n int, lo, hi int) {
+	_ = m
 	Zero(dst[lo*n : hi*n])
-	MatMulAccRange(dst, a, m, k, b, n, lo, hi)
+	active.Load().matMulAccRange(dst, a, k, b, n, lo, hi)
 }
 
 // MatMulAccRange accumulates rows [lo, hi) of A·B into dst (dst += A·B).
-//
-// Each kcBlock×ncBlock panel of B is packed once into contiguous 4-column
-// tiles (GotoBLAS-style), so the 4×4 register micro-kernel streams both A
-// and the packed panel sequentially. The pack buffer is pooled.
 func MatMulAccRange(dst, a []float64, m, k int, b []float64, n int, lo, hi int) {
 	_ = m
-	if hi <= lo {
+	active.Load().matMulAccRange(dst, a, k, b, n, lo, hi)
+}
+
+// GFAxpyMod31 computes dst[i] ← dst[i] + c·src[i] over GF(2³¹−1), the
+// mul-accumulate lane kernel behind gf.Axpy. Inputs must be fully reduced
+// (< 2³¹−1); lengths must match. Results are exact on every backend (this
+// is modular arithmetic, not floating point).
+func GFAxpyMod31(dst []uint32, c uint32, src []uint32) {
+	if c == 0 {
 		return
 	}
-	buf := GetBuf(kcBlock * ncBlock)
-	defer buf.Put()
-	for kk := 0; kk < k; kk += kcBlock {
-		kc := kcBlock
-		if kk+kc > k {
-			kc = k - kk
-		}
-		for jj := 0; jj < n; jj += ncBlock {
-			nc := ncBlock
-			if jj+nc > n {
-				nc = n - jj
-			}
-			packPanel(buf.F, b, n, kk, kc, jj, nc)
-			i := lo
-			for ; i+mrRows <= hi; i += mrRows {
-				mulPanel4(dst, a, buf.F, i, k, n, kk, kc, jj, nc)
-			}
-			for ; i < hi; i++ {
-				mulPanel1(dst, a, buf.F, i, k, n, kk, kc, jj, nc)
-			}
-		}
-	}
-}
-
-// packPanel copies the B panel rows [kk,kk+kc) × cols [jj,jj+nc) into dst
-// as 4-column tiles, each tile stored kc×4 row-major. The final tile is
-// zero-padded to width 4 so the micro-kernel needs no column masking.
-func packPanel(dst, b []float64, n, kk, kc, jj, nc int) {
-	tiles := (nc + nrCols - 1) / nrCols
-	for t := 0; t < tiles; t++ {
-		base := t * kc * nrCols
-		j0 := jj + t*nrCols
-		w := nc - t*nrCols
-		if w >= nrCols {
-			for kx := 0; kx < kc; kx++ {
-				src := b[(kk+kx)*n+j0 : (kk+kx)*n+j0+4 : (kk+kx)*n+j0+4]
-				d := dst[base+kx*4 : base+kx*4+4 : base+kx*4+4]
-				d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
-			}
-			continue
-		}
-		for kx := 0; kx < kc; kx++ {
-			d := dst[base+kx*4 : base+kx*4+4]
-			for c := 0; c < nrCols; c++ {
-				if c < w {
-					d[c] = b[(kk+kx)*n+j0+c]
-				} else {
-					d[c] = 0
-				}
-			}
-		}
-	}
-}
-
-// mulPanel4 accumulates the (4 × [jj,jj+nc)) block of C rows i..i+3 from
-// the packed B panel (kc rows). The 4×4 micro-kernel keeps its C block in
-// sixteen register accumulators, so C is loaded and stored once per panel
-// and both A and the packed panel stream sequentially.
-func mulPanel4(c, a, packed []float64, i, k, n, kk, kc, jj, nc int) {
-	a0 := a[i*k+kk : i*k+kk+kc]
-	a1 := a[(i+1)*k+kk : (i+1)*k+kk+kc]
-	a2 := a[(i+2)*k+kk : (i+2)*k+kk+kc]
-	a3 := a[(i+3)*k+kk : (i+3)*k+kk+kc]
-	tiles := (nc + nrCols - 1) / nrCols
-	for t := 0; t < tiles; t++ {
-		bt := packed[t*kc*4 : (t+1)*kc*4]
-		var c00, c01, c02, c03 float64
-		var c10, c11, c12, c13 float64
-		var c20, c21, c22, c23 float64
-		var c30, c31, c32, c33 float64
-		for kx := 0; kx < kc; kx++ {
-			brow := bt[kx*4 : kx*4+4 : kx*4+4]
-			b0, b1, b2, b3 := brow[0], brow[1], brow[2], brow[3]
-			av := a0[kx]
-			c00 += av * b0
-			c01 += av * b1
-			c02 += av * b2
-			c03 += av * b3
-			av = a1[kx]
-			c10 += av * b0
-			c11 += av * b1
-			c12 += av * b2
-			c13 += av * b3
-			av = a2[kx]
-			c20 += av * b0
-			c21 += av * b1
-			c22 += av * b2
-			c23 += av * b3
-			av = a3[kx]
-			c30 += av * b0
-			c31 += av * b1
-			c32 += av * b2
-			c33 += av * b3
-		}
-		j := jj + t*nrCols
-		w := nc - t*nrCols
-		if w > nrCols {
-			w = nrCols
-		}
-		store4(c[i*n+j:i*n+j+w], w, c00, c01, c02, c03)
-		store4(c[(i+1)*n+j:(i+1)*n+j+w], w, c10, c11, c12, c13)
-		store4(c[(i+2)*n+j:(i+2)*n+j+w], w, c20, c21, c22, c23)
-		store4(c[(i+3)*n+j:(i+3)*n+j+w], w, c30, c31, c32, c33)
-	}
-}
-
-// store4 accumulates up to four register values into a C row fragment.
-func store4(dst []float64, w int, v0, v1, v2, v3 float64) {
-	switch w {
-	case 4:
-		dst[0] += v0
-		dst[1] += v1
-		dst[2] += v2
-		dst[3] += v3
-	case 3:
-		dst[0] += v0
-		dst[1] += v1
-		dst[2] += v2
-	case 2:
-		dst[0] += v0
-		dst[1] += v1
-	case 1:
-		dst[0] += v0
-	}
-}
-
-// mulPanel1 is the tail micro-kernel for a single C row over the packed
-// panel: one row of register accumulators per 4-column tile.
-func mulPanel1(c, a, packed []float64, i, k, n, kk, kc, jj, nc int) {
-	a0 := a[i*k+kk : i*k+kk+kc]
-	tiles := (nc + nrCols - 1) / nrCols
-	for t := 0; t < tiles; t++ {
-		bt := packed[t*kc*4 : (t+1)*kc*4]
-		var c0, c1, c2, c3 float64
-		for kx := 0; kx < kc; kx++ {
-			av := a0[kx]
-			if av == 0 {
-				continue
-			}
-			brow := bt[kx*4 : kx*4+4 : kx*4+4]
-			c0 += av * brow[0]
-			c1 += av * brow[1]
-			c2 += av * brow[2]
-			c3 += av * brow[3]
-		}
-		j := jj + t*nrCols
-		w := nc - t*nrCols
-		if w > nrCols {
-			w = nrCols
-		}
-		store4(c[i*n+j:i*n+j+w], w, c0, c1, c2, c3)
-	}
+	active.Load().gfAxpy(dst, c, src)
 }
 
 // ATDiagBRange accumulates rows [lo, hi) of Aᵀ·diag(d)·B into dst, the
@@ -277,6 +128,7 @@ func mulPanel1(c, a, packed []float64, i, k, n, kk, kc, jj, nc int) {
 // m×nb, dst is (hi-lo)×nb row-major and is overwritten.
 func ATDiagBRange(dst, a, d, b []float64, m, ka, nb, lo, hi int) {
 	Zero(dst[:(hi-lo)*nb])
+	bk := active.Load()
 	for i := 0; i < m; i++ {
 		di := d[i]
 		if di == 0 {
@@ -289,7 +141,7 @@ func ATDiagBRange(dst, a, d, b []float64, m, ka, nb, lo, hi int) {
 			if s == 0 {
 				continue
 			}
-			Axpy(s, brow, dst[(p-lo)*nb:(p-lo+1)*nb])
+			bk.axpy(s, brow, dst[(p-lo)*nb:(p-lo+1)*nb])
 		}
 	}
 }

@@ -190,11 +190,12 @@ func (p *Pool) newJob() *job {
 	return j
 }
 
-// chunkFor sizes chunks so each is ~targetFlops of work but the range
-// still splits into a few chunks per participant for load balancing.
+// chunkFor sizes chunks so each is roughly the active backend's per-chunk
+// flop target (vector backends retire flops faster, so they want bigger
+// chunks) but the range still splits into a few chunks per participant
+// for load balancing.
 func chunkFor(total, rowCost, fan int) int {
-	const targetFlops = 16 * 1024
-	chunk := targetFlops / rowCost
+	chunk := active.Load().chunkFlops / rowCost
 	if balanced := total / (4 * fan); balanced > 0 && chunk > balanced {
 		chunk = balanced
 	}

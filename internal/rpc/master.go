@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -124,8 +125,14 @@ type Master struct {
 
 	mu        sync.Mutex
 	workers   []*workerConn
+	pending   []*workerConn // admitted past a WaitForWorkers target; registered by a later call
 	closing   bool
 	blockRows map[int]int // phase → partition rows
+
+	// pendingReady holds one token when pending is non-empty, so a
+	// WaitForWorkers call already inside its wait loop notices workers
+	// parked mid-call (by a previous call's orphaned admission).
+	pendingReady chan struct{}
 
 	wg      sync.WaitGroup // readLoops
 	round   roundWorkspace
@@ -146,12 +153,13 @@ func NewMasterWithConfig(cfg MasterConfig) (*Master, error) {
 		return nil, fmt.Errorf("rpc: listen: %w", err)
 	}
 	return &Master{
-		cfg:       cfg,
-		ln:        ln,
-		results:   make(chan *Result, 1024),
-		errs:      make(chan error, 16),
-		quit:      make(chan struct{}),
-		blockRows: map[int]int{},
+		cfg:          cfg,
+		ln:           ln,
+		results:      make(chan *Result, 1024),
+		errs:         make(chan error, 16),
+		quit:         make(chan struct{}),
+		blockRows:    map[int]int{},
+		pendingReady: make(chan struct{}, 1),
 	}, nil
 }
 
@@ -178,47 +186,243 @@ func (m *Master) putResult(r *Result) { m.resPool.Put(r) }
 // complete its handshake and hello before WaitForWorkers moves on.
 const handshakeTimeout = 5 * time.Second
 
+// maxConcurrentAdmits caps handshakes in flight at once; connections past
+// the cap wait in the listener backlog (see WaitForWorkers).
+const maxConcurrentAdmits = 32
+
 // WaitForWorkers accepts worker connections (assigning worker IDs in
-// connection order) until n are connected or the deadline expires. Each
-// connection performs the wire handshake; its version byte selects the
-// binary frame transport or the gob fallback, so one cluster may mix both.
-// Connections that fail the handshake or hello — wrong magic, an
-// unsupported version, a stalled client — are rejected and accepting
-// continues; they cannot wedge the master.
+// admission-completion order) until n are connected or the deadline
+// expires. Each connection performs the wire handshake; its version byte
+// selects the binary frame transport or the gob fallback, so one cluster
+// may mix both. Connections that fail the handshake or hello — wrong
+// magic, an unsupported version, a stalled client — are rejected and
+// accepting continues; they cannot wedge the master.
+//
+// Handshakes are admitted concurrently: accepting never waits on an
+// in-flight handshake, so one slow or stalled dialer delays later workers
+// by nothing instead of up to handshakeTimeout each. Registration is
+// serialized through this call, so the cluster never grows past n
+// mid-call: a handshake that completes after the target is reached (or
+// after the call returned) is parked and registered by the next
+// WaitForWorkers call — the concurrent analogue of a connection waiting
+// in the listener backlog under the old serial admission.
 //
 // The listener's accept deadline is cleared again on every return path, so
 // a later call — e.g. retrying after a timeout, or growing the cluster —
 // starts fresh instead of failing on a stale deadline.
 func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
-	if tl, ok := m.ln.(*net.TCPListener); ok {
+	// Workers admitted past a previous call's target register first.
+	for m.NumWorkers() < n {
+		wc := m.popPending()
+		if wc == nil {
+			break
+		}
+		m.register(wc)
+	}
+	if m.NumWorkers() >= n {
+		return nil
+	}
+	tl, _ := m.ln.(*net.TCPListener)
+	if tl != nil {
 		if err := tl.SetDeadline(time.Now().Add(timeout)); err != nil {
 			return err
 		}
-		defer tl.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
 	}
+	// outcomes carries one admission verdict per accepted connection (the
+	// admitted worker, or the reject reason); acceptErr carries the
+	// accept-loop exit error (deadline or closed listener).
+	type outcome struct {
+		wc  *workerConn
+		err error
+	}
+	outcomes := make(chan outcome)
+	acceptErr := make(chan error, 1)
+	stop := make(chan struct{})
+	acceptDone := make(chan struct{})
+	// admitSlots bounds concurrent handshakes, restoring the backpressure
+	// the serial loop had: past the cap, accepting waits and surplus
+	// connections queue in the listener backlog instead of each pinning a
+	// goroutine + fd for up to handshakeTimeout (reconnect storms, port
+	// scanners).
+	admitSlots := make(chan struct{}, maxConcurrentAdmits)
+	go func() {
+		defer close(acceptDone)
+		for {
+			c, err := m.ln.Accept()
+			if err != nil {
+				select {
+				case acceptErr <- err:
+				case <-stop:
+				}
+				return
+			}
+			select {
+			case admitSlots <- struct{}{}:
+			case <-stop:
+				// The call is returning; finish this last accepted
+				// connection's handshake in the background and park it
+				// for the next call — the serial code would have left it
+				// in the listener backlog, not dropped it.
+				go func(c net.Conn) {
+					if wc, err := m.admit(c); err == nil {
+						m.enqueuePending(wc)
+					}
+				}(c)
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { <-admitSlots }()
+				addr := c.RemoteAddr()
+				wc, err := m.admit(c)
+				if err != nil {
+					err = fmt.Errorf("%s: %w", addr, err)
+				}
+				select {
+				case outcomes <- outcome{wc: wc, err: err}:
+				case <-stop:
+					// The call already returned; hold the admitted worker
+					// for the next WaitForWorkers instead of registering
+					// into rounds planned for the current cluster size.
+					if wc != nil {
+						m.enqueuePending(wc)
+					}
+				}
+			}(c)
+		}
+	}()
+	defer func() {
+		close(stop)
+		if tl != nil {
+			// Force the pending Accept to return so exactly one accept
+			// loop ever runs, then clear the deadline for the next call.
+			tl.SetDeadline(time.Now()) //nolint:errcheck
+			<-acceptDone
+			tl.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
+		}
+	}()
+	// The wait loop carries its own timer: the listener deadline only
+	// fires while the accept goroutine is blocked in Accept, and a storm
+	// of stalled handshakes holding every admit slot would otherwise
+	// stretch the caller's timeout toward handshakeTimeout.
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	var lastReject error
 	for m.NumWorkers() < n {
-		c, err := m.ln.Accept()
-		if err != nil {
+		select {
+		case res := <-outcomes:
+			if res.err != nil {
+				lastReject = res.err
+			} else if m.NumWorkers() < n {
+				m.register(res.wc)
+			} else {
+				m.enqueuePending(res.wc)
+			}
+		case <-timer.C:
+			if lastReject != nil {
+				return fmt.Errorf("rpc: wait for workers: %w (have %d/%d workers, last rejected conn: %v)",
+					os.ErrDeadlineExceeded, m.NumWorkers(), n, lastReject)
+			}
+			return fmt.Errorf("rpc: wait for workers: %w (have %d/%d workers)",
+				os.ErrDeadlineExceeded, m.NumWorkers(), n)
+		case <-m.pendingReady:
+			// A previous call's orphaned admission parked a worker while
+			// this call was already waiting; register it now.
+			for m.NumWorkers() < n {
+				wc := m.popPending()
+				if wc == nil {
+					break
+				}
+				m.register(wc)
+			}
+		case err := <-acceptErr:
+			// A worker whose handshake completed as the deadline fired may
+			// be blocked handing over its outcome (or just parked);
+			// register what's ready before deciding this call failed.
+		drain:
+			for m.NumWorkers() < n {
+				if wc := m.popPending(); wc != nil {
+					m.register(wc)
+					continue
+				}
+				select {
+				case res := <-outcomes:
+					if res.err != nil {
+						lastReject = res.err
+					} else {
+						m.register(res.wc)
+					}
+				default:
+					break drain
+				}
+			}
+			if m.NumWorkers() >= n {
+				return nil
+			}
 			if lastReject != nil {
 				return fmt.Errorf("rpc: accept (have %d/%d workers, last rejected conn: %v): %w",
 					m.NumWorkers(), n, lastReject, err)
 			}
 			return fmt.Errorf("rpc: accept (have %d/%d workers): %w", m.NumWorkers(), n, err)
 		}
-		wc, err := m.admit(c)
-		if err != nil {
-			lastReject = fmt.Errorf("%s: %w", c.RemoteAddr(), err)
-			continue
-		}
-		m.mu.Lock()
-		id := len(m.workers)
-		m.workers = append(m.workers, wc)
-		m.mu.Unlock()
-		m.wg.Add(1)
-		go m.readLoop(id, wc)
 	}
 	return nil
+}
+
+// enqueuePending parks an admitted connection for a later WaitForWorkers
+// call (closing it instead if the master is shutting down) and pulses
+// pendingReady so a call already waiting picks it up.
+//
+// No read loop watches a parked connection, so one that dies while parked
+// is only discovered when a later call registers it and its read loop
+// starts. That is the same contract registration has always had — a
+// worker can die the instant after WaitForWorkers returns — and the same
+// recovery applies: the death surfaces on the master's error channel and
+// the round path reassigns around it.
+func (m *Master) enqueuePending(wc *workerConn) {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		wc.t.close()
+		return
+	}
+	m.pending = append(m.pending, wc)
+	m.mu.Unlock()
+	select {
+	case m.pendingReady <- struct{}{}:
+	default: // token already posted
+	}
+}
+
+// popPending dequeues the oldest parked connection, or nil.
+func (m *Master) popPending() *workerConn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pending) == 0 {
+		return nil
+	}
+	wc := m.pending[0]
+	m.pending = m.pending[1:]
+	return wc
+}
+
+// register assigns the next worker ID to an admitted connection and
+// starts its read loop. A handshake that completes after Shutdown began
+// is turned away (its connection closed) instead of registered: the
+// worker would miss Shutdown's close sweep and hang the final Wait. The
+// wg.Add happens under the same lock Shutdown sets closing under, so
+// every registered read loop is ordered before Shutdown's Wait.
+func (m *Master) register(wc *workerConn) {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		wc.t.close()
+		return
+	}
+	id := len(m.workers)
+	m.workers = append(m.workers, wc)
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.readLoop(id, wc)
 }
 
 // admit runs the handshake + hello exchange on a freshly accepted
@@ -876,11 +1080,16 @@ func (m *Master) Shutdown() {
 	}
 	m.closing = true
 	workers := append([]*workerConn(nil), m.workers...)
+	pending := m.pending
+	m.pending = nil
 	m.mu.Unlock()
 	close(m.quit) // unblock readers parked on a full results channel
 	for _, wc := range workers {
 		wc.t.sendShutdown() //nolint:errcheck // best effort
 		wc.t.close()
+	}
+	for _, wc := range pending {
+		wc.t.close() // admitted but never registered: no read loop to stop
 	}
 	m.ln.Close()
 	m.wg.Wait()

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
@@ -32,6 +33,81 @@ func TestWaitForWorkersClearsDeadline(t *testing.T) {
 	}()
 	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
 		t.Fatalf("second WaitForWorkers failed after a timed-out first call: %v", err)
+	}
+}
+
+// TestWaitForWorkersStalledDialer is the serialized-admission regression:
+// a dialer that connects first but never sends its handshake must not
+// delay admission of workers connecting behind it. With serial admission
+// the stalled connection holds the accept loop for handshakeTimeout (5 s)
+// and this WaitForWorkers call times out; with concurrent admission the
+// healthy worker is admitted immediately.
+func TestWaitForWorkersStalledDialer(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	// The stalled dialer lands in the listener's accept queue first, so
+	// the master accepts (and begins admitting) it before the real worker.
+	stalled, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	go func() {
+		time.Sleep(100 * time.Millisecond) // let the stalled conn queue first
+		w, err := NewWorker(WorkerConfig{MasterAddr: m.Addr()})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		w.Run() //nolint:errcheck // shutdown closes the conn
+	}()
+	start := time.Now()
+	if err := m.WaitForWorkers(1, 3*time.Second); err != nil {
+		t.Fatalf("WaitForWorkers behind a stalled dialer: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 2500*time.Millisecond {
+		t.Fatalf("worker admitted only after %v; admission is serialized behind the stalled dialer", elapsed)
+	}
+}
+
+// TestWaitForWorkersSurplusParksUntilNextCall pins the cluster-size
+// invariant under concurrent admission: a handshake that completes past
+// the call's target must NOT grow the cluster mid-round (plans and
+// partition distribution are sized to NumWorkers), but must be
+// registered by the next WaitForWorkers call.
+func TestWaitForWorkersSurplusParksUntilNextCall(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	for i := 0; i < 2; i++ {
+		go func() {
+			w, err := NewWorker(WorkerConfig{MasterAddr: m.Addr()})
+			if err != nil {
+				return // surplus conn may be parked or closed by shutdown
+			}
+			w.Run() //nolint:errcheck // shutdown closes the conn
+		}()
+	}
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The second worker's handshake finishes on its own schedule; however
+	// long we wait, it must never be registered without a call asking.
+	time.Sleep(300 * time.Millisecond)
+	if got := m.NumWorkers(); got != 1 {
+		t.Fatalf("cluster grew to %d workers without a WaitForWorkers call (want 1)", got)
+	}
+	// The next call registers the parked worker without a new dial.
+	if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatalf("second WaitForWorkers did not register the parked worker: %v", err)
+	}
+	if got := m.NumWorkers(); got != 2 {
+		t.Fatalf("NumWorkers = %d after growing, want 2", got)
 	}
 }
 
