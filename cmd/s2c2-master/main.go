@@ -1,23 +1,30 @@
 // Command s2c2-master drives a real TCP cluster through an iterative
 // coded workload: it waits for workers, encodes and distributes the data,
-// then runs gradient descent for logistic regression with S2C2 work
-// assignment, printing per-iteration latency, straggler decisions, and
-// the final model quality.
+// then runs the selected mode — float64 gradient descent for logistic
+// regression with S2C2 work assignment (the default), or exact
+// GF(2³¹−1) mat-vec rounds whose results are bit-identical to a local
+// compute (-mode exact) — printing per-iteration latency, straggler
+// decisions, and the final quality/exactness check.
 //
 // Usage (one master + three workers on a laptop):
 //
 //	s2c2-master -listen :7077 -workers 4 -k 3 -iters 10 &
 //	for i in 1 2 3; do s2c2-worker -master 127.0.0.1:7077 & done
 //	s2c2-worker -master 127.0.0.1:7077 -slowdown 8   # the straggler
+//
+// The same worker binary serves both modes; the protocol's GF message
+// types select the exact compute path per round.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
 	"github.com/coded-computing/s2c2/internal/predict"
 	"github.com/coded-computing/s2c2/internal/rpc"
 	"github.com/coded-computing/s2c2/internal/sched"
@@ -29,13 +36,14 @@ func main() {
 		listen      = flag.String("listen", ":7077", "listen address")
 		workers     = flag.Int("workers", 4, "number of workers (n)")
 		k           = flag.Int("k", 3, "MDS recovery threshold (k)")
-		iters       = flag.Int("iters", 10, "gradient-descent iterations")
+		iters       = flag.Int("iters", 10, "gradient-descent iterations (or exact rounds)")
 		samples     = flag.Int("samples", 2000, "dataset rows")
 		feats       = flag.Int("features", 200, "dataset columns")
 		timeout     = flag.Float64("timeout", 0.15, "straggler timeout fraction (§4.3)")
 		stall       = flag.Duration("stall-timeout", 0, "hard per-round stall deadline (0 = 30s default)")
 		chunkRows   = flag.Int("chunk-rows", 0, "rows per streamed partition chunk (0 = ~256 KiB chunks)")
 		chunkWindow = flag.Int("chunk-window", 0, "unacknowledged chunks in flight per worker (0 = 4)")
+		mode        = flag.String("mode", "float", "workload mode: float (float64 logistic GD) or exact (bit-exact GF(2^31-1) rounds)")
 	)
 	flag.Parse()
 	cfg := rpc.MasterConfig{
@@ -44,10 +52,101 @@ func main() {
 		ChunkRows:    *chunkRows,
 		ChunkWindow:  *chunkWindow,
 	}
-	if err := run(cfg, *workers, *k, *iters, *samples, *feats, *timeout); err != nil {
+	var err error
+	switch *mode {
+	case "float":
+		err = run(cfg, *workers, *k, *iters, *samples, *feats, *timeout)
+	case "exact":
+		err = runExact(cfg, *workers, *k, *iters, *samples, *feats, *timeout)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want float or exact)", *mode)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "s2c2-master:", err)
 		os.Exit(1)
 	}
+}
+
+// runExact drives the exact distributed path: an integer data matrix over
+// GF(2³¹−1) is MDS-encoded in the field, streamed to the workers as
+// uint32 partitions, and every round's distributed A·x is verified
+// bit-identical to the local field compute — the guarantee float64
+// rounds cannot give.
+func runExact(cfg rpc.MasterConfig, n, k, iters, rows, cols int, timeoutFrac float64) error {
+	m, err := rpc.NewMasterWithConfig(cfg)
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	fmt.Printf("master listening on %s (exact mode), waiting for %d workers...\n", m.Addr(), n)
+	if err := m.WaitForWorkers(n, 5*time.Minute); err != nil {
+		return err
+	}
+	fmt.Printf("all %d workers connected\n", n)
+
+	rng := rand.New(rand.NewSource(1))
+	data := make([]gf.Elem, rows*cols)
+	for i := range data {
+		data[i] = gf.New(rng.Uint64())
+	}
+	local := gf.NewMatrixFromData(rows, cols, data)
+	code, err := coding.NewGFMDSCode(n, k)
+	if err != nil {
+		return err
+	}
+	enc, err := code.Encode(rows, cols, data)
+	if err != nil {
+		return err
+	}
+	if err := m.DistributeGFPartitions(0, enc.Parts); err != nil {
+		return err
+	}
+	fmt.Printf("distributed %d exact GF(2^31-1) partitions of %dx%d\n", n, enc.BlockRows, cols)
+
+	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: enc.BlockRows}
+	speeds := make([]float64, n)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	decWS := enc.NewDecodeWorkspace()
+	dst := make([]gf.Elem, enc.OrigRows)
+	x := make([]gf.Elem, cols)
+	want := make([]gf.Elem, rows)
+	for iter := 0; iter < iters; iter++ {
+		for i := range x {
+			x[i] = gf.New(rng.Uint64())
+		}
+		local.MulVecInto(want, x)
+		plan, err := m.PlanRound(strat, speeds)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		partials, stats, err := m.RunGFRound(iter, 0, x, plan, k, timeoutFrac)
+		if err != nil {
+			return err
+		}
+		if _, err := enc.DecodeMatVecInto(dst, partials, decWS); err != nil {
+			return err
+		}
+		for r := range want {
+			if dst[r] != want[r] {
+				return fmt.Errorf("iter %d row %d: distributed %d != local %d — exactness violated", iter, r, dst[r], want[r])
+			}
+		}
+		for w := 0; w < n; w++ {
+			if stats.ResponseTime[w] > 0 && stats.AssignedRows[w] > 0 {
+				speeds[w] = float64(stats.AssignedRows[w]) / stats.ResponseTime[w].Seconds()
+			}
+		}
+		if len(stats.TimedOut) > 0 {
+			fmt.Printf("  iter %d: timed out %v, reassigned %d rows\n", iter, stats.TimedOut, stats.Reassigned)
+		}
+		fmt.Printf("iter %2d: %8.2fms  bit-exact ✓\n",
+			iter, float64(time.Since(start).Microseconds())/1000)
+	}
+	fmt.Printf("all %d exact rounds decoded bit-identically to the local field compute\n", iters)
+	return nil
 }
 
 func run(cfg rpc.MasterConfig, n, k, iters, samples, feats int, timeoutFrac float64) error {

@@ -1,6 +1,9 @@
 // Command s2c2-worker is the worker daemon of the TCP runtime: it dials
 // the master, receives coded partitions, and serves per-round work
-// assignments until shut down.
+// assignments until shut down. Both compute paths are always available —
+// float64 mat-vec rounds and exact GF(2³¹−1) rounds (the master's
+// -mode exact) are selected per message by the protocol, so the same
+// daemon serves either workload without flags.
 //
 // Usage:
 //

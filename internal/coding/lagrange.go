@@ -239,6 +239,49 @@ func (c *LagrangeCode) DecodeInto(dst [][]gf.Elem, results map[int][]gf.Elem, de
 	return dst, nil
 }
 
+// CompleteGFShares assembles per-worker complete result vectors from a GF
+// round's partials — the form LagrangeCode.Decode consumes. A worker whose
+// partials (possibly several: split results, reassignment extras) cover
+// every one of the blockRows rows contributes one length-blockRows vector;
+// workers with partial coverage are omitted (Lagrange interpolation needs
+// whole share evaluations, unlike the per-row MDS decode). Duplicate
+// (worker, row) deliveries are benign: every copy is the same
+// deterministic field value, so the last write wins.
+func CompleteGFShares(partials []*GFPartial, blockRows int) (map[int][]gf.Elem, error) {
+	vecs := map[int][]gf.Elem{}
+	covered := map[int][]bool{}
+	count := map[int]int{}
+	for _, p := range partials {
+		if err := validatePartial(p.Worker, p.Ranges, len(p.Values), 1, blockRows); err != nil {
+			return nil, err
+		}
+		v := vecs[p.Worker]
+		if v == nil {
+			v = make([]gf.Elem, blockRows)
+			vecs[p.Worker] = v
+			covered[p.Worker] = make([]bool, blockRows)
+		}
+		cov := covered[p.Worker]
+		at := 0
+		for _, r := range p.Ranges {
+			for row := r.Lo; row < r.Hi; row++ {
+				v[row] = p.Values[at]
+				if !cov[row] {
+					cov[row] = true
+					count[p.Worker]++
+				}
+				at++
+			}
+		}
+	}
+	for w, c := range count {
+		if c < blockRows {
+			delete(vecs, w)
+		}
+	}
+	return vecs, nil
+}
+
 // lagrangeBasisAt returns [ℓ_0(x), …, ℓ_{m−1}(x)] for the basis defined
 // by the distinct points pts.
 func lagrangeBasisAt(pts []gf.Elem, x gf.Elem) []gf.Elem {

@@ -211,6 +211,56 @@ func assertBlocksEqual(t *testing.T, got, want [][]gf.Elem) {
 // TestLagrangeEncodeIntoMatchesEncode pins the share-reuse path: EncodeInto
 // over a warm destination must reuse every share's storage and produce
 // exactly the shares a fresh Encode produces.
+// TestCompleteGFShares pins the share-assembly contract: split partials
+// merge into one complete vector per worker, workers with partial
+// coverage are omitted, duplicates are benign, and malformed partials
+// are rejected.
+func TestCompleteGFShares(t *testing.T) {
+	const blockRows = 5
+	partials := []*GFPartial{
+		// Worker 0: complete, split across two partials (out of order).
+		{Worker: 0, Ranges: []Range{{Lo: 2, Hi: 5}}, Values: []gf.Elem{12, 13, 14}},
+		{Worker: 0, Ranges: []Range{{Lo: 0, Hi: 2}}, Values: []gf.Elem{10, 11}},
+		// Worker 1: incomplete (rows 0..3 only).
+		{Worker: 1, Ranges: []Range{{Lo: 0, Hi: 3}}, Values: []gf.Elem{20, 21, 22}},
+		// Worker 2: complete in one partial, plus a duplicate delivery.
+		{Worker: 2, Ranges: []Range{{Lo: 0, Hi: 5}}, Values: []gf.Elem{30, 31, 32, 33, 34}},
+		{Worker: 2, Ranges: []Range{{Lo: 1, Hi: 3}}, Values: []gf.Elem{31, 32}},
+	}
+	shares, err := CompleteGFShares(partials, blockRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 2 {
+		t.Fatalf("%d complete shares, want 2 (workers 0 and 2)", len(shares))
+	}
+	if _, ok := shares[1]; ok {
+		t.Fatal("incomplete worker 1 must be omitted")
+	}
+	for i, v := range []gf.Elem{10, 11, 12, 13, 14} {
+		if shares[0][i] != v {
+			t.Fatalf("worker 0 row %d = %d, want %d", i, shares[0][i], v)
+		}
+	}
+	for i, v := range []gf.Elem{30, 31, 32, 33, 34} {
+		if shares[2][i] != v {
+			t.Fatalf("worker 2 row %d = %d, want %d", i, shares[2][i], v)
+		}
+	}
+	// Malformed: range outside the partition.
+	if _, err := CompleteGFShares([]*GFPartial{
+		{Worker: 0, Ranges: []Range{{Lo: 0, Hi: 6}}, Values: make([]gf.Elem, 6)},
+	}, blockRows); err == nil {
+		t.Fatal("out-of-range partial must be rejected")
+	}
+	// Malformed: value count does not match the ranges.
+	if _, err := CompleteGFShares([]*GFPartial{
+		{Worker: 0, Ranges: []Range{{Lo: 0, Hi: 2}}, Values: make([]gf.Elem, 3)},
+	}, blockRows); err == nil {
+		t.Fatal("count-mismatched partial must be rejected")
+	}
+}
+
 func TestLagrangeEncodeIntoMatchesEncode(t *testing.T) {
 	rng := rand.New(rand.NewSource(50))
 	c, err := NewLagrangeCode(9, 3)

@@ -99,6 +99,32 @@ func asU32(s []Elem) []uint32 {
 	return unsafe.Slice((*uint32)(unsafe.Pointer(&s[0])), len(s))
 }
 
+// AsUint32s reinterprets field elements as raw uint32 lanes without
+// copying — the wire layer ships GF payloads as count-prefixed uint32s and
+// this is the zero-copy bridge to it. The returned slice aliases s.
+func AsUint32s(s []Elem) []uint32 { return asU32(s) }
+
+// AsElems is the inverse view of AsUint32s: raw uint32 lanes seen as field
+// elements, aliasing s. Values are NOT reduced mod P — callers that accept
+// untrusted lanes must validate with Valid before using them in field
+// arithmetic whose invariants assume canonical elements.
+func AsElems(s []uint32) []Elem {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*Elem)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// Valid reports whether every lane is a canonical field element in [0, P).
+func Valid(s []Elem) bool {
+	for _, v := range s {
+		if uint64(v) >= P {
+			return false
+		}
+	}
+	return true
+}
+
 // Axpy computes dst[i] ← dst[i] + c·src[i] over the field — the
 // mul-accumulate kernel of the coding layer's GF paths (MDS/Lagrange
 // encode mixing, decode back-substitution). It dispatches through
@@ -127,6 +153,15 @@ func NewMatrix(r, c int) *Matrix {
 	return &Matrix{rows: r, cols: c, data: make([]Elem, r*c)}
 }
 
+// NewMatrixFromData adopts data (row-major, length r·c) as the backing
+// storage of an r-by-c matrix without copying.
+func NewMatrixFromData(r, c int, data []Elem) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("gf: NewMatrixFromData %dx%d with %d elements", r, c, len(data)))
+	}
+	return &Matrix{rows: r, cols: c, data: data}
+}
+
 // Dims reports the shape.
 func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
 
@@ -138,6 +173,9 @@ func (m *Matrix) Set(i, j int, v Elem) { m.data[i*m.cols+j] = v }
 
 // Row returns row i, aliasing the backing storage.
 func (m *Matrix) Row(i int) []Elem { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Data returns the row-major backing storage, aliasing the matrix.
+func (m *Matrix) Data() []Elem { return m.data }
 
 // Clone deep-copies the matrix.
 func (m *Matrix) Clone() *Matrix {
@@ -162,13 +200,27 @@ func (m *Matrix) MulVec(x []Elem) []Elem {
 // keeps the accumulator under 2³³ so the next product cannot overflow; a
 // final fold plus one conditional subtract lands in [0, P).
 func (m *Matrix) MulVecInto(y, x []Elem) {
-	if len(x) != m.cols {
-		panic(fmt.Sprintf("gf: MulVec length %d want %d", len(x), m.cols))
-	}
 	if len(y) != m.rows {
 		panic(fmt.Sprintf("gf: MulVec dst length %d want %d", len(y), m.rows))
 	}
-	for i := 0; i < m.rows; i++ {
+	m.MulVecRangeInto(y, x, 0, m.rows)
+}
+
+// MulVecRangeInto computes rows [lo, hi) of M·x into y (length hi−lo) —
+// the worker-side kernel of the exact distributed round path, where a
+// round assigns each worker a row range of its coded partition. Same
+// Mersenne folding, same bit-exact results as MulVecInto.
+func (m *Matrix) MulVecRangeInto(y, x []Elem, lo, hi int) {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("gf: MulVec length %d want %d", len(x), m.cols))
+	}
+	if lo < 0 || hi > m.rows || lo > hi {
+		panic(fmt.Sprintf("gf: MulVecRange rows [%d,%d) outside [0,%d)", lo, hi, m.rows))
+	}
+	if len(y) != hi-lo {
+		panic(fmt.Sprintf("gf: MulVecRange dst length %d want %d", len(y), hi-lo))
+	}
+	for i := lo; i < hi; i++ {
 		row := m.Row(i)
 		var acc uint64
 		for j, v := range row {
@@ -179,7 +231,7 @@ func (m *Matrix) MulVecInto(y, x []Elem) {
 		if acc >= P {
 			acc -= P
 		}
-		y[i] = Elem(acc)
+		y[i-lo] = Elem(acc)
 	}
 }
 

@@ -180,6 +180,85 @@ func BenchmarkAxpyScalarReference(b *testing.B) {
 	}
 }
 
+// TestMulVecRangeIntoMatchesFull checks the ranged mat-vec (the worker
+// kernel of the exact distributed round) against the full MulVec on
+// random matrices and every [lo, hi) window.
+func TestMulVecRangeIntoMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(9)
+		m := NewMatrix(rows, cols)
+		for i := range m.data {
+			m.data[i] = New(rng.Uint64())
+		}
+		x := make([]Elem, cols)
+		for i := range x {
+			x[i] = New(rng.Uint64())
+		}
+		full := m.MulVec(x)
+		for lo := 0; lo <= rows; lo++ {
+			for hi := lo; hi <= rows; hi++ {
+				got := make([]Elem, hi-lo)
+				m.MulVecRangeInto(got, x, lo, hi)
+				for i := range got {
+					if got[i] != full[lo+i] {
+						t.Fatalf("rows [%d,%d) index %d: %d != full %d", lo, hi, i, got[i], full[lo+i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUint32Views checks the zero-copy reinterpret bridges: the uint32
+// view aliases the element storage both ways, and Valid flags exactly
+// the non-canonical lanes.
+func TestUint32Views(t *testing.T) {
+	es := []Elem{0, 1, Elem(P - 1)}
+	u := AsUint32s(es)
+	if len(u) != len(es) {
+		t.Fatalf("length %d != %d", len(u), len(es))
+	}
+	u[1] = 99
+	if es[1] != 99 {
+		t.Fatal("AsUint32s does not alias the element storage")
+	}
+	back := AsElems(u)
+	back[2] = 7
+	if es[2] != 7 {
+		t.Fatal("AsElems does not alias the lane storage")
+	}
+	if AsUint32s(nil) != nil || AsElems(nil) != nil {
+		t.Fatal("empty views must be nil")
+	}
+	if !Valid(es) {
+		t.Fatalf("canonical elements flagged invalid: %v", es)
+	}
+	if Valid([]Elem{0, Elem(P)}) {
+		t.Fatal("P itself must be non-canonical")
+	}
+	if Valid([]Elem{Elem(^uint32(0))}) {
+		t.Fatal("max uint32 must be non-canonical")
+	}
+}
+
+// TestNewMatrixFromDataAdoptsStorage pins the no-copy contract.
+func TestNewMatrixFromDataAdoptsStorage(t *testing.T) {
+	data := []Elem{1, 2, 3, 4, 5, 6}
+	m := NewMatrixFromData(2, 3, data)
+	data[4] = 42
+	if m.At(1, 1) != 42 {
+		t.Fatal("NewMatrixFromData copied instead of adopting")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	NewMatrixFromData(2, 2, data)
+}
+
 func TestFieldAxiomsSpot(t *testing.T) {
 	a, b := Elem(P-1), Elem(5)
 	if Add(a, b) != Elem(4) {

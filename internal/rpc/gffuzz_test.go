@@ -1,0 +1,302 @@
+package rpc
+
+// gffuzz_test.go: native fuzz targets and deterministic edge-case tests
+// for the GF(2³¹−1) frame decoders, mirroring the float64 wire edge-case
+// suite — hostile element counts, truncation at every cut point, and
+// duplicate/out-of-order chunk streams must surface as protocol errors,
+// never as panics or silently-corrupt partitions.
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/mat"
+	"github.com/coded-computing/s2c2/internal/wire"
+)
+
+// dialGFVictim starts a real worker against a hand-rolled master socket
+// and returns the accepted conn (handshake + hello consumed), a framer
+// pair, and the worker's exit channel.
+func dialGFVictim(t *testing.T) (net.Conn, *wire.Writer, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	done := make(chan error, 1)
+	go func() {
+		w, err := NewWorker(WorkerConfig{MasterAddr: ln.Addr().String()})
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- w.Run()
+	}()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if _, err := wire.ReadHandshake(c); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(c)
+	if typ, _, err := r.Next(); err != nil || typ != wire.TypeHello {
+		t.Fatalf("hello: %v %v", typ, err)
+	}
+	return c, wire.NewWriter(c), done
+}
+
+func sendGFStart(t *testing.T, w *wire.Writer, phase, seq, rows, cols, chunkRows int) {
+	t.Helper()
+	w.Begin(wire.TypeGFPartitionStart)
+	w.Int(phase)
+	w.Int(seq)
+	w.Int(rows)
+	w.Int(cols)
+	w.Int(chunkRows)
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sendGFChunk(t *testing.T, w *wire.Writer, phase, seq, lo, hi int, vals []uint32) {
+	t.Helper()
+	w.Begin(wire.TypeGFPartitionChunk)
+	w.Int(phase)
+	w.Int(seq)
+	w.Int(lo)
+	w.Int(hi)
+	w.Uint32s(vals)
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expectWorkerError(t *testing.T, done chan error, want string) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("worker exited with %v, want error containing %q", err, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("worker did not exit (want error containing %q)", want)
+	}
+}
+
+// TestWorkerRejectsOutOfOrderGFChunks is the GF mirror of the float64
+// sequential-streaming guard: a duplicate chunk could otherwise drive the
+// remaining-row count to zero and publish a partition whose uncovered
+// rows are silently zero.
+func TestWorkerRejectsOutOfOrderGFChunks(t *testing.T) {
+	_, w, done := dialGFVictim(t)
+	sendGFStart(t, w, 0, 1, 4, 1, 2)
+	sendGFChunk(t, w, 0, 1, 0, 2, []uint32{1, 2})
+	sendGFChunk(t, w, 0, 1, 0, 2, []uint32{1, 2}) // duplicate
+	expectWorkerError(t, done, "out of order")
+}
+
+// TestWorkerRejectsNonCanonicalGFChunk pins the canonicality guard: a
+// lane ≥ P would break the Mersenne-folded arithmetic's overflow bounds,
+// so it must be a protocol error at ingest.
+func TestWorkerRejectsNonCanonicalGFChunk(t *testing.T) {
+	_, w, done := dialGFVictim(t)
+	sendGFStart(t, w, 0, 1, 2, 1, 2)
+	sendGFChunk(t, w, 0, 1, 0, 2, []uint32{uint32(gf.P), 0}) // P itself is out of range
+	expectWorkerError(t, done, "non-canonical")
+}
+
+// TestWorkerRejectsHostileGFPartitionStart pins the dimension guard: a
+// header whose Rows·Cols exceeds the element bound is rejected before any
+// allocation (the bounds check divides, so it cannot be overflowed).
+func TestWorkerRejectsHostileGFPartitionStart(t *testing.T) {
+	_, w, done := dialGFVictim(t)
+	sendGFStart(t, w, 0, 1, 1<<20, 1<<20, 64) // 2⁴⁰ elements
+	expectWorkerError(t, done, "rejected")
+}
+
+// TestWorkerRejectsGFChunkCountMismatch pins the exact-count contract of
+// the zero-copy chunk decode: a chunk claiming rows [0,2) of a 1-column
+// partition but carrying three elements must fail, not spill.
+func TestWorkerRejectsGFChunkCountMismatch(t *testing.T) {
+	_, w, done := dialGFVictim(t)
+	sendGFStart(t, w, 0, 1, 4, 1, 2)
+	sendGFChunk(t, w, 0, 1, 0, 2, []uint32{1, 2, 3}) // 3 values for 2 rows
+	expectWorkerError(t, done, "malformed")
+}
+
+// buildGFResultStream encodes one valid GF result frame stream.
+func buildGFResultStream(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	c := &wireConn{w: wire.NewWriter(&buf)}
+	res := &GFResult{
+		Iter: 3, Phase: 1, Worker: 2, ComputeNanos: 12345,
+		Ranges: []coding.Range{{Lo: 0, Hi: 4}},
+		Values: []gf.Elem{1, 2, 3, gf.Elem(gf.P - 1)},
+	}
+	if err := c.sendGFResult(res); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGFResultFrameTruncatedAtEveryCut cuts a valid GF result frame at
+// every byte boundary: the master-side decode must error (truncation or
+// EOF), never decode garbage or panic.
+func TestGFResultFrameTruncatedAtEveryCut(t *testing.T) {
+	full := buildGFResultStream(t)
+	for cut := 0; cut < len(full); cut++ {
+		tc := &wireConn{w: wire.NewWriter(io.Discard), r: wire.NewReader(bytes.NewReader(full[:cut]))}
+		msg := &Msg{}
+		if err := tc.recv(msg); err == nil {
+			t.Fatalf("cut at %d decoded without error", cut)
+		}
+	}
+	// The uncut frame decodes cleanly.
+	tc := &wireConn{w: wire.NewWriter(io.Discard), r: wire.NewReader(bytes.NewReader(full))}
+	msg := &Msg{}
+	if err := tc.recv(msg); err != nil || msg.Kind != KindGFResult {
+		t.Fatalf("full frame: kind %d err %v", msg.Kind, err)
+	}
+	if len(msg.GFResult.Values) != 4 || msg.GFResult.Values[3] != gf.Elem(gf.P-1) {
+		t.Fatalf("decoded values %v", msg.GFResult.Values)
+	}
+}
+
+// TestGFResultHostileElementCount declares a value count the frame cannot
+// hold: the division-based guard must reject it before sizing anything.
+func TestGFResultHostileElementCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Begin(wire.TypeGFResult)
+	w.Int(0)           // iter
+	w.Int(0)           // phase
+	w.Int(0)           // worker
+	w.Uvarint(0)       // partial
+	w.Uvarint(0)       // nanos
+	w.Int(0)           // no ranges
+	w.Uvarint(1 << 40) // hostile element count, no bytes behind it
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	tc := &wireConn{w: wire.NewWriter(io.Discard), r: wire.NewReader(bytes.NewReader(buf.Bytes()))}
+	msg := &Msg{}
+	if err := tc.recv(msg); err == nil {
+		t.Fatal("hostile element count decoded without error")
+	}
+}
+
+// FuzzGFResultFrame feeds arbitrary byte streams to the master-side wire
+// decoder: it must terminate without panicking on any input, and whatever
+// decodes successfully must be a known frame kind.
+func FuzzGFResultFrame(f *testing.F) {
+	valid := buildGFResultStream(f)
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, byte(wire.TypeGFResult)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tc := &wireConn{w: wire.NewWriter(io.Discard), r: wire.NewReader(bytes.NewReader(data))}
+		msg := &Msg{}
+		for {
+			if err := tc.recv(msg); err != nil {
+				return // any error ends the stream; panics fail the fuzz
+			}
+			if msg.Kind == 0 {
+				t.Fatal("recv succeeded with zero kind")
+			}
+		}
+	})
+}
+
+// buildGFChunkSeed builds one seed stream for the chunk-assembly fuzzer.
+// variant 0 is a fully valid stream; the others are canonical corruptions
+// (duplicate chunk, gap, count mismatch, non-canonical lane).
+func buildGFChunkSeed(tb testing.TB, variant int) []byte {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	start := func(rows, cols int) {
+		w.Begin(wire.TypeGFPartitionStart)
+		w.Int(0)
+		w.Int(1)
+		w.Int(rows)
+		w.Int(cols)
+		w.Int(2)
+		if err := w.End(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	chunk := func(lo, hi int, vals []uint32) {
+		w.Begin(wire.TypeGFPartitionChunk)
+		w.Int(0)
+		w.Int(1)
+		w.Int(lo)
+		w.Int(hi)
+		w.Uint32s(vals)
+		if err := w.End(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	start(4, 1)
+	switch variant {
+	case 0:
+		chunk(0, 2, []uint32{1, 2})
+		chunk(2, 4, []uint32{3, 4})
+	case 1:
+		chunk(0, 2, []uint32{1, 2})
+		chunk(0, 2, []uint32{1, 2}) // duplicate
+	case 2:
+		chunk(2, 4, []uint32{3, 4}) // gap: starts past row 0
+	case 3:
+		chunk(0, 2, []uint32{1, 2, 3}) // count mismatch
+	case 4:
+		chunk(0, 2, []uint32{uint32(gf.P), 1}) // non-canonical lane
+	}
+	return buf.Bytes()
+}
+
+// FuzzGFChunkStream drives a real Worker's receive loop over arbitrary
+// inbound byte streams (GF partition starts, chunks, work, anything):
+// Run must terminate without panicking, and a published partition can
+// only ever come from a complete in-order stream.
+func FuzzGFChunkStream(f *testing.F) {
+	for v := 0; v <= 4; v++ {
+		f.Add(buildGFChunkSeed(f, v))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap the partition allocation bound so a fuzzed header cannot ask
+		// for gigabytes; the guard logic under test is unchanged.
+		old := maxPartitionElems
+		maxPartitionElems = 1 << 14
+		defer func() { maxPartitionElems = old }()
+		tc := &wireConn{w: wire.NewWriter(io.Discard), r: wire.NewReader(bytes.NewReader(data))}
+		w := &Worker{
+			cfg:          WorkerConfig{Slowdown: 1, MaxResultRows: 4 << 20},
+			c:            tc,
+			partitions:   map[int]*mat.Dense{},
+			pending:      map[int]*partBuild{},
+			gfPartitions: map[int]*gf.Matrix{},
+			gfPending:    map[int]*gfPartBuild{},
+		}
+		w.Run() //nolint:errcheck // any error is a valid outcome; panics fail the fuzz
+		// Invariant: every published GF partition is fully assembled and
+		// canonical (the guards must make partial publication impossible).
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		for phase, p := range w.gfPartitions {
+			if !gf.Valid(p.Data()) {
+				t.Fatalf("phase %d published a non-canonical partition", phase)
+			}
+		}
+	})
+}

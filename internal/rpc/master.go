@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
 	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
 	"github.com/coded-computing/s2c2/internal/sched"
@@ -60,22 +62,23 @@ func (m *Master) stallTimeout() time.Duration {
 	return defaultStallTimeout
 }
 
-func (m *Master) chunkRowsFor(cols int) int {
+func (m *Master) chunkRowsFor(cols, elemBytes int) int {
 	if cols < 1 {
 		cols = 1
 	}
 	// A chunk's row data must stay well under the receiver's frame limit
-	// no matter what ChunkRows was configured to; 32 MiB of float64s per
-	// chunk leaves ample headroom below maxRPCFrame. (A single row wider
-	// than that still ships as a one-row chunk — the rpc frame cap of
-	// 1 GiB covers rows up to 128 Mi columns.)
-	maxRows := (32 << 20) / 8 / cols
+	// no matter what ChunkRows was configured to; 32 MiB per chunk leaves
+	// ample headroom below maxRPCFrame. (A single row wider than that
+	// still ships as a one-row chunk — the rpc frame cap of 1 GiB covers
+	// rows up to 128 Mi float64 columns.) elemBytes is 8 for float64
+	// partitions, 4 for GF(2³¹−1) field elements.
+	maxRows := (32 << 20) / elemBytes / cols
 	if maxRows < 1 {
 		maxRows = 1
 	}
 	rows := m.cfg.ChunkRows
 	if rows <= 0 {
-		rows = 32 * 1024 / cols // ~256 KiB of float64 row data per chunk
+		rows = (256 << 10) / elemBytes / cols // ~256 KiB of row data per chunk
 	}
 	if rows > maxRows {
 		rows = maxRows
@@ -117,28 +120,32 @@ type workerConn struct {
 // Master coordinates a real TCP cluster: it accepts worker connections,
 // streams coded partitions, runs assignment rounds, and decodes results.
 type Master struct {
-	cfg     MasterConfig
-	ln      net.Listener
-	results chan *Result
-	errs    chan error
-	quit    chan struct{}
+	cfg       MasterConfig
+	ln        net.Listener
+	results   chan *Result
+	gfResults chan *GFResult
+	errs      chan error
+	quit      chan struct{}
 
-	mu        sync.Mutex
-	workers   []*workerConn
-	pending   []*workerConn // admitted past a WaitForWorkers target; registered by a later call
-	closing   bool
-	blockRows map[int]int // phase → partition rows
+	mu          sync.Mutex
+	workers     []*workerConn
+	pending     []*workerConn // admitted past a WaitForWorkers target; registered by a later call
+	closing     bool
+	blockRows   map[int]int // phase → float64 partition rows
+	gfBlockRows map[int]int // phase → GF partition rows (exact path)
 
 	// pendingReady holds one token when pending is non-empty, so a
 	// WaitForWorkers call already inside its wait loop notices workers
 	// parked mid-call (by a previous call's orphaned admission).
 	pendingReady chan struct{}
 
-	wg      sync.WaitGroup // readLoops
-	round   roundWorkspace
-	planBuf sched.PlanBuffer
-	resPool sync.Pool    // *Result receive slots recycled across rounds
-	xferSeq atomic.Int64 // partition-transfer sequence (stale-ack fencing)
+	wg        sync.WaitGroup // readLoops
+	round     roundWorkspace
+	gfRound   gfRoundWorkspace
+	planBuf   sched.PlanBuffer
+	resPool   sync.Pool    // *Result receive slots recycled across rounds
+	gfResPool sync.Pool    // *GFResult receive slots
+	xferSeq   atomic.Int64 // partition-transfer sequence (stale-ack fencing)
 }
 
 // NewMaster listens on addr (e.g. "127.0.0.1:0") with a default config.
@@ -156,9 +163,11 @@ func NewMasterWithConfig(cfg MasterConfig) (*Master, error) {
 		cfg:          cfg,
 		ln:           ln,
 		results:      make(chan *Result, 1024),
+		gfResults:    make(chan *GFResult, 1024),
 		errs:         make(chan error, 16),
 		quit:         make(chan struct{}),
 		blockRows:    map[int]int{},
+		gfBlockRows:  map[int]int{},
 		pendingReady: make(chan struct{}, 1),
 	}, nil
 }
@@ -181,6 +190,16 @@ func (m *Master) getResult() *Result {
 }
 
 func (m *Master) putResult(r *Result) { m.resPool.Put(r) }
+
+// getGFResult / putGFResult are the GF mirror of the pooled receive slots.
+func (m *Master) getGFResult() *GFResult {
+	if v := m.gfResPool.Get(); v != nil {
+		return v.(*GFResult)
+	}
+	return &GFResult{}
+}
+
+func (m *Master) putGFResult(r *GFResult) { m.gfResPool.Put(r) }
 
 // handshakeTimeout bounds how long one accepted connection may take to
 // complete its handshake and hello before WaitForWorkers moves on.
@@ -486,6 +505,15 @@ func (m *Master) readLoop(id int, wc *workerConn) {
 			case <-m.quit:
 				return
 			}
+		case KindGFResult:
+			r := m.getGFResult()
+			*r, msg.GFResult = msg.GFResult, *r
+			r.Worker = id
+			select {
+			case m.gfResults <- r:
+			case <-m.quit:
+				return
+			}
 		case KindPartitionAck:
 			// Never block the readLoop on the credit channel: a full
 			// buffer means stale acks from aborted transfers accumulated
@@ -524,34 +552,69 @@ func (m *Master) conns() []*workerConn {
 	return m.workers
 }
 
-// DistributePartitions ships phase p's coded partitions (partition w to
-// worker w), all workers in parallel. On the wire transport each partition
-// is streamed in ChunkRows-row chunks under a ChunkWindow credit window —
-// the worker acknowledges every chunk it has stored, so peak transport
-// memory is O(chunk), not O(partition), on both ends. Gob-fallback workers
-// receive their partition as one monolithic message.
-func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
-	workers := m.conns()
-	if len(enc.Parts) != len(workers) {
-		return fmt.Errorf("rpc: %d partitions for %d workers", len(enc.Parts), len(workers))
-	}
+// PartitionError attributes one worker's failed partition transfer. The
+// Distribute functions wrap every per-worker failure in one (joined with
+// errors.Join when several workers fail), so a caller — or a future
+// retry/re-stream layer — can extract exactly which transfers broke with
+// errors.As instead of parsing message text.
+type PartitionError struct {
+	Worker int
+	Err    error
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("rpc: partition to worker %d: %v", e.Worker, e.Err)
+}
+
+func (e *PartitionError) Unwrap() error { return e.Err }
+
+// distributeAll fans one shipment per worker out in parallel and
+// aggregates the failures, each attributed to its worker.
+func distributeAll(workers []*workerConn, ship func(w int, wc *workerConn) error) error {
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(workers))
+	errCh := make(chan *PartitionError, len(workers))
 	for w, wc := range workers {
 		wg.Add(1)
 		go func(w int, wc *workerConn) {
 			defer wg.Done()
-			if err := m.shipPartition(wc, phase, enc.Parts[w]); err != nil {
-				errCh <- fmt.Errorf("rpc: partition to worker %d: %w", w, err)
+			if err := ship(w, wc); err != nil {
+				errCh <- &PartitionError{Worker: w, Err: err}
 			}
 		}(w, wc)
 	}
 	wg.Wait()
 	close(errCh)
-	for err := range errCh {
-		if err != nil {
-			return err
-		}
+	var errs []error
+	for e := range errCh {
+		errs = append(errs, e)
+	}
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	default:
+		return errors.Join(errs...)
+	}
+}
+
+// DistributePartitions ships phase p's coded partitions (partition w to
+// worker w), all workers in parallel. On the wire transport each partition
+// is streamed in ChunkRows-row chunks under a ChunkWindow credit window —
+// the worker acknowledges every chunk it has stored, so peak transport
+// memory is O(chunk), not O(partition), on both ends. Gob-fallback workers
+// receive their partition as one monolithic message. Failures name the
+// broken workers (*PartitionError, aggregated across workers).
+func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
+	workers := m.conns()
+	if len(enc.Parts) != len(workers) {
+		return fmt.Errorf("rpc: %d partitions for %d workers", len(enc.Parts), len(workers))
+	}
+	err := distributeAll(workers, func(w int, wc *workerConn) error {
+		return m.shipPartition(wc, phase, enc.Parts[w])
+	})
+	if err != nil {
+		return err
 	}
 	m.mu.Lock()
 	m.blockRows[phase] = enc.BlockRows
@@ -559,14 +622,83 @@ func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) erro
 	return nil
 }
 
-// shipPartition delivers one partition over the connection's transport:
-// chunked with credit-based flow control on the wire transport, monolithic
-// on the gob fallback.
+// DistributeGFPartitions is DistributePartitions for the exact path: it
+// ships phase p's GF(2³¹−1) coded partitions (partition w to worker w) as
+// uint32 field-element streams. The partitions may come from
+// GFMDSCode.Encode (GFEncodedMatrix.Parts) or be Lagrange shares wrapped
+// as matrices — any per-worker field matrices of one shared shape.
+func (m *Master) DistributeGFPartitions(phase int, parts []*gf.Matrix) error {
+	workers := m.conns()
+	if len(parts) != len(workers) {
+		return fmt.Errorf("rpc: %d GF partitions for %d workers", len(parts), len(workers))
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("rpc: no GF partitions to distribute")
+	}
+	rows, cols := parts[0].Dims()
+	for w, p := range parts {
+		if r, c := p.Dims(); r != rows || c != cols {
+			return fmt.Errorf("rpc: GF partition %d is %dx%d, want %dx%d", w, r, c, rows, cols)
+		}
+	}
+	err := distributeAll(workers, func(w int, wc *workerConn) error {
+		return m.shipGFPartition(wc, phase, parts[w])
+	})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.gfBlockRows[phase] = rows
+	m.mu.Unlock()
+	return nil
+}
+
+// shipPartition delivers one float64 partition over the connection's
+// transport: chunked with credit-based flow control on the wire transport,
+// monolithic on the gob fallback.
 func (m *Master) shipPartition(wc *workerConn, phase int, part *mat.Dense) error {
 	rows, cols := part.Dims()
 	if !wc.t.streamsPartitions() {
 		return wc.t.sendPartition(&Partition{Phase: phase, Rows: rows, Cols: cols, Data: part.Data()})
 	}
+	chunkRows := m.chunkRowsFor(cols, 8)
+	data := part.Data()
+	return m.streamPartition(wc, phase, rows, chunkRows,
+		func(seq int) error {
+			return wc.t.sendPartitionStart(&PartitionStart{
+				Phase: phase, Seq: seq, Rows: rows, Cols: cols, ChunkRows: chunkRows,
+			})
+		},
+		func(seq, lo, hi int) error {
+			return wc.t.sendPartitionChunk(phase, seq, lo, hi, data[lo*cols:hi*cols])
+		})
+}
+
+// shipGFPartition is shipPartition for field-element partitions.
+func (m *Master) shipGFPartition(wc *workerConn, phase int, part *gf.Matrix) error {
+	rows, cols := part.Dims()
+	if !wc.t.streamsPartitions() {
+		return wc.t.sendGFPartition(&GFPartition{Phase: phase, Rows: rows, Cols: cols, Data: part.Data()})
+	}
+	chunkRows := m.chunkRowsFor(cols, 4)
+	data := part.Data()
+	return m.streamPartition(wc, phase, rows, chunkRows,
+		func(seq int) error {
+			return wc.t.sendGFPartitionStart(&PartitionStart{
+				Phase: phase, Seq: seq, Rows: rows, Cols: cols, ChunkRows: chunkRows,
+			})
+		},
+		func(seq, lo, hi int) error {
+			return wc.t.sendGFPartitionChunk(phase, seq, lo, hi, data[lo*cols:hi*cols])
+		})
+}
+
+// streamPartition is the shared credit-controlled streaming engine of both
+// element types: it serializes the transfer on the connection, fences it
+// with a fresh sequence number, and ships rows chunk by chunk under the
+// configured credit window via the provided start/chunk senders.
+func (m *Master) streamPartition(wc *workerConn, phase, rows, chunkRows int,
+	start func(seq int) error, chunk func(seq, lo, hi int) error) error {
 	// One transfer at a time per connection: the credit channel is shared,
 	// so interleaved transfers would steal each other's acks.
 	wc.xfer.Lock()
@@ -588,10 +720,7 @@ drain:
 	// dropped below instead of inflating this transfer's window or failing
 	// it spuriously.
 	seq := int(m.xferSeq.Add(1))
-	chunkRows := m.chunkRowsFor(cols)
-	if err := wc.t.sendPartitionStart(&PartitionStart{
-		Phase: phase, Seq: seq, Rows: rows, Cols: cols, ChunkRows: chunkRows,
-	}); err != nil {
+	if err := start(seq); err != nil {
 		return err
 	}
 	stall := m.stallTimeout()
@@ -618,7 +747,6 @@ drain:
 	}
 	window := m.chunkWindow()
 	outstanding := 0
-	data := part.Data()
 	for lo := 0; lo < rows; lo += chunkRows {
 		hi := lo + chunkRows
 		if hi > rows {
@@ -630,12 +758,12 @@ drain:
 			}
 			outstanding--
 		}
-		if err := wc.t.sendPartitionChunk(phase, seq, lo, hi, data[lo*cols:hi*cols]); err != nil {
+		if err := chunk(seq, lo, hi); err != nil {
 			return err
 		}
 		outstanding++
 	}
-	// Wait until the worker has stored every chunk: when shipPartition
+	// Wait until the worker has stored every chunk: when streamPartition
 	// returns, the partition is usable, not merely in flight.
 	for outstanding > 0 {
 		if err := awaitCredit(); err != nil {
@@ -659,39 +787,29 @@ type RoundStats struct {
 	TimedOut []int
 }
 
-// roundWorkspace is the master's reusable per-round gather state:
-// coverage counters, a per-(worker,row) delivery bitmap that makes
-// duplicate deliveries idempotent, the partial structs handed to the
-// decoder, response bookkeeping, reassignment scratch, the pooled result
-// slots the round retains, and the round's reusable timers and send
-// struct. One warm workspace makes the whole steady-state round —
-// sending work, receiving results, decoding — allocation-free.
-type roundWorkspace struct {
+// roundCore is the element-type-independent heart of a round's gather
+// state: coverage counters, a per-(worker,row) delivery bitmap that makes
+// duplicate deliveries idempotent, response bookkeeping, reassignment
+// scratch, and the round's reusable timers. The float64 and exact-GF
+// round workspaces embed it — the seam that gives both element types one
+// gather/timeout/reassignment semantics instead of two diverging copies.
+type roundCore struct {
 	stats RoundStats
 
 	n, k, blockRows int
 	needed          int // rows still below coverage k
 	nResponded      int
 
-	cov        []int  // per-row coverage by distinct workers
-	coveredBy  []bool // n×blockRows: worker w delivered (or was assigned) row r
-	partialSeq []coding.Partial
-	nPartials  int
-	partials   []*coding.Partial
-	responded  []bool
-	respTimes  []time.Duration
+	cov       []int  // per-row coverage by distinct workers
+	coveredBy []bool // n×blockRows: worker w delivered (or was assigned) row r
+	responded []bool
+	respTimes []time.Duration
 
 	// Reassignment scratch, grown lazily on the first timeout.
 	extraMark   []bool // n×blockRows: row r reassigned to worker w this round
 	extraRows   []int
 	extraRanges [][]coding.Range
 
-	// retained lists the pooled result slots whose slices this round's
-	// partials alias; they recycle at the start of the next round.
-	retained []*Result
-	// workMsg is the reusable master→worker send struct (sends are
-	// synchronous, so one slot serves the whole round).
-	workMsg Work
 	// hardTimer and graceTimer are reused across rounds (Go 1.23 timer
 	// semantics: Stop+Reset without draining is race-free).
 	hardTimer  *time.Timer
@@ -709,39 +827,201 @@ func armTimer(t **time.Timer, d time.Duration) *time.Timer {
 	return *t
 }
 
+// begin resets the core for a round of n workers over blockRows-row
+// partitions with decode threshold k.
+func (c *roundCore) begin(n, blockRows, k int) {
+	c.n, c.k, c.blockRows = n, k, blockRows
+	c.needed = blockRows
+	c.nResponded = 0
+
+	if cap(c.stats.ResponseTime) < n {
+		c.stats.ResponseTime = make([]time.Duration, n)
+	}
+	c.stats.ResponseTime = c.stats.ResponseTime[:n]
+	for i := range c.stats.ResponseTime {
+		c.stats.ResponseTime[i] = 0
+	}
+	c.stats.AssignedRows = kernel.GrowInts(c.stats.AssignedRows, n)
+	for i := range c.stats.AssignedRows {
+		c.stats.AssignedRows[i] = 0
+	}
+	c.stats.Reassigned = 0
+	c.stats.TimedOut = c.stats.TimedOut[:0]
+
+	c.cov = kernel.GrowInts(c.cov, blockRows)
+	for i := range c.cov {
+		c.cov[i] = 0
+	}
+	if cap(c.coveredBy) < n*blockRows {
+		c.coveredBy = make([]bool, n*blockRows)
+	}
+	c.coveredBy = c.coveredBy[:n*blockRows]
+	for i := range c.coveredBy {
+		c.coveredBy[i] = false
+	}
+	if cap(c.responded) < n {
+		c.responded = make([]bool, n)
+	}
+	c.responded = c.responded[:n]
+	for i := range c.responded {
+		c.responded[i] = false
+	}
+	c.respTimes = c.respTimes[:0]
+}
+
+// checkResult validates a result's worker index and range bounds before
+// anything is folded into the round.
+func (c *roundCore) checkResult(worker int, ranges []coding.Range) error {
+	if worker < 0 || worker >= c.n {
+		return fmt.Errorf("rpc: result from unknown worker %d", worker)
+	}
+	for _, rg := range ranges {
+		if rg.Lo < 0 || rg.Hi > c.blockRows || rg.Lo > rg.Hi {
+			return fmt.Errorf("rpc: worker %d result range [%d,%d) outside [0,%d)", worker, rg.Lo, rg.Hi, c.blockRows)
+		}
+	}
+	return nil
+}
+
+// noteResult advances coverage and response bookkeeping for one delivered
+// result. Coverage counts each (worker, row) pair once, so duplicate
+// deliveries — a slow worker's late original overlapping its reassigned
+// rows, or a buggy worker re-sending ranges — can never inflate coverage
+// past what the decoder will actually find. A Partial segment contributes
+// coverage but does not count as the worker having responded: response
+// time (the §4.3 timeout's and the predictor's input) is recorded only
+// when the final segment of a split result lands, so large results are
+// not systematically under-measured.
+func (c *roundCore) noteResult(worker int, ranges []coding.Range, elapsed time.Duration, partial bool) {
+	if !partial && !c.responded[worker] {
+		c.responded[worker] = true
+		c.nResponded++
+		c.stats.ResponseTime[worker] = elapsed
+		c.respTimes = append(c.respTimes, elapsed)
+	}
+	base := worker * c.blockRows
+	for _, rg := range ranges {
+		for row := rg.Lo; row < rg.Hi; row++ {
+			if c.coveredBy[base+row] {
+				continue // duplicate (worker, row): coverage already counted
+			}
+			c.coveredBy[base+row] = true
+			c.cov[row]++
+			if c.cov[row] == c.k {
+				c.needed--
+			}
+		}
+	}
+}
+
+// graceWindow computes the §4.3 grace duration: timeoutFrac times the
+// mean response time of the first k responders.
+func (c *roundCore) graceWindow(k int, timeoutFrac float64) time.Duration {
+	sortDurations(c.respTimes)
+	mean := time.Duration(0)
+	for i := 0; i < k && i < len(c.respTimes); i++ {
+		mean += c.respTimes[i]
+	}
+	mean /= time.Duration(k)
+	return time.Duration(float64(mean) * timeoutFrac)
+}
+
+// planExtras computes the timeout reassignment: every row short of
+// coverage k is routed to the least-loaded responder that does not
+// already cover it (delivered rows and rows just reassigned both
+// disqualify), filling stats.TimedOut and the per-worker extra ranges.
+// The caller sends the typed work messages and folds extraRows into the
+// assignment stats as each send succeeds.
+func (c *roundCore) planExtras() error {
+	for w := 0; w < c.n; w++ {
+		if c.stats.AssignedRows[w] > 0 && !c.responded[w] {
+			c.stats.TimedOut = append(c.stats.TimedOut, w)
+		}
+	}
+	// Lazily sized: only rounds that actually time out pay for this.
+	if cap(c.extraMark) < c.n*c.blockRows {
+		c.extraMark = make([]bool, c.n*c.blockRows)
+	}
+	c.extraMark = c.extraMark[:c.n*c.blockRows]
+	for i := range c.extraMark {
+		c.extraMark[i] = false
+	}
+	c.extraRows = kernel.GrowInts(c.extraRows, c.n)
+	for i := range c.extraRows {
+		c.extraRows[i] = 0
+	}
+	if cap(c.extraRanges) < c.n {
+		c.extraRanges = make([][]coding.Range, c.n)
+	}
+	c.extraRanges = c.extraRanges[:c.n]
+	for i := range c.extraRanges {
+		c.extraRanges[i] = c.extraRanges[i][:0]
+	}
+	for r := 0; r < c.blockRows; r++ {
+		for cv := c.cov[r]; cv < c.k; cv++ {
+			// Least-loaded responder that can still add coverage for r.
+			best := -1
+			for w := 0; w < c.n; w++ {
+				if !c.responded[w] || c.coveredBy[w*c.blockRows+r] || c.extraMark[w*c.blockRows+r] {
+					continue
+				}
+				if best < 0 || c.extraRows[w] < c.extraRows[best] {
+					best = w
+				}
+			}
+			if best < 0 {
+				return fmt.Errorf("rpc: cannot re-cover row %d", r)
+			}
+			c.extraMark[best*c.blockRows+r] = true
+			c.extraRows[best]++
+			// Rows are visited in ascending order, so per-worker ranges
+			// stay normalized by construction.
+			rs := c.extraRanges[best]
+			if len(rs) > 0 && rs[len(rs)-1].Hi == r {
+				rs[len(rs)-1].Hi = r + 1
+			} else {
+				rs = append(rs, coding.Range{Lo: r, Hi: r + 1})
+			}
+			c.extraRanges[best] = rs
+		}
+	}
+	return nil
+}
+
+// copyStats deep-copies the round stats (the non-ReuseRound contract).
+func (c *roundCore) copyStats() *RoundStats {
+	return &RoundStats{
+		ResponseTime: append([]time.Duration(nil), c.stats.ResponseTime...),
+		AssignedRows: append([]int(nil), c.stats.AssignedRows...),
+		Reassigned:   c.stats.Reassigned,
+		TimedOut:     append([]int(nil), c.stats.TimedOut...),
+	}
+}
+
+// roundWorkspace is the master's reusable float64-round gather state: the
+// shared core plus the partial structs handed to the float64 decoder, the
+// pooled result slots the round retains, and the reusable send struct.
+// One warm workspace makes the whole steady-state round — sending work,
+// receiving results, decoding — allocation-free.
+type roundWorkspace struct {
+	roundCore
+
+	partialSeq []coding.Partial
+	nPartials  int
+	partials   []*coding.Partial
+	// retained lists the pooled result slots whose slices this round's
+	// partials alias; they recycle at the start of the next round.
+	retained []*Result
+	// workMsg is the reusable master→worker send struct (sends are
+	// synchronous, so one slot serves the whole round).
+	workMsg Work
+}
+
 // begin resets the workspace for a round of n workers over blockRows-row
 // partitions with decode threshold k.
 func (ws *roundWorkspace) begin(n, blockRows, k int) {
-	ws.n, ws.k, ws.blockRows = n, k, blockRows
-	ws.needed = blockRows
-	ws.nResponded = 0
+	ws.roundCore.begin(n, blockRows, k)
 	ws.nPartials = 0
-
-	if cap(ws.stats.ResponseTime) < n {
-		ws.stats.ResponseTime = make([]time.Duration, n)
-	}
-	ws.stats.ResponseTime = ws.stats.ResponseTime[:n]
-	for i := range ws.stats.ResponseTime {
-		ws.stats.ResponseTime[i] = 0
-	}
-	ws.stats.AssignedRows = kernel.GrowInts(ws.stats.AssignedRows, n)
-	for i := range ws.stats.AssignedRows {
-		ws.stats.AssignedRows[i] = 0
-	}
-	ws.stats.Reassigned = 0
-	ws.stats.TimedOut = ws.stats.TimedOut[:0]
-
-	ws.cov = kernel.GrowInts(ws.cov, blockRows)
-	for i := range ws.cov {
-		ws.cov[i] = 0
-	}
-	if cap(ws.coveredBy) < n*blockRows {
-		ws.coveredBy = make([]bool, n*blockRows)
-	}
-	ws.coveredBy = ws.coveredBy[:n*blockRows]
-	for i := range ws.coveredBy {
-		ws.coveredBy[i] = false
-	}
 	// A worker normally sends one result per Work message, and a round
 	// sends at most one original plus one reassignment message per
 	// worker, so 2n partial structs cover the common case. Workers whose
@@ -754,33 +1034,16 @@ func (ws *roundWorkspace) begin(n, blockRows, k int) {
 	}
 	ws.partialSeq = ws.partialSeq[:2*n]
 	ws.partials = ws.partials[:0]
-	if cap(ws.responded) < n {
-		ws.responded = make([]bool, n)
-	}
-	ws.responded = ws.responded[:n]
-	for i := range ws.responded {
-		ws.responded[i] = false
-	}
-	ws.respTimes = ws.respTimes[:0]
 	if cap(ws.retained) < 2*n {
 		ws.retained = make([]*Result, 0, 2*n)
 	}
 }
 
 // addResult folds one worker result into the round: it wraps the values
-// as a decoder partial and advances per-row coverage. Coverage counts
-// each (worker, row) pair once, so duplicate deliveries — a slow worker's
-// late original overlapping its reassigned rows, or a buggy worker
-// re-sending ranges — can never inflate coverage past what the decoder
-// will actually find.
+// as a decoder partial and advances per-row coverage through the core.
 func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
-	if r.Worker < 0 || r.Worker >= ws.n {
-		return fmt.Errorf("rpc: result from unknown worker %d", r.Worker)
-	}
-	for _, rg := range r.Ranges {
-		if rg.Lo < 0 || rg.Hi > ws.blockRows || rg.Lo > rg.Hi {
-			return fmt.Errorf("rpc: worker %d result range [%d,%d) outside [0,%d)", r.Worker, rg.Lo, rg.Hi, ws.blockRows)
-		}
+	if err := ws.checkResult(r.Worker, r.Ranges); err != nil {
+		return err
 	}
 	var p *coding.Partial
 	if ws.nPartials < len(ws.partialSeq) {
@@ -794,30 +1057,50 @@ func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
 	p.Ranges = r.Ranges
 	p.Values = r.Values
 	ws.partials = append(ws.partials, p)
-	// A Partial segment contributes coverage but does not count as the
-	// worker having responded: response time (the §4.3 timeout's and the
-	// predictor's input) is recorded only when the final segment of a
-	// split result lands, so large results are not systematically
-	// under-measured.
-	if !r.Partial && !ws.responded[r.Worker] {
-		ws.responded[r.Worker] = true
-		ws.nResponded++
-		ws.stats.ResponseTime[r.Worker] = elapsed
-		ws.respTimes = append(ws.respTimes, elapsed)
+	ws.noteResult(r.Worker, r.Ranges, elapsed, r.Partial)
+	return nil
+}
+
+// gfRoundWorkspace is roundWorkspace for the exact GF(2³¹−1) path.
+type gfRoundWorkspace struct {
+	roundCore
+
+	partialSeq []coding.GFPartial
+	nPartials  int
+	partials   []*coding.GFPartial
+	retained   []*GFResult
+	workMsg    GFWork
+}
+
+func (ws *gfRoundWorkspace) begin(n, blockRows, k int) {
+	ws.roundCore.begin(n, blockRows, k)
+	ws.nPartials = 0
+	if cap(ws.partialSeq) < 2*n {
+		ws.partialSeq = make([]coding.GFPartial, 2*n)
 	}
-	base := r.Worker * ws.blockRows
-	for _, rg := range r.Ranges {
-		for row := rg.Lo; row < rg.Hi; row++ {
-			if ws.coveredBy[base+row] {
-				continue // duplicate (worker, row): coverage already counted
-			}
-			ws.coveredBy[base+row] = true
-			ws.cov[row]++
-			if ws.cov[row] == ws.k {
-				ws.needed--
-			}
-		}
+	ws.partialSeq = ws.partialSeq[:2*n]
+	ws.partials = ws.partials[:0]
+	if cap(ws.retained) < 2*n {
+		ws.retained = make([]*GFResult, 0, 2*n)
 	}
+}
+
+func (ws *gfRoundWorkspace) addResult(r *GFResult, elapsed time.Duration) error {
+	if err := ws.checkResult(r.Worker, r.Ranges); err != nil {
+		return err
+	}
+	var p *coding.GFPartial
+	if ws.nPartials < len(ws.partialSeq) {
+		p = &ws.partialSeq[ws.nPartials]
+	} else {
+		p = &coding.GFPartial{}
+	}
+	ws.nPartials++
+	p.Worker = r.Worker
+	p.Ranges = r.Ranges
+	p.Values = r.Values
+	ws.partials = append(ws.partials, p)
+	ws.noteResult(r.Worker, r.Ranges, elapsed, r.Partial)
 	return nil
 }
 
@@ -909,13 +1192,7 @@ func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float
 	// Phase 2: grace window = timeoutFrac × mean response of the first k;
 	// when it expires, pending coverage is reassigned to responders and
 	// the round keeps collecting until coverage completes.
-	sortDurations(ws.respTimes)
-	mean := time.Duration(0)
-	for i := 0; i < k && i < len(ws.respTimes); i++ {
-		mean += ws.respTimes[i]
-	}
-	mean /= time.Duration(k)
-	grace := armTimer(&ws.graceTimer, time.Duration(float64(mean)*timeoutFrac))
+	grace := armTimer(&ws.graceTimer, ws.graceWindow(k, timeoutFrac))
 	defer grace.Stop()
 	for ws.needed > 0 {
 		select {
@@ -938,7 +1215,7 @@ func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float
 			// Timeout fired: reassign pending coverage to responders
 			// (reassigned results arrive tagged with the same iter/phase,
 			// so the same collection loop finishes the round).
-			if err := m.reassign(ws, iter, phase, x, plan); err != nil {
+			if err := m.reassign(ws, iter, phase, x); err != nil {
 				return nil, nil, err
 			}
 		case <-hard.C:
@@ -948,6 +1225,109 @@ func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float
 	return m.finishRound(ws)
 }
 
+// RunGFRound is RunGFRoundContext with a background context.
+func (m *Master) RunGFRound(iter, phase int, x []gf.Elem, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	return m.RunGFRoundContext(context.Background(), iter, phase, x, plan, k, timeoutFrac)
+}
+
+// RunGFRoundContext is RunRoundContext over GF(2³¹−1): it broadcasts the
+// field-element input vector with the plan's assignments, gathers exact
+// partials until per-row coverage k is met under the same §4.3 timeout and
+// reassignment semantics, and returns partials that decode bit-exactly
+// through GFMDSCode.DecodeMatVecInto (or assemble into Lagrange shares via
+// coding.CompleteGFShares). With ReuseRound set, the partials and stats
+// alias the master's GF round workspace until the next RunGFRound.
+func (m *Master) RunGFRoundContext(ctx context.Context, iter, phase int, x []gf.Elem, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	m.mu.Lock()
+	blockRows := m.gfBlockRows[phase]
+	m.mu.Unlock()
+	if blockRows == 0 {
+		return nil, nil, fmt.Errorf("rpc: phase %d has no distributed GF partitions", phase)
+	}
+	workers := m.conns()
+	n := len(workers)
+	ws := &m.gfRound
+	m.recycleGFRound(ws)
+	ws.begin(n, blockRows, k)
+	start := time.Now()
+	active := 0
+	for w, wc := range workers {
+		ranges := plan.Assignments[w]
+		rows := coding.TotalRows(ranges)
+		if rows == 0 {
+			continue
+		}
+		ws.stats.AssignedRows[w] = rows
+		ws.workMsg = GFWork{Iter: iter, Phase: phase, X: x, Ranges: ranges}
+		if err := wc.t.sendGFWork(&ws.workMsg); err != nil {
+			return nil, nil, fmt.Errorf("rpc: send GF work to %d: %w", w, err)
+		}
+		active++
+	}
+	if active < k {
+		return nil, nil, fmt.Errorf("rpc: plan activates %d workers, decoding needs %d", active, k)
+	}
+
+	// Phase 1: wait for the first k responders.
+	hard := armTimer(&ws.hardTimer, m.stallTimeout())
+	defer hard.Stop()
+	for ws.nResponded < k {
+		select {
+		case r := <-m.gfResults:
+			if r.Iter != iter || r.Phase != phase {
+				m.putGFResult(r) // stale result from an abandoned round
+				continue
+			}
+			if err := ws.addResult(r, time.Since(start)); err != nil {
+				return nil, nil, err
+			}
+			ws.retained = append(ws.retained, r)
+		case err := <-m.errs:
+			return nil, nil, err
+		case <-m.quit:
+			return nil, nil, fmt.Errorf("rpc: master shut down during GF round (%d,%d)", iter, phase)
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("rpc: GF round (%d,%d) canceled: %w", iter, phase, ctx.Err())
+		case <-hard.C:
+			return nil, nil, fmt.Errorf("rpc: GF round (%d,%d) stalled waiting for %d responders", iter, phase, k)
+		}
+	}
+	if ws.needed == 0 {
+		return m.finishGFRound(ws)
+	}
+
+	// Phase 2: grace window, reassignment, and collection to coverage —
+	// the same semantics as the float64 round, through the shared core.
+	grace := armTimer(&ws.graceTimer, ws.graceWindow(k, timeoutFrac))
+	defer grace.Stop()
+	for ws.needed > 0 {
+		select {
+		case r := <-m.gfResults:
+			if r.Iter != iter || r.Phase != phase {
+				m.putGFResult(r)
+				continue
+			}
+			if err := ws.addResult(r, time.Since(start)); err != nil {
+				return nil, nil, err
+			}
+			ws.retained = append(ws.retained, r)
+		case err := <-m.errs:
+			return nil, nil, err
+		case <-m.quit:
+			return nil, nil, fmt.Errorf("rpc: master shut down during GF round (%d,%d)", iter, phase)
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("rpc: GF round (%d,%d) canceled: %w", iter, phase, ctx.Err())
+		case <-grace.C:
+			if err := m.reassignGF(ws, iter, phase, x); err != nil {
+				return nil, nil, err
+			}
+		case <-hard.C:
+			return nil, nil, fmt.Errorf("rpc: GF round (%d,%d) stalled", iter, phase)
+		}
+	}
+	return m.finishGFRound(ws)
+}
+
 // recycleRound returns the previous round's pooled result slots to the
 // receive pool. Callers of the previous RunRound have released its
 // partials by contract (ReuseRound) or received copies (default), so the
@@ -955,6 +1335,15 @@ func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float
 func (m *Master) recycleRound(ws *roundWorkspace) {
 	for i, r := range ws.retained {
 		m.putResult(r)
+		ws.retained[i] = nil
+	}
+	ws.retained = ws.retained[:0]
+}
+
+// recycleGFRound is recycleRound for the GF workspace.
+func (m *Master) recycleGFRound(ws *gfRoundWorkspace) {
+	for i, r := range ws.retained {
+		m.putGFResult(r)
 		ws.retained[i] = nil
 	}
 	ws.retained = ws.retained[:0]
@@ -977,70 +1366,30 @@ func (m *Master) finishRound(ws *roundWorkspace) ([]*coding.Partial, *RoundStats
 			Values:   append([]float64(nil), p.Values...),
 		}
 	}
-	stats := &RoundStats{
-		ResponseTime: append([]time.Duration(nil), ws.stats.ResponseTime...),
-		AssignedRows: append([]int(nil), ws.stats.AssignedRows...),
-		Reassigned:   ws.stats.Reassigned,
-		TimedOut:     append([]int(nil), ws.stats.TimedOut...),
-	}
-	return partials, stats, nil
+	return partials, ws.copyStats(), nil
 }
 
-// reassign sends uncovered rows to responders that do not already cover
-// them (delivered rows and rows just reassigned both disqualify), filling
-// stats.TimedOut and the per-worker extra accounting.
-func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64, plan *sched.Plan) error {
-	for w := range plan.Assignments {
-		if ws.stats.AssignedRows[w] > 0 && !ws.responded[w] {
-			ws.stats.TimedOut = append(ws.stats.TimedOut, w)
+// finishGFRound is finishRound for the exact path.
+func (m *Master) finishGFRound(ws *gfRoundWorkspace) ([]*coding.GFPartial, *RoundStats, error) {
+	if m.cfg.ReuseRound {
+		return ws.partials, &ws.stats, nil
+	}
+	partials := make([]*coding.GFPartial, len(ws.partials))
+	for i, p := range ws.partials {
+		partials[i] = &coding.GFPartial{
+			Worker: p.Worker,
+			Ranges: append([]coding.Range(nil), p.Ranges...),
+			Values: append([]gf.Elem(nil), p.Values...),
 		}
 	}
-	// Lazily sized: only rounds that actually time out pay for this.
-	if cap(ws.extraMark) < ws.n*ws.blockRows {
-		ws.extraMark = make([]bool, ws.n*ws.blockRows)
-	}
-	ws.extraMark = ws.extraMark[:ws.n*ws.blockRows]
-	for i := range ws.extraMark {
-		ws.extraMark[i] = false
-	}
-	ws.extraRows = kernel.GrowInts(ws.extraRows, ws.n)
-	for i := range ws.extraRows {
-		ws.extraRows[i] = 0
-	}
-	if cap(ws.extraRanges) < ws.n {
-		ws.extraRanges = make([][]coding.Range, ws.n)
-	}
-	ws.extraRanges = ws.extraRanges[:ws.n]
-	for i := range ws.extraRanges {
-		ws.extraRanges[i] = ws.extraRanges[i][:0]
-	}
-	for r := 0; r < ws.blockRows; r++ {
-		for c := ws.cov[r]; c < ws.k; c++ {
-			// Least-loaded responder that can still add coverage for r.
-			best := -1
-			for w := 0; w < ws.n; w++ {
-				if !ws.responded[w] || ws.coveredBy[w*ws.blockRows+r] || ws.extraMark[w*ws.blockRows+r] {
-					continue
-				}
-				if best < 0 || ws.extraRows[w] < ws.extraRows[best] {
-					best = w
-				}
-			}
-			if best < 0 {
-				return fmt.Errorf("rpc: cannot re-cover row %d", r)
-			}
-			ws.extraMark[best*ws.blockRows+r] = true
-			ws.extraRows[best]++
-			// Rows are visited in ascending order, so per-worker ranges
-			// stay normalized by construction.
-			rs := ws.extraRanges[best]
-			if len(rs) > 0 && rs[len(rs)-1].Hi == r {
-				rs[len(rs)-1].Hi = r + 1
-			} else {
-				rs = append(rs, coding.Range{Lo: r, Hi: r + 1})
-			}
-			ws.extraRanges[best] = rs
-		}
+	return partials, ws.copyStats(), nil
+}
+
+// reassign routes uncovered rows to responders via the core's plan and
+// sends the extra float64 work assignments.
+func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64) error {
+	if err := ws.planExtras(); err != nil {
+		return err
 	}
 	workers := m.conns()
 	for w, ranges := range ws.extraRanges {
@@ -1049,6 +1398,26 @@ func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64, plan
 		}
 		ws.workMsg = Work{Iter: iter, Phase: phase, X: x, Ranges: ranges}
 		if err := workers[w].t.sendWork(&ws.workMsg); err != nil {
+			return err
+		}
+		ws.stats.AssignedRows[w] += ws.extraRows[w]
+		ws.stats.Reassigned += ws.extraRows[w]
+	}
+	return nil
+}
+
+// reassignGF is reassign for the exact path.
+func (m *Master) reassignGF(ws *gfRoundWorkspace, iter, phase int, x []gf.Elem) error {
+	if err := ws.planExtras(); err != nil {
+		return err
+	}
+	workers := m.conns()
+	for w, ranges := range ws.extraRanges {
+		if len(ranges) == 0 {
+			continue
+		}
+		ws.workMsg = GFWork{Iter: iter, Phase: phase, X: x, Ranges: ranges}
+		if err := workers[w].t.sendGFWork(&ws.workMsg); err != nil {
 			return err
 		}
 		ws.stats.AssignedRows[w] += ws.extraRows[w]

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
 	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/wire"
 )
@@ -40,16 +41,30 @@ type Kind int
 // Protocol message kinds. The first five keep their historical values so
 // the gob envelope encoding stays stable; note that cross-version
 // compatibility is governed by the handshake (pre-handshake peers are
-// rejected at admit), not by these values.
+// rejected at admit), not by these values. The GF kinds are the exact
+// GF(2³¹−1) mirror of the float64 round messages. They are an in-version
+// extension of VersionWire/VersionGob, not a new handshake version: the
+// handshake gates the *framing*, not the message set, so a peer built
+// before the GF kinds existed rejects the first GF frame as unknown and
+// drops the connection (surfacing as a worker error / transfer failure
+// on the master). Masters therefore only drive the GF path against
+// workers from the same build generation — acceptable while both
+// binaries ship from one tree; a capability bit in the hello would be
+// the upgrade path if that ever loosens.
 const (
 	KindHello     Kind = iota + 1
 	KindPartition      // monolithic partition (gob fallback only)
 	KindWork
 	KindResult
 	KindShutdown
-	KindPartitionStart // begin a streamed partition (wire transport)
-	KindPartitionChunk // one row band of a streamed partition
-	KindPartitionAck   // chunk stored; returns one flow-control credit
+	KindPartitionStart   // begin a streamed partition (wire transport)
+	KindPartitionChunk   // one row band of a streamed partition
+	KindPartitionAck     // chunk stored; returns one flow-control credit
+	KindGFPartition      // monolithic GF partition (gob fallback only)
+	KindGFWork           // field-element row assignment
+	KindGFResult         // computed field-element rows
+	KindGFPartitionStart // begin a streamed GF partition (wire transport)
+	KindGFPartitionChunk // one row band of field elements
 )
 
 // Hello is the worker's first message after the transport handshake.
@@ -124,14 +139,48 @@ type Result struct {
 	ComputeNanos int64
 }
 
+// GFPartition carries one phase's whole coded GF(2³¹−1) partition in a
+// single message (gob fallback only; the wire transport streams
+// GFPartitionStart + GFPartitionChunk instead).
+type GFPartition struct {
+	Phase int
+	Rows  int
+	Cols  int
+	Data  []gf.Elem
+}
+
+// GFWork assigns field-element row ranges for one exact round. X is the
+// round's input vector over GF(2³¹−1).
+type GFWork struct {
+	Iter   int
+	Phase  int
+	X      []gf.Elem
+	Ranges []coding.Range
+}
+
+// GFResult returns the computed field-element rows — the exact mirror of
+// Result, including the split-result Partial contract.
+type GFResult struct {
+	Iter         int
+	Phase        int
+	Worker       int
+	Partial      bool
+	Ranges       []coding.Range
+	Values       []gf.Elem
+	ComputeNanos int64
+}
+
 // Envelope is the gob fallback's single wire type; exactly one payload
 // field is set, per Kind. The wire transport does not use it.
 type Envelope struct {
-	Kind      Kind
-	Hello     *Hello
-	Partition *Partition
-	Work      *Work
-	Result    *Result
+	Kind        Kind
+	Hello       *Hello
+	Partition   *Partition
+	Work        *Work
+	Result      *Result
+	GFPartition *GFPartition
+	GFWork      *GFWork
+	GFResult    *GFResult
 }
 
 // Msg is a reusable receive slot: transport.recv decodes the next message
@@ -141,17 +190,22 @@ type Envelope struct {
 // by swapping structs with a pooled instance, which moves slice ownership
 // without copying.
 type Msg struct {
-	Kind      Kind
-	Hello     Hello
-	Partition Partition
-	PartStart PartitionStart
-	PartChunk PartitionChunk
-	PartAck   PartitionAck
-	Work      Work
-	Result    Result
+	Kind        Kind
+	Hello       Hello
+	Partition   Partition
+	PartStart   PartitionStart
+	PartChunk   PartitionChunk
+	PartAck     PartitionAck
+	Work        Work
+	Result      Result
+	GFPartition GFPartition
+	GFWork      GFWork
+	GFResult    GFResult
 
 	// chunk holds the undecoded row payload of a wire-transport
-	// PartitionChunk until ChunkInto drains it into the destination rows.
+	// PartitionChunk or GFPartitionChunk until ChunkInto/GFChunkInto
+	// drains it into the destination rows. (GF chunks reuse the PartStart/
+	// PartChunk header structs; the Kind disambiguates.)
 	chunk *wire.Payload
 }
 
@@ -168,6 +222,17 @@ func (m *Msg) ChunkInto(dst []float64) error {
 	return p.Float64sInto(dst)
 }
 
+// GFChunkInto is ChunkInto for a GF partition chunk: the pending uint32
+// payload decodes straight into the destination field-element rows.
+func (m *Msg) GFChunkInto(dst []gf.Elem) error {
+	if m.chunk == nil {
+		return fmt.Errorf("rpc: no pending chunk payload")
+	}
+	p := m.chunk
+	m.chunk = nil
+	return p.Uint32sInto(gf.AsUint32s(dst))
+}
+
 // transport is the message layer spoken over one connection. Sends may be
 // called from multiple goroutines (implementations serialize internally);
 // recv must only be called from the connection's single reader goroutine.
@@ -180,6 +245,11 @@ type transport interface {
 	sendPartitionStart(p *PartitionStart) error
 	sendPartitionChunk(phase, seq, lo, hi int, data []float64) error
 	sendPartitionAck(phase, seq int) error
+	sendGFWork(w *GFWork) error
+	sendGFResult(r *GFResult) error
+	sendGFPartition(p *GFPartition) error
+	sendGFPartitionStart(p *PartitionStart) error
+	sendGFPartitionChunk(phase, seq, lo, hi int, data []gf.Elem) error
 	// streamsPartitions reports whether partitions ship as
 	// PartitionStart/Chunk streams (true) or as one monolithic
 	// Partition message (false) — the capability the master's
@@ -346,6 +416,65 @@ func (c *wireConn) sendPartitionAck(phase, seq int) error {
 	return c.end()
 }
 
+func (c *wireConn) sendGFWork(wk *GFWork) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypeGFWork)
+	c.w.Int(wk.Iter)
+	c.w.Int(wk.Phase)
+	c.w.Uint32s(gf.AsUint32s(wk.X))
+	writeRanges(c.w, wk.Ranges)
+	return c.end()
+}
+
+func (c *wireConn) sendGFResult(r *GFResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypeGFResult)
+	c.w.Int(r.Iter)
+	c.w.Int(r.Phase)
+	c.w.Int(r.Worker)
+	if r.Partial {
+		c.w.Uvarint(1)
+	} else {
+		c.w.Uvarint(0)
+	}
+	c.w.Uvarint(uint64(r.ComputeNanos))
+	writeRanges(c.w, r.Ranges)
+	c.w.Uint32s(gf.AsUint32s(r.Values))
+	return c.end()
+}
+
+// sendGFPartition is the monolithic form; like float64 partitions, the
+// wire transport streams GF partitions instead.
+func (c *wireConn) sendGFPartition(p *GFPartition) error {
+	return fmt.Errorf("rpc: wire transport streams partitions; use sendGFPartitionStart/Chunk")
+}
+
+func (c *wireConn) sendGFPartitionStart(p *PartitionStart) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypeGFPartitionStart)
+	c.w.Int(p.Phase)
+	c.w.Int(p.Seq)
+	c.w.Int(p.Rows)
+	c.w.Int(p.Cols)
+	c.w.Int(p.ChunkRows)
+	return c.end()
+}
+
+func (c *wireConn) sendGFPartitionChunk(phase, seq, lo, hi int, data []gf.Elem) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypeGFPartitionChunk)
+	c.w.Int(phase)
+	c.w.Int(seq)
+	c.w.Int(lo)
+	c.w.Int(hi)
+	c.w.Uint32s(gf.AsUint32s(data))
+	return c.end()
+}
+
 func (c *wireConn) recv(m *Msg) error {
 	typ, p, err := c.r.Next()
 	if err != nil {
@@ -393,6 +522,39 @@ func (c *wireConn) recv(m *Msg) error {
 		m.Kind = KindPartitionAck
 		m.PartAck.Phase = p.Int()
 		m.PartAck.Seq = p.Int()
+	case wire.TypeGFWork:
+		m.Kind = KindGFWork
+		m.GFWork.Iter = p.Int()
+		m.GFWork.Phase = p.Int()
+		m.GFWork.X = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFWork.X)))
+		m.GFWork.Ranges = readRanges(p, m.GFWork.Ranges)
+	case wire.TypeGFResult:
+		m.Kind = KindGFResult
+		m.GFResult.Iter = p.Int()
+		m.GFResult.Phase = p.Int()
+		m.GFResult.Worker = p.Int()
+		m.GFResult.Partial = p.Uvarint() != 0
+		m.GFResult.ComputeNanos = int64(p.Uvarint())
+		m.GFResult.Ranges = readRanges(p, m.GFResult.Ranges)
+		m.GFResult.Values = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFResult.Values)))
+	case wire.TypeGFPartitionStart:
+		m.Kind = KindGFPartitionStart
+		m.PartStart.Phase = p.Int()
+		m.PartStart.Seq = p.Int()
+		m.PartStart.Rows = p.Int()
+		m.PartStart.Cols = p.Int()
+		m.PartStart.ChunkRows = p.Int()
+	case wire.TypeGFPartitionChunk:
+		m.Kind = KindGFPartitionChunk
+		m.PartChunk.Phase = p.Int()
+		m.PartChunk.Seq = p.Int()
+		m.PartChunk.Lo = p.Int()
+		m.PartChunk.Hi = p.Int()
+		if err := p.Err(); err != nil {
+			return err
+		}
+		m.chunk = p // element payload decoded by GFChunkInto, straight into the matrix
+		return nil
 	case wire.TypeShutdown:
 		m.Kind = KindShutdown
 	default:
@@ -402,7 +564,13 @@ func (c *wireConn) recv(m *Msg) error {
 }
 
 func (c *wireConn) close() error {
-	c.closeOnce.Do(func() { c.closeErr = c.c.Close() })
+	// c.c is nil when the transport runs over an in-memory stream (test
+	// and fuzz harnesses); there is no socket to close then.
+	c.closeOnce.Do(func() {
+		if c.c != nil {
+			c.closeErr = c.c.Close()
+		}
+	})
 	return c.closeErr
 }
 
@@ -469,6 +637,12 @@ func (c *gobConn) send(e *Envelope) error {
 			bytes = 8 * len(e.Work.X)
 		case e.Result != nil:
 			bytes = 8 * len(e.Result.Values)
+		case e.GFPartition != nil:
+			bytes = 4 * len(e.GFPartition.Data)
+		case e.GFWork != nil:
+			bytes = 4 * len(e.GFWork.X)
+		case e.GFResult != nil:
+			bytes = 4 * len(e.GFResult.Values)
 		}
 		d := writeDeadlineFor(c.writeTimeout, bytes)
 		c.c.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck
@@ -486,6 +660,16 @@ func (c *gobConn) sendPartition(p *Partition) error {
 	return c.send(&Envelope{Kind: KindPartition, Partition: p})
 }
 
+func (c *gobConn) sendGFWork(w *GFWork) error {
+	return c.send(&Envelope{Kind: KindGFWork, GFWork: w})
+}
+func (c *gobConn) sendGFResult(r *GFResult) error {
+	return c.send(&Envelope{Kind: KindGFResult, GFResult: r})
+}
+func (c *gobConn) sendGFPartition(p *GFPartition) error {
+	return c.send(&Envelope{Kind: KindGFPartition, GFPartition: p})
+}
+
 // The streamed-partition messages exist only on the wire transport; the
 // gob fallback ships partitions monolithically.
 func (c *gobConn) sendPartitionStart(*PartitionStart) error {
@@ -495,6 +679,12 @@ func (c *gobConn) sendPartitionChunk(int, int, int, int, []float64) error {
 	return fmt.Errorf("rpc: gob transport does not stream partitions")
 }
 func (c *gobConn) sendPartitionAck(int, int) error {
+	return fmt.Errorf("rpc: gob transport does not stream partitions")
+}
+func (c *gobConn) sendGFPartitionStart(*PartitionStart) error {
+	return fmt.Errorf("rpc: gob transport does not stream partitions")
+}
+func (c *gobConn) sendGFPartitionChunk(int, int, int, int, []gf.Elem) error {
 	return fmt.Errorf("rpc: gob transport does not stream partitions")
 }
 
@@ -528,6 +718,21 @@ func (c *gobConn) recv(m *Msg) error {
 			return fmt.Errorf("rpc: envelope missing result payload")
 		}
 		m.Result = *e.Result
+	case KindGFPartition:
+		if e.GFPartition == nil {
+			return fmt.Errorf("rpc: envelope missing GF partition payload")
+		}
+		m.GFPartition = *e.GFPartition
+	case KindGFWork:
+		if e.GFWork == nil {
+			return fmt.Errorf("rpc: envelope missing GF work payload")
+		}
+		m.GFWork = *e.GFWork
+	case KindGFResult:
+		if e.GFResult == nil {
+			return fmt.Errorf("rpc: envelope missing GF result payload")
+		}
+		m.GFResult = *e.GFResult
 	case KindShutdown:
 	default:
 		return fmt.Errorf("rpc: envelope missing kind")

@@ -10,38 +10,23 @@ import (
 	"github.com/coded-computing/s2c2/internal/sched"
 )
 
-// startCluster spins up a master plus n in-process workers on loopback.
+// startCluster spins up a master plus n in-process workers on loopback —
+// a thin wrapper over the shared testcluster harness keeping the
+// historical signature (per-worker slowdowns, 200µs per-row delay).
 func startCluster(t *testing.T, n int, slowdown map[int]float64) *Master {
 	t.Helper()
-	m, err := NewMaster("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(m.Shutdown)
-	// Connect workers one at a time: the master assigns IDs in accept
-	// order, so sequential connection pins slowdowns to intended IDs.
-	for i := 0; i < n; i++ {
-		cfg := WorkerConfig{
-			MasterAddr:  m.Addr(),
-			Slowdown:    slowdown[i],
-			PerRowDelay: 200 * time.Microsecond,
-		}
-		if cfg.Slowdown == 0 {
-			cfg.Slowdown = 1
-		}
-		go func() {
-			w, err := NewWorker(cfg)
-			if err != nil {
-				t.Error(err)
-				return
+	return startTestCluster(t, n, clusterConfig{
+		worker: func(i int) WorkerConfig {
+			cfg := WorkerConfig{
+				Slowdown:    slowdown[i],
+				PerRowDelay: 200 * time.Microsecond,
 			}
-			w.Run() //nolint:errcheck // shutdown closes the conn
-		}()
-		if err := m.WaitForWorkers(i+1, 5*time.Second); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return m
+			if cfg.Slowdown == 0 {
+				cfg.Slowdown = 1
+			}
+			return cfg
+		},
+	})
 }
 
 func TestTCPClusterCodedRoundTrip(t *testing.T) {

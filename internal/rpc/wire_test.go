@@ -18,33 +18,11 @@ import (
 )
 
 // startClusterCfg is startCluster with explicit master and worker config
-// control (transport selection, streaming knobs, stall deadline).
+// control (transport selection, streaming knobs, stall deadline) — a thin
+// wrapper over the shared testcluster harness.
 func startClusterCfg(t *testing.T, n int, mcfg MasterConfig, wcfg func(i int) WorkerConfig) *Master {
 	t.Helper()
-	if mcfg.Addr == "" {
-		mcfg.Addr = "127.0.0.1:0"
-	}
-	m, err := NewMasterWithConfig(mcfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(m.Shutdown)
-	for i := 0; i < n; i++ {
-		cfg := wcfg(i)
-		cfg.MasterAddr = m.Addr()
-		go func() {
-			w, err := NewWorker(cfg)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			w.Run() //nolint:errcheck // shutdown closes the conn
-		}()
-		if err := m.WaitForWorkers(i+1, 5*time.Second); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return m
+	return startTestCluster(t, n, clusterConfig{master: mcfg, worker: wcfg})
 }
 
 // runDeterministicRound runs one full-coverage (k = n) round on a fresh

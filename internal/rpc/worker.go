@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
 	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/mat"
 	"github.com/coded-computing/s2c2/internal/wire"
@@ -53,6 +54,14 @@ type partBuild struct {
 	remaining int // rows not yet received
 }
 
+// gfPartBuild is a streamed GF(2³¹−1) partition being assembled from
+// chunks — the exact-path mirror of partBuild.
+type gfPartBuild struct {
+	m         *gf.Matrix
+	seq       int
+	remaining int
+}
+
 // maxPartitionElems bounds the matrix a partition header may ask the
 // worker to allocate (16 GiB of float64), rejecting corrupt or hostile
 // headers before any allocation. Typed int64 so the constant (and the
@@ -82,12 +91,16 @@ type Worker struct {
 	cfg WorkerConfig
 	c   transport
 
-	mu         sync.Mutex
-	partitions map[int]*mat.Dense // phase → coded partition
-	pending    map[int]*partBuild // phase → partition mid-stream
+	mu           sync.Mutex
+	partitions   map[int]*mat.Dense   // phase → coded partition
+	pending      map[int]*partBuild   // phase → partition mid-stream
+	gfPartitions map[int]*gf.Matrix   // phase → coded GF partition (exact path)
+	gfPending    map[int]*gfPartBuild // phase → GF partition mid-stream
 
-	workPool sync.Pool // *Work slots for concurrent handlers
-	resPool  sync.Pool // *Result send slots
+	workPool   sync.Pool // *Work slots for concurrent handlers
+	resPool    sync.Pool // *Result send slots
+	gfWorkPool sync.Pool // *GFWork slots
+	gfResPool  sync.Pool // *GFResult send slots
 }
 
 // NewWorker dials the master, performs the transport handshake (the
@@ -121,10 +134,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, err
 	}
 	w := &Worker{
-		cfg:        cfg,
-		c:          t,
-		partitions: map[int]*mat.Dense{},
-		pending:    map[int]*partBuild{},
+		cfg:          cfg,
+		c:            t,
+		partitions:   map[int]*mat.Dense{},
+		pending:      map[int]*partBuild{},
+		gfPartitions: map[int]*gf.Matrix{},
+		gfPending:    map[int]*gfPartBuild{},
 	}
 	if err := t.sendHello(&Hello{Slowdown: cfg.Slowdown}); err != nil {
 		t.close()
@@ -161,6 +176,27 @@ func (w *Worker) Run() error {
 			if err := w.storeChunk(msg); err != nil {
 				return err
 			}
+		case KindGFPartition:
+			// Monolithic GF partition (gob fallback): adopt the decoded
+			// element slice as the matrix storage directly.
+			p := &msg.GFPartition
+			if !validPartitionDims(p.Rows, p.Cols) || len(p.Data) != p.Rows*p.Cols {
+				return fmt.Errorf("rpc: GF partition %dx%d with %d values", p.Rows, p.Cols, len(p.Data))
+			}
+			if !gf.Valid(p.Data) {
+				return fmt.Errorf("rpc: GF partition %d carries non-canonical field elements", p.Phase)
+			}
+			w.mu.Lock()
+			w.gfPartitions[p.Phase] = gf.NewMatrixFromData(p.Rows, p.Cols, p.Data)
+			w.mu.Unlock()
+		case KindGFPartitionStart:
+			if err := w.startGFPartition(&msg.PartStart); err != nil {
+				return err
+			}
+		case KindGFPartitionChunk:
+			if err := w.storeGFChunk(msg); err != nil {
+				return err
+			}
 		case KindWork:
 			// Hand the assignment to a concurrent handler by swapping the
 			// message's Work with a pooled slot: ownership of the decoded
@@ -169,6 +205,10 @@ func (w *Worker) Run() error {
 			job := w.getWork()
 			*job, msg.Work = msg.Work, *job
 			go w.handleWork(job)
+		case KindGFWork:
+			job := w.getGFWork()
+			*job, msg.GFWork = msg.GFWork, *job
+			go w.handleGFWork(job)
 		case KindShutdown:
 			return nil
 		default:
@@ -186,17 +226,82 @@ func (w *Worker) startPartition(ps *PartitionStart) error {
 	}
 	b := &partBuild{m: mat.New(ps.Rows, ps.Cols), seq: ps.Seq, remaining: ps.Rows}
 	w.mu.Lock()
-	// The master serializes transfers per connection, so every build still
-	// pending when a new stream starts belongs to an abandoned transfer.
-	// Dropping them all bounds the memory pinned by aborted transfers to
-	// a single build.
+	// The master serializes transfers per connection (float64 and GF alike
+	// share the per-conn transfer lock), so every build still pending when
+	// a new stream starts belongs to an abandoned transfer. Dropping them
+	// all bounds the memory pinned by aborted transfers to a single build.
 	clear(w.pending)
+	clear(w.gfPending)
 	if b.remaining == 0 {
 		w.partitions[ps.Phase] = b.m
 	} else {
 		w.pending[ps.Phase] = b
 	}
 	w.mu.Unlock()
+	return nil
+}
+
+// startGFPartition allocates the destination matrix of a streamed GF
+// partition; chunks decode straight into it and the partition becomes
+// visible to GF work requests only once every row has arrived.
+func (w *Worker) startGFPartition(ps *PartitionStart) error {
+	if !validPartitionDims(ps.Rows, ps.Cols) {
+		return fmt.Errorf("rpc: GF partition start %dx%d rejected", ps.Rows, ps.Cols)
+	}
+	b := &gfPartBuild{m: gf.NewMatrix(ps.Rows, ps.Cols), seq: ps.Seq, remaining: ps.Rows}
+	w.mu.Lock()
+	clear(w.pending)
+	clear(w.gfPending)
+	if b.remaining == 0 {
+		w.gfPartitions[ps.Phase] = b.m
+	} else {
+		w.gfPending[ps.Phase] = b
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// storeGFChunk decodes one field-element row band straight into the GF
+// partition matrix and returns a credit to the master's streaming window.
+// It applies the same strict in-order contract as the float64 path, plus
+// a canonicality check: the worker's Mersenne-folded mat-vec bounds its
+// intermediate arithmetic on every element being < P, so non-canonical
+// lanes are a protocol error, not a silent wraparound later.
+func (w *Worker) storeGFChunk(msg *Msg) error {
+	pc := &msg.PartChunk
+	w.mu.Lock()
+	b := w.gfPending[pc.Phase]
+	w.mu.Unlock()
+	if b == nil {
+		return fmt.Errorf("rpc: GF chunk for phase %d with no partition in progress", pc.Phase)
+	}
+	if pc.Seq != b.seq {
+		return fmt.Errorf("rpc: GF chunk seq %d for phase %d, transfer in progress is seq %d", pc.Seq, pc.Phase, b.seq)
+	}
+	rows, cols := b.m.Dims()
+	if pc.Lo < 0 || pc.Hi > rows || pc.Lo >= pc.Hi {
+		return fmt.Errorf("rpc: GF chunk rows [%d,%d) outside partition [0,%d)", pc.Lo, pc.Hi, rows)
+	}
+	if got := rows - b.remaining; pc.Lo != got {
+		return fmt.Errorf("rpc: GF chunk rows [%d,%d) out of order, expected start %d", pc.Lo, pc.Hi, got)
+	}
+	dst := b.m.Data()[pc.Lo*cols : pc.Hi*cols]
+	if err := msg.GFChunkInto(dst); err != nil {
+		return err
+	}
+	if !gf.Valid(dst) {
+		return fmt.Errorf("rpc: GF chunk rows [%d,%d) carry non-canonical field elements", pc.Lo, pc.Hi)
+	}
+	b.remaining -= pc.Hi - pc.Lo
+	if err := w.c.sendPartitionAck(pc.Phase, b.seq); err != nil {
+		return err
+	}
+	if b.remaining <= 0 {
+		w.mu.Lock()
+		w.gfPartitions[pc.Phase] = b.m
+		delete(w.gfPending, pc.Phase)
+		w.mu.Unlock()
+	}
 	return nil
 }
 
@@ -254,6 +359,20 @@ func (w *Worker) getResult() *Result {
 		return v.(*Result)
 	}
 	return &Result{}
+}
+
+func (w *Worker) getGFWork() *GFWork {
+	if v := w.gfWorkPool.Get(); v != nil {
+		return v.(*GFWork)
+	}
+	return &GFWork{}
+}
+
+func (w *Worker) getGFResult() *GFResult {
+	if v := w.gfResPool.Get(); v != nil {
+		return v.(*GFResult)
+	}
+	return &GFResult{}
 }
 
 // matVecChunk sizes row chunks so each is ~16k flops of mat-vec work.
@@ -315,6 +434,90 @@ func (w *Worker) handleWork(job *Work) {
 	w.resPool.Put(res)
 }
 
+// handleGFWork computes the assigned rows of this worker's GF partition —
+// the exact mirror of handleWork: Mersenne-folded mat-vec over the field
+// banded on the worker's pool, pooled result slots, bounded result frames.
+// Results are bit-exact field values; there is no backend- or banding-
+// dependent rounding on this path by construction.
+func (w *Worker) handleGFWork(job *GFWork) {
+	defer w.gfWorkPool.Put(job)
+	w.mu.Lock()
+	part := w.gfPartitions[job.Phase]
+	w.mu.Unlock()
+	if part == nil {
+		return // partition not yet delivered; master will time us out
+	}
+	start := time.Now()
+	res := w.getGFResult()
+	res.Iter, res.Phase, res.Worker, res.Partial = job.Iter, job.Phase, 0, false
+	res.Ranges = coding.AppendNormalizeRanges(res.Ranges[:0], job.Ranges)
+	total := coding.TotalRows(res.Ranges)
+	res.Values = kernel.GrowSlice(res.Values, total)
+	_, cols := part.Dims()
+	at := 0
+	for _, r := range res.Ranges {
+		seg := res.Values[at : at+r.Len()]
+		lo := r.Lo
+		w.cfg.Exec.For(r.Len(), matVecChunk(cols), func(clo, chi int) {
+			part.MulVecRangeInto(seg[clo:chi], job.X, lo+clo, lo+chi)
+		})
+		at += r.Len()
+	}
+	elapsed := time.Since(start)
+	res.ComputeNanos = int64(elapsed)
+	delay := time.Duration(float64(elapsed)*(w.cfg.Slowdown-1) +
+		float64(w.cfg.PerRowDelay)*float64(total)*w.cfg.Slowdown)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	w.sendGFResultBounded(res) //nolint:errcheck // conn errors surface in Run
+	w.gfResPool.Put(res)
+}
+
+// splitResultRanges is the one bounded-result segmentation algorithm
+// shared by both element types: it walks ranges in range-aligned segments
+// of at most maxRows rows, calling emit(seg, at, rows, last) per segment
+// — seg is the segment's range list (aliasing scratch), at the row offset
+// into the concatenated values, last whether this segment completes the
+// result (only that one clears the Partial flag; the master counts the
+// worker as responded on it). It stops on the first emit error and
+// returns the scratch slice for capacity reuse.
+func splitResultRanges(ranges []coding.Range, total, maxRows int, scratch []coding.Range,
+	emit func(seg []coding.Range, at, rows int, last bool) error) ([]coding.Range, error) {
+	at, rows := 0, 0 // consumed offset into the values, rows in the open segment
+	seg := scratch[:0]
+	flush := func() error {
+		err := emit(seg, at, rows, at+rows >= total)
+		at += rows
+		rows = 0
+		seg = seg[:0]
+		return err
+	}
+	for _, r := range ranges {
+		lo := r.Lo
+		for lo < r.Hi {
+			take := r.Hi - lo
+			if take > maxRows-rows {
+				take = maxRows - rows
+			}
+			seg = append(seg, coding.Range{Lo: lo, Hi: lo + take})
+			rows += take
+			lo += take
+			if rows == maxRows {
+				if err := flush(); err != nil {
+					return seg, err
+				}
+			}
+		}
+	}
+	if rows > 0 {
+		if err := flush(); err != nil {
+			return seg, err
+		}
+	}
+	return seg, nil
+}
+
 // sendResultBounded sends res, splitting it into range-aligned segments
 // of at most cfg.MaxResultRows rows when necessary so result frames never
 // outgrow the receiver's frame limit.
@@ -326,43 +529,41 @@ func (w *Worker) sendResultBounded(res *Result) error {
 	}
 	sub := w.getResult()
 	sub.Iter, sub.Phase, sub.Worker, sub.ComputeNanos = res.Iter, res.Phase, res.Worker, res.ComputeNanos
-	sub.Ranges = sub.Ranges[:0]
-	var err error
-	at, rows := 0, 0 // consumed offset into res.Values, rows in the open segment
-	flush := func() {
-		// Only the segment completing the result clears Partial — the
-		// master counts the worker as responded on that one.
-		sub.Partial = at+rows < total
-		sub.Values = res.Values[at : at+rows]
-		err = w.c.sendResult(sub)
-		at += rows
-		rows = 0
-		sub.Ranges = sub.Ranges[:0]
-	}
-	for _, r := range res.Ranges {
-		lo := r.Lo
-		for lo < r.Hi && err == nil {
-			take := r.Hi - lo
-			if take > maxRows-rows {
-				take = maxRows - rows
-			}
-			sub.Ranges = append(sub.Ranges, coding.Range{Lo: lo, Hi: lo + take})
-			rows += take
-			lo += take
-			if rows == maxRows {
-				flush()
-			}
-		}
-		if err != nil {
-			break
-		}
-	}
-	if err == nil && rows > 0 {
-		flush()
-	}
+	scratch, err := splitResultRanges(res.Ranges, total, maxRows, sub.Ranges[:0],
+		func(seg []coding.Range, at, rows int, last bool) error {
+			sub.Ranges = seg
+			sub.Partial = !last
+			sub.Values = res.Values[at : at+rows]
+			return w.c.sendResult(sub)
+		})
+	sub.Ranges = scratch
 	// sub.Values aliased segments of res.Values; detach before pooling so
 	// two pooled results can never share a backing array.
 	sub.Values = nil
 	w.resPool.Put(sub)
+	return err
+}
+
+// sendGFResultBounded is sendResultBounded for the exact path — the same
+// segmentation via splitResultRanges, emitting GF result frames.
+func (w *Worker) sendGFResultBounded(res *GFResult) error {
+	maxRows := w.cfg.MaxResultRows
+	total := coding.TotalRows(res.Ranges)
+	if total <= maxRows {
+		return w.c.sendGFResult(res)
+	}
+	sub := w.getGFResult()
+	sub.Iter, sub.Phase, sub.Worker, sub.ComputeNanos = res.Iter, res.Phase, res.Worker, res.ComputeNanos
+	scratch, err := splitResultRanges(res.Ranges, total, maxRows, sub.Ranges[:0],
+		func(seg []coding.Range, at, rows int, last bool) error {
+			sub.Ranges = seg
+			sub.Partial = !last
+			sub.Values = res.Values[at : at+rows]
+			return w.c.sendGFResult(sub)
+		})
+	sub.Ranges = scratch
+	// sub.Values aliased segments of res.Values; detach before pooling.
+	sub.Values = nil
+	w.gfResPool.Put(sub)
 	return err
 }

@@ -73,15 +73,22 @@ func ReadHandshake(r io.Reader) (byte, error) {
 // can never masquerade as a message.
 type Type byte
 
-// Frame types of the master↔worker protocol.
+// Frame types of the master↔worker protocol. The GF(2³¹−1) variants carry
+// uint32 field elements instead of float64 rows — the exact distributed
+// round path; acks are shared (a PartitionAck credits whichever transfer
+// its sequence number fences, float64 or GF).
 const (
-	TypeHello          Type = 1 + iota // worker → master: join
-	TypeWork                           // master → worker: row assignment
-	TypeResult                         // worker → master: computed rows
-	TypePartitionStart                 // master → worker: begin streamed partition
-	TypePartitionChunk                 // master → worker: one row band
-	TypePartitionAck                   // worker → master: chunk stored (credit return)
-	TypeShutdown                       // master → worker: exit
+	TypeHello            Type = 1 + iota // worker → master: join
+	TypeWork                             // master → worker: row assignment
+	TypeResult                           // worker → master: computed rows
+	TypePartitionStart                   // master → worker: begin streamed partition
+	TypePartitionChunk                   // master → worker: one row band
+	TypePartitionAck                     // worker → master: chunk stored (credit return)
+	TypeShutdown                         // master → worker: exit
+	TypeGFWork                           // master → worker: field-element row assignment
+	TypeGFResult                         // worker → master: computed field-element rows
+	TypeGFPartitionStart                 // master → worker: begin streamed GF partition
+	TypeGFPartitionChunk                 // master → worker: one row band of field elements
 )
 
 // DefaultMaxFrame bounds accepted frame bodies. Partitions are streamed in
@@ -356,6 +363,30 @@ func (p *Payload) float64sInto(dst []float64) {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 	}
 	p.off += 8 * len(dst)
+}
+
+// Uint32sInto decodes a count-prefixed uint32 payload directly into dst,
+// requiring the count to match len(dst) exactly — the zero-copy path for
+// writing a GF partition chunk straight into its matrix rows.
+func (p *Payload) Uint32sInto(dst []uint32) error {
+	n := p.Int()
+	if p.err != nil {
+		return p.err
+	}
+	if n != len(dst) {
+		p.err = ErrMalformed
+		return p.err
+	}
+	if n > p.Remaining()/4 {
+		p.err = ErrTruncated
+		return p.err
+	}
+	b := p.b[p.off:]
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	p.off += 4 * n
+	return p.err
 }
 
 // Uint32s decodes a count-prefixed uint32 payload, reusing dst's capacity.

@@ -186,6 +186,57 @@ func TestFloat64sIntoCountMismatch(t *testing.T) {
 	}
 }
 
+func TestUint32sIntoCountMismatch(t *testing.T) {
+	var net bytes.Buffer
+	w := NewWriter(&net)
+	w.Begin(TypeGFPartitionChunk)
+	w.Uint32s([]uint32{1, 2, 3})
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	stream := net.Bytes()
+	r := NewReader(bytes.NewReader(stream))
+	_, p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint32, 4) // expects 4, frame carries 3
+	if err := p.Uint32sInto(dst); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+	// Exact-count decode succeeds and lands the payload in place.
+	r2 := NewReader(bytes.NewReader(stream))
+	_, p2, err := r2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst3 := make([]uint32, 3)
+	if err := p2.Uint32sInto(dst3); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []uint32{1, 2, 3} {
+		if dst3[i] != v {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst3[i], v)
+		}
+	}
+	// A declared count the body cannot hold is rejected by division, so a
+	// hostile count cannot overflow the guard.
+	var body []byte
+	body = append(body, byte(TypeGFPartitionChunk))
+	body = binary.AppendUvarint(body, 1<<61)
+	var hostile bytes.Buffer
+	hostile.Write(binary.AppendUvarint(nil, uint64(len(body))))
+	hostile.Write(body)
+	r3 := NewReader(bytes.NewReader(hostile.Bytes()))
+	_, p3, err := r3.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.Uint32sInto(make([]uint32, 2)); err == nil {
+		t.Fatal("hostile uint32 count decoded without error")
+	}
+}
+
 func TestHandshake(t *testing.T) {
 	var b bytes.Buffer
 	if err := WriteHandshake(&b, VersionWire); err != nil {

@@ -118,8 +118,35 @@ type GFMDSCode = coding.GFMDSCode
 // GFElem is an element of GF(2³¹−1).
 type GFElem = gf.Elem
 
+// NewGFElem reduces an arbitrary integer into GF(2³¹−1).
+func NewGFElem(v uint64) GFElem { return gf.New(v) }
+
+// GFEncodedMatrix holds the n exact coded partitions of a field matrix;
+// its Parts distribute over a cluster with Master.DistributeGFPartitions.
+type GFEncodedMatrix = coding.GFEncodedMatrix
+
+// GFPartial is a worker's exact partial result over GF(2³¹−1) — what
+// Master.RunGFRound gathers and GFEncodedMatrix.DecodeMatVec consumes.
+type GFPartial = coding.GFPartial
+
+// GFMatrix is a dense matrix over GF(2³¹−1).
+type GFMatrix = gf.Matrix
+
+// NewGFMatrixFromData adopts row-major field elements (length r·c) as an
+// r-by-c field matrix without copying — e.g. to wrap a Lagrange share for
+// distribution as an exact partition.
+func NewGFMatrixFromData(r, c int, data []GFElem) *GFMatrix {
+	return gf.NewMatrixFromData(r, c, data)
+}
+
 // NewGFMDSCode builds an exact (n,k) code for integer payloads.
 func NewGFMDSCode(n, k int) (*GFMDSCode, error) { return coding.NewGFMDSCode(n, k) }
+
+// CompleteGFShares assembles per-worker complete result vectors from an
+// exact round's partials — the map LagrangeCode.Decode consumes.
+func CompleteGFShares(partials []*GFPartial, blockRows int) (map[int][]GFElem, error) {
+	return coding.CompleteGFShares(partials, blockRows)
+}
 
 // PolyCode is the polynomial code for bilinear computations (Hessians).
 type PolyCode = coding.PolyCode
