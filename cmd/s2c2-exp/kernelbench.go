@@ -17,10 +17,12 @@ import (
 )
 
 // Kernel/backend benchmark harness (-kernelbench FILE): times the hot
-// kernels (MatMul, MatVec, gf.Axpy) and one end-to-end distributed round
-// on the scalar backend and on the dispatched vector backend, and writes
+// kernels (MatMul, MatVec, batched MatVec, gf.Axpy, the GF dot-lane
+// mat-vec) and end-to-end distributed rounds — single-x and batched — on
+// the scalar backend and on the dispatched vector backend, and writes
 // the comparison as JSON — the perf-trajectory artifact for the SIMD
-// backend work (BENCH_PR4.json).
+// backend work (BENCH_PR4.json, extended as BENCH_PR6.json by the
+// batched-round entries).
 
 type kernelBenchResult struct {
 	Name    string  `json:"name"`
@@ -87,6 +89,28 @@ func runKernelBench(path string) error {
 		gfSrc[i] = gf.New(rng.Uint64())
 		gfDst[i] = gf.New(rng.Uint64())
 	}
+	// Batched float64 mat-vec: the same 1024×1024 matrix swept once with
+	// eight fused x-vectors (vs eight single MatVec sweeps).
+	const bw = 8
+	mvXs := randFloats(bw*mv, rng)
+	mvBatchDst := make([]float64, bw*mv)
+	// GF dot-lane mat-vec over a 1024×1024 field matrix.
+	const gfMV = 1024
+	gfMatData := make([]gf.Elem, gfMV*gfMV)
+	for i := range gfMatData {
+		gfMatData[i] = gf.New(rng.Uint64())
+	}
+	gfMat := gf.NewMatrixFromData(gfMV, gfMV, gfMatData)
+	gfX := make([]gf.Elem, gfMV)
+	for i := range gfX {
+		gfX[i] = gf.New(rng.Uint64())
+	}
+	gfY := make([]gf.Elem, gfMV)
+	gfXs := make([]gf.Elem, 4*gfMV)
+	for i := range gfXs {
+		gfXs[i] = gf.New(rng.Uint64())
+	}
+	gfYB := make([]gf.Elem, 4*gfMV)
 
 	// End-to-end round: a loopback cluster of 4 in-process workers over an
 	// MDS(4,3)-coded 16384×1024 mat-vec (large enough that worker compute,
@@ -142,7 +166,31 @@ func runKernelBench(path string) error {
 			roundErr = err
 		}
 	}
+	// Batched round: the same cluster answering four x-vectors per round
+	// (one Work frame, one fused sweep, one Result frame per worker).
+	const roundW = 4
+	roundXs := randFloats(roundW*1024, rng)
+	runRoundBatch := func() {
+		if roundErr != nil {
+			return
+		}
+		plan, err := strat.Plan([]float64{1, 1, 1, 1})
+		if err != nil {
+			roundErr = err
+			return
+		}
+		partials, _, err := master.RunRoundBatch(iter, 0, roundXs, roundW, plan, kParts, 10.0)
+		iter++
+		if err != nil {
+			roundErr = err
+			return
+		}
+		if _, err := enc.DecodeMatVec(partials); err != nil {
+			roundErr = err
+		}
+	}
 	runRound() // warm pools and connections before timing
+	runRoundBatch()
 	if roundErr != nil {
 		return fmt.Errorf("kernelbench: warm-up round: %w", roundErr)
 	}
@@ -161,12 +209,36 @@ func runKernelBench(path string) error {
 				NsPerOp: bestNs(7, 20, func() { kernel.MatVec(mvDst, mvA, mv, mv, mvX) }),
 			},
 			kernelBenchResult{
+				Name: "MatVecBatch1024w2", Backend: backend,
+				NsPerOp: bestNs(7, 20, func() { kernel.MatVecBatch(mvBatchDst[:2*mv], mvA, mv, mv, mvXs[:2*mv], 2) }),
+			},
+			kernelBenchResult{
+				Name: "MatVecBatch1024w4", Backend: backend,
+				NsPerOp: bestNs(7, 15, func() { kernel.MatVecBatch(mvBatchDst[:4*mv], mvA, mv, mv, mvXs[:4*mv], 4) }),
+			},
+			kernelBenchResult{
+				Name: "MatVecBatch1024w8", Backend: backend,
+				NsPerOp: bestNs(7, 10, func() { kernel.MatVecBatch(mvBatchDst, mvA, mv, mv, mvXs, bw) }),
+			},
+			kernelBenchResult{
 				Name: "GFAxpy16k", Backend: backend,
 				NsPerOp: bestNs(7, 200, func() { gf.Axpy(gfDst, 123456789, gfSrc) }),
 			},
 			kernelBenchResult{
+				Name: "GFMatVec1024", Backend: backend,
+				NsPerOp: bestNs(7, 20, func() { gfMat.MulVecRangeInto(gfY, gfX, 0, gfMV) }),
+			},
+			kernelBenchResult{
+				Name: "GFMatVecBatch1024w4", Backend: backend,
+				NsPerOp: bestNs(7, 10, func() { gfMat.MulVecBatchRangeInto(gfYB, gfXs, 4, 0, gfMV) }),
+			},
+			kernelBenchResult{
 				Name: "DistributedRound16384x1024", Backend: backend,
 				NsPerOp: bestNs(5, 3, runRound),
+			},
+			kernelBenchResult{
+				Name: "DistributedRoundBatch16384x1024w4", Backend: backend,
+				NsPerOp: bestNs(5, 3, runRoundBatch),
 			},
 		)
 		if roundErr != nil {
@@ -180,8 +252,16 @@ func runKernelBench(path string) error {
 			r.GFLOPS = 2 * float64(mm) * float64(mm) * float64(mm) / r.NsPerOp
 		case "MatVec1024":
 			r.GFLOPS = 2 * float64(mv) * float64(mv) / r.NsPerOp
+		case "MatVecBatch1024w2":
+			r.GFLOPS = 2 * float64(mv) * float64(mv) * 2 / r.NsPerOp
+		case "MatVecBatch1024w4":
+			r.GFLOPS = 2 * float64(mv) * float64(mv) * 4 / r.NsPerOp
+		case "MatVecBatch1024w8":
+			r.GFLOPS = 2 * float64(mv) * float64(mv) * bw / r.NsPerOp
 		case "GFAxpy16k":
 			r.GBps = 4 * float64(gfN) / r.NsPerOp // source stream bytes per second
+		case "GFMatVec1024", "GFMatVecBatch1024w4":
+			r.GBps = 4 * float64(gfMV) * float64(gfMV) / r.NsPerOp // matrix stream bytes per second
 		}
 	}
 	scalar := map[string]float64{}
@@ -194,6 +274,21 @@ func runKernelBench(path string) error {
 		if r.Backend == report.Dispatched && r.Backend != "generic" {
 			report.Speedups[r.Name] = scalar[r.Name] / r.NsPerOp
 		}
+	}
+	// The batching win itself, on whatever backend dispatched: one fused
+	// width-8 sweep vs eight independent single-x sweeps (and the
+	// end-to-end analogue at width 4, per answered x-vector).
+	disp := map[string]float64{}
+	for _, r := range report.Results {
+		if r.Backend == report.Dispatched {
+			disp[r.Name] = r.NsPerOp
+		}
+	}
+	if ns := disp["MatVecBatch1024w8"]; ns > 0 {
+		report.Speedups["MatVecBatch1024w8_vs_8xMatVec"] = 8 * disp["MatVec1024"] / ns
+	}
+	if ns := disp["DistributedRoundBatch16384x1024w4"]; ns > 0 {
+		report.Speedups["DistributedRoundBatch16384x1024w4_vs_4xRound"] = 4 * disp["DistributedRound16384x1024"] / ns
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

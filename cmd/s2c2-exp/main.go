@@ -11,7 +11,7 @@
 //	s2c2-exp -iters 15        # iterations per job (paper: 15)
 //	s2c2-exp -lstm            # use the LSTM forecaster (slower)
 //	s2c2-exp -csv traces.csv  # also export the Figure 2 speed traces
-//	s2c2-exp -kernelbench BENCH_PR4.json  # kernel-backend benchmark JSON
+//	s2c2-exp -kernelbench BENCH_PR6.json  # kernel-backend benchmark JSON
 package main
 
 import (

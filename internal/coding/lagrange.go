@@ -242,22 +242,31 @@ func (c *LagrangeCode) DecodeInto(dst [][]gf.Elem, results map[int][]gf.Elem, de
 // CompleteGFShares assembles per-worker complete result vectors from a GF
 // round's partials — the form LagrangeCode.Decode consumes. A worker whose
 // partials (possibly several: split results, reassignment extras) cover
-// every one of the blockRows rows contributes one length-blockRows vector;
-// workers with partial coverage are omitted (Lagrange interpolation needs
+// every one of the blockRows rows contributes one length blockRows·width
+// vector, where width is the partials' common RowWidth (row-major
+// width-wide, like batched decode output); mixing widths is an error.
+// Workers with partial coverage are omitted (Lagrange interpolation needs
 // whole share evaluations, unlike the per-row MDS decode). Duplicate
 // (worker, row) deliveries are benign: every copy is the same
 // deterministic field value, so the last write wins.
 func CompleteGFShares(partials []*GFPartial, blockRows int) (map[int][]gf.Elem, error) {
+	width := 1
+	if len(partials) > 0 {
+		width = partials[0].Width()
+	}
 	vecs := map[int][]gf.Elem{}
 	covered := map[int][]bool{}
 	count := map[int]int{}
 	for _, p := range partials {
-		if err := validatePartial(p.Worker, p.Ranges, len(p.Values), 1, blockRows); err != nil {
+		if p.Width() != width {
+			return nil, fmt.Errorf("coding: mixed row widths %d and %d", width, p.Width())
+		}
+		if err := validatePartial(p.Worker, p.Ranges, len(p.Values), width, blockRows); err != nil {
 			return nil, err
 		}
 		v := vecs[p.Worker]
 		if v == nil {
-			v = make([]gf.Elem, blockRows)
+			v = make([]gf.Elem, blockRows*width)
 			vecs[p.Worker] = v
 			covered[p.Worker] = make([]bool, blockRows)
 		}
@@ -265,12 +274,12 @@ func CompleteGFShares(partials []*GFPartial, blockRows int) (map[int][]gf.Elem, 
 		at := 0
 		for _, r := range p.Ranges {
 			for row := r.Lo; row < r.Hi; row++ {
-				v[row] = p.Values[at]
+				copy(v[row*width:(row+1)*width], p.Values[at:at+width])
 				if !cov[row] {
 					cov[row] = true
 					count[p.Worker]++
 				}
-				at++
+				at += width
 			}
 		}
 	}

@@ -138,17 +138,10 @@ func (c *MDSCode) EncodeInto(a *mat.Dense, dst *EncodedMatrix) *EncodedMatrix {
 }
 
 // encodeChunk sizes encode bands so each chunk is a cache-friendly amount
-// of axpy work (~16k flops) across all n partitions and k blocks.
+// of axpy work across all n partitions and k blocks, scaled to the active
+// kernel backend's per-chunk flop target.
 func encodeChunk(n, k, cols int) int {
-	rowCost := 2 * n * k * cols
-	if rowCost < 1 {
-		rowCost = 1
-	}
-	chunk := 16 * 1024 / rowCost
-	if chunk < 1 {
-		chunk = 1
-	}
-	return chunk
+	return kernel.ChunkRows(2 * n * k * cols)
 }
 
 // WorkerCompute runs the coded mat-vec kernel a worker executes: the rows
@@ -173,6 +166,29 @@ func (e *EncodedMatrix) WorkerComputeInto(w int, x []float64, ranges []Range, ds
 	for _, r := range dst.Ranges {
 		mat.MatVecRowsInto(e.Parts[w], x, dst.Values[at:at+r.Len()], r.Lo, r.Hi)
 		at += r.Len()
+	}
+	return dst
+}
+
+// WorkerComputeBatchInto is WorkerComputeInto over w x-vectors
+// concatenated in xs (x_l at xs[l*Cols : (l+1)*Cols]): one sweep of the
+// assigned partition rows serves every lane through the batched kernel,
+// and the Partial carries RowWidth = w with row-major w-wide Values
+// (lane l of covered row r at Values[r*w+l], rows in range order).
+func (e *EncodedMatrix) WorkerComputeBatchInto(worker int, xs []float64, w int, ranges []Range, dst *Partial) *Partial {
+	if dst == nil {
+		dst = &Partial{}
+	}
+	dst.Worker = worker
+	dst.RowWidth = w
+	dst.Ranges = AppendNormalizeRanges(dst.Ranges[:0], ranges)
+	total := TotalRows(dst.Ranges)
+	dst.Values = kernel.Grow(dst.Values, total*w)
+	at := 0
+	part := e.Parts[worker]
+	for _, r := range dst.Ranges {
+		kernel.MatVecRangeBatch(dst.Values[at:at+r.Len()*w], part.Data(), e.Cols, xs, w, r.Lo, r.Hi)
+		at += r.Len() * w
 	}
 	return dst
 }
@@ -260,14 +276,17 @@ func (e *EncodedMatrix) DecodeMatVec(partials []*Partial) ([]float64, error) {
 	return e.DecodeMatVecInto(nil, partials, nil)
 }
 
-// DecodeMatVecInto is DecodeMatVec writing into dst (length OrigRows;
-// nil allocates it) using ws for all scratch state. Passing the same
-// workspace across rounds makes the steady-state decode allocation-free
-// and amortises LU factorizations of recurring worker sets.
+// DecodeMatVecInto is DecodeMatVec writing into dst (length OrigRows ×
+// the partials' RowWidth; nil allocates it) using ws for all scratch
+// state. Passing the same workspace across rounds makes the steady-state
+// decode allocation-free and amortises LU factorizations of recurring
+// worker sets.
+//
+// Batched rounds decode through the same path: RowWidth-w partials yield
+// a row-major w-wide dst (lane l of output row r at dst[r*w+l]), each
+// lane solved as its own right-hand side against the shared per-row
+// decode system — bit-identical to decoding the lane's partials alone.
 func (e *EncodedMatrix) DecodeMatVecInto(dst []float64, partials []*Partial, ws *DecodeWorkspace) ([]float64, error) {
-	if dst != nil && len(dst) != e.OrigRows {
-		return nil, fmt.Errorf("coding: decode dst length %d want %d", len(dst), e.OrigRows)
-	}
 	if ws == nil {
 		ws = e.NewDecodeWorkspace()
 	}
@@ -275,10 +294,14 @@ func (e *EncodedMatrix) DecodeMatVecInto(dst []float64, partials []*Partial, ws 
 	if err := buildPartials(&ws.table, partials, e.BlockRows); err != nil {
 		return nil, err
 	}
-	if ws.table.rowWidth != 0 && ws.table.rowWidth != 1 {
-		return nil, fmt.Errorf("coding: DecodeMatVec expects RowWidth 1, got %d", ws.table.rowWidth)
+	width := ws.table.rowWidth
+	if width == 0 {
+		width = 1 // no partials: fall through to the coverage error below
 	}
-	ws.out = kernel.Grow(ws.out, e.BlockRows*k)
+	if dst != nil && len(dst) != e.OrigRows*width {
+		return nil, fmt.Errorf("coding: decode dst length %d want %d", len(dst), e.OrigRows*width)
+	}
+	ws.out = kernel.Grow(ws.out, e.BlockRows*k*width)
 	ws.b = kernel.Grow(ws.b, k)
 	ws.z = kernel.Grow(ws.z, k)
 	ws.r = kernel.Grow(ws.r, k)
@@ -299,18 +322,20 @@ func (e *EncodedMatrix) DecodeMatVecInto(dst []float64, partials []*Partial, ws 
 				return nil, err
 			}
 		}
-		for i, w := range ws.workers {
-			ws.b[i] = ws.table.rowValue(w, row)[0]
-		}
-		ds.solveInto(ws.z, ws.b, ws.r, ws.dx)
-		for j := 0; j < k; j++ {
-			ws.out[j*e.BlockRows+row] = ws.z[j]
+		for l := 0; l < width; l++ {
+			for i, w := range ws.workers {
+				ws.b[i] = ws.table.rowValue(w, row)[l]
+			}
+			ds.solveInto(ws.z, ws.b, ws.r, ws.dx)
+			for j := 0; j < k; j++ {
+				ws.out[(j*e.BlockRows+row)*width+l] = ws.z[j]
+			}
 		}
 	}
 	if dst == nil {
-		dst = make([]float64, e.OrigRows)
+		dst = make([]float64, e.OrigRows*width)
 	}
-	copy(dst, ws.out[:e.OrigRows])
+	copy(dst, ws.out[:e.OrigRows*width])
 	return dst, nil
 }
 

@@ -92,32 +92,63 @@ func (c *GFMDSCode) Encode(rows, cols int, data []gf.Elem) (*GFEncodedMatrix, er
 	return &GFEncodedMatrix{Code: c, OrigRows: rows, Cols: cols, BlockRows: blockRows, Parts: parts}, nil
 }
 
-// WorkerMatVec computes rows [ranges] of Ã_w·x over the field.
+// WorkerMatVec computes rows [ranges] of Ã_w·x over the field through the
+// dot-lane kernel (gf.Matrix.MulVecRangeInto).
 func (e *GFEncodedMatrix) WorkerMatVec(w int, x []gf.Elem, ranges []Range) (*GFPartial, error) {
 	if len(x) != e.Cols {
 		return nil, fmt.Errorf("coding: x length %d want %d", len(x), e.Cols)
 	}
 	ranges = NormalizeRanges(ranges)
-	vals := make([]gf.Elem, 0, TotalRows(ranges))
+	vals := make([]gf.Elem, TotalRows(ranges))
 	part := e.Parts[w]
+	at := 0
 	for _, r := range ranges {
-		for row := r.Lo; row < r.Hi; row++ {
-			prow := part.Row(row)
-			var acc gf.Elem
-			for j, v := range prow {
-				acc = gf.Add(acc, gf.Mul(v, x[j]))
-			}
-			vals = append(vals, acc)
-		}
+		part.MulVecRangeInto(vals[at:at+r.Len()], x, r.Lo, r.Hi)
+		at += r.Len()
 	}
-	return &GFPartial{Worker: w, Ranges: ranges, Values: vals}, nil
+	return &GFPartial{Worker: w, Ranges: ranges, RowWidth: 1, Values: vals}, nil
 }
 
-// GFPartial is a worker's exact partial result (one field element per row).
+// WorkerMatVecBatch computes rows [ranges] of Ã_w·[x_0 … x_{width-1}]
+// over the field, the x-vectors concatenated in xs: one sweep of the
+// partition rows serves every lane. The returned partial carries
+// RowWidth = width with row-major width-wide Values, exactly equal to
+// width WorkerMatVec calls lane by lane.
+func (e *GFEncodedMatrix) WorkerMatVecBatch(w int, xs []gf.Elem, width int, ranges []Range) (*GFPartial, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("coding: batch width %d", width)
+	}
+	if len(xs) != width*e.Cols {
+		return nil, fmt.Errorf("coding: xs length %d want %d", len(xs), width*e.Cols)
+	}
+	ranges = NormalizeRanges(ranges)
+	vals := make([]gf.Elem, TotalRows(ranges)*width)
+	part := e.Parts[w]
+	at := 0
+	for _, r := range ranges {
+		part.MulVecBatchRangeInto(vals[at:at+r.Len()*width], xs, width, r.Lo, r.Hi)
+		at += r.Len() * width
+	}
+	return &GFPartial{Worker: w, Ranges: ranges, RowWidth: width, Values: vals}, nil
+}
+
+// GFPartial is a worker's exact partial result: RowWidth field elements
+// per covered row (lane l of row r at Values[r*RowWidth+l], rows in range
+// order). RowWidth 0 is read as 1 so zero-valued partials from single-x
+// paths stay valid.
 type GFPartial struct {
-	Worker int
-	Ranges []Range
-	Values []gf.Elem
+	Worker   int
+	Ranges   []Range
+	RowWidth int
+	Values   []gf.Elem
+}
+
+// Width returns the partial's row width, treating the zero value as 1.
+func (p *GFPartial) Width() int {
+	if p.RowWidth <= 0 {
+		return 1
+	}
+	return p.RowWidth
 }
 
 // gfInvSet caches one inverted decode system per distinct worker set.
@@ -154,13 +185,15 @@ func (e *GFEncodedMatrix) DecodeMatVec(partials []*GFPartial) ([]gf.Elem, error)
 	return e.DecodeMatVecInto(nil, partials, nil)
 }
 
-// DecodeMatVecInto is DecodeMatVec writing into dst (length OrigRows; nil
+// DecodeMatVecInto is DecodeMatVec writing into dst (length
+// OrigRows·width, where width is the partials' common RowWidth; nil
 // allocates it), reusing ws across rounds: inverted decode systems are
 // cached per distinct worker set and index/scratch storage is recycled.
+// Batched partials decode each lane as its own right-hand side against
+// the shared inverted system, so lane l of the result is bit-identical
+// to decoding that lane's partials alone; dst is row-major width-wide
+// (lane l of row r at dst[r*width+l]).
 func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial, ws *GFDecodeWorkspace) ([]gf.Elem, error) {
-	if dst != nil && len(dst) != e.OrigRows {
-		return nil, fmt.Errorf("coding: decode dst length %d want %d", len(dst), e.OrigRows)
-	}
 	if ws == nil {
 		ws = e.NewDecodeWorkspace()
 	}
@@ -169,14 +202,21 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 	// slices from previous rounds.
 	ws.table.reset(e.BlockRows)
 	for _, p := range partials {
-		if err := ws.table.add(p.Worker, p.Ranges, p.Values, 1); err != nil {
+		if err := ws.table.add(p.Worker, p.Ranges, p.Values, p.Width()); err != nil {
 			return nil, err
 		}
 	}
-	if cap(ws.out) < e.BlockRows*k {
-		ws.out = make([]gf.Elem, e.BlockRows*k)
+	width := ws.table.rowWidth
+	if width == 0 {
+		width = 1
 	}
-	ws.out = ws.out[:e.BlockRows*k]
+	if dst != nil && len(dst) != e.OrigRows*width {
+		return nil, fmt.Errorf("coding: decode dst length %d want %d", len(dst), e.OrigRows*width)
+	}
+	if cap(ws.out) < e.BlockRows*k*width {
+		ws.out = make([]gf.Elem, e.BlockRows*k*width)
+	}
+	ws.out = ws.out[:e.BlockRows*k*width]
 	var cur *gfInvSet
 	for row := 0; row < e.BlockRows; row++ {
 		ws.workers = ws.table.appendWorkersForRow(ws.workers, row, k)
@@ -208,17 +248,19 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 				ws.sets = append(ws.sets, cur)
 			}
 		}
-		for i, w := range ws.workers {
-			ws.b[i] = ws.table.rowValue(w, row)[0]
-		}
-		cur.inv.MulVecInto(ws.z, ws.b)
-		for j := 0; j < k; j++ {
-			ws.out[j*e.BlockRows+row] = ws.z[j]
+		for l := 0; l < width; l++ {
+			for i, w := range ws.workers {
+				ws.b[i] = ws.table.rowValue(w, row)[l]
+			}
+			cur.inv.MulVecInto(ws.z, ws.b)
+			for j := 0; j < k; j++ {
+				ws.out[(j*e.BlockRows+row)*width+l] = ws.z[j]
+			}
 		}
 	}
 	if dst == nil {
-		dst = make([]gf.Elem, e.OrigRows)
+		dst = make([]gf.Elem, e.OrigRows*width)
 	}
-	copy(dst, ws.out[:e.OrigRows])
+	copy(dst, ws.out[:e.OrigRows*width])
 	return dst, nil
 }

@@ -208,8 +208,10 @@ func (m *Matrix) MulVecInto(y, x []Elem) {
 
 // MulVecRangeInto computes rows [lo, hi) of M·x into y (length hi−lo) —
 // the worker-side kernel of the exact distributed round path, where a
-// round assigns each worker a row range of its coded partition. Same
-// Mersenne folding, same bit-exact results as MulVecInto.
+// round assigns each worker a row range of its coded partition. It
+// dispatches through kernel.GFMatVecMod31: the Mersenne accumulate-fold
+// recurrence on the portable backend, folded 64-bit VPMULUDQ lanes on the
+// AVX2 backend, with bit-exact results on every backend.
 func (m *Matrix) MulVecRangeInto(y, x []Elem, lo, hi int) {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("gf: MulVec length %d want %d", len(x), m.cols))
@@ -220,19 +222,28 @@ func (m *Matrix) MulVecRangeInto(y, x []Elem, lo, hi int) {
 	if len(y) != hi-lo {
 		panic(fmt.Sprintf("gf: MulVecRange dst length %d want %d", len(y), hi-lo))
 	}
-	for i := lo; i < hi; i++ {
-		row := m.Row(i)
-		var acc uint64
-		for j, v := range row {
-			acc += uint64(v) * uint64(x[j])       // < 2³³ + (P−1)² < 2⁶³
-			acc = (acc >> 31) + (acc & uint64(P)) // < 2³³
-		}
-		acc = (acc >> 31) + (acc & uint64(P)) // < P + 4
-		if acc >= P {
-			acc -= P
-		}
-		y[i-lo] = Elem(acc)
+	kernel.GFMatVecMod31(asU32(y), asU32(m.data), m.cols, asU32(x), lo, hi)
+}
+
+// MulVecBatchRangeInto computes rows [lo, hi) of M·[x_0 … x_{w-1}] for w
+// x-vectors concatenated in xs (x_l at xs[l*cols : (l+1)*cols]) into y,
+// row-major w-wide (y[(i-lo)*w+l] = (M·x_l)[i]): one sweep of the matrix
+// serving all w vectors. Results are bit-exact equal to w MulVecRangeInto
+// calls on every backend.
+func (m *Matrix) MulVecBatchRangeInto(y, xs []Elem, w, lo, hi int) {
+	if w < 1 {
+		panic(fmt.Sprintf("gf: MulVecBatchRange width %d", w))
 	}
+	if len(xs) != w*m.cols {
+		panic(fmt.Sprintf("gf: MulVecBatchRange xs length %d want %d", len(xs), w*m.cols))
+	}
+	if lo < 0 || hi > m.rows || lo > hi {
+		panic(fmt.Sprintf("gf: MulVecBatchRange rows [%d,%d) outside [0,%d)", lo, hi, m.rows))
+	}
+	if len(y) != (hi-lo)*w {
+		panic(fmt.Sprintf("gf: MulVecBatchRange dst length %d want %d", len(y), (hi-lo)*w))
+	}
+	kernel.GFMatVecBatchMod31(asU32(y), asU32(m.data), m.cols, asU32(xs), w, lo, hi)
 }
 
 // Vandermonde returns the r-by-c matrix V[i][j] = xs[i]^j. The xs must be

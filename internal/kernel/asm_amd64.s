@@ -233,6 +233,60 @@ DATA gfPackIdx<>+24(SB)/4, $0
 DATA gfPackIdx<>+28(SB)/4, $0
 GLOBL gfPackIdx<>(SB), RODATA|NOPTR, $32
 
+// func gfDotMod31AVX2(a, x *uint32, n int) uint64
+//
+// Partially folded inner product over GF(2³¹−1): eight elements per
+// iteration as two 4-lane 64-bit accumulator chains. Per step: widen both
+// operands (VPMOVZXDQ), VPMULUDQ into a 62-bit product, VPADDQ into the
+// lane accumulator, then one Mersenne fold x → (x>>31) + (x&p) keeps each
+// lane below 2³³ so the next product cannot overflow 64 bits. The eight
+// lanes are summed horizontally at the end (< 2³⁶) and returned still
+// unreduced — the Go wrapper finishes the reduction. n must be a multiple
+// of 8.
+TEXT ·gfDotMod31AVX2(SB), NOSPLIT, $0-32
+	MOVQ    a+0(FP), SI
+	MOVQ    x+8(FP), DI
+	MOVQ    n+16(FP), CX
+	VPXOR   Y0, Y0, Y0
+	VPXOR   Y4, Y4, Y4
+	VMOVDQU gfP31<>(SB), Y12
+	SHRQ    $3, CX
+	JZ      gfdot_reduce
+
+gfdot_loop:
+	VPMOVZXDQ (SI), Y1
+	VPMOVZXDQ 16(SI), Y5
+	VPMOVZXDQ (DI), Y2
+	VPMOVZXDQ 16(DI), Y6
+	VPMULUDQ  Y2, Y1, Y1
+	VPMULUDQ  Y6, Y5, Y5
+	VPADDQ    Y1, Y0, Y0
+	VPADDQ    Y5, Y4, Y4
+
+	// fold: acc = (acc >> 31) + (acc & p), each lane back below 2³³
+	VPSRLQ $31, Y0, Y1
+	VPSRLQ $31, Y4, Y5
+	VPAND  Y12, Y0, Y0
+	VPAND  Y12, Y4, Y4
+	VPADDQ Y1, Y0, Y0
+	VPADDQ Y5, Y4, Y4
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  gfdot_loop
+
+gfdot_reduce:
+	VPADDQ       Y4, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDQ       X1, X0, X0
+	VPSRLDQ      $8, X0, X1
+	VPADDQ       X1, X0, X0
+	MOVQ         X0, AX
+	MOVQ         AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
 // func gfAxpyAVX2(dst *uint32, c uint32, src *uint32, n int)
 //
 // dst[i] += c·src[i] mod 2³¹−1, eight elements per iteration as two

@@ -17,13 +17,16 @@ import "math"
 const nrColsAVX2 = 8
 
 var avx2Backend = &backendImpl{
-	name:           "avx2",
-	dot:            dotVec,
-	axpy:           axpyVec,
-	matVecRange:    matVecRangeVec,
-	matMulAccRange: matMulAccRangeAVX2,
-	gfAxpy:         gfAxpyVec,
-	chunkFlops:     64 * 1024,
+	name:             "avx2",
+	dot:              dotVec,
+	axpy:             axpyVec,
+	matVecRange:      matVecRangeVec,
+	matVecRangeBatch: matVecRangeBatchVec,
+	matMulAccRange:   matMulAccRangeAVX2,
+	gfAxpy:           gfAxpyVec,
+	gfMatVec:         gfMatVecVec,
+	gfMatVecBatch:    gfMatVecBatchVec,
+	chunkFlops:       64 * 1024,
 }
 
 // dotAVX2 processes n elements (n must be a multiple of 8) with four
@@ -53,6 +56,13 @@ func mulTile1x8AVX2(c, a0, bt *float64, kc int)
 //
 //go:noescape
 func gfAxpyAVX2(dst *uint32, c uint32, src *uint32, n int)
+
+// gfDotMod31AVX2 returns a partially folded Σ a[i]·x[i] over GF(2³¹−1):
+// the result is below 2³⁶ and congruent to the true sum mod 2³¹−1. n must
+// be a multiple of 8; the caller finishes the reduction.
+//
+//go:noescape
+func gfDotMod31AVX2(a, x *uint32, n int) uint64
 
 // dotVec sums the vectorized prefix in the assembly kernel, then folds the
 // up-to-7-element tail in sequentially — one fixed order per length.
@@ -180,6 +190,127 @@ func packPanel8(dst, b []float64, n, kk, kc, jj, nc int) {
 					d[c] = 0
 				}
 			}
+		}
+	}
+}
+
+// matVecRangeBatchVec treats the batch as a skinny mat-mul against the
+// implicit cols×w right-hand side whose column l is x_l, driving the same
+// 4×8 FMA micro-kernels as the mat-mul backend: one sweep of A feeds up
+// to eight x-vectors per tile at full FMA throughput instead of being
+// DRAM-bound on the A stream. The x rows are packed into a zero-padded
+// kc×8 tile per lane group; lane groups narrower than eight go through a
+// zeroed scratch tile exactly like the mat-mul edge path. Each output
+// element's accumulation order is the micro-kernel's — fixed, and
+// band-invariant because rows are independent in both micro-kernels.
+func matVecRangeBatchVec(dst, a []float64, cols int, xs []float64, w, lo, hi int) {
+	if hi <= lo || w <= 0 {
+		return
+	}
+	Zero(dst[:(hi-lo)*w])
+	if cols == 0 {
+		return
+	}
+	buf := GetBuf(kcBlock * nrColsAVX2)
+	defer buf.Put()
+	var edge [mrRows * nrColsAVX2]float64
+	for l0 := 0; l0 < w; l0 += nrColsAVX2 {
+		lw := min(nrColsAVX2, w-l0)
+		for kk := 0; kk < cols; kk += kcBlock {
+			kc := min(kcBlock, cols-kk)
+			packXsTile8(buf.F, xs, cols, l0, lw, kk, kc)
+			i := lo
+			for ; i+mrRows <= hi; i += mrRows {
+				a0 := &a[i*cols+kk]
+				a1 := &a[(i+1)*cols+kk]
+				a2 := &a[(i+2)*cols+kk]
+				a3 := &a[(i+3)*cols+kk]
+				if lw == nrColsAVX2 {
+					mulTile4x8AVX2(&dst[(i-lo)*w+l0], w, a0, a1, a2, a3, &buf.F[0], kc)
+				} else {
+					edge = [mrRows * nrColsAVX2]float64{}
+					mulTile4x8AVX2(&edge[0], nrColsAVX2, a0, a1, a2, a3, &buf.F[0], kc)
+					for r := 0; r < mrRows; r++ {
+						row := dst[(i-lo+r)*w+l0 : (i-lo+r)*w+l0+lw]
+						for c := range row {
+							row[c] += edge[r*nrColsAVX2+c]
+						}
+					}
+				}
+			}
+			for ; i < hi; i++ {
+				a0 := &a[i*cols+kk]
+				if lw == nrColsAVX2 {
+					mulTile1x8AVX2(&dst[(i-lo)*w+l0], a0, &buf.F[0], kc)
+				} else {
+					edge = [mrRows * nrColsAVX2]float64{}
+					mulTile1x8AVX2(&edge[0], a0, &buf.F[0], kc)
+					row := dst[(i-lo)*w+l0 : (i-lo)*w+l0+lw]
+					for c := range row {
+						row[c] += edge[c]
+					}
+				}
+			}
+		}
+	}
+}
+
+// packXsTile8 packs elements [kk, kk+kc) of lanes [l0, l0+lw) of the
+// concatenated x-vectors into one kc×8 tile (tile row r holds element
+// kk+r of each lane), zero-padded to width 8 so the micro-kernel needs no
+// column masking.
+func packXsTile8(dst, xs []float64, cols, l0, lw, kk, kc int) {
+	for kx := 0; kx < kc; kx++ {
+		d := dst[kx*nrColsAVX2 : (kx+1)*nrColsAVX2]
+		for c := 0; c < nrColsAVX2; c++ {
+			if c < lw {
+				d[c] = xs[(l0+c)*cols+kk+kx]
+			} else {
+				d[c] = 0
+			}
+		}
+	}
+}
+
+// gfDotVec is the vectorized GF(2³¹−1) inner product: the assembly kernel
+// accumulates eight 64-bit lanes with one Mersenne fold per step and
+// returns their partially folded sum (< 2³⁶); the scalar tail continues
+// the same accumulate-fold recurrence before the final reduction. Modular
+// reduction is order-independent, so the result is exactly the canonical
+// inner product — identical to the generic backend.
+func gfDotVec(row, x []uint32) uint32 {
+	n := len(row)
+	x = x[:n]
+	var acc uint64
+	if nv := n &^ 7; nv > 0 {
+		acc = gfDotMod31AVX2(&row[0], &x[0], nv)
+	}
+	for i := n &^ 7; i < n; i++ {
+		acc += uint64(row[i]) * uint64(x[i]) // < 2³⁶ + 2⁶² < 2⁶³
+		acc = (acc >> 31) + (acc & p31)      // < 2³³
+	}
+	acc = (acc >> 31) + (acc & p31) // < 2³¹ + 2⁵
+	if acc >= p31 {
+		acc -= p31
+	}
+	return uint32(acc)
+}
+
+func gfMatVecVec(dst, a []uint32, cols int, x []uint32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = gfDotVec(a[i*cols:(i+1)*cols], x)
+	}
+}
+
+// gfMatVecBatchVec walks each A row once across all w lanes: the row is
+// hot in L1 for every lane past the first, so the A DRAM stream is
+// amortized w ways.
+func gfMatVecBatchVec(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a[i*cols : (i+1)*cols]
+		out := dst[(i-lo)*w : (i-lo+1)*w]
+		for l := 0; l < w; l++ {
+			out[l] = gfDotVec(row, xs[l*cols:(l+1)*cols])
 		}
 	}
 }

@@ -22,12 +22,27 @@ type backendImpl struct {
 	// matVecRange computes dst[i-lo] = (A·x)[i] for i in [lo, hi).
 	matVecRange func(dst, a []float64, cols int, x []float64, lo, hi int)
 
+	// matVecRangeBatch computes dst[(i-lo)*w+l] = (A·x_l)[i] for i in
+	// [lo, hi), l in [0, w): one sweep of A serving w x-vectors. xs holds
+	// the vectors concatenated (x_l at xs[l*cols : (l+1)*cols]); dst is
+	// row-major w-wide.
+	matVecRangeBatch func(dst, a []float64, cols int, xs []float64, w, lo, hi int)
+
 	// matMulAccRange accumulates rows [lo, hi) of A·B into dst.
 	matMulAccRange func(dst, a []float64, k int, b []float64, n, lo, hi int)
 
 	// gfAxpy computes dst[i] ← dst[i] + c·src[i] mod 2³¹−1 (exact; inputs
 	// fully reduced, c != 0, lengths equal).
 	gfAxpy func(dst []uint32, c uint32, src []uint32)
+
+	// gfMatVec computes dst[i-lo] = (A·x)[i] over GF(2³¹−1) for i in
+	// [lo, hi), the dot-lane kernel behind gf.Matrix.MulVecRangeInto.
+	// Exact on every backend.
+	gfMatVec func(dst, a []uint32, cols int, x []uint32, lo, hi int)
+
+	// gfMatVecBatch is gfMatVec over w concatenated x-vectors with
+	// row-major w-wide output, mirroring matVecRangeBatch.
+	gfMatVecBatch func(dst, a []uint32, cols int, xs []uint32, w, lo, hi int)
 
 	// chunkFlops is the per-chunk flop target the pool sizes row chunks
 	// for: wider backends retire flops faster, so they want bigger chunks.
@@ -76,6 +91,22 @@ func Backends() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// ChunkRows sizes a parallel-loop row chunk for the active backend: the
+// row count whose total cost (rowFlops flops per row) meets the backend's
+// per-chunk flop target. Vector backends retire flops faster, so they get
+// bigger chunks; callers banding kernel loops over a pool should use this
+// instead of a hardcoded flop budget. Always at least 1.
+func ChunkRows(rowFlops int) int {
+	if rowFlops < 1 {
+		rowFlops = 1
+	}
+	c := active.Load().chunkFlops / rowFlops
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // SetBackend routes all subsequent dispatched kernel calls through the

@@ -6,13 +6,16 @@ package kernel
 // noasm build tag or on CPUs without the required ISA extensions.
 
 var genericBackend = &backendImpl{
-	name:           "generic",
-	dot:            dotGeneric,
-	axpy:           axpyGeneric,
-	matVecRange:    matVecRangeGeneric,
-	matMulAccRange: matMulAccRangeGeneric,
-	gfAxpy:         gfAxpyGeneric,
-	chunkFlops:     16 * 1024,
+	name:             "generic",
+	dot:              dotGeneric,
+	axpy:             axpyGeneric,
+	matVecRange:      matVecRangeGeneric,
+	matVecRangeBatch: matVecRangeBatchGeneric,
+	matMulAccRange:   matMulAccRangeGeneric,
+	gfAxpy:           gfAxpyGeneric,
+	gfMatVec:         gfMatVecGeneric,
+	gfMatVecBatch:    gfMatVecBatchGeneric,
+	chunkFlops:       16 * 1024,
 }
 
 // dotGeneric uses four independent accumulators to expose instruction-level
@@ -45,6 +48,20 @@ func axpyGeneric(a float64, x, y []float64) {
 func matVecRangeGeneric(dst, a []float64, cols int, x []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i-lo] = dotGeneric(a[i*cols:(i+1)*cols], x)
+	}
+}
+
+// matVecRangeBatchGeneric serves all w lanes from one pass over each A
+// row (the row stays cache-hot across lanes). Lane l of any row uses
+// exactly dotGeneric's accumulation order, so a w-lane batch is
+// bit-identical to w single-x sweeps on this backend.
+func matVecRangeBatchGeneric(dst, a []float64, cols int, xs []float64, w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a[i*cols : (i+1)*cols]
+		out := dst[(i-lo)*w : (i-lo+1)*w]
+		for l := 0; l < w; l++ {
+			out[l] = dotGeneric(row, xs[l*cols:(l+1)*cols])
+		}
 	}
 }
 
@@ -227,6 +244,41 @@ func gfMulAdd31(d, c, s uint32) uint32 {
 		x -= p31
 	}
 	return uint32(x)
+}
+
+// gfDotGeneric returns the canonical inner product of row and x over
+// GF(2³¹−1), folding after every accumulate: the running sum stays below
+// 2³³, so the next 62-bit product cannot overflow the 64-bit accumulator.
+// Modular reduction is order- and grouping-independent, so every backend's
+// gfMatVec returns these exact values.
+func gfDotGeneric(row, x []uint32) uint32 {
+	x = x[:len(row)]
+	var acc uint64
+	for j, v := range row {
+		acc += uint64(v) * uint64(x[j]) // < 2³³ + 2⁶² < 2⁶³
+		acc = (acc >> 31) + (acc & p31) // < 2³³
+	}
+	acc = (acc >> 31) + (acc & p31) // < p31 + 4
+	if acc >= p31 {
+		acc -= p31
+	}
+	return uint32(acc)
+}
+
+func gfMatVecGeneric(dst, a []uint32, cols int, x []uint32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = gfDotGeneric(a[i*cols:(i+1)*cols], x)
+	}
+}
+
+func gfMatVecBatchGeneric(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a[i*cols : (i+1)*cols]
+		out := dst[(i-lo)*w : (i-lo+1)*w]
+		for l := 0; l < w; l++ {
+			out[l] = gfDotGeneric(row, xs[l*cols:(l+1)*cols])
+		}
+	}
 }
 
 // gfAxpyGeneric is the scalar Mersenne-folded mul-accumulate, unrolled

@@ -77,6 +77,22 @@ func MatVecRange(dst, a []float64, cols int, x []float64, lo, hi int) {
 	active.Load().matVecRange(dst, a, cols, x, lo, hi)
 }
 
+// MatVecBatch computes dst = A·[x_0 … x_{w-1}] for row-major A
+// (rows×cols): one sweep of A serving w x-vectors. xs holds the vectors
+// concatenated (x_l at xs[l*cols : (l+1)*cols]); dst is row-major w-wide
+// (dst[i*w+l] = (A·x_l)[i]).
+func MatVecBatch(dst, a []float64, rows, cols int, xs []float64, w int) {
+	active.Load().matVecRangeBatch(dst, a, cols, xs, w, 0, rows)
+}
+
+// MatVecRangeBatch computes dst[(i-lo)*w+l] = (A·x_l)[i] for i in
+// [lo, hi); layouts as in MatVecBatch. Row bands are independent:
+// splitting a range at any row boundary is bit-identical to the unbanded
+// call on the same backend.
+func MatVecRangeBatch(dst, a []float64, cols int, xs []float64, w, lo, hi int) {
+	active.Load().matVecRangeBatch(dst, a, cols, xs, w, lo, hi)
+}
+
 // VecMat computes dst = xᵀ·A (length cols) for row-major A (rows×cols),
 // streaming row-wise. dst is overwritten.
 func VecMat(dst, x, a []float64, rows, cols int) {
@@ -121,6 +137,22 @@ func GFAxpyMod31(dst []uint32, c uint32, src []uint32) {
 		return
 	}
 	active.Load().gfAxpy(dst, c, src)
+}
+
+// GFMatVecMod31 computes dst[i-lo] = (A·x)[i] over GF(2³¹−1) for i in
+// [lo, hi), A row-major with cols columns — the dot-lane kernel behind
+// gf.Matrix.MulVecRangeInto (worker compute, decode solves). Inputs must
+// be fully reduced; results are exact and identical on every backend
+// (modular reduction is order-independent).
+func GFMatVecMod31(dst, a []uint32, cols int, x []uint32, lo, hi int) {
+	active.Load().gfMatVec(dst, a, cols, x, lo, hi)
+}
+
+// GFMatVecBatchMod31 is GFMatVecMod31 over w concatenated x-vectors with
+// row-major w-wide output (layouts as in MatVecBatch). Exact on every
+// backend.
+func GFMatVecBatchMod31(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
+	active.Load().gfMatVecBatch(dst, a, cols, xs, w, lo, hi)
 }
 
 // ATDiagBRange accumulates rows [lo, hi) of Aᵀ·diag(d)·B into dst, the

@@ -348,7 +348,7 @@ func TestMasterGFWireRoundZeroAllocsSteadyState(t *testing.T) {
 	runRound := func() {
 		ws := &m.gfRound
 		m.recycleGFRound(ws)
-		ws.begin(n, enc.BlockRows, k)
+		ws.begin(n, enc.BlockRows, k, 1)
 		// Send tasks: one GF work frame per active worker.
 		for w := 0; w < n; w++ {
 			ws.workMsg = GFWork{Iter: 0, Phase: 0, X: x, Ranges: assignment}

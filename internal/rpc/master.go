@@ -797,6 +797,7 @@ type roundCore struct {
 	stats RoundStats
 
 	n, k, blockRows int
+	width           int // values per covered row (1 single-x, w batched)
 	needed          int // rows still below coverage k
 	nResponded      int
 
@@ -828,9 +829,9 @@ func armTimer(t **time.Timer, d time.Duration) *time.Timer {
 }
 
 // begin resets the core for a round of n workers over blockRows-row
-// partitions with decode threshold k.
-func (c *roundCore) begin(n, blockRows, k int) {
-	c.n, c.k, c.blockRows = n, k, blockRows
+// partitions with decode threshold k and batch width w.
+func (c *roundCore) begin(n, blockRows, k, w int) {
+	c.n, c.k, c.blockRows, c.width = n, k, blockRows, w
 	c.needed = blockRows
 	c.nResponded = 0
 
@@ -869,16 +870,32 @@ func (c *roundCore) begin(n, blockRows, k int) {
 	c.respTimes = c.respTimes[:0]
 }
 
-// checkResult validates a result's worker index and range bounds before
-// anything is folded into the round.
-func (c *roundCore) checkResult(worker int, ranges []coding.Range) error {
+// checkResult validates a result's worker index, range bounds, row width,
+// and values length before anything is folded into the round. The length
+// check is the batched path's all-lanes-or-nothing dedup guarantee: a
+// frame that covers a row contributes either every one of the round's
+// width lanes for it or is rejected wholesale, so per-(worker,row)
+// coverage marks never stand for partially delivered rows. The arithmetic
+// divides rather than multiplies so hostile counts cannot overflow it.
+func (c *roundCore) checkResult(worker int, ranges []coding.Range, rowWidth, numValues int) error {
 	if worker < 0 || worker >= c.n {
 		return fmt.Errorf("rpc: result from unknown worker %d", worker)
 	}
+	if rowWidth < 1 {
+		rowWidth = 1
+	}
+	if rowWidth != c.width {
+		return fmt.Errorf("rpc: worker %d result row width %d, round width %d", worker, rowWidth, c.width)
+	}
+	rows := 0
 	for _, rg := range ranges {
 		if rg.Lo < 0 || rg.Hi > c.blockRows || rg.Lo > rg.Hi {
 			return fmt.Errorf("rpc: worker %d result range [%d,%d) outside [0,%d)", worker, rg.Lo, rg.Hi, c.blockRows)
 		}
+		rows += rg.Hi - rg.Lo
+	}
+	if numValues/rowWidth != rows || numValues%rowWidth != 0 {
+		return fmt.Errorf("rpc: worker %d result carries %d values for %d rows at width %d", worker, numValues, rows, rowWidth)
 	}
 	return nil
 }
@@ -1018,9 +1035,9 @@ type roundWorkspace struct {
 }
 
 // begin resets the workspace for a round of n workers over blockRows-row
-// partitions with decode threshold k.
-func (ws *roundWorkspace) begin(n, blockRows, k int) {
-	ws.roundCore.begin(n, blockRows, k)
+// partitions with decode threshold k and batch width w.
+func (ws *roundWorkspace) begin(n, blockRows, k, w int) {
+	ws.roundCore.begin(n, blockRows, k, w)
 	ws.nPartials = 0
 	// A worker normally sends one result per Work message, and a round
 	// sends at most one original plus one reassignment message per
@@ -1042,7 +1059,7 @@ func (ws *roundWorkspace) begin(n, blockRows, k int) {
 // addResult folds one worker result into the round: it wraps the values
 // as a decoder partial and advances per-row coverage through the core.
 func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
-	if err := ws.checkResult(r.Worker, r.Ranges); err != nil {
+	if err := ws.checkResult(r.Worker, r.Ranges, r.RowWidth, len(r.Values)); err != nil {
 		return err
 	}
 	var p *coding.Partial
@@ -1053,7 +1070,7 @@ func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
 	}
 	ws.nPartials++
 	p.Worker = r.Worker
-	p.RowWidth = 1
+	p.RowWidth = ws.width
 	p.Ranges = r.Ranges
 	p.Values = r.Values
 	ws.partials = append(ws.partials, p)
@@ -1072,8 +1089,8 @@ type gfRoundWorkspace struct {
 	workMsg    GFWork
 }
 
-func (ws *gfRoundWorkspace) begin(n, blockRows, k int) {
-	ws.roundCore.begin(n, blockRows, k)
+func (ws *gfRoundWorkspace) begin(n, blockRows, k, w int) {
+	ws.roundCore.begin(n, blockRows, k, w)
 	ws.nPartials = 0
 	if cap(ws.partialSeq) < 2*n {
 		ws.partialSeq = make([]coding.GFPartial, 2*n)
@@ -1086,7 +1103,7 @@ func (ws *gfRoundWorkspace) begin(n, blockRows, k int) {
 }
 
 func (ws *gfRoundWorkspace) addResult(r *GFResult, elapsed time.Duration) error {
-	if err := ws.checkResult(r.Worker, r.Ranges); err != nil {
+	if err := ws.checkResult(r.Worker, r.Ranges, r.RowWidth, len(r.Values)); err != nil {
 		return err
 	}
 	var p *coding.GFPartial
@@ -1097,6 +1114,7 @@ func (ws *gfRoundWorkspace) addResult(r *GFResult, elapsed time.Duration) error 
 	}
 	ws.nPartials++
 	p.Worker = r.Worker
+	p.RowWidth = ws.width
 	p.Ranges = r.Ranges
 	p.Values = r.Values
 	ws.partials = append(ws.partials, p)
@@ -1130,6 +1148,42 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 // are discarded by the next round's stale filter). The configured
 // StallTimeout still bounds the round independently of ctx.
 func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	return m.runRound(ctx, iter, phase, x, 1, plan, k, timeoutFrac)
+}
+
+// RunRoundBatch is RunRoundBatchContext with a background context.
+func (m *Master) RunRoundBatch(iter, phase int, xs []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	return m.RunRoundBatchContext(context.Background(), iter, phase, xs, w, plan, k, timeoutFrac)
+}
+
+// RunRoundBatchContext runs one batched round: w input vectors
+// concatenated in xs (x_l at xs[l*cols : (l+1)*cols]) travel in a single
+// work message per worker, each worker sweeps its assigned rows once
+// through the fused multi-x kernel, and the returned partials carry
+// RowWidth = w with row-major w-wide values, ready for the width-general
+// decoders. Grace, timeout, reassignment, and dedup semantics are
+// identical to the single-x round — the same gather core runs both —
+// with coverage counting a row only when all w of its lanes landed.
+func (m *Master) RunRoundBatchContext(ctx context.Context, iter, phase int, xs []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	if err := checkBatchArgs(w, len(xs)); err != nil {
+		return nil, nil, err
+	}
+	return m.runRound(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
+}
+
+// checkBatchArgs validates a batched round's width against the
+// concatenated input length.
+func checkBatchArgs(w, xsLen int) error {
+	if w < 1 || w > maxBatchWidth {
+		return fmt.Errorf("rpc: batch width %d outside [1,%d]", w, maxBatchWidth)
+	}
+	if xsLen%w != 0 {
+		return fmt.Errorf("rpc: batched input length %d not divisible by width %d", xsLen, w)
+	}
+	return nil
+}
+
+func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
 	m.mu.Lock()
 	blockRows := m.blockRows[phase]
 	m.mu.Unlock()
@@ -1140,19 +1194,19 @@ func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float
 	n := len(workers)
 	ws := &m.round
 	m.recycleRound(ws)
-	ws.begin(n, blockRows, k)
+	ws.begin(n, blockRows, k, w)
 	start := time.Now()
 	active := 0
-	for w, wc := range workers {
-		ranges := plan.Assignments[w]
+	for wk, wc := range workers {
+		ranges := plan.Assignments[wk]
 		rows := coding.TotalRows(ranges)
 		if rows == 0 {
 			continue
 		}
-		ws.stats.AssignedRows[w] = rows
-		ws.workMsg = Work{Iter: iter, Phase: phase, X: x, Ranges: ranges}
+		ws.stats.AssignedRows[wk] = rows
+		ws.workMsg = Work{Iter: iter, Phase: phase, W: w, X: x, Ranges: ranges}
 		if err := wc.t.sendWork(&ws.workMsg); err != nil {
-			return nil, nil, fmt.Errorf("rpc: send work to %d: %w", w, err)
+			return nil, nil, fmt.Errorf("rpc: send work to %d: %w", wk, err)
 		}
 		active++
 	}
@@ -1215,7 +1269,7 @@ func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float
 			// Timeout fired: reassign pending coverage to responders
 			// (reassigned results arrive tagged with the same iter/phase,
 			// so the same collection loop finishes the round).
-			if err := m.reassign(ws, iter, phase, x); err != nil {
+			if err := m.reassign(ws, iter, phase, x, w); err != nil {
 				return nil, nil, err
 			}
 		case <-hard.C:
@@ -1238,6 +1292,27 @@ func (m *Master) RunGFRound(iter, phase int, x []gf.Elem, plan *sched.Plan, k in
 // coding.CompleteGFShares). With ReuseRound set, the partials and stats
 // alias the master's GF round workspace until the next RunGFRound.
 func (m *Master) RunGFRoundContext(ctx context.Context, iter, phase int, x []gf.Elem, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	return m.runGFRound(ctx, iter, phase, x, 1, plan, k, timeoutFrac)
+}
+
+// RunGFRoundBatch is RunGFRoundBatchContext with a background context.
+func (m *Master) RunGFRoundBatch(iter, phase int, xs []gf.Elem, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	return m.RunGFRoundBatchContext(context.Background(), iter, phase, xs, w, plan, k, timeoutFrac)
+}
+
+// RunGFRoundBatchContext is RunRoundBatchContext over GF(2³¹−1): one
+// batched exact round whose partials carry RowWidth = w. Because field
+// arithmetic has no rounding, lane l of the decoded result is bit-exact
+// equal to a single-x round over xs[l*cols : (l+1)*cols] — batching
+// changes throughput, never values.
+func (m *Master) RunGFRoundBatchContext(ctx context.Context, iter, phase int, xs []gf.Elem, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	if err := checkBatchArgs(w, len(xs)); err != nil {
+		return nil, nil, err
+	}
+	return m.runGFRound(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
+}
+
+func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
 	m.mu.Lock()
 	blockRows := m.gfBlockRows[phase]
 	m.mu.Unlock()
@@ -1248,19 +1323,19 @@ func (m *Master) RunGFRoundContext(ctx context.Context, iter, phase int, x []gf.
 	n := len(workers)
 	ws := &m.gfRound
 	m.recycleGFRound(ws)
-	ws.begin(n, blockRows, k)
+	ws.begin(n, blockRows, k, w)
 	start := time.Now()
 	active := 0
-	for w, wc := range workers {
-		ranges := plan.Assignments[w]
+	for wk, wc := range workers {
+		ranges := plan.Assignments[wk]
 		rows := coding.TotalRows(ranges)
 		if rows == 0 {
 			continue
 		}
-		ws.stats.AssignedRows[w] = rows
-		ws.workMsg = GFWork{Iter: iter, Phase: phase, X: x, Ranges: ranges}
+		ws.stats.AssignedRows[wk] = rows
+		ws.workMsg = GFWork{Iter: iter, Phase: phase, W: w, X: x, Ranges: ranges}
 		if err := wc.t.sendGFWork(&ws.workMsg); err != nil {
-			return nil, nil, fmt.Errorf("rpc: send GF work to %d: %w", w, err)
+			return nil, nil, fmt.Errorf("rpc: send GF work to %d: %w", wk, err)
 		}
 		active++
 	}
@@ -1318,7 +1393,7 @@ func (m *Master) RunGFRoundContext(ctx context.Context, iter, phase int, x []gf.
 		case <-ctx.Done():
 			return nil, nil, fmt.Errorf("rpc: GF round (%d,%d) canceled: %w", iter, phase, ctx.Err())
 		case <-grace.C:
-			if err := m.reassignGF(ws, iter, phase, x); err != nil {
+			if err := m.reassignGF(ws, iter, phase, x, w); err != nil {
 				return nil, nil, err
 			}
 		case <-hard.C:
@@ -1377,17 +1452,19 @@ func (m *Master) finishGFRound(ws *gfRoundWorkspace) ([]*coding.GFPartial, *Roun
 	partials := make([]*coding.GFPartial, len(ws.partials))
 	for i, p := range ws.partials {
 		partials[i] = &coding.GFPartial{
-			Worker: p.Worker,
-			Ranges: append([]coding.Range(nil), p.Ranges...),
-			Values: append([]gf.Elem(nil), p.Values...),
+			Worker:   p.Worker,
+			RowWidth: p.RowWidth,
+			Ranges:   append([]coding.Range(nil), p.Ranges...),
+			Values:   append([]gf.Elem(nil), p.Values...),
 		}
 	}
 	return partials, ws.copyStats(), nil
 }
 
 // reassign routes uncovered rows to responders via the core's plan and
-// sends the extra float64 work assignments.
-func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64) error {
+// sends the extra float64 work assignments (at the round's batch width —
+// reassigned rows need all their lanes recomputed like any others).
+func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64, bw int) error {
 	if err := ws.planExtras(); err != nil {
 		return err
 	}
@@ -1396,7 +1473,7 @@ func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64) erro
 		if len(ranges) == 0 {
 			continue
 		}
-		ws.workMsg = Work{Iter: iter, Phase: phase, X: x, Ranges: ranges}
+		ws.workMsg = Work{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
 		if err := workers[w].t.sendWork(&ws.workMsg); err != nil {
 			return err
 		}
@@ -1407,7 +1484,7 @@ func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64) erro
 }
 
 // reassignGF is reassign for the exact path.
-func (m *Master) reassignGF(ws *gfRoundWorkspace, iter, phase int, x []gf.Elem) error {
+func (m *Master) reassignGF(ws *gfRoundWorkspace, iter, phase int, x []gf.Elem, bw int) error {
 	if err := ws.planExtras(); err != nil {
 		return err
 	}
@@ -1416,7 +1493,7 @@ func (m *Master) reassignGF(ws *gfRoundWorkspace, iter, phase int, x []gf.Elem) 
 		if len(ranges) == 0 {
 			continue
 		}
-		ws.workMsg = GFWork{Iter: iter, Phase: phase, X: x, Ranges: ranges}
+		ws.workMsg = GFWork{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
 		if err := workers[w].t.sendGFWork(&ws.workMsg); err != nil {
 			return err
 		}

@@ -116,10 +116,16 @@ type PartitionAck struct {
 	Seq   int
 }
 
-// Work assigns row ranges for one round.
+// Work assigns row ranges for one round. W is the round's batch width:
+// the number of input vectors concatenated in X (x_l at
+// X[l*cols : (l+1)*cols]). W ≤ 1 is the classic single-x round; batched
+// rounds (W > 1) ship as a distinct frame type on the wire transport so
+// the single-x encoding stays byte-identical across versions. recv
+// normalizes W to 1 on single-x messages.
 type Work struct {
 	Iter   int
 	Phase  int
+	W      int
 	X      []float64
 	Ranges []coding.Range
 }
@@ -129,11 +135,17 @@ type Work struct {
 // sets Partial, so the master counts the worker as responded — and
 // records its response time for the §4.3 timeout and the speed predictor
 // — only when the full result has been delivered.
+//
+// RowWidth is the values-per-row width: 1 for single-x rounds, the
+// round's W for batched rounds, where Values is row-major RowWidth-wide
+// (lane l of covered row r at Values[r*RowWidth+l]). recv normalizes it
+// to 1 on single-x messages.
 type Result struct {
 	Iter         int
 	Phase        int
 	Worker       int
 	Partial      bool
+	RowWidth     int
 	Ranges       []coding.Range
 	Values       []float64
 	ComputeNanos int64
@@ -150,21 +162,25 @@ type GFPartition struct {
 }
 
 // GFWork assigns field-element row ranges for one exact round. X is the
-// round's input vector over GF(2³¹−1).
+// round's input vector over GF(2³¹−1) — or, when W > 1, the round's W
+// input vectors concatenated (the batched mirror of Work.W).
 type GFWork struct {
 	Iter   int
 	Phase  int
+	W      int
 	X      []gf.Elem
 	Ranges []coding.Range
 }
 
 // GFResult returns the computed field-element rows — the exact mirror of
-// Result, including the split-result Partial contract.
+// Result, including the split-result Partial contract and the RowWidth
+// batched-values layout.
 type GFResult struct {
 	Iter         int
 	Phase        int
 	Worker       int
 	Partial      bool
+	RowWidth     int
 	Ranges       []coding.Range
 	Values       []gf.Elem
 	ComputeNanos int64
@@ -338,9 +354,21 @@ func (c *wireConn) sendHello(h *Hello) error {
 	return c.end()
 }
 
+// sendWork frames a single-x assignment as TypeWork — byte-identical to
+// the pre-batch encoding — and a batched one (W > 1) as TypeWorkBatch
+// with the width field ahead of the concatenated x-vectors.
 func (c *wireConn) sendWork(wk *Work) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if wk.W > 1 {
+		c.w.Begin(wire.TypeWorkBatch)
+		c.w.Int(wk.Iter)
+		c.w.Int(wk.Phase)
+		c.w.Int(wk.W)
+		c.w.Float64s(wk.X)
+		writeRanges(c.w, wk.Ranges)
+		return c.end()
+	}
 	c.w.Begin(wire.TypeWork)
 	c.w.Int(wk.Iter)
 	c.w.Int(wk.Phase)
@@ -349,10 +377,17 @@ func (c *wireConn) sendWork(wk *Work) error {
 	return c.end()
 }
 
+// sendResult frames a single-x result as TypeResult (unchanged encoding)
+// and a batched one (RowWidth > 1) as TypeResultBatch with the width
+// field ahead of the ranges and row-major width-wide values.
 func (c *wireConn) sendResult(r *Result) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.w.Begin(wire.TypeResult)
+	if r.RowWidth > 1 {
+		c.w.Begin(wire.TypeResultBatch)
+	} else {
+		c.w.Begin(wire.TypeResult)
+	}
 	c.w.Int(r.Iter)
 	c.w.Int(r.Phase)
 	c.w.Int(r.Worker)
@@ -362,6 +397,9 @@ func (c *wireConn) sendResult(r *Result) error {
 		c.w.Uvarint(0)
 	}
 	c.w.Uvarint(uint64(r.ComputeNanos))
+	if r.RowWidth > 1 {
+		c.w.Int(r.RowWidth)
+	}
 	writeRanges(c.w, r.Ranges)
 	c.w.Float64s(r.Values)
 	return c.end()
@@ -419,6 +457,15 @@ func (c *wireConn) sendPartitionAck(phase, seq int) error {
 func (c *wireConn) sendGFWork(wk *GFWork) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if wk.W > 1 {
+		c.w.Begin(wire.TypeGFWorkBatch)
+		c.w.Int(wk.Iter)
+		c.w.Int(wk.Phase)
+		c.w.Int(wk.W)
+		c.w.Uint32s(gf.AsUint32s(wk.X))
+		writeRanges(c.w, wk.Ranges)
+		return c.end()
+	}
 	c.w.Begin(wire.TypeGFWork)
 	c.w.Int(wk.Iter)
 	c.w.Int(wk.Phase)
@@ -430,7 +477,11 @@ func (c *wireConn) sendGFWork(wk *GFWork) error {
 func (c *wireConn) sendGFResult(r *GFResult) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.w.Begin(wire.TypeGFResult)
+	if r.RowWidth > 1 {
+		c.w.Begin(wire.TypeGFResultBatch)
+	} else {
+		c.w.Begin(wire.TypeGFResult)
+	}
 	c.w.Int(r.Iter)
 	c.w.Int(r.Phase)
 	c.w.Int(r.Worker)
@@ -440,6 +491,9 @@ func (c *wireConn) sendGFResult(r *GFResult) error {
 		c.w.Uvarint(0)
 	}
 	c.w.Uvarint(uint64(r.ComputeNanos))
+	if r.RowWidth > 1 {
+		c.w.Int(r.RowWidth)
+	}
 	writeRanges(c.w, r.Ranges)
 	c.w.Uint32s(gf.AsUint32s(r.Values))
 	return c.end()
@@ -489,6 +543,14 @@ func (c *wireConn) recv(m *Msg) error {
 		m.Kind = KindWork
 		m.Work.Iter = p.Int()
 		m.Work.Phase = p.Int()
+		m.Work.W = 1 // pooled slot may carry a stale batch width
+		m.Work.X = p.Float64s(m.Work.X)
+		m.Work.Ranges = readRanges(p, m.Work.Ranges)
+	case wire.TypeWorkBatch:
+		m.Kind = KindWork
+		m.Work.Iter = p.Int()
+		m.Work.Phase = p.Int()
+		m.Work.W = readBatchWidth(p)
 		m.Work.X = p.Float64s(m.Work.X)
 		m.Work.Ranges = readRanges(p, m.Work.Ranges)
 	case wire.TypeResult:
@@ -498,6 +560,17 @@ func (c *wireConn) recv(m *Msg) error {
 		m.Result.Worker = p.Int()
 		m.Result.Partial = p.Uvarint() != 0
 		m.Result.ComputeNanos = int64(p.Uvarint())
+		m.Result.RowWidth = 1 // pooled slot may carry a stale batch width
+		m.Result.Ranges = readRanges(p, m.Result.Ranges)
+		m.Result.Values = p.Float64s(m.Result.Values)
+	case wire.TypeResultBatch:
+		m.Kind = KindResult
+		m.Result.Iter = p.Int()
+		m.Result.Phase = p.Int()
+		m.Result.Worker = p.Int()
+		m.Result.Partial = p.Uvarint() != 0
+		m.Result.ComputeNanos = int64(p.Uvarint())
+		m.Result.RowWidth = readBatchWidth(p)
 		m.Result.Ranges = readRanges(p, m.Result.Ranges)
 		m.Result.Values = p.Float64s(m.Result.Values)
 	case wire.TypePartitionStart:
@@ -526,6 +599,14 @@ func (c *wireConn) recv(m *Msg) error {
 		m.Kind = KindGFWork
 		m.GFWork.Iter = p.Int()
 		m.GFWork.Phase = p.Int()
+		m.GFWork.W = 1 // pooled slot may carry a stale batch width
+		m.GFWork.X = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFWork.X)))
+		m.GFWork.Ranges = readRanges(p, m.GFWork.Ranges)
+	case wire.TypeGFWorkBatch:
+		m.Kind = KindGFWork
+		m.GFWork.Iter = p.Int()
+		m.GFWork.Phase = p.Int()
+		m.GFWork.W = readBatchWidth(p)
 		m.GFWork.X = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFWork.X)))
 		m.GFWork.Ranges = readRanges(p, m.GFWork.Ranges)
 	case wire.TypeGFResult:
@@ -535,6 +616,17 @@ func (c *wireConn) recv(m *Msg) error {
 		m.GFResult.Worker = p.Int()
 		m.GFResult.Partial = p.Uvarint() != 0
 		m.GFResult.ComputeNanos = int64(p.Uvarint())
+		m.GFResult.RowWidth = 1 // pooled slot may carry a stale batch width
+		m.GFResult.Ranges = readRanges(p, m.GFResult.Ranges)
+		m.GFResult.Values = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFResult.Values)))
+	case wire.TypeGFResultBatch:
+		m.Kind = KindGFResult
+		m.GFResult.Iter = p.Int()
+		m.GFResult.Phase = p.Int()
+		m.GFResult.Worker = p.Int()
+		m.GFResult.Partial = p.Uvarint() != 0
+		m.GFResult.ComputeNanos = int64(p.Uvarint())
+		m.GFResult.RowWidth = readBatchWidth(p)
 		m.GFResult.Ranges = readRanges(p, m.GFResult.Ranges)
 		m.GFResult.Values = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFResult.Values)))
 	case wire.TypeGFPartitionStart:
@@ -572,6 +664,25 @@ func (c *wireConn) close() error {
 		}
 	})
 	return c.closeErr
+}
+
+// maxBatchWidth bounds the per-row width a batch frame may declare. Real
+// rounds batch a handful of x-vectors (DRAM-bandwidth amortization stops
+// paying long before this); the bound exists so a corrupt or hostile
+// width is rejected at decode, before any consistency arithmetic uses it.
+const maxBatchWidth = 4096
+
+// readBatchWidth decodes the width field of a batch frame. Batch frames
+// exist only for widths ≥ 2 (width-1 traffic uses the classic frames), so
+// anything else is malformed — rejected through the payload's sticky
+// error, like every other corrupt field.
+func readBatchWidth(p *wire.Payload) int {
+	w := p.Int()
+	if w < 2 || w > maxBatchWidth {
+		p.Reject()
+		return 0
+	}
+	return w
 }
 
 // writeRanges appends a count-prefixed list of [lo, hi) varint pairs.
@@ -713,11 +824,19 @@ func (c *gobConn) recv(m *Msg) error {
 			return fmt.Errorf("rpc: envelope missing work payload")
 		}
 		m.Work = *e.Work
+		// gob omits zero fields, so a single-x peer's Work decodes with
+		// W == 0; normalize to the single-x width like the wire transport.
+		if m.Work.W < 1 {
+			m.Work.W = 1
+		}
 	case KindResult:
 		if e.Result == nil {
 			return fmt.Errorf("rpc: envelope missing result payload")
 		}
 		m.Result = *e.Result
+		if m.Result.RowWidth < 1 {
+			m.Result.RowWidth = 1
+		}
 	case KindGFPartition:
 		if e.GFPartition == nil {
 			return fmt.Errorf("rpc: envelope missing GF partition payload")
@@ -728,11 +847,17 @@ func (c *gobConn) recv(m *Msg) error {
 			return fmt.Errorf("rpc: envelope missing GF work payload")
 		}
 		m.GFWork = *e.GFWork
+		if m.GFWork.W < 1 {
+			m.GFWork.W = 1
+		}
 	case KindGFResult:
 		if e.GFResult == nil {
 			return fmt.Errorf("rpc: envelope missing GF result payload")
 		}
 		m.GFResult = *e.GFResult
+		if m.GFResult.RowWidth < 1 {
+			m.GFResult.RowWidth = 1
+		}
 	case KindShutdown:
 	default:
 		return fmt.Errorf("rpc: envelope missing kind")

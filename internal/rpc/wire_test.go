@@ -576,7 +576,7 @@ func TestMasterWireRoundZeroAllocsSteadyState(t *testing.T) {
 	runRound := func() {
 		ws := &m.round
 		m.recycleRound(ws)
-		ws.begin(n, enc.BlockRows, k)
+		ws.begin(n, enc.BlockRows, k, 1)
 		// Send tasks: one work frame per active worker.
 		for w := 0; w < n; w++ {
 			ws.workMsg = Work{Iter: 0, Phase: 0, X: x, Ranges: assignment}

@@ -375,16 +375,11 @@ func (w *Worker) getGFResult() *GFResult {
 	return &GFResult{}
 }
 
-// matVecChunk sizes row chunks so each is ~16k flops of mat-vec work.
-func matVecChunk(cols int) int {
-	if cols < 1 {
-		cols = 1
-	}
-	chunk := 16 * 1024 / (2 * cols)
-	if chunk < 1 {
-		chunk = 1
-	}
-	return chunk
+// matVecChunk sizes row chunks for a width-w mat-vec sweep through the
+// active kernel backend's per-chunk flop target (each row costs 2·cols·w
+// flops), so vector backends get proportionally larger bands.
+func matVecChunk(cols, w int) int {
+	return kernel.ChunkRows(2 * cols * w)
 }
 
 // handleWork computes the assigned rows of this worker's partition into a
@@ -400,26 +395,41 @@ func (w *Worker) handleWork(job *Work) {
 	if part == nil {
 		return // partition not yet delivered; master will time us out
 	}
+	cols := part.Cols()
+	bw := job.W
+	if bw < 1 {
+		bw = 1
+	}
+	if len(job.X) != bw*cols {
+		return // corrupt assignment; master will time us out and reassign
+	}
 	start := time.Now()
 	res := w.getResult()
 	// Reset every scalar field: a pooled slot may carry Partial=true from
 	// a split send whose error path skipped the final flush.
 	res.Iter, res.Phase, res.Worker, res.Partial = job.Iter, job.Phase, 0, false
+	res.RowWidth = bw
 	res.Ranges = coding.AppendNormalizeRanges(res.Ranges[:0], job.Ranges)
 	total := coding.TotalRows(res.Ranges)
-	res.Values = kernel.Grow(res.Values, total)
-	cols := part.Cols()
+	res.Values = kernel.Grow(res.Values, total*bw)
 	at := 0
 	for _, r := range res.Ranges {
-		seg := res.Values[at : at+r.Len()]
+		seg := res.Values[at : at+r.Len()*bw]
 		lo := r.Lo
 		// Band-split the assigned rows on the worker's configured pool;
 		// on a one-core host (or MaxFan 1) this degenerates to the plain
-		// serial sweep.
-		w.cfg.Exec.For(r.Len(), matVecChunk(cols), func(clo, chi int) {
-			kernel.MatVecRange(seg[clo:chi], part.Data(), cols, job.X, lo+clo, lo+chi)
-		})
-		at += r.Len()
+		// serial sweep. Batched rounds run the fused multi-x kernel: one
+		// sweep of the band serves every lane.
+		if bw == 1 {
+			w.cfg.Exec.For(r.Len(), matVecChunk(cols, 1), func(clo, chi int) {
+				kernel.MatVecRange(seg[clo:chi], part.Data(), cols, job.X, lo+clo, lo+chi)
+			})
+		} else {
+			w.cfg.Exec.For(r.Len(), matVecChunk(cols, bw), func(clo, chi int) {
+				kernel.MatVecRangeBatch(seg[clo*bw:chi*bw], part.Data(), cols, job.X, bw, lo+clo, lo+chi)
+			})
+		}
+		at += r.Len() * bw
 	}
 	elapsed := time.Since(start)
 	res.ComputeNanos = int64(elapsed)
@@ -447,21 +457,35 @@ func (w *Worker) handleGFWork(job *GFWork) {
 	if part == nil {
 		return // partition not yet delivered; master will time us out
 	}
+	_, cols := part.Dims()
+	bw := job.W
+	if bw < 1 {
+		bw = 1
+	}
+	if len(job.X) != bw*cols {
+		return // corrupt assignment; master will time us out and reassign
+	}
 	start := time.Now()
 	res := w.getGFResult()
 	res.Iter, res.Phase, res.Worker, res.Partial = job.Iter, job.Phase, 0, false
+	res.RowWidth = bw
 	res.Ranges = coding.AppendNormalizeRanges(res.Ranges[:0], job.Ranges)
 	total := coding.TotalRows(res.Ranges)
-	res.Values = kernel.GrowSlice(res.Values, total)
-	_, cols := part.Dims()
+	res.Values = kernel.GrowSlice(res.Values, total*bw)
 	at := 0
 	for _, r := range res.Ranges {
-		seg := res.Values[at : at+r.Len()]
+		seg := res.Values[at : at+r.Len()*bw]
 		lo := r.Lo
-		w.cfg.Exec.For(r.Len(), matVecChunk(cols), func(clo, chi int) {
-			part.MulVecRangeInto(seg[clo:chi], job.X, lo+clo, lo+chi)
-		})
-		at += r.Len()
+		if bw == 1 {
+			w.cfg.Exec.For(r.Len(), matVecChunk(cols, 1), func(clo, chi int) {
+				part.MulVecRangeInto(seg[clo:chi], job.X, lo+clo, lo+chi)
+			})
+		} else {
+			w.cfg.Exec.For(r.Len(), matVecChunk(cols, bw), func(clo, chi int) {
+				part.MulVecBatchRangeInto(seg[clo*bw:chi*bw], job.X, bw, lo+clo, lo+chi)
+			})
+		}
+		at += r.Len() * bw
 	}
 	elapsed := time.Since(start)
 	res.ComputeNanos = int64(elapsed)
@@ -518,22 +542,40 @@ func splitResultRanges(ranges []coding.Range, total, maxRows int, scratch []codi
 	return seg, nil
 }
 
+// boundedRows is the per-message row cap for a width-wide result: the
+// configured MaxResultRows budget counts values, so batched rounds split
+// at maxRows/width rows (floored at 1 — a single row always ships whole,
+// matching the one-row-chunk escape of partition streaming).
+func boundedRows(maxRows, width int) int {
+	rows := maxRows / width
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
 // sendResultBounded sends res, splitting it into range-aligned segments
-// of at most cfg.MaxResultRows rows when necessary so result frames never
-// outgrow the receiver's frame limit.
+// of at most cfg.MaxResultRows values when necessary so result frames
+// never outgrow the receiver's frame limit. Segments of a batched result
+// carry whole rows — all RowWidth lanes of a row travel in one message.
 func (w *Worker) sendResultBounded(res *Result) error {
-	maxRows := w.cfg.MaxResultRows
+	wd := res.RowWidth
+	if wd < 1 {
+		wd = 1
+	}
+	maxRows := boundedRows(w.cfg.MaxResultRows, wd)
 	total := coding.TotalRows(res.Ranges)
 	if total <= maxRows {
 		return w.c.sendResult(res)
 	}
 	sub := w.getResult()
 	sub.Iter, sub.Phase, sub.Worker, sub.ComputeNanos = res.Iter, res.Phase, res.Worker, res.ComputeNanos
+	sub.RowWidth = wd
 	scratch, err := splitResultRanges(res.Ranges, total, maxRows, sub.Ranges[:0],
 		func(seg []coding.Range, at, rows int, last bool) error {
 			sub.Ranges = seg
 			sub.Partial = !last
-			sub.Values = res.Values[at : at+rows]
+			sub.Values = res.Values[at*wd : (at+rows)*wd]
 			return w.c.sendResult(sub)
 		})
 	sub.Ranges = scratch
@@ -547,18 +589,23 @@ func (w *Worker) sendResultBounded(res *Result) error {
 // sendGFResultBounded is sendResultBounded for the exact path — the same
 // segmentation via splitResultRanges, emitting GF result frames.
 func (w *Worker) sendGFResultBounded(res *GFResult) error {
-	maxRows := w.cfg.MaxResultRows
+	wd := res.RowWidth
+	if wd < 1 {
+		wd = 1
+	}
+	maxRows := boundedRows(w.cfg.MaxResultRows, wd)
 	total := coding.TotalRows(res.Ranges)
 	if total <= maxRows {
 		return w.c.sendGFResult(res)
 	}
 	sub := w.getGFResult()
 	sub.Iter, sub.Phase, sub.Worker, sub.ComputeNanos = res.Iter, res.Phase, res.Worker, res.ComputeNanos
+	sub.RowWidth = wd
 	scratch, err := splitResultRanges(res.Ranges, total, maxRows, sub.Ranges[:0],
 		func(seg []coding.Range, at, rows int, last bool) error {
 			sub.Ranges = seg
 			sub.Partial = !last
-			sub.Values = res.Values[at : at+rows]
+			sub.Values = res.Values[at*wd : (at+rows)*wd]
 			return w.c.sendGFResult(sub)
 		})
 	sub.Ranges = scratch

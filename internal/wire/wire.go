@@ -89,6 +89,10 @@ const (
 	TypeGFResult                         // worker → master: computed field-element rows
 	TypeGFPartitionStart                 // master → worker: begin streamed GF partition
 	TypeGFPartitionChunk                 // master → worker: one row band of field elements
+	TypeWorkBatch                        // master → worker: row assignment over w x-vectors
+	TypeResultBatch                      // worker → master: computed rows, w values per row
+	TypeGFWorkBatch                      // master → worker: field-element batch assignment
+	TypeGFResultBatch                    // worker → master: field-element rows, w values per row
 )
 
 // DefaultMaxFrame bounds accepted frame bodies. Partitions are streamed in
