@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build test test-noasm race lint vet-tool fmt bench-smoke ci
+
+all: lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-noasm:
+	$(GO) build -tags noasm ./...
+	$(GO) test -tags noasm ./...
+
+race:
+	$(GO) test -race ./...
+	S2C2_KERNEL_BACKEND=generic $(GO) test -race ./internal/kernel ./internal/wire
+
+# lint mirrors the CI static-analysis job: gofmt, go vet, then the
+# repo's own invariant suite both standalone (the authority — full
+# module view) and through the go vet -vettool protocol.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build -o ./s2c2-vet ./cmd/s2c2-vet
+	./s2c2-vet ./...
+	$(GO) vet -vettool=$$(pwd)/s2c2-vet ./...
+
+# vet-tool just builds the invariant checker binary.
+vet-tool:
+	$(GO) build -o ./s2c2-vet ./cmd/s2c2-vet
+
+fmt:
+	gofmt -w .
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+ci: lint test test-noasm race bench-smoke

@@ -1,0 +1,234 @@
+// Command s2c2-vet runs the s2c2 invariant suite (internal/analysis):
+// noalloc, payloadescape, backendpair, partitionerr.
+//
+// Standalone (the form CI runs — full module view, cross-package walks,
+// tag-reload parity checks):
+//
+//	s2c2-vet ./...
+//	s2c2-vet -tags noasm -analyzers noalloc,backendpair ./internal/kernel
+//
+// As a go vet tool (per-package units; module-scoped checks self-skip):
+//
+//	go vet -vettool=$(command -v s2c2-vet) ./...
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/coded-computing/s2c2/internal/analysis"
+)
+
+func main() {
+	// go vet drives vettools through a tiny protocol: -V=full for the
+	// cache key, -flags for tool flags, then one run per package with a
+	// JSON config file as the sole argument.
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// cmd/go rejects "version devel" without a buildID; a concrete
+			// version string keys the vet cache acceptably for a tool whose
+			// binary CI rebuilds on every run.
+			fmt.Printf("%s version v0.1.0\n", filepath.Base(os.Args[0]))
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitMode(os.Args[1]))
+	}
+	os.Exit(standalone())
+}
+
+// standalone loads the module from source and runs the full suite,
+// including module-scoped checks.
+func standalone() int {
+	fs := flag.NewFlagSet("s2c2-vet", flag.ExitOnError)
+	tags := fs.String("tags", "", "comma-separated build tags")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	noTests := fs.Bool("notests", false, "exclude _test.go files from the load")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: s2c2-vet [-tags t1,t2] [-analyzers a1,a2] [packages]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+
+	loader, err := analysis.NewLoader(".", tagList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s2c2-vet: %v\n", err)
+		return 1
+	}
+	loader.IncludeTests = !*noTests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s2c2-vet: %v\n", err)
+		return 1
+	}
+
+	analyzers := analysis.All()
+	if *names != "" {
+		analyzers = analysis.ByName(strings.Split(*names, ",")...)
+		if len(analyzers) == 0 {
+			fmt.Fprintf(os.Stderr, "s2c2-vet: no analyzers match %q\n", *names)
+			return 1
+		}
+	}
+
+	diags := analysis.RunLoaded(loader, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "s2c2-vet: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the JSON cmd/go hands a vettool for each package unit.
+// Field names must match cmd/go/internal/work's vetConfig.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitMode analyzes one package unit the way go vet presents it: sources
+// listed in the config, dependencies resolved through compiler export
+// data. Only per-package analyzer forms run here.
+func unitMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s2c2-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "s2c2-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// go vet requires the facts file to exist even though this suite
+	// exchanges no facts between units.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "s2c2-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	testFiles := make(map[*ast.File]bool)
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "s2c2-vet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles[f] = true
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Imports resolve through the export data cmd/go already built:
+	// source path -> canonical path (ImportMap) -> archive (PackageFile).
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := &types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		Error:     func(error) {}, // collect via the returned error only
+	}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "s2c2-vet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		Path:      cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: testFiles,
+	}
+	diags := analysis.RunUnit(fset, pkg, analysis.All())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,250 @@
+// Package analysis is a self-contained go/analysis-style framework plus
+// the s2c2 invariant analyzers built on it. The repo's hot-path contracts
+// — 0-alloc steady-state rounds, frame-scoped wire.Payload cursors, the
+// generic↔avx2 backend pairing, *PartitionError attribution — are enforced
+// here mechanically instead of by reviewer vigilance.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built entirely on the standard library: packages are
+// parsed with go/parser and type-checked with go/types against an offline
+// source importer, so the suite runs with zero third-party dependencies.
+// cmd/s2c2-vet is the multichecker binary; it also speaks the go vet
+// -vettool unit-checker protocol.
+//
+// Analyzers are directed by source annotations:
+//
+//	//s2c2:noalloc           function must not allocate in steady state
+//	//s2c2:noalloc-waive     waive a noalloc finding (line or function)
+//	//s2c2:frame-scoped      type whose values die at the next frame/recv
+//	//s2c2:recycler          call returns its receiver/argument to a pool
+//	//s2c2:backend-contract  struct whose func fields are the kernel ABI
+//	//s2c2:partition-attrib  errors leaving here carry worker attribution
+//	//s2c2:waive <analyzer>  waive any analyzer's finding on a line or decl
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker. Run inspects a single package;
+// RunModule (optional) additionally sees every package of the load at
+// once, which is what the call-graph and cross-backend checks need.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run analyzes one package. Nil when the analyzer is module-scoped
+	// only.
+	Run func(pass *Pass)
+
+	// RunModule analyzes the whole loaded package set (call graphs,
+	// cross-package and cross-build-tag checks). Nil for per-package
+	// analyzers.
+	RunModule func(pass *ModulePass)
+}
+
+// A Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// A ModulePass carries the whole package load through a module-scoped
+// analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	// LoadTags reloads the given import path under a different build-tag
+	// set (sharing the pass fileset), for cross-build-configuration checks
+	// such as backendpair's noasm API parity. Nil when the driver cannot
+	// reload (unit-checker mode).
+	LoadTags func(path string, tags []string) (*Package, error)
+
+	report func(Diagnostic)
+}
+
+// A Package is one loaded, type-checked package: syntax plus type info.
+// Test files of the package (package foo _test.go files) are included in
+// Files when the loader was asked for them; external test packages
+// (package foo_test) load as their own Package with ForTest set.
+type Package struct {
+	Path    string // import path ("github.com/.../internal/kernel")
+	Name    string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	ForTest string // non-empty on an external test package: the path under test
+
+	// TestFiles marks which entries of Files are _test.go files.
+	TestFiles map[*ast.File]bool
+}
+
+// A Diagnostic is one finding, reported at a position with the owning
+// analyzer's name.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos. Findings waived by a //s2c2: waive
+// comment are dropped by the driver, not here, so tests can assert on the
+// waive machinery itself.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Reportf is ModulePass's finding hook.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+
+// annotationPrefix introduces every machine-readable marker this suite
+// understands. Markers are ordinary line comments: "//s2c2:noalloc".
+const annotationPrefix = "//s2c2:"
+
+// hasAnnotation reports whether any comment group in doc carries the given
+// marker (exact word match after the prefix: "noalloc" does not match
+// "noalloc-waive").
+func hasAnnotation(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, annotationPrefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(text, annotationPrefix)
+		fields := strings.Fields(rest)
+		if len(fields) > 0 && fields[0] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// funcAnnotated reports whether fn's doc comment carries the marker.
+func funcAnnotated(fn *ast.FuncDecl, name string) bool {
+	return hasAnnotation(fn.Doc, name)
+}
+
+// typeAnnotated reports whether the type declaration's doc comment (on the
+// TypeSpec or its enclosing GenDecl) carries the marker.
+func typeAnnotated(gd *ast.GenDecl, ts *ast.TypeSpec, name string) bool {
+	return hasAnnotation(ts.Doc, name) || hasAnnotation(gd.Doc, name)
+}
+
+// ---------------------------------------------------------------------------
+// Waives
+
+// waiveSet records, per file line, which analyzers are waived there. A
+// waive comment covers its own line and the line below it, so it works
+// both trailing a statement and on the line above one.
+// "//s2c2:noalloc-waive" is shorthand for "//s2c2:waive noalloc";
+// "//s2c2:waive foo bar" waives two analyzers at once.
+type waiveSet map[string]map[int][]string
+
+// collectWaives scans every comment of every file for waive markers.
+func collectWaives(fset *token.FileSet, pkgs []*Package) waiveSet {
+	ws := make(waiveSet)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := waiveNames(c.Text)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					m := ws[pos.Filename]
+					if m == nil {
+						m = make(map[int][]string)
+						ws[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], names...)
+					m[pos.Line+1] = append(m[pos.Line+1], names...)
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// waiveNames parses one comment's waive marker, returning the waived
+// analyzer names.
+func waiveNames(text string) ([]string, bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, annotationPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, annotationPrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	switch {
+	case fields[0] == "waive" && len(fields) > 1:
+		return fields[1:], true
+	case strings.HasSuffix(fields[0], "-waive"):
+		return []string{strings.TrimSuffix(fields[0], "-waive")}, true
+	}
+	return nil, false
+}
+
+// waived reports whether the diagnostic's analyzer is waived at its line.
+func (ws waiveSet) waived(d Diagnostic) bool {
+	return ws.waivedAt(d.Pos, d.Analyzer)
+}
+
+// waivedAt reports whether analyzer name is waived at the source position.
+func (ws waiveSet) waivedAt(pos token.Position, name string) bool {
+	for _, n := range ws[pos.Filename][pos.Line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// BackendPair enforces the kernel backend contract around a struct
+// annotated //s2c2:backend-contract (kernel.backendImpl): its function
+// fields are the dispatched micro-kernel ABI, and every backend is one
+// composite literal of it.
+//
+// Checks, per package containing an annotated contract struct:
+//
+//  1. Literal parity — every composite literal of the contract type must
+//     assign every function-typed field, in keyed form. "Added a kernel
+//     field, forgot to wire one backend" becomes a vet failure instead of
+//     a nil-func panic at dispatch.
+//  2. Assembly wiring — every bodyless (assembly-backed) function in the
+//     package must be statically reachable from a function assigned to a
+//     contract field: an asm kernel that no backend routes to is dead
+//     weight or, worse, a kernel whose generic twin was never written.
+//  3. Equivalence coverage — every contract field must be reachable from
+//     at least one Test* or Fuzz* function in the package's tests (via
+//     same-package static calls): each dispatched kernel keeps a
+//     cross-backend equivalence or fuzz test.
+//  4. noasm API parity — reloading the package under the noasm build tag
+//     must not change its exported package-level API or the exported
+//     method sets of exported types, so -tags noasm builds keep the
+//     determinism contract rather than silently shedding symbols.
+//
+// Check 4 needs a tag-reloading driver and self-skips under go vet
+// -vettool; check 3 self-skips when the load carried no test files.
+var BackendPair = &Analyzer{
+	Name:      "backendpair",
+	Doc:       "generic and vector kernel backends must stay method-for-method twins",
+	RunModule: runBackendPairModule,
+	Run:       runBackendPairUnit,
+}
+
+func runBackendPairModule(pass *ModulePass) {
+	for _, pkg := range pass.Pkgs {
+		checkBackendPackage(pass.Reportf, pass.Fset, pkg, pass.LoadTags)
+	}
+}
+
+func runBackendPairUnit(pass *Pass) {
+	checkBackendPackage(pass.Reportf, pass.Fset, pass.Pkg, nil)
+}
+
+func checkBackendPackage(report func(pos token.Pos, format string, args ...any), fset *token.FileSet, pkg *Package,
+	loadTags func(path string, tags []string) (*Package, error)) {
+
+	contract := findContract(pkg)
+	if contract == nil {
+		return
+	}
+	st, ok := contract.typ.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	var funcFields []string
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := st.Field(i).Type().Underlying().(*types.Signature); ok {
+			funcFields = append(funcFields, st.Field(i).Name())
+		}
+	}
+
+	fieldFuncs := checkLiterals(report, pkg, contract, funcFields)
+	checkAsmWiring(report, pkg, fieldFuncs)
+	checkTestCoverage(report, pkg, contract, funcFields)
+	checkNoasmParity(report, fset, pkg, loadTags)
+}
+
+// contractType is a //s2c2:backend-contract struct found in a package.
+type contractType struct {
+	name string
+	typ  types.Type
+	pos  token.Pos
+}
+
+func findContract(pkg *Package) *contractType {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !typeAnnotated(gd, ts, "backend-contract") {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					return &contractType{name: ts.Name.Name, typ: obj.Type(), pos: ts.Pos()}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkLiterals enforces keyed, fully-populated contract literals and
+// returns the set of package functions assigned to contract fields.
+func checkLiterals(report func(pos token.Pos, format string, args ...any), pkg *Package,
+	contract *contractType, funcFields []string) map[*types.Func]bool {
+
+	fieldFuncs := make(map[*types.Func]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.Types[lit].Type
+			if t == nil || !types.Identical(types.Unalias(t), contract.typ) {
+				return true
+			}
+			assigned := make(map[string]bool)
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					report(elt.Pos(), "%s literal must use keyed fields", contract.name)
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				assigned[key.Name] = true
+				if fn := funcValueOf(pkg.Info, kv.Value); fn != nil {
+					fieldFuncs[fn] = true
+				}
+			}
+			for _, field := range funcFields {
+				if !assigned[field] {
+					report(lit.Pos(), "%s literal does not assign kernel field %q: backend would dispatch a nil kernel", contract.name, field)
+				}
+			}
+			return true
+		})
+	}
+	return fieldFuncs
+}
+
+// funcValueOf resolves an expression assigned to a contract field to the
+// package function it names.
+func funcValueOf(info *types.Info, e ast.Expr) *types.Func {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// checkAsmWiring flags assembly stubs not reachable from any contract
+// field's function.
+func checkAsmWiring(report func(pos token.Pos, format string, args ...any), pkg *Package,
+	fieldFuncs map[*types.Func]bool) {
+
+	idx := buildIndex([]*Package{pkg})
+	reachable := make(map[*types.Func]bool)
+	var mark func(fn *types.Func)
+	mark = func(fn *types.Func) {
+		if reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		decl, _ := idx.lookup(fn)
+		if decl == nil || decl.Body == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := staticCallee(pkg.Info, call); callee != nil {
+					mark(callee)
+				}
+			}
+			return true
+		})
+	}
+	for fn := range fieldFuncs {
+		mark(fn)
+	}
+
+	for _, f := range pkg.Files {
+		if pkg.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body != nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok && !reachable[obj] {
+				report(fn.Pos(), "assembly kernel %s is not reachable from any backend contract field", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// checkTestCoverage flags contract fields no Test*/Fuzz* function
+// exercises (transitively, through same-package static calls).
+func checkTestCoverage(report func(pos token.Pos, format string, args ...any), pkg *Package,
+	contract *contractType, funcFields []string) {
+
+	hasTests := false
+	for f := range pkg.TestFiles {
+		if pkg.TestFiles[f] {
+			hasTests = true
+			break
+		}
+	}
+	if !hasTests {
+		return // load carried no test files (vettool non-test unit): self-skip
+	}
+
+	idx := buildIndex([]*Package{pkg})
+	// fieldsUsed(fn) = contract fields whose selector appears in fn's body.
+	covered := make(map[string]bool)
+	var walk func(fn *types.Func, seen map[*types.Func]bool)
+	walk = func(fn *types.Func, seen map[*types.Func]bool) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		decl, _ := idx.lookup(fn)
+		if decl == nil || decl.Body == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() == types.FieldVal &&
+					types.Identical(types.Unalias(derefType(sel.Recv())), contract.typ) {
+					covered[n.Sel.Name] = true
+				}
+			case *ast.CallExpr:
+				if callee := staticCallee(pkg.Info, n); callee != nil {
+					walk(callee, seen)
+				}
+			}
+			return true
+		})
+	}
+
+	seen := make(map[*types.Func]bool)
+	for _, f := range pkg.Files {
+		if !pkg.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil {
+				continue
+			}
+			if strings.HasPrefix(fn.Name.Name, "Test") || strings.HasPrefix(fn.Name.Name, "Fuzz") {
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					walk(obj, seen)
+				}
+			}
+		}
+	}
+
+	for _, field := range funcFields {
+		if !covered[field] {
+			report(contract.pos, "kernel field %q has no cross-backend equivalence or fuzz test exercising it", field)
+		}
+	}
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// checkNoasmParity reloads the package under -tags noasm and diffs the
+// exported API. The primary load may carry _test.go symbols the reload
+// lacks; those are excluded from the diff via their declaring file.
+func checkNoasmParity(report func(pos token.Pos, format string, args ...any), fset *token.FileSet, pkg *Package,
+	loadTags func(path string, tags []string) (*Package, error)) {
+
+	if loadTags == nil {
+		return // unit-checker mode cannot reload build configurations
+	}
+	noasm, err := loadTags(pkg.Path, []string{"noasm"})
+	if err != nil || noasm == nil {
+		report(token.NoPos, "reloading %s under -tags noasm failed: %v", pkg.Path, err)
+		return
+	}
+	inTestFile := func(obj types.Object) bool {
+		return strings.HasSuffix(fset.Position(obj.Pos()).Filename, "_test.go")
+	}
+	base := exportedAPI(pkg.Types, inTestFile)
+	alt := exportedAPI(noasm.Types, inTestFile)
+	var missing, extra []string
+	for sym := range base {
+		if !alt[sym] {
+			missing = append(missing, sym)
+		}
+	}
+	for sym := range alt {
+		if !base[sym] {
+			extra = append(extra, sym)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	for _, sym := range missing {
+		report(pkg.Files[0].Pos(), "exported symbol %s vanishes under -tags noasm", sym)
+	}
+	for _, sym := range extra {
+		report(pkg.Files[0].Pos(), "exported symbol %s exists only under -tags noasm", sym)
+	}
+}
+
+// exportedAPI lists a package's exported package-level symbols and the
+// exported methods of its exported named types, as stable strings.
+// Objects for which skip returns true (test-file declarations) are left
+// out.
+func exportedAPI(pkg *types.Package, skip func(types.Object) bool) map[string]bool {
+	api := make(map[string]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() || skip(obj) {
+			continue
+		}
+		api[name] = true
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(tn.Type()).(*types.Named)
+		if !ok {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Exported() && !skip(m) {
+				api[fmt.Sprintf("%s.%s", name, m.Name())] = true
+			}
+		}
+	}
+	return api
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import "go/token"
+
+// The driver runs a set of analyzers over a loaded package set, applies
+// waive comments, and returns the surviving findings sorted by position.
+// It is shared by cmd/s2c2-vet and the analysistest-style fixture suites.
+
+// All is the full s2c2 invariant suite in the order findings are listed.
+func All() []*Analyzer {
+	return []*Analyzer{NoAlloc, PayloadEscape, BackendPair, PartitionErr}
+}
+
+// ByName returns the named analyzers from the full suite.
+func ByName(names ...string) []*Analyzer {
+	var out []*Analyzer
+	for _, name := range names {
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over pkgs. Module-scoped analyzers see the
+// whole set once; per-package analyzers run on every package. loadTags,
+// when non-nil, lets module analyzers reload a package under different
+// build tags (nil in unit-checker mode, where those checks self-skip).
+// Findings waived in source are dropped; the rest come back sorted.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer,
+	loadTags func(path string, tags []string) (*Package, error)) []Diagnostic {
+
+	RegisterFrameScoped(pkgs)
+	RegisterRecyclers(pkgs)
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	for _, a := range analyzers {
+		switch {
+		case a.RunModule != nil:
+			a.RunModule(&ModulePass{
+				Analyzer: a, Fset: fset, Pkgs: pkgs,
+				LoadTags: loadTags, report: report,
+			})
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, report: report})
+			}
+		}
+	}
+
+	waives := collectWaives(fset, pkgs)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !waives.waived(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return kept
+}
+
+// RunUnit executes only the per-package form of each analyzer over a
+// single package — the go vet -vettool unit-checker mode, where other
+// packages' syntax is unavailable. Module-scoped checks (cross-package
+// noalloc walks, backendpair's noasm parity) self-skip; the standalone
+// multichecker remains the authority in CI.
+func RunUnit(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	pkgs := []*Package{pkg}
+	RegisterFrameScoped(pkgs)
+	RegisterRecyclers(pkgs)
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.Run != nil {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, report: report})
+		}
+	}
+
+	waives := collectWaives(fset, pkgs)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !waives.waived(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return kept
+}
+
+// RunLoaded is Run wired to a Loader: tag reloads share the loader's
+// module root and fixture roots (but use a fresh fileset-compatible
+// sub-loader so the alternate build configuration cannot leak into the
+// primary load's caches).
+func RunLoaded(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	loadTags := func(path string, tags []string) (*Package, error) {
+		sub := newLoaderAt(l.ModDir, l.ModPath, tags)
+		sub.ExtraRoots = l.ExtraRoots
+		sub.Fset = l.Fset // one fileset, so reloaded positions report correctly
+		got, err := sub.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) == 0 {
+			return nil, nil
+		}
+		return got[0], nil
+	}
+	return Run(l.Fset, pkgs, analyzers, loadTags)
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture suites load deliberate-violation packages from the mini
+// module under testdata/src and diff the suite's findings against
+// `// want` comments, analysistest-style: each want carries one or more
+// regexps (backquoted or double-quoted) that must match a finding
+// reported on that line; any unmatched want or unexpected finding fails.
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	re  *regexp.Regexp
+	met bool
+}
+
+func runFixture(t *testing.T, analyzers []*Analyzer, patterns ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.IncludeTests = true
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded for %v", patterns)
+	}
+	diags := RunLoaded(l, pkgs, analyzers)
+
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					i := strings.Index(c.Text, "want ")
+					if i < 0 {
+						continue
+					}
+					pos := l.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text[i+len("want "):], -1) {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %v declares no want comments", patterns)
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, e := range wants[key] {
+			if !e.met && e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for key, es := range wants {
+		for _, e := range es {
+			if !e.met {
+				t.Errorf("%s: no finding matched want %q", key, e.re)
+			}
+		}
+	}
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	runFixture(t, ByName("noalloc"), "./noalloc")
+}
+
+func TestPayloadEscapeFixture(t *testing.T) {
+	runFixture(t, ByName("payloadescape"), "./wire", "./payloadescape")
+}
+
+func TestBackendPairFixture(t *testing.T) {
+	runFixture(t, ByName("backendpair"), "./kernel")
+}
+
+func TestNoasmParityFixture(t *testing.T) {
+	runFixture(t, ByName("backendpair"), "./noasmbreak")
+}
+
+func TestPartitionErrFixture(t *testing.T) {
+	runFixture(t, ByName("partitionerr"), "./partitionerr")
+}
+
+// TestModuleClean is the self-scan gate: the full suite over the real
+// module must report nothing — every real finding is either fixed or
+// carries an audited waive.
+func TestModuleClean(t *testing.T) {
+	l, err := NewLoader(".", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.IncludeTests = true
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunLoaded(l, pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PartitionErr enforces the failure-attribution contract of the
+// distribute/stream paths.
+//
+// Rule 1 — attribution: inside a function annotated
+// //s2c2:partition-attrib, a returned error must carry attribution. A
+// fresh, unwrapped error — errors.New(...), or fmt.Errorf whose format
+// has no %w verb — erases which worker/partition failed, which is
+// exactly what PartitionError exists to preserve. Wrapping constructs
+// (fmt.Errorf with %w, errors.Join, &PartitionError{...}, or
+// propagating an existing error value) all pass.
+//
+// Rule 2 — context plumbing: a function that takes a context.Context
+// must not call anything with context.Background() or context.TODO() as
+// an argument. Minting a fresh root context below an entry point detaches
+// the call from the caller's deadline and cancellation; the straggler
+// cutoff stops propagating. Root entry points without a ctx parameter
+// (RunRound) are free to mint one.
+var PartitionErr = &Analyzer{
+	Name: "partitionerr",
+	Doc:  "distribute/stream errors must stay attributed; ctx must be propagated, not re-minted",
+	Run:  runPartitionErr,
+}
+
+func runPartitionErr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if funcAnnotated(fn, "partition-attrib") {
+				checkAttribution(pass, fn)
+			}
+			checkCtxPropagation(pass, fn)
+		}
+	}
+}
+
+// checkAttribution flags fresh unattributed errors returned from a
+// //s2c2:partition-attrib function.
+func checkAttribution(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if !isErrorType(info.Types[res].Type) {
+				continue
+			}
+			if msg := freshUnattributedError(info, res); msg != "" {
+				pass.Reportf(res.Pos(), "%s returns an unattributed error (%s); wrap the failing partition via %%w or *PartitionError", fn.Name.Name, msg)
+			}
+		}
+		return true
+	})
+}
+
+// freshUnattributedError reports (as a non-empty description) whether e
+// mints a brand-new error that wraps nothing: errors.New, or fmt.Errorf
+// with no %w verb. Everything else — propagated values, errors.Join,
+// wrapping Errorf, custom error structs — is considered attributed.
+func freshUnattributedError(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	callee := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case callee.Pkg().Path() == "errors" && callee.Name() == "New":
+		return "errors.New"
+	case callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return ""
+		}
+		format, ok := stringLiteral(info, call.Args[0])
+		if !ok {
+			return "" // dynamic format string: give it the benefit of the doubt
+		}
+		if !strings.Contains(format, "%w") {
+			return "fmt.Errorf without %w"
+		}
+	}
+	return ""
+}
+
+// stringLiteral resolves e to its compile-time string value, if it has one.
+func stringLiteral(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if s := tv.Value.ExactString(); len(s) >= 2 && s[0] == '"' {
+		return s, true // quoted constant string; %w survives quoting untouched
+	}
+	return "", false
+}
+
+// checkCtxPropagation flags context.Background()/context.TODO() used as
+// call arguments inside a function that already has a ctx parameter.
+func checkCtxPropagation(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	if !hasCtxParam(info, fn) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n, ok := n.(*ast.FuncLit); ok {
+			_ = n
+			return false // a closure may legitimately be a new root (goroutine body)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			callee := staticCallee(info, inner)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+				continue
+			}
+			if callee.Name() == "Background" || callee.Name() == "TODO" {
+				pass.Reportf(arg.Pos(), "%s has a context parameter but passes context.%s(); propagate the caller's ctx", fn.Name.Name, callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether fn declares a context.Context parameter.
+func hasCtxParam(info *types.Info, fn *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if named, ok := types.Unalias(params.At(i).Type()).(*types.Named); ok {
+			o := named.Obj()
+			if o.Pkg() != nil && o.Pkg().Path() == "context" && o.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PayloadEscape enforces the frame-scope contract of decode cursors and
+// pooled slots.
+//
+// A type annotated //s2c2:frame-scoped (wire.Payload: the cursor returned
+// by Reader.Next is valid only until the next Next) must not outlive its
+// frame. Outside the declaring package, a value of such a type (or a
+// pointer to one) must not be:
+//
+//   - stored in a struct field, slice, array or map element,
+//   - placed in a composite literal,
+//   - sent on a channel, or
+//   - captured by a goroutine (go statement closure or argument).
+//
+// Pooled slots have the complementary temporal rule: after a call to a
+// function annotated //s2c2:recycler returns its argument (or receiver)
+// to a pool, later statements of the same function must not touch that
+// variable again — use-after-recycle is how stale Result aliases leak
+// into the next round. Reassigning the variable re-arms it.
+var PayloadEscape = &Analyzer{
+	Name: "payloadescape",
+	Doc:  "frame-scoped values must not outlive their frame; recycled pooled slots must not be reused",
+	Run:  runPayloadEscape,
+}
+
+func runPayloadEscape(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFrameScoped(pass, fn)
+			checkUseAfterRecycle(pass, info, fn)
+		}
+	}
+}
+
+// checkFrameScoped flags stores that let a frame-scoped value outlive its
+// frame.
+func checkFrameScoped(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	frameScoped := func(e ast.Expr) (types.Type, bool) {
+		t := info.Types[e].Type
+		if t == nil {
+			return nil, false
+		}
+		if isFrameScoped(t, pass.Pkg.Types) {
+			return t, true
+		}
+		return nil, false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // n-to-1 assignments carry no frame-scoped RHS of interest
+				}
+				t, ok := frameScoped(n.Rhs[i])
+				if !ok {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[target]; ok && sel.Kind() == types.FieldVal {
+						pass.Reportf(n.Pos(), "frame-scoped %s stored in struct field %s outlives its frame", t, sel.Obj().Name())
+					}
+				case *ast.IndexExpr:
+					pass.Reportf(n.Pos(), "frame-scoped %s stored in a container element outlives its frame", t)
+				}
+			}
+		case *ast.SendStmt:
+			if t, ok := frameScoped(n.Value); ok {
+				pass.Reportf(n.Pos(), "frame-scoped %s sent on a channel outlives its frame", t)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if t, ok := frameScoped(v); ok {
+					pass.Reportf(v.Pos(), "frame-scoped %s placed in a composite literal outlives its frame", t)
+				}
+			}
+		case *ast.GoStmt:
+			checkGoCapture(pass, n)
+			return false
+		}
+		return true
+	})
+}
+
+// checkGoCapture flags frame-scoped values handed to a goroutine, either
+// as call arguments or as free variables of the launched closure.
+func checkGoCapture(pass *Pass, g *ast.GoStmt) {
+	info := pass.Pkg.Info
+	for _, arg := range g.Call.Args {
+		if t := info.Types[arg].Type; t != nil && isFrameScoped(t, pass.Pkg.Types) {
+			pass.Reportf(arg.Pos(), "frame-scoped %s passed to a goroutine may outlive its frame", t)
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// A free variable of the closure: used inside, declared outside.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the closure (or a parameter)
+		}
+		if isFrameScoped(obj.Type(), pass.Pkg.Types) {
+			pass.Reportf(id.Pos(), "goroutine captures frame-scoped %s; it may outlive its frame", obj.Type())
+		}
+		return true
+	})
+}
+
+// isFrameScoped reports whether t (or the type it points to) is annotated
+// //s2c2:frame-scoped and declared outside current — the declaring
+// package may manage its own cursors.
+func isFrameScoped(t types.Type, current *types.Package) bool {
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg() == current {
+		return false
+	}
+	return frameScopedTypes[typeKey{obj.Pkg().Path(), obj.Name()}]
+}
+
+// typeKey identifies a named type across the load.
+type typeKey struct{ pkg, name string }
+
+// frameScopedTypes caches //s2c2:frame-scoped discovery. It is filled by
+// the driver before analyzers run (RegisterFrameScoped) — annotation
+// discovery needs syntax, but consumers of an annotated type may be
+// type-checked against its API only, so wire.Payload is seeded
+// unconditionally for go vet -vettool units that analyze rpc alone.
+var frameScopedTypes = map[typeKey]bool{
+	{"github.com/coded-computing/s2c2/internal/wire", "Payload"}: true,
+}
+
+// RegisterFrameScoped scans pkgs for //s2c2:frame-scoped type annotations
+// and records them for isFrameScoped. The wire package's Payload is also
+// seeded unconditionally: its consumers (rpc) typically load wire
+// API-only, where comments are unavailable.
+func RegisterFrameScoped(pkgs []*Package) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if typeAnnotated(gd, ts, "frame-scoped") {
+						frameScopedTypes[typeKey{pkg.Path, ts.Name.Name}] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Use-after-recycle
+
+// recycleMark records where a variable was recycled and the end of the
+// innermost block containing the recycle call. A later use is only a
+// violation while control is still inside that block: a recycle in a
+// guard branch that exits (`if stale { pool.Put(r); continue }`) does
+// not poison uses on the fall-through path.
+type recycleMark struct {
+	pos      token.Pos
+	blockEnd token.Pos
+}
+
+// checkUseAfterRecycle flags statement-ordered uses of a variable after a
+// //s2c2:recycler call returned it to its pool.
+func checkUseAfterRecycle(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
+	recycled := make(map[*types.Var]recycleMark)
+	dead := func(v *types.Var, at token.Pos) bool {
+		m, ok := recycled[v]
+		return ok && at < m.blockEnd
+	}
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false // defer runs at exit; not a source-order recycle
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := varOf(info, lhs); v != nil {
+					delete(recycled, v) // reassignment re-arms the slot
+				}
+			}
+		case *ast.CallExpr:
+			if v := recycledVar(info, n); v != nil {
+				// Arguments are evaluated before the call recycles; check
+				// them first, then mark.
+				for _, arg := range n.Args {
+					checkRecycledUse(pass, info, arg, recycled, dead)
+				}
+				recycled[v] = recycleMark{pos: n.Pos(), blockEnd: scopeEnd(stack, fn)}
+				return false
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && dead(v, n.Pos()) {
+				pass.Reportf(n.Pos(), "%s used after being recycled to its pool", n.Name)
+				delete(recycled, v) // one report per recycle
+			}
+		}
+		return true
+	})
+}
+
+// scopeEnd returns the End of the innermost block-like node on the
+// stack — the region within which a recycle mark stays live.
+func scopeEnd(stack []ast.Node, fn *ast.FuncDecl) token.Pos {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			return n.End()
+		case *ast.CaseClause:
+			return n.End()
+		case *ast.CommClause:
+			return n.End()
+		}
+	}
+	return fn.Body.End()
+}
+
+func checkRecycledUse(pass *Pass, info *types.Info, e ast.Expr,
+	recycled map[*types.Var]recycleMark, dead func(*types.Var, token.Pos) bool) {
+
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && dead(v, id.Pos()) {
+				pass.Reportf(id.Pos(), "%s used after being recycled to its pool", id.Name)
+				delete(recycled, v)
+			}
+		}
+		return true
+	})
+}
+
+// recycledVar returns the local variable a call recycles: the first
+// variable argument of a //s2c2:recycler function (m.putResult(r)
+// recycles r), or — for argument-less recycler methods like b.Release()
+// — the receiver itself.
+func recycledVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	callee := staticCallee(info, call)
+	if callee == nil || !recyclerFuncs[funcKey(callee)] {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if v := varOf(info, arg); v != nil {
+			return v
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return varOf(info, sel.X)
+		}
+	}
+	return nil
+}
+
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// recyclerFuncs caches //s2c2:recycler discovery, filled by
+// RegisterRecyclers alongside the frame-scoped scan.
+var recyclerFuncs = map[typeKey]bool{}
+
+func funcKey(fn *types.Func) typeKey {
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	return typeKey{pkg, name}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// RegisterRecyclers scans pkgs for //s2c2:recycler function annotations.
+func RegisterRecyclers(pkgs []*Package) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !funcAnnotated(fn, "recycler") {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					recyclerFuncs[funcKey(obj)] = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package kernel exercises the backendpair contract rules: literal
+// parity, assembly wiring, and per-field test coverage.
+package kernel
+
+// backendImpl is the dispatched kernel ABI.
+//
+//s2c2:backend-contract
+type backendImpl struct { // want `kernel field "axpy" has no cross-backend equivalence or fuzz test`
+	name string
+	dot  func(a, b []float64) float64
+	axpy func(dst []float64, a float64, x []float64)
+}
+
+var generic = backendImpl{
+	name: "generic",
+	dot:  dotGeneric,
+	axpy: axpyGeneric,
+}
+
+var avx2 = backendImpl{ // want `does not assign kernel field "axpy"`
+	name: "avx2",
+	dot:  dotWrap,
+}
+
+func dotGeneric(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpyGeneric(dst []float64, a float64, x []float64) {
+	for i := range x {
+		dst[i] += a * x[i]
+	}
+}
+
+func dotWrap(a, b []float64) float64 { return dotAsm(a, b) }
+
+// dotAsm is implemented in assembly and reached through dotWrap.
+func dotAsm(a, b []float64) float64
+
+// axpyAsm is implemented in assembly but wired to no backend.
+func axpyAsm(dst []float64, a float64, x []float64) // want `assembly kernel axpyAsm is not reachable`

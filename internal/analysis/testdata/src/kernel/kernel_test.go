@@ -1,0 +1,12 @@
+package kernel
+
+import "testing"
+
+// TestDotEquivalence covers the dot field across backends; nothing
+// exercises axpy, which the analyzer reports on the contract type.
+func TestDotEquivalence(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if generic.dot(a, a) != avx2.dot(a, a) {
+		t.Fatal("backend mismatch")
+	}
+}

@@ -1,0 +1,131 @@
+// Package noalloc exercises every construct the noalloc analyzer flags,
+// both exemptions, and the waive escape hatches.
+package noalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+//s2c2:noalloc
+func addRow(dst, src []float64) []float64 {
+	buf := make([]float64, len(src)) // want `make allocates`
+	copy(buf, src)
+	dst = append(dst, buf...) // want `append may grow its backing array`
+	return dst
+}
+
+//s2c2:noalloc
+func fresh() *[8]float64 {
+	return new([8]float64) // want `new allocates`
+}
+
+//s2c2:noalloc
+func box(v int) any {
+	return any(v) // want `conversion boxes int into an interface`
+}
+
+func sink(v any) { _ = v }
+
+//s2c2:noalloc
+func passes(x int) {
+	sink(x) // want `argument boxes int`
+}
+
+//s2c2:noalloc
+func logs() {
+	fmt.Println("hot path") // want `fmt.Println allocates`
+}
+
+//s2c2:noalloc
+func joined(a, b error) error {
+	e := errors.Join(a, b) // want `errors.Join allocates`
+	return e
+}
+
+//s2c2:noalloc
+func spawn() {
+	go leak() // want `go statement allocates a goroutine`
+}
+
+//s2c2:noalloc
+func capture(n int) func() int {
+	return func() int { return n } // want `closure allocates`
+}
+
+func leak() {}
+
+//s2c2:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//s2c2:noalloc
+func stringify(b []byte) string {
+	return string(b) // want `string conversion copies and allocates`
+}
+
+//s2c2:noalloc
+func table() map[int]int {
+	return map[int]int{1: 2} // want `map literal allocates`
+}
+
+//s2c2:noalloc
+func rows() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+type state struct{ n int }
+
+//s2c2:noalloc
+func escapes() *state {
+	return &state{n: 1} // want `&composite literal escapes to the heap`
+}
+
+// caller reaches scratch through the call graph; the finding lands in
+// the callee with root attribution.
+
+//s2c2:noalloc
+func caller(n int) []byte {
+	return scratch(n)
+}
+
+func scratch(n int) []byte {
+	return make([]byte, n) // want `make allocates.*reached from //s2c2:noalloc caller`
+}
+
+// guarded allocates only on its failure exit, which the contract exempts.
+
+//s2c2:noalloc
+func guarded(ok bool) error {
+	if !ok {
+		return fmt.Errorf("bad state")
+	}
+	return nil
+}
+
+// mustPositive allocates only inside a panic argument: also exempt.
+
+//s2c2:noalloc
+func mustPositive(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n))
+	}
+}
+
+// waivedFunc opts out wholesale: neither checked nor walked.
+//
+//s2c2:noalloc-waive
+//s2c2:noalloc
+func waivedFunc() []int {
+	return make([]int, 8)
+}
+
+// waivedLine records a single audited exception.
+
+//s2c2:noalloc
+func waivedLine() {
+	//s2c2:waive noalloc
+	_ = make([]int, 4)
+	_ = make([]int, 4) //s2c2:waive noalloc
+}

@@ -1,0 +1,6 @@
+//go:build !noasm
+
+package noasmbreak // want `exported symbol FastPath vanishes under -tags noasm`
+
+// FastPath exists only in the asm build: a parity violation.
+func FastPath(a, b []float64) float64 { return backend.dot(a, b) }

@@ -1,0 +1,20 @@
+// Package noasmbreak exercises the noasm API-parity rule: FastPath is
+// exported only in the default build, so the noasm reload loses it.
+package noasmbreak
+
+// impl is the contract that makes backendpair look at this package.
+//
+//s2c2:backend-contract
+type impl struct {
+	dot func(a, b []float64) float64
+}
+
+var backend = impl{dot: dot}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

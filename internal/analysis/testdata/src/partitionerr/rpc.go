@@ -1,0 +1,54 @@
+// Package partitionerr exercises error attribution and context plumbing.
+package partitionerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var errDown = errors.New("worker down")
+
+// distribute fans a partition out to workers; its errors must say which
+// partition failed.
+//
+//s2c2:partition-attrib
+func distribute(n int) error {
+	if n == 0 {
+		return errors.New("no workers") // want `unattributed error \(errors.New\)`
+	}
+	if n < 0 {
+		return fmt.Errorf("bad worker count %d", n) // want `unattributed error \(fmt.Errorf without %w\)`
+	}
+	if n > 64 {
+		return fmt.Errorf("worker %d: %w", n, errDown) // legal: wraps the cause
+	}
+	return errDown // legal: propagates an attributed value
+}
+
+// plain has no annotation, so its fresh errors are its own business.
+func plain() error {
+	return errors.New("fine here")
+}
+
+func call(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+func stream(ctx context.Context) error {
+	return call(context.Background(), 1) // want `passes context.Background\(\)`
+}
+
+func relay(ctx context.Context) {
+	go func() {
+		_ = call(context.Background(), 2) // legal: a goroutine may root its own ctx
+	}()
+	_ = call(context.TODO(), 3) // want `passes context.TODO\(\)`
+}
+
+// root has no ctx parameter, so minting one is legal.
+func root() error {
+	return call(context.Background(), 4)
+}

@@ -1,0 +1,85 @@
+// Package payloadescape exercises the frame-scope escape rules and the
+// use-after-recycle rule against the fixture wire package.
+package payloadescape
+
+import (
+	"fixture/wire"
+)
+
+type holder struct {
+	last *wire.Payload
+}
+
+func (h *holder) keep(p *wire.Payload) {
+	h.last = p // want `stored in struct field last`
+}
+
+func send(ch chan *wire.Payload, p *wire.Payload) {
+	ch <- p // want `sent on a channel`
+}
+
+func slot(dst []*wire.Payload, p *wire.Payload) {
+	dst[0] = p // want `stored in a container element`
+}
+
+func lit(p *wire.Payload) []*wire.Payload {
+	return []*wire.Payload{p} // want `placed in a composite literal`
+}
+
+func use(p *wire.Payload) { _ = p }
+
+func launch(p *wire.Payload) {
+	go use(p) // want `passed to a goroutine`
+}
+
+func launchClosure(p *wire.Payload) {
+	go func() {
+		use(p) // want `goroutine captures frame-scoped`
+	}()
+}
+
+// borrow copies out of the cursor before the frame ends: legal.
+func borrow(p *wire.Payload, dst []byte) int {
+	return copy(dst, p.Bytes())
+}
+
+func reuse(pool *wire.Pool, b *wire.Buf) {
+	pool.Put(b)
+	b.F[0] = 1 // want `b used after being recycled to its pool`
+}
+
+func rearm(pool *wire.Pool, b *wire.Buf) {
+	pool.Put(b)
+	b = wire.NewBuf()
+	b.F[0] = 1 // legal: the slot was reassigned
+	_ = b
+}
+
+func deferred(pool *wire.Pool, b *wire.Buf) {
+	defer pool.Put(b)
+	b.F[0] = 1 // legal: the recycle runs at function exit
+}
+
+// guarded recycles on an early-exit branch; the fall-through path still
+// owns the slot.
+func guarded(pool *wire.Pool, b *wire.Buf, stale bool) {
+	if stale {
+		pool.Put(b)
+		return
+	}
+	b.F[0] = 1 // legal: the recycle branch exited
+}
+
+// guardedLoop is the runRound shape: a continue-guard recycle must not
+// poison the next statement of the loop body, but a same-block use after
+// the recycle is still dead.
+func guardedLoop(pool *wire.Pool, bufs []*wire.Buf) {
+	for _, b := range bufs {
+		if b.F == nil {
+			pool.Put(b)
+			_ = b.F // want `b used after being recycled to its pool`
+			continue
+		}
+		b.F[0] = 1 // legal: reached only when the guard did not recycle
+	}
+}

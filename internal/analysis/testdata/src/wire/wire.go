@@ -1,0 +1,39 @@
+// Package wire mirrors the real wire package's frame-scope and pooling
+// contracts for the payloadescape fixtures.
+package wire
+
+// Payload is a decode cursor, valid only until the next frame is read.
+//
+//s2c2:frame-scoped
+type Payload struct {
+	bytes []byte
+}
+
+// Bytes exposes the cursor's backing window.
+func (p *Payload) Bytes() []byte { return p.bytes }
+
+// Buf is a pooled scratch slot.
+type Buf struct {
+	F []float64
+}
+
+// NewBuf mints a fresh slot.
+func NewBuf() *Buf { return &Buf{F: make([]float64, 8)} }
+
+// Pool recycles Buf slots.
+type Pool struct {
+	free []*Buf
+}
+
+// Put returns b to the pool; b must not be touched afterwards.
+//
+//s2c2:recycler
+func (p *Pool) Put(b *Buf) { p.free = append(p.free, b) }
+
+// cursor shows the declaring-package exemption: wire may manage its own
+// frame-scoped values, so this store is not a finding.
+type cursor struct {
+	current *Payload
+}
+
+func (c *cursor) advance(p *Payload) { c.current = p }

@@ -169,6 +169,9 @@ type GFDecodeWorkspace struct {
 }
 
 // NewDecodeWorkspace returns an empty decode workspace for e.
+// A constructor allocates by definition; rounds reuse the workspace.
+//
+//s2c2:noalloc-waive
 func (e *GFEncodedMatrix) NewDecodeWorkspace() *GFDecodeWorkspace {
 	k := e.Code.k
 	return &GFDecodeWorkspace{
@@ -193,6 +196,8 @@ func (e *GFEncodedMatrix) DecodeMatVec(partials []*GFPartial) ([]gf.Elem, error)
 // the shared inverted system, so lane l of the result is bit-identical
 // to decoding that lane's partials alone; dst is row-major width-wide
 // (lane l of row r at dst[r*width+l]).
+//
+//s2c2:noalloc
 func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial, ws *GFDecodeWorkspace) ([]gf.Elem, error) {
 	if ws == nil {
 		ws = e.NewDecodeWorkspace()
@@ -214,6 +219,7 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 		return nil, fmt.Errorf("coding: decode dst length %d want %d", len(dst), e.OrigRows*width)
 	}
 	if cap(ws.out) < e.BlockRows*k*width {
+		//s2c2:waive noalloc — capacity growth, first decode at this shape only
 		ws.out = make([]gf.Elem, e.BlockRows*k*width)
 	}
 	ws.out = ws.out[:e.BlockRows*k*width]
@@ -233,6 +239,9 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 				}
 			}
 			if cur == nil {
+				// Cache miss: invert a fresh decode system — once per
+				// distinct worker set, never in a warm round.
+				//s2c2:waive noalloc
 				sub := gf.NewMatrix(k, k)
 				for i, w := range ws.workers {
 					copy(sub.Row(i), e.Code.gen.Row(w))
@@ -241,10 +250,12 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 				if !invertible {
 					return nil, fmt.Errorf("coding: GF decode set %v singular", ws.workers)
 				}
+				//s2c2:waive noalloc — cache-miss continuation of the branch above
 				cur = &gfInvSet{workers: append([]int(nil), ws.workers...), inv: inv}
 				if len(ws.sets) >= maxCachedSets {
 					ws.sets = ws.sets[:0]
 				}
+				//s2c2:waive noalloc — bounded by maxCachedSets
 				ws.sets = append(ws.sets, cur)
 			}
 		}
@@ -259,6 +270,8 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 		}
 	}
 	if dst == nil {
+		// Convenience fallback; hot callers pass a reused dst.
+		//s2c2:waive noalloc
 		dst = make([]gf.Elem, e.OrigRows*width)
 	}
 	copy(dst, ws.out[:e.OrigRows*width])

@@ -130,8 +130,12 @@ func (e *EncodedBilinear) WorkerCompute(w int, d []float64, ranges []Range) *Par
 
 // WorkerComputeInto is WorkerCompute reusing dst's backing storage.
 // dst == nil allocates a fresh Partial.
+//
+//s2c2:noalloc
 func (e *EncodedBilinear) WorkerComputeInto(w int, d []float64, ranges []Range, dst *Partial) *Partial {
 	if dst == nil {
+		// Convenience fallback; hot callers pass a reused Partial.
+		//s2c2:waive noalloc
 		dst = &Partial{}
 	}
 	dst.Worker = w

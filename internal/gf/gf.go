@@ -132,6 +132,8 @@ func Valid(s []Elem) bool {
 // divides on the portable backend, 4-lane folded vectors on the AVX2
 // backend. Results are exactly the field operations' on every backend
 // (this is modular arithmetic, not floating point).
+//
+//s2c2:noalloc
 func Axpy(dst []Elem, c Elem, src []Elem) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf: Axpy length %d want %d", len(src), len(dst)))
@@ -149,6 +151,8 @@ type Matrix struct {
 }
 
 // NewMatrix returns a zeroed r-by-c field matrix.
+//
+//s2c2:noalloc-waive
 func NewMatrix(r, c int) *Matrix {
 	return &Matrix{rows: r, cols: c, data: make([]Elem, r*c)}
 }
@@ -178,6 +182,8 @@ func (m *Matrix) Row(i int) []Elem { return m.data[i*m.cols : (i+1)*m.cols] }
 func (m *Matrix) Data() []Elem { return m.data }
 
 // Clone deep-copies the matrix.
+//
+//s2c2:noalloc-waive
 func (m *Matrix) Clone() *Matrix {
 	d := make([]Elem, len(m.data))
 	copy(d, m.data)
@@ -199,6 +205,8 @@ func (m *Matrix) MulVec(x []Elem) []Elem {
 // accumulator and folded once via x ≡ (x >> 31) + (x & P) (mod P), which
 // keeps the accumulator under 2³³ so the next product cannot overflow; a
 // final fold plus one conditional subtract lands in [0, P).
+//
+//s2c2:noalloc
 func (m *Matrix) MulVecInto(y, x []Elem) {
 	if len(y) != m.rows {
 		panic(fmt.Sprintf("gf: MulVec dst length %d want %d", len(y), m.rows))
@@ -212,6 +220,8 @@ func (m *Matrix) MulVecInto(y, x []Elem) {
 // dispatches through kernel.GFMatVecMod31: the Mersenne accumulate-fold
 // recurrence on the portable backend, folded 64-bit VPMULUDQ lanes on the
 // AVX2 backend, with bit-exact results on every backend.
+//
+//s2c2:noalloc
 func (m *Matrix) MulVecRangeInto(y, x []Elem, lo, hi int) {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("gf: MulVec length %d want %d", len(x), m.cols))
@@ -230,6 +240,8 @@ func (m *Matrix) MulVecRangeInto(y, x []Elem, lo, hi int) {
 // row-major w-wide (y[(i-lo)*w+l] = (M·x_l)[i]): one sweep of the matrix
 // serving all w vectors. Results are bit-exact equal to w MulVecRangeInto
 // calls on every backend.
+//
+//s2c2:noalloc
 func (m *Matrix) MulVecBatchRangeInto(y, xs []Elem, w, lo, hi int) {
 	if w < 1 {
 		panic(fmt.Sprintf("gf: MulVecBatchRange width %d", w))
@@ -263,6 +275,8 @@ func Vandermonde(xs []Elem, c int) *Matrix {
 
 // Solve solves the square system M·x = b by Gauss–Jordan elimination,
 // destroying a copy of M. It returns false if M is singular.
+//
+//s2c2:noalloc-waive
 func Solve(m *Matrix, b []Elem) ([]Elem, bool) {
 	if m.rows != m.cols || len(b) != m.rows {
 		panic("gf: Solve shape mismatch")
@@ -315,6 +329,8 @@ func Solve(m *Matrix, b []Elem) ([]Elem, bool) {
 }
 
 // Invert returns M⁻¹, or false if M is singular.
+//
+//s2c2:noalloc-waive
 func Invert(m *Matrix) (*Matrix, bool) {
 	if m.rows != m.cols {
 		panic("gf: Invert non-square")

@@ -66,6 +66,8 @@ func gfDotMod31AVX2(a, x *uint32, n int) uint64
 
 // dotVec sums the vectorized prefix in the assembly kernel, then folds the
 // up-to-7-element tail in sequentially — one fixed order per length.
+//
+//s2c2:noalloc
 func dotVec(x, y []float64) float64 {
 	n := len(x)
 	y = y[:n]
@@ -84,6 +86,8 @@ func dotVec(x, y []float64) float64 {
 // bit-identical to one unbanded call. The assembly lanes use fused
 // multiply-adds, so the scalar tail uses math.FMA (hardware FMA on any
 // CPU this backend dispatches on) for the identical single rounding.
+//
+//s2c2:noalloc
 func axpyVec(a float64, x, y []float64) {
 	n := len(y)
 	x = x[:n]
@@ -95,6 +99,7 @@ func axpyVec(a float64, x, y []float64) {
 	}
 }
 
+//s2c2:noalloc
 func matVecRangeVec(dst, a []float64, cols int, x []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i-lo] = dotVec(a[i*cols:(i+1)*cols], x)
@@ -107,6 +112,8 @@ func matVecRangeVec(dst, a []float64, cols int, x []float64, lo, hi int) {
 // columns when nc is not a multiple of 8) are computed full-width into a
 // zero-padded scratch tile and accumulated column-by-column, so the
 // assembly kernel never needs column masking.
+//
+//s2c2:noalloc
 func matMulAccRangeAVX2(dst, a []float64, k int, b []float64, n, lo, hi int) {
 	if hi <= lo || n == 0 || k == 0 {
 		return
@@ -203,6 +210,8 @@ func packPanel8(dst, b []float64, n, kk, kc, jj, nc int) {
 // zeroed scratch tile exactly like the mat-mul edge path. Each output
 // element's accumulation order is the micro-kernel's — fixed, and
 // band-invariant because rows are independent in both micro-kernels.
+//
+//s2c2:noalloc
 func matVecRangeBatchVec(dst, a []float64, cols int, xs []float64, w, lo, hi int) {
 	if hi <= lo || w <= 0 {
 		return
@@ -278,6 +287,8 @@ func packXsTile8(dst, xs []float64, cols, l0, lw, kk, kc int) {
 // the same accumulate-fold recurrence before the final reduction. Modular
 // reduction is order-independent, so the result is exactly the canonical
 // inner product — identical to the generic backend.
+//
+//s2c2:noalloc
 func gfDotVec(row, x []uint32) uint32 {
 	n := len(row)
 	x = x[:n]
@@ -296,6 +307,7 @@ func gfDotVec(row, x []uint32) uint32 {
 	return uint32(acc)
 }
 
+//s2c2:noalloc
 func gfMatVecVec(dst, a []uint32, cols int, x []uint32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i-lo] = gfDotVec(a[i*cols:(i+1)*cols], x)
@@ -305,6 +317,8 @@ func gfMatVecVec(dst, a []uint32, cols int, x []uint32, lo, hi int) {
 // gfMatVecBatchVec walks each A row once across all w lanes: the row is
 // hot in L1 for every lane past the first, so the A DRAM stream is
 // amortized w ways.
+//
+//s2c2:noalloc
 func gfMatVecBatchVec(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		row := a[i*cols : (i+1)*cols]
@@ -315,6 +329,7 @@ func gfMatVecBatchVec(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
 	}
 }
 
+//s2c2:noalloc
 func gfAxpyVec(dst []uint32, c uint32, src []uint32) {
 	src = src[:len(dst)]
 	if nv := len(dst) &^ 7; nv > 0 {

@@ -13,6 +13,14 @@ import (
 // agree with it exactly for GF(2³¹−1) arithmetic and within accumulated
 // rounding tolerance for float64 (each backend is individually
 // deterministic: a fixed accumulation order, bit-identical run to run).
+//
+// s2c2-vet (backendpair) enforces the pairing mechanically: every literal
+// of this struct must assign every kernel field in keyed form, every
+// assembly stub must be reachable from some field, each field needs a
+// cross-backend equivalence test, and -tags noasm must not change the
+// package's exported API.
+//
+//s2c2:backend-contract
 type backendImpl struct {
 	name string
 
@@ -98,6 +106,8 @@ func Backends() []string {
 // per-chunk flop target. Vector backends retire flops faster, so they get
 // bigger chunks; callers banding kernel loops over a pool should use this
 // instead of a hardcoded flop budget. Always at least 1.
+//
+//s2c2:noalloc
 func ChunkRows(rowFlops int) int {
 	if rowFlops < 1 {
 		rowFlops = 1

@@ -7,9 +7,15 @@ package kernel
 // initialization; see archBackends.
 
 // cpuid executes the CPUID instruction with the given leaf/subleaf.
+// Feature detection, not a dispatched kernel.
+//
+//s2c2:waive backendpair
 func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 
 // xgetbv reads XCR0 (requires OSXSAVE, checked by the caller).
+// Feature detection, not a dispatched kernel.
+//
+//s2c2:waive backendpair
 func xgetbv() (eax, edx uint32)
 
 // cpuHasAVX2FMA reports whether the CPU and OS support the AVX2 backend:

@@ -21,6 +21,8 @@ var genericBackend = &backendImpl{
 // dotGeneric uses four independent accumulators to expose instruction-level
 // parallelism; the summation order therefore differs from a sequential
 // loop by O(ε), but is fixed for this backend.
+//
+//s2c2:noalloc
 func dotGeneric(x, y []float64) float64 {
 	n := len(x)
 	y = y[:n]
@@ -38,6 +40,7 @@ func dotGeneric(x, y []float64) float64 {
 	return (s0 + s1) + (s2 + s3)
 }
 
+//s2c2:noalloc
 func axpyGeneric(a float64, x, y []float64) {
 	x = x[:len(y)]
 	for i, v := range x {
@@ -45,6 +48,7 @@ func axpyGeneric(a float64, x, y []float64) {
 	}
 }
 
+//s2c2:noalloc
 func matVecRangeGeneric(dst, a []float64, cols int, x []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i-lo] = dotGeneric(a[i*cols:(i+1)*cols], x)
@@ -55,6 +59,8 @@ func matVecRangeGeneric(dst, a []float64, cols int, x []float64, lo, hi int) {
 // row (the row stays cache-hot across lanes). Lane l of any row uses
 // exactly dotGeneric's accumulation order, so a w-lane batch is
 // bit-identical to w single-x sweeps on this backend.
+//
+//s2c2:noalloc
 func matVecRangeBatchGeneric(dst, a []float64, cols int, xs []float64, w, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		row := a[i*cols : (i+1)*cols]
@@ -70,6 +76,8 @@ func matVecRangeBatchGeneric(dst, a []float64, cols int, xs []float64, w, lo, hi
 // Each kcBlock×ncBlock panel of B is packed once into contiguous 4-column
 // tiles (GotoBLAS-style), so the 4×4 register micro-kernel streams both A
 // and the packed panel sequentially. The pack buffer is pooled.
+//
+//s2c2:noalloc
 func matMulAccRangeGeneric(dst, a []float64, k int, b []float64, n, lo, hi int) {
 	if hi <= lo {
 		return
@@ -251,6 +259,8 @@ func gfMulAdd31(d, c, s uint32) uint32 {
 // 2³³, so the next 62-bit product cannot overflow the 64-bit accumulator.
 // Modular reduction is order- and grouping-independent, so every backend's
 // gfMatVec returns these exact values.
+//
+//s2c2:noalloc
 func gfDotGeneric(row, x []uint32) uint32 {
 	x = x[:len(row)]
 	var acc uint64
@@ -265,12 +275,14 @@ func gfDotGeneric(row, x []uint32) uint32 {
 	return uint32(acc)
 }
 
+//s2c2:noalloc
 func gfMatVecGeneric(dst, a []uint32, cols int, x []uint32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i-lo] = gfDotGeneric(a[i*cols:(i+1)*cols], x)
 	}
 }
 
+//s2c2:noalloc
 func gfMatVecBatchGeneric(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		row := a[i*cols : (i+1)*cols]
@@ -283,6 +295,8 @@ func gfMatVecBatchGeneric(dst, a []uint32, cols int, xs []uint32, w, lo, hi int)
 
 // gfAxpyGeneric is the scalar Mersenne-folded mul-accumulate, unrolled
 // over four independent lanes.
+//
+//s2c2:noalloc
 func gfAxpyGeneric(dst []uint32, c uint32, src []uint32) {
 	src = src[:len(dst)]
 	i := 0

@@ -39,12 +39,16 @@ const (
 )
 
 // Dot returns the inner product of x and y (lengths must match).
+//
+//s2c2:noalloc
 func Dot(x, y []float64) float64 {
 	return active.Load().dot(x, y)
 }
 
 // Axpy computes y += a*x elementwise (lengths must match). a == 0 is a
 // no-op on every backend (NaN/Inf in x are not propagated).
+//
+//s2c2:noalloc
 func Axpy(a float64, x, y []float64) {
 	if a == 0 {
 		return
@@ -53,6 +57,8 @@ func Axpy(a float64, x, y []float64) {
 }
 
 // Scale multiplies every element of x by a in place.
+//
+//s2c2:noalloc
 func Scale(a float64, x []float64) {
 	for i := range x {
 		x[i] *= a
@@ -60,6 +66,8 @@ func Scale(a float64, x []float64) {
 }
 
 // Zero clears x.
+//
+//s2c2:noalloc
 func Zero(x []float64) {
 	for i := range x {
 		x[i] = 0
@@ -67,12 +75,16 @@ func Zero(x []float64) {
 }
 
 // MatVec computes dst = A·x for row-major A (rows×cols).
+//
+//s2c2:noalloc
 func MatVec(dst, a []float64, rows, cols int, x []float64) {
 	active.Load().matVecRange(dst, a, cols, x, 0, rows)
 }
 
 // MatVecRange computes dst[i-lo] = (A·x)[i] for i in [lo, hi).
 // dst has length hi-lo.
+//
+//s2c2:noalloc
 func MatVecRange(dst, a []float64, cols int, x []float64, lo, hi int) {
 	active.Load().matVecRange(dst, a, cols, x, lo, hi)
 }
@@ -81,6 +93,8 @@ func MatVecRange(dst, a []float64, cols int, x []float64, lo, hi int) {
 // (rows×cols): one sweep of A serving w x-vectors. xs holds the vectors
 // concatenated (x_l at xs[l*cols : (l+1)*cols]); dst is row-major w-wide
 // (dst[i*w+l] = (A·x_l)[i]).
+//
+//s2c2:noalloc
 func MatVecBatch(dst, a []float64, rows, cols int, xs []float64, w int) {
 	active.Load().matVecRangeBatch(dst, a, cols, xs, w, 0, rows)
 }
@@ -89,12 +103,16 @@ func MatVecBatch(dst, a []float64, rows, cols int, xs []float64, w int) {
 // [lo, hi); layouts as in MatVecBatch. Row bands are independent:
 // splitting a range at any row boundary is bit-identical to the unbanded
 // call on the same backend.
+//
+//s2c2:noalloc
 func MatVecRangeBatch(dst, a []float64, cols int, xs []float64, w, lo, hi int) {
 	active.Load().matVecRangeBatch(dst, a, cols, xs, w, lo, hi)
 }
 
 // VecMat computes dst = xᵀ·A (length cols) for row-major A (rows×cols),
 // streaming row-wise. dst is overwritten.
+//
+//s2c2:noalloc
 func VecMat(dst, x, a []float64, rows, cols int) {
 	Zero(dst)
 	bk := active.Load()
@@ -109,6 +127,8 @@ func VecMat(dst, x, a []float64, rows, cols int) {
 // MatMul computes dst = A·B for row-major A (m×k) and B (k×n), overwriting
 // dst (m×n). The loop nest is cache-blocked (kcBlock×ncBlock B panels) and
 // register-blocked (a backend-specific micro-kernel per panel sweep).
+//
+//s2c2:noalloc
 func MatMul(dst, a []float64, m, k int, b []float64, n int) {
 	Zero(dst[:m*n])
 	active.Load().matMulAccRange(dst, a, k, b, n, 0, m)
@@ -116,6 +136,8 @@ func MatMul(dst, a []float64, m, k int, b []float64, n int) {
 
 // MatMulRange computes rows [lo, hi) of dst = A·B, overwriting those rows.
 // Bands are independent, so disjoint row ranges may run concurrently.
+//
+//s2c2:noalloc
 func MatMulRange(dst, a []float64, m, k int, b []float64, n int, lo, hi int) {
 	_ = m
 	Zero(dst[lo*n : hi*n])
@@ -123,6 +145,8 @@ func MatMulRange(dst, a []float64, m, k int, b []float64, n int, lo, hi int) {
 }
 
 // MatMulAccRange accumulates rows [lo, hi) of A·B into dst (dst += A·B).
+//
+//s2c2:noalloc
 func MatMulAccRange(dst, a []float64, m, k int, b []float64, n int, lo, hi int) {
 	_ = m
 	active.Load().matMulAccRange(dst, a, k, b, n, lo, hi)
@@ -132,6 +156,8 @@ func MatMulAccRange(dst, a []float64, m, k int, b []float64, n int, lo, hi int) 
 // mul-accumulate lane kernel behind gf.Axpy. Inputs must be fully reduced
 // (< 2³¹−1); lengths must match. Results are exact on every backend (this
 // is modular arithmetic, not floating point).
+//
+//s2c2:noalloc
 func GFAxpyMod31(dst []uint32, c uint32, src []uint32) {
 	if c == 0 {
 		return
@@ -144,6 +170,8 @@ func GFAxpyMod31(dst []uint32, c uint32, src []uint32) {
 // gf.Matrix.MulVecRangeInto (worker compute, decode solves). Inputs must
 // be fully reduced; results are exact and identical on every backend
 // (modular reduction is order-independent).
+//
+//s2c2:noalloc
 func GFMatVecMod31(dst, a []uint32, cols int, x []uint32, lo, hi int) {
 	active.Load().gfMatVec(dst, a, cols, x, lo, hi)
 }
@@ -151,6 +179,8 @@ func GFMatVecMod31(dst, a []uint32, cols int, x []uint32, lo, hi int) {
 // GFMatVecBatchMod31 is GFMatVecMod31 over w concatenated x-vectors with
 // row-major w-wide output (layouts as in MatVecBatch). Exact on every
 // backend.
+//
+//s2c2:noalloc
 func GFMatVecBatchMod31(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
 	active.Load().gfMatVecBatch(dst, a, cols, xs, w, lo, hi)
 }
@@ -158,6 +188,8 @@ func GFMatVecBatchMod31(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
 // ATDiagBRange accumulates rows [lo, hi) of Aᵀ·diag(d)·B into dst, the
 // partial bilinear kernel a polynomial-coded worker runs. A is m×ka, B is
 // m×nb, dst is (hi-lo)×nb row-major and is overwritten.
+//
+//s2c2:noalloc
 func ATDiagBRange(dst, a, d, b []float64, m, ka, nb, lo, hi int) {
 	Zero(dst[:(hi-lo)*nb])
 	bk := active.Load()

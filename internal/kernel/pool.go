@@ -52,6 +52,8 @@ type job struct {
 
 // finish records one completed channel copy of j, waking its dispatcher
 // when this was the last one.
+//
+//s2c2:noalloc
 func (j *job) finish() {
 	if j.pending.Add(-1) == 0 {
 		select {
@@ -63,6 +65,8 @@ func (j *job) finish() {
 
 // NewPool returns a pool with the given number of worker goroutines.
 // workers <= 0 selects GOMAXPROCS.
+//
+//s2c2:noalloc-waive
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -89,6 +93,8 @@ var (
 
 // Default returns the process-wide shared pool, created on first use with
 // GOMAXPROCS workers.
+//
+//s2c2:noalloc-waive
 func Default() *Pool {
 	defaultOnce.Do(func() { defaultPool = NewPool(0) })
 	return defaultPool
@@ -105,6 +111,8 @@ func (p *Pool) worker() {
 }
 
 // run steals chunks until the row range is exhausted.
+//
+//s2c2:noalloc
 func (j *job) run() {
 	for {
 		lo := int(j.next.Add(int64(j.chunk))) - j.chunk
@@ -119,6 +127,7 @@ func (j *job) run() {
 	}
 }
 
+//s2c2:noalloc
 func (j *job) exec(lo, hi int) {
 	switch j.op {
 	case opMatVec:
@@ -207,6 +216,8 @@ func chunkFor(total, rowCost, fan int) int {
 
 // MatVec computes dst = A·x (A rows×cols row-major) across the pool.
 // maxFan <= 0 uses every worker. Steady state performs zero allocations.
+//
+//s2c2:noalloc
 func (p *Pool) MatVec(dst, a []float64, rows, cols int, x []float64, maxFan int) {
 	if rows == 0 {
 		return
@@ -227,6 +238,8 @@ func (p *Pool) MatVec(dst, a []float64, rows, cols int, x []float64, maxFan int)
 
 // MatMul computes dst = A·B (A m×k, B k×n, dst m×n row-major) across the
 // pool using the cache-blocked kernel per band.
+//
+//s2c2:noalloc
 func (p *Pool) MatMul(dst, a []float64, m, k int, b []float64, n int, maxFan int) {
 	if m == 0 || n == 0 {
 		Zero(dst[:m*n])
@@ -253,12 +266,16 @@ func (p *Pool) MatMul(dst, a []float64, m, k int, b []float64, n int, maxFan int
 
 // For runs fn over [0, total) in parallel chunks of at least minChunk rows.
 // The closure may allocate; use the typed operations on hot paths.
+//
+//s2c2:noalloc
 func (p *Pool) For(total, minChunk int, fn func(lo, hi int)) {
 	p.ForMax(total, minChunk, 0, fn)
 }
 
 // ForMax is For with the fan-out capped at maxFan participants (<= 0 uses
 // every pool worker). A fan of one runs fn(0, total) on the caller.
+//
+//s2c2:noalloc
 func (p *Pool) ForMax(total, minChunk, maxFan int, fn func(lo, hi int)) {
 	if total <= 0 {
 		return

@@ -42,9 +42,13 @@ func classFor(n int) int {
 
 // GetBuf returns a pooled buffer with b.F of length n. Contents are
 // arbitrary; use GetBufZeroed when zeros are required.
+//
+//s2c2:noalloc
 func GetBuf(n int) *Buf {
 	c := classFor(n)
 	if c < 0 {
+		// Oversized request: no pool class fits, so this path allocates.
+		//s2c2:waive noalloc
 		return &Buf{F: make([]float64, n)}
 	}
 	if v := bufClasses[c].Get(); v != nil {
@@ -52,10 +56,15 @@ func GetBuf(n int) *Buf {
 		b.F = b.F[:n]
 		return b
 	}
+	// Pool miss: first use of this size class mints the buffer it will
+	// recycle forever after.
+	//s2c2:waive noalloc
 	return &Buf{F: make([]float64, n, 1<<(minClass+c))}
 }
 
 // GetBufZeroed returns a pooled buffer of length n with all elements zero.
+//
+//s2c2:noalloc
 func GetBufZeroed(n int) *Buf {
 	b := GetBuf(n)
 	Zero(b.F)
@@ -64,6 +73,8 @@ func GetBufZeroed(n int) *Buf {
 
 // Put returns the buffer to its size-class pool. The caller must not use
 // b.F afterwards.
+//
+//s2c2:recycler
 func (b *Buf) Put() {
 	c := classFor(cap(b.F))
 	if c < 0 {
@@ -82,8 +93,13 @@ func (b *Buf) Put() {
 // capacity is insufficient — the one grow-don't-copy helper behind every
 // typed scratch slice in the stack. Contents of new space are
 // unspecified; on reallocation old contents are NOT carried over.
+//
+//s2c2:noalloc
 func GrowSlice[T any](s []T, n int) []T {
 	if cap(s) < n {
+		// Capacity growth is the one sanctioned allocation: callers reuse
+		// the returned slice, so steady-state rounds never reach it.
+		//s2c2:waive noalloc
 		return make([]T, n)
 	}
 	return s[:n]
@@ -91,9 +107,13 @@ func GrowSlice[T any](s []T, n int) []T {
 
 // Grow returns s resized to length n, reallocating only when capacity is
 // insufficient. New space is NOT zeroed; see GrowZeroed.
+//
+//s2c2:noalloc
 func Grow(s []float64, n int) []float64 { return GrowSlice(s, n) }
 
 // GrowZeroed returns s resized to length n with every element zeroed.
+//
+//s2c2:noalloc
 func GrowZeroed(s []float64, n int) []float64 {
 	s = Grow(s, n)
 	Zero(s)
@@ -101,4 +121,6 @@ func GrowZeroed(s []float64, n int) []float64 {
 }
 
 // GrowInts is Grow for int scratch (coverage counters, offsets).
+//
+//s2c2:noalloc
 func GrowInts(s []int, n int) []int { return GrowSlice(s, n) }

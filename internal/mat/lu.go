@@ -77,6 +77,8 @@ func (f *LU) Solve(b []float64) []float64 {
 // SolveInto solves A·x = b into the provided slice x, which must not
 // alias b. Both must have length N (the factored dimension). It performs
 // no allocation.
+//
+//s2c2:noalloc
 func (f *LU) SolveInto(x, b []float64) {
 	n := f.lu.rows
 	if len(b) != n || len(x) != n {

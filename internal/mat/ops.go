@@ -20,6 +20,8 @@ func MatVec(a *Dense, x []float64) []float64 {
 
 // MatVecInto computes y = A·x into the provided slice.
 // len(x) must equal A's column count and len(y) its row count.
+//
+//s2c2:noalloc
 func MatVecInto(a *Dense, x, y []float64) {
 	if len(x) != a.cols {
 		panic(fmt.Sprintf("mat: MatVec x length %d want %d", len(x), a.cols))
@@ -43,6 +45,8 @@ func MatVecRows(a *Dense, x []float64, lo, hi int) []float64 {
 }
 
 // MatVecRowsInto is MatVecRows writing into a caller slice of length hi-lo.
+//
+//s2c2:noalloc
 func MatVecRowsInto(a *Dense, x, y []float64, lo, hi int) {
 	if lo < 0 || hi > a.rows || lo > hi {
 		panic(fmt.Sprintf("mat: MatVecRows range [%d,%d) out of %d", lo, hi, a.rows))
@@ -65,6 +69,8 @@ func VecMat(x []float64, a *Dense) []float64 {
 }
 
 // VecMatInto is VecMat writing into a caller slice of length A.Cols().
+//
+//s2c2:noalloc
 func VecMatInto(x []float64, a *Dense, y []float64) {
 	if len(x) != a.rows {
 		panic(fmt.Sprintf("mat: VecMat x length %d want %d", len(x), a.rows))
@@ -84,6 +90,8 @@ func MatMul(a, b *Dense) *Dense {
 
 // MatMulInto computes C = A·B into the provided matrix, which must be
 // A.Rows()×B.Cols(). C is overwritten.
+//
+//s2c2:noalloc
 func MatMulInto(a, b, c *Dense) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: MatMul inner dim %d vs %d", a.cols, b.rows))
@@ -102,6 +110,8 @@ func Transpose(a *Dense) *Dense {
 }
 
 // TransposeInto writes Aᵀ into the provided A.Cols()×A.Rows() matrix.
+//
+//s2c2:noalloc
 func TransposeInto(a, t *Dense) {
 	if t.rows != a.cols || t.cols != a.rows {
 		panic(fmt.Sprintf("mat: Transpose dst %dx%d want %dx%d", t.rows, t.cols, a.cols, a.rows))
@@ -167,6 +177,8 @@ func ATDiagBRows(a *Dense, d []float64, b *Dense, lo, hi int) *Dense {
 
 // ATDiagBRowsInto is ATDiagBRows writing row-major into a caller slice of
 // length (hi-lo)·B.Cols().
+//
+//s2c2:noalloc
 func ATDiagBRowsInto(a *Dense, d []float64, b *Dense, lo, hi int, dst []float64) {
 	if lo < 0 || hi > a.cols || lo > hi {
 		panic(fmt.Sprintf("mat: ATDiagBRows range [%d,%d) out of %d", lo, hi, a.cols))

@@ -22,6 +22,8 @@ func ParallelMatVec(a *Dense, x []float64, workers int) []float64 {
 // ParallelMatVecInto is ParallelMatVec writing into a caller slice.
 // Zero-row matrices and workers exceeding the row count are handled
 // uniformly by the pool's chunking (a worker never receives an empty band).
+//
+//s2c2:noalloc
 func ParallelMatVecInto(a *Dense, x, y []float64, workers int) {
 	if len(x) != a.cols {
 		panic(fmt.Sprintf("mat: ParallelMatVec x length %d want %d", len(x), a.cols))
@@ -41,6 +43,8 @@ func ParallelMatMul(a, b *Dense, workers int) *Dense {
 
 // ParallelMatMulInto is ParallelMatMul writing into a caller matrix of
 // shape A.Rows()×B.Cols(). C is overwritten.
+//
+//s2c2:noalloc
 func ParallelMatMulInto(a, b, c *Dense, workers int) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: ParallelMatMul inner dim %d vs %d", a.cols, b.rows))

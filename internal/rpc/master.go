@@ -55,6 +55,7 @@ const defaultStallTimeout = 30 * time.Second
 // aborted transfer.
 const ackBuffer = 256
 
+//s2c2:noalloc
 func (m *Master) stallTimeout() time.Duration {
 	if m.cfg.StallTimeout > 0 {
 		return m.cfg.StallTimeout
@@ -182,23 +183,33 @@ func (m *Master) Exec() kernel.Exec { return m.cfg.Exec }
 
 // getResult returns a pooled receive slot (readLoops decode results into
 // these; RunRound recycles them once the round's partials are released).
+//
+//s2c2:noalloc
 func (m *Master) getResult() *Result {
 	if v := m.resPool.Get(); v != nil {
 		return v.(*Result)
 	}
+	// Pool miss: mints the slot the pool will recycle from then on.
+	//s2c2:waive noalloc
 	return &Result{}
 }
 
+//s2c2:recycler
 func (m *Master) putResult(r *Result) { m.resPool.Put(r) }
 
 // getGFResult / putGFResult are the GF mirror of the pooled receive slots.
+//
+//s2c2:noalloc
 func (m *Master) getGFResult() *GFResult {
 	if v := m.gfResPool.Get(); v != nil {
 		return v.(*GFResult)
 	}
+	// Pool miss: mints the slot the pool will recycle from then on.
+	//s2c2:waive noalloc
 	return &GFResult{}
 }
 
+//s2c2:recycler
 func (m *Master) putGFResult(r *GFResult) { m.gfResPool.Put(r) }
 
 // handshakeTimeout bounds how long one accepted connection may take to
@@ -477,9 +488,13 @@ func (m *Master) admit(c net.Conn) (*workerConn, error) {
 // round channel (decoded into pooled slots — the steady-state receive path
 // allocates nothing), partition acks return credits to the streaming
 // sender.
+//
+//s2c2:noalloc
 func (m *Master) readLoop(id int, wc *workerConn) {
 	defer m.wg.Done()
 	defer close(wc.dead)
+	// One receive struct per connection, reused for every frame.
+	//s2c2:waive noalloc
 	msg := &Msg{}
 	for {
 		if err := wc.t.recv(msg); err != nil {
@@ -487,6 +502,8 @@ func (m *Master) readLoop(id int, wc *workerConn) {
 				return // orderly shutdown: the close raced the read, by design
 			}
 			select {
+			// Failure path: the connection is already dead here.
+			//s2c2:waive noalloc
 			case m.errs <- fmt.Errorf("rpc: worker %d: %w", id, err):
 			default:
 			}
@@ -546,6 +563,8 @@ func (m *Master) NumWorkers() int {
 // (WaitForWorkers only ever appends under the lock), so callers may
 // iterate the length captured here but must not assume later growth is
 // invisible.
+//
+//s2c2:noalloc
 func (m *Master) conns() []*workerConn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -568,8 +587,16 @@ func (e *PartitionError) Error() string {
 
 func (e *PartitionError) Unwrap() error { return e.Err }
 
+// ErrDistributeShape reports a partition/worker shape mismatch detected
+// before any transfer starts: nothing was shipped, so no *PartitionError
+// exists to attribute. Callers can distinguish "bad call" from "broken
+// worker" with errors.Is.
+var ErrDistributeShape = errors.New("rpc: distribute shape mismatch")
+
 // distributeAll fans one shipment per worker out in parallel and
 // aggregates the failures, each attributed to its worker.
+//
+//s2c2:partition-attrib
 func distributeAll(workers []*workerConn, ship func(w int, wc *workerConn) error) error {
 	var wg sync.WaitGroup
 	errCh := make(chan *PartitionError, len(workers))
@@ -605,10 +632,12 @@ func distributeAll(workers []*workerConn, ship func(w int, wc *workerConn) error
 // memory is O(chunk), not O(partition), on both ends. Gob-fallback workers
 // receive their partition as one monolithic message. Failures name the
 // broken workers (*PartitionError, aggregated across workers).
+//
+//s2c2:partition-attrib
 func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
 	workers := m.conns()
 	if len(enc.Parts) != len(workers) {
-		return fmt.Errorf("rpc: %d partitions for %d workers", len(enc.Parts), len(workers))
+		return fmt.Errorf("%w: %d partitions for %d workers", ErrDistributeShape, len(enc.Parts), len(workers))
 	}
 	err := distributeAll(workers, func(w int, wc *workerConn) error {
 		return m.shipPartition(wc, phase, enc.Parts[w])
@@ -627,18 +656,20 @@ func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) erro
 // uint32 field-element streams. The partitions may come from
 // GFMDSCode.Encode (GFEncodedMatrix.Parts) or be Lagrange shares wrapped
 // as matrices — any per-worker field matrices of one shared shape.
+//
+//s2c2:partition-attrib
 func (m *Master) DistributeGFPartitions(phase int, parts []*gf.Matrix) error {
 	workers := m.conns()
 	if len(parts) != len(workers) {
-		return fmt.Errorf("rpc: %d GF partitions for %d workers", len(parts), len(workers))
+		return fmt.Errorf("%w: %d GF partitions for %d workers", ErrDistributeShape, len(parts), len(workers))
 	}
 	if len(parts) == 0 {
-		return fmt.Errorf("rpc: no GF partitions to distribute")
+		return fmt.Errorf("%w: no GF partitions to distribute", ErrDistributeShape)
 	}
 	rows, cols := parts[0].Dims()
 	for w, p := range parts {
 		if r, c := p.Dims(); r != rows || c != cols {
-			return fmt.Errorf("rpc: GF partition %d is %dx%d, want %dx%d", w, r, c, rows, cols)
+			return fmt.Errorf("%w: GF partition %d is %dx%d, want %dx%d", ErrDistributeShape, w, r, c, rows, cols)
 		}
 	}
 	err := distributeAll(workers, func(w int, wc *workerConn) error {
@@ -818,8 +849,12 @@ type roundCore struct {
 }
 
 // armTimer (re)arms one of the workspace's reusable timers.
+//
+//s2c2:noalloc
 func armTimer(t **time.Timer, d time.Duration) *time.Timer {
 	if *t == nil {
+		// First round only; the timer is reused ever after.
+		//s2c2:waive noalloc
 		*t = time.NewTimer(d)
 		return *t
 	}
@@ -830,12 +865,15 @@ func armTimer(t **time.Timer, d time.Duration) *time.Timer {
 
 // begin resets the core for a round of n workers over blockRows-row
 // partitions with decode threshold k and batch width w.
+//
+//s2c2:noalloc
 func (c *roundCore) begin(n, blockRows, k, w int) {
 	c.n, c.k, c.blockRows, c.width = n, k, blockRows, w
 	c.needed = blockRows
 	c.nResponded = 0
 
 	if cap(c.stats.ResponseTime) < n {
+		//s2c2:waive noalloc — capacity growth, first round at this n only
 		c.stats.ResponseTime = make([]time.Duration, n)
 	}
 	c.stats.ResponseTime = c.stats.ResponseTime[:n]
@@ -854,6 +892,7 @@ func (c *roundCore) begin(n, blockRows, k, w int) {
 		c.cov[i] = 0
 	}
 	if cap(c.coveredBy) < n*blockRows {
+		//s2c2:waive noalloc — capacity growth, first round at this shape only
 		c.coveredBy = make([]bool, n*blockRows)
 	}
 	c.coveredBy = c.coveredBy[:n*blockRows]
@@ -861,6 +900,7 @@ func (c *roundCore) begin(n, blockRows, k, w int) {
 		c.coveredBy[i] = false
 	}
 	if cap(c.responded) < n {
+		//s2c2:waive noalloc — capacity growth, first round at this n only
 		c.responded = make([]bool, n)
 	}
 	c.responded = c.responded[:n]
@@ -877,6 +917,8 @@ func (c *roundCore) begin(n, blockRows, k, w int) {
 // width lanes for it or is rejected wholesale, so per-(worker,row)
 // coverage marks never stand for partially delivered rows. The arithmetic
 // divides rather than multiplies so hostile counts cannot overflow it.
+//
+//s2c2:noalloc
 func (c *roundCore) checkResult(worker int, ranges []coding.Range, rowWidth, numValues int) error {
 	if worker < 0 || worker >= c.n {
 		return fmt.Errorf("rpc: result from unknown worker %d", worker)
@@ -909,11 +951,15 @@ func (c *roundCore) checkResult(worker int, ranges []coding.Range, rowWidth, num
 // time (the §4.3 timeout's and the predictor's input) is recorded only
 // when the final segment of a split result lands, so large results are
 // not systematically under-measured.
+//
+//s2c2:noalloc
 func (c *roundCore) noteResult(worker int, ranges []coding.Range, elapsed time.Duration, partial bool) {
 	if !partial && !c.responded[worker] {
 		c.responded[worker] = true
 		c.nResponded++
 		c.stats.ResponseTime[worker] = elapsed
+		// Amortized: reset to length 0 each round, capacity retained.
+		//s2c2:waive noalloc
 		c.respTimes = append(c.respTimes, elapsed)
 	}
 	base := worker * c.blockRows
@@ -933,6 +979,8 @@ func (c *roundCore) noteResult(worker int, ranges []coding.Range, elapsed time.D
 
 // graceWindow computes the §4.3 grace duration: timeoutFrac times the
 // mean response time of the first k responders.
+//
+//s2c2:noalloc
 func (c *roundCore) graceWindow(k int, timeoutFrac float64) time.Duration {
 	sortDurations(c.respTimes)
 	mean := time.Duration(0)
@@ -949,6 +997,8 @@ func (c *roundCore) graceWindow(k int, timeoutFrac float64) time.Duration {
 // disqualify), filling stats.TimedOut and the per-worker extra ranges.
 // The caller sends the typed work messages and folds extraRows into the
 // assignment stats as each send succeeds.
+//
+//s2c2:noalloc-waive
 func (c *roundCore) planExtras() error {
 	for w := 0; w < c.n; w++ {
 		if c.stats.AssignedRows[w] > 0 && !c.responded[w] {
@@ -1006,6 +1056,8 @@ func (c *roundCore) planExtras() error {
 }
 
 // copyStats deep-copies the round stats (the non-ReuseRound contract).
+//
+//s2c2:noalloc-waive
 func (c *roundCore) copyStats() *RoundStats {
 	return &RoundStats{
 		ResponseTime: append([]time.Duration(nil), c.stats.ResponseTime...),
@@ -1036,6 +1088,8 @@ type roundWorkspace struct {
 
 // begin resets the workspace for a round of n workers over blockRows-row
 // partitions with decode threshold k and batch width w.
+//
+//s2c2:noalloc
 func (ws *roundWorkspace) begin(n, blockRows, k, w int) {
 	ws.roundCore.begin(n, blockRows, k, w)
 	ws.nPartials = 0
@@ -1047,17 +1101,21 @@ func (ws *roundWorkspace) begin(n, blockRows, k, w int) {
 	// allocation, trading the 0-alloc property for bounded frames on
 	// multi-gigabyte partitions.
 	if cap(ws.partialSeq) < 2*n {
+		//s2c2:waive noalloc — capacity growth, first round at this n only
 		ws.partialSeq = make([]coding.Partial, 2*n)
 	}
 	ws.partialSeq = ws.partialSeq[:2*n]
 	ws.partials = ws.partials[:0]
 	if cap(ws.retained) < 2*n {
+		//s2c2:waive noalloc — capacity growth, first round at this n only
 		ws.retained = make([]*Result, 0, 2*n)
 	}
 }
 
 // addResult folds one worker result into the round: it wraps the values
 // as a decoder partial and advances per-row coverage through the core.
+//
+//s2c2:noalloc
 func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
 	if err := ws.checkResult(r.Worker, r.Ranges, r.RowWidth, len(r.Values)); err != nil {
 		return err
@@ -1066,6 +1124,9 @@ func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
 	if ws.nPartials < len(ws.partialSeq) {
 		p = &ws.partialSeq[ws.nPartials]
 	} else {
+		// Result-split overflow past 2n partials: falls back to the heap
+		// (see begin); bounded frames beat the 0-alloc property here.
+		//s2c2:waive noalloc
 		p = &coding.Partial{}
 	}
 	ws.nPartials++
@@ -1073,6 +1134,8 @@ func (ws *roundWorkspace) addResult(r *Result, elapsed time.Duration) error {
 	p.RowWidth = ws.width
 	p.Ranges = r.Ranges
 	p.Values = r.Values
+	// Amortized: reset to length 0 each round, capacity retained.
+	//s2c2:waive noalloc
 	ws.partials = append(ws.partials, p)
 	ws.noteResult(r.Worker, r.Ranges, elapsed, r.Partial)
 	return nil
@@ -1089,19 +1152,23 @@ type gfRoundWorkspace struct {
 	workMsg    GFWork
 }
 
+//s2c2:noalloc
 func (ws *gfRoundWorkspace) begin(n, blockRows, k, w int) {
 	ws.roundCore.begin(n, blockRows, k, w)
 	ws.nPartials = 0
 	if cap(ws.partialSeq) < 2*n {
+		//s2c2:waive noalloc — capacity growth, first round at this n only
 		ws.partialSeq = make([]coding.GFPartial, 2*n)
 	}
 	ws.partialSeq = ws.partialSeq[:2*n]
 	ws.partials = ws.partials[:0]
 	if cap(ws.retained) < 2*n {
+		//s2c2:waive noalloc — capacity growth, first round at this n only
 		ws.retained = make([]*GFResult, 0, 2*n)
 	}
 }
 
+//s2c2:noalloc
 func (ws *gfRoundWorkspace) addResult(r *GFResult, elapsed time.Duration) error {
 	if err := ws.checkResult(r.Worker, r.Ranges, r.RowWidth, len(r.Values)); err != nil {
 		return err
@@ -1110,6 +1177,8 @@ func (ws *gfRoundWorkspace) addResult(r *GFResult, elapsed time.Duration) error 
 	if ws.nPartials < len(ws.partialSeq) {
 		p = &ws.partialSeq[ws.nPartials]
 	} else {
+		// Result-split overflow past 2n partials (see begin).
+		//s2c2:waive noalloc
 		p = &coding.GFPartial{}
 	}
 	ws.nPartials++
@@ -1117,6 +1186,8 @@ func (ws *gfRoundWorkspace) addResult(r *GFResult, elapsed time.Duration) error 
 	p.RowWidth = ws.width
 	p.Ranges = r.Ranges
 	p.Values = r.Values
+	// Amortized: reset to length 0 each round, capacity retained.
+	//s2c2:waive noalloc
 	ws.partials = append(ws.partials, p)
 	ws.noteResult(r.Worker, r.Ranges, elapsed, r.Partial)
 	return nil
@@ -1183,6 +1254,7 @@ func checkBatchArgs(w, xsLen int) error {
 	return nil
 }
 
+//s2c2:noalloc
 func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
 	m.mu.Lock()
 	blockRows := m.blockRows[phase]
@@ -1228,6 +1300,8 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 			if err := ws.addResult(r, time.Since(start)); err != nil {
 				return nil, nil, err
 			}
+			// Amortized: recycled and reset each round, capacity retained.
+			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
 			return nil, nil, err
@@ -1258,6 +1332,8 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 			if err := ws.addResult(r, time.Since(start)); err != nil {
 				return nil, nil, err
 			}
+			// Amortized: recycled and reset each round, capacity retained.
+			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
 			return nil, nil, err
@@ -1312,6 +1388,7 @@ func (m *Master) RunGFRoundBatchContext(ctx context.Context, iter, phase int, xs
 	return m.runGFRound(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
 }
 
+//s2c2:noalloc
 func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
 	m.mu.Lock()
 	blockRows := m.gfBlockRows[phase]
@@ -1356,6 +1433,8 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 			if err := ws.addResult(r, time.Since(start)); err != nil {
 				return nil, nil, err
 			}
+			// Amortized: recycled and reset each round, capacity retained.
+			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
 			return nil, nil, err
@@ -1385,6 +1464,8 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 			if err := ws.addResult(r, time.Since(start)); err != nil {
 				return nil, nil, err
 			}
+			// Amortized: recycled and reset each round, capacity retained.
+			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
 			return nil, nil, err
@@ -1407,6 +1488,8 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 // receive pool. Callers of the previous RunRound have released its
 // partials by contract (ReuseRound) or received copies (default), so the
 // slots are free for the readLoops to decode into again.
+//
+//s2c2:noalloc
 func (m *Master) recycleRound(ws *roundWorkspace) {
 	for i, r := range ws.retained {
 		m.putResult(r)
@@ -1416,6 +1499,8 @@ func (m *Master) recycleRound(ws *roundWorkspace) {
 }
 
 // recycleGFRound is recycleRound for the GF workspace.
+//
+//s2c2:noalloc
 func (m *Master) recycleGFRound(ws *gfRoundWorkspace) {
 	for i, r := range ws.retained {
 		m.putGFResult(r)
@@ -1428,42 +1513,65 @@ func (m *Master) recycleGFRound(ws *gfRoundWorkspace) {
 // when ReuseRound is set, deep copies otherwise (the pooled receive slots
 // the workspace-backed form aliases are overwritten by the next round, so
 // the default mode must not alias them).
+//
+//s2c2:noalloc
 func (m *Master) finishRound(ws *roundWorkspace) ([]*coding.Partial, *RoundStats, error) {
 	if m.cfg.ReuseRound {
 		return ws.partials, &ws.stats, nil
 	}
-	partials := make([]*coding.Partial, len(ws.partials))
-	for i, p := range ws.partials {
-		partials[i] = &coding.Partial{
+	return copyPartials(ws.partials), ws.copyStats(), nil
+}
+
+// copyPartials deep-copies a round's partials for the default contract.
+// Deliberately allocating: the copies must survive the next round
+// overwriting the pooled slots ws.partials alias; allocation-free rounds
+// opt into ReuseRound instead.
+//
+//s2c2:noalloc-waive
+func copyPartials(src []*coding.Partial) []*coding.Partial {
+	out := make([]*coding.Partial, len(src))
+	for i, p := range src {
+		out[i] = &coding.Partial{
 			Worker:   p.Worker,
 			RowWidth: p.RowWidth,
 			Ranges:   append([]coding.Range(nil), p.Ranges...),
 			Values:   append([]float64(nil), p.Values...),
 		}
 	}
-	return partials, ws.copyStats(), nil
+	return out
 }
 
 // finishGFRound is finishRound for the exact path.
+//
+//s2c2:noalloc
 func (m *Master) finishGFRound(ws *gfRoundWorkspace) ([]*coding.GFPartial, *RoundStats, error) {
 	if m.cfg.ReuseRound {
 		return ws.partials, &ws.stats, nil
 	}
-	partials := make([]*coding.GFPartial, len(ws.partials))
-	for i, p := range ws.partials {
-		partials[i] = &coding.GFPartial{
+	return copyGFPartials(ws.partials), ws.copyStats(), nil
+}
+
+// copyGFPartials is copyPartials for the exact path.
+//
+//s2c2:noalloc-waive
+func copyGFPartials(src []*coding.GFPartial) []*coding.GFPartial {
+	out := make([]*coding.GFPartial, len(src))
+	for i, p := range src {
+		out[i] = &coding.GFPartial{
 			Worker:   p.Worker,
 			RowWidth: p.RowWidth,
 			Ranges:   append([]coding.Range(nil), p.Ranges...),
 			Values:   append([]gf.Elem(nil), p.Values...),
 		}
 	}
-	return partials, ws.copyStats(), nil
+	return out
 }
 
 // reassign routes uncovered rows to responders via the core's plan and
 // sends the extra float64 work assignments (at the round's batch width —
 // reassigned rows need all their lanes recomputed like any others).
+//
+//s2c2:noalloc
 func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64, bw int) error {
 	if err := ws.planExtras(); err != nil {
 		return err
@@ -1484,6 +1592,8 @@ func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64, bw i
 }
 
 // reassignGF is reassign for the exact path.
+//
+//s2c2:noalloc
 func (m *Master) reassignGF(ws *gfRoundWorkspace, iter, phase int, x []gf.Elem, bw int) error {
 	if err := ws.planExtras(); err != nil {
 		return err
@@ -1505,6 +1615,8 @@ func (m *Master) reassignGF(ws *gfRoundWorkspace, iter, phase int, x []gf.Elem, 
 
 // sortDurations is an ascending insertion sort (short slices, no closure
 // allocation).
+//
+//s2c2:noalloc
 func sortDurations(ds []time.Duration) {
 	for i := 1; i < len(ds); i++ {
 		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {

@@ -229,6 +229,8 @@ type Msg struct {
 // caller-owned matrix rows [Lo, Hi) — the only copy the data makes after
 // the socket read. It drains the chunk: a second call (or a call on a
 // message that is not a partition chunk) is an error.
+//
+//s2c2:noalloc
 func (m *Msg) ChunkInto(dst []float64) error {
 	if m.chunk == nil {
 		return fmt.Errorf("rpc: no pending chunk payload")
@@ -240,6 +242,8 @@ func (m *Msg) ChunkInto(dst []float64) error {
 
 // GFChunkInto is ChunkInto for a GF partition chunk: the pending uint32
 // payload decodes straight into the destination field-element rows.
+//
+//s2c2:noalloc
 func (m *Msg) GFChunkInto(dst []gf.Elem) error {
 	if m.chunk == nil {
 		return fmt.Errorf("rpc: no pending chunk payload")
@@ -330,6 +334,8 @@ func newWireConn(c net.Conn, writeTimeout time.Duration) *wireConn {
 // the base timeout plus one second per MiB — so a large frame on a slow
 // link gets transfer time proportional to its size while a peer that has
 // stopped reading entirely is still detected within the base timeout.
+//
+//s2c2:noalloc
 func writeDeadlineFor(base time.Duration, payloadBytes int) time.Duration {
 	return base + time.Duration(payloadBytes>>20)*time.Second
 }
@@ -338,6 +344,8 @@ func writeDeadlineFor(base time.Duration, payloadBytes int) time.Duration {
 // under the write deadline. A deadline failure leaves a torn frame on the
 // stream, so the error is fatal for the connection (callers abort and the
 // peer's reader fails on the truncation).
+//
+//s2c2:noalloc
 func (c *wireConn) end() error {
 	if c.c != nil && c.writeTimeout > 0 {
 		d := writeDeadlineFor(c.writeTimeout, c.w.PendingBytes())
@@ -357,6 +365,8 @@ func (c *wireConn) sendHello(h *Hello) error {
 // sendWork frames a single-x assignment as TypeWork — byte-identical to
 // the pre-batch encoding — and a batched one (W > 1) as TypeWorkBatch
 // with the width field ahead of the concatenated x-vectors.
+//
+//s2c2:noalloc
 func (c *wireConn) sendWork(wk *Work) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -380,6 +390,8 @@ func (c *wireConn) sendWork(wk *Work) error {
 // sendResult frames a single-x result as TypeResult (unchanged encoding)
 // and a batched one (RowWidth > 1) as TypeResultBatch with the width
 // field ahead of the ranges and row-major width-wide values.
+//
+//s2c2:noalloc
 func (c *wireConn) sendResult(r *Result) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -433,6 +445,7 @@ func (c *wireConn) sendPartitionStart(p *PartitionStart) error {
 	return c.end()
 }
 
+//s2c2:noalloc
 func (c *wireConn) sendPartitionChunk(phase, seq, lo, hi int, data []float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -445,6 +458,7 @@ func (c *wireConn) sendPartitionChunk(phase, seq, lo, hi int, data []float64) er
 	return c.end()
 }
 
+//s2c2:noalloc
 func (c *wireConn) sendPartitionAck(phase, seq int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -454,6 +468,7 @@ func (c *wireConn) sendPartitionAck(phase, seq int) error {
 	return c.end()
 }
 
+//s2c2:noalloc
 func (c *wireConn) sendGFWork(wk *GFWork) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -474,6 +489,7 @@ func (c *wireConn) sendGFWork(wk *GFWork) error {
 	return c.end()
 }
 
+//s2c2:noalloc
 func (c *wireConn) sendGFResult(r *GFResult) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -517,6 +533,7 @@ func (c *wireConn) sendGFPartitionStart(p *PartitionStart) error {
 	return c.end()
 }
 
+//s2c2:noalloc
 func (c *wireConn) sendGFPartitionChunk(phase, seq, lo, hi int, data []gf.Elem) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -529,6 +546,7 @@ func (c *wireConn) sendGFPartitionChunk(phase, seq, lo, hi int, data []gf.Elem) 
 	return c.end()
 }
 
+//s2c2:noalloc
 func (c *wireConn) recv(m *Msg) error {
 	typ, p, err := c.r.Next()
 	if err != nil {
@@ -589,6 +607,9 @@ func (c *wireConn) recv(m *Msg) error {
 		if err := p.Err(); err != nil {
 			return err
 		}
+		// The cursor is consumed by ChunkInto before the next recv on this
+		// conn; recv's single-goroutine ownership makes the stash safe.
+		//s2c2:waive payloadescape
 		m.chunk = p // row payload decoded by ChunkInto, straight into the matrix
 		return nil
 	case wire.TypePartitionAck:
@@ -645,6 +666,9 @@ func (c *wireConn) recv(m *Msg) error {
 		if err := p.Err(); err != nil {
 			return err
 		}
+		// Same contract as the float chunk above: GFChunkInto drains the
+		// cursor before the conn reads another frame.
+		//s2c2:waive payloadescape
 		m.chunk = p // element payload decoded by GFChunkInto, straight into the matrix
 		return nil
 	case wire.TypeShutdown:
@@ -676,6 +700,8 @@ const maxBatchWidth = 4096
 // exist only for widths ≥ 2 (width-1 traffic uses the classic frames), so
 // anything else is malformed — rejected through the payload's sticky
 // error, like every other corrupt field.
+//
+//s2c2:noalloc
 func readBatchWidth(p *wire.Payload) int {
 	w := p.Int()
 	if w < 2 || w > maxBatchWidth {
@@ -686,6 +712,8 @@ func readBatchWidth(p *wire.Payload) int {
 }
 
 // writeRanges appends a count-prefixed list of [lo, hi) varint pairs.
+//
+//s2c2:noalloc
 func writeRanges(w *wire.Writer, ranges []coding.Range) {
 	w.Int(len(ranges))
 	for _, r := range ranges {
@@ -695,6 +723,8 @@ func writeRanges(w *wire.Writer, ranges []coding.Range) {
 }
 
 // readRanges decodes a range list, reusing dst's capacity.
+//
+//s2c2:noalloc
 func readRanges(p *wire.Payload, dst []coding.Range) []coding.Range {
 	n := p.Int()
 	// Every range costs at least two payload bytes; a count the remaining
