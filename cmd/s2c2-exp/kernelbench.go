@@ -18,11 +18,12 @@ import (
 
 // Kernel/backend benchmark harness (-kernelbench FILE): times the hot
 // kernels (MatMul, MatVec, batched MatVec, gf.Axpy, the GF dot-lane
-// mat-vec) and end-to-end distributed rounds — single-x and batched — on
-// the scalar backend and on the dispatched vector backend, and writes
-// the comparison as JSON — the perf-trajectory artifact for the SIMD
-// backend work (BENCH_PR4.json, extended as BENCH_PR6.json by the
-// batched-round entries).
+// mat-vec, the GF decode solve) and end-to-end distributed rounds —
+// single-x and batched — on every backend compiled in and runnable on
+// this CPU, and writes the comparison as JSON — the perf-trajectory
+// artifact for the SIMD backend work (BENCH_PR4.json, extended as
+// BENCH_PR6.json by the batched-round entries and as BENCH_PR8.json by
+// the avx512 backend and the GF decode-solve row).
 
 type kernelBenchResult struct {
 	Name    string  `json:"name"`
@@ -69,10 +70,9 @@ func runKernelBench(path string) error {
 		Dispatched:  dispatched,
 		Speedups:    map[string]float64{},
 	}
-	backends := []string{"generic"}
-	if dispatched != "generic" {
-		backends = append(backends, dispatched)
-	}
+	// Bench every runnable backend, not just the dispatched one: the
+	// avx512-vs-avx2 rows need both vector tiers.
+	backends := kernel.Backends()
 	defer kernel.SetBackend(dispatched) //nolint:errcheck
 
 	// Inputs shared across backends so the comparison is apples to apples.
@@ -111,6 +111,21 @@ func runKernelBench(path string) error {
 		gfXs[i] = gf.New(rng.Uint64())
 	}
 	gfYB := make([]gf.Elem, 4*gfMV)
+	// GF decode solve: a cached 12×12 inverted system applied to a
+	// 12-row × 4096-lane right-hand-side block, the shape the grouped
+	// exact decode path feeds MulRangeInto.
+	const gfK, gfLanes = 12, 4096
+	gfInvData := make([]gf.Elem, gfK*gfK)
+	for i := range gfInvData {
+		gfInvData[i] = gf.New(rng.Uint64())
+	}
+	gfInv := gf.NewMatrixFromData(gfK, gfK, gfInvData)
+	gfRHS := make([]gf.Elem, gfK*gfLanes)
+	for i := range gfRHS {
+		gfRHS[i] = gf.New(rng.Uint64())
+	}
+	gfB := gf.NewMatrixFromData(gfK, gfLanes, gfRHS)
+	gfSolveDst := make([]gf.Elem, gfK*gfLanes)
 
 	// End-to-end round: a loopback cluster of 4 in-process workers over an
 	// MDS(4,3)-coded 16384×1024 mat-vec (large enough that worker compute,
@@ -233,6 +248,10 @@ func runKernelBench(path string) error {
 				NsPerOp: bestNs(7, 10, func() { gfMat.MulVecBatchRangeInto(gfYB, gfXs, 4, 0, gfMV) }),
 			},
 			kernelBenchResult{
+				Name: "GFDecodeSolve12x4096", Backend: backend,
+				NsPerOp: bestNs(7, 20, func() { gfInv.MulRangeInto(gfSolveDst, gfB, 0, gfK) }),
+			},
+			kernelBenchResult{
 				Name: "DistributedRound16384x1024", Backend: backend,
 				NsPerOp: bestNs(5, 3, runRound),
 			},
@@ -262,6 +281,8 @@ func runKernelBench(path string) error {
 			r.GBps = 4 * float64(gfN) / r.NsPerOp // source stream bytes per second
 		case "GFMatVec1024", "GFMatVecBatch1024w4":
 			r.GBps = 4 * float64(gfMV) * float64(gfMV) / r.NsPerOp // matrix stream bytes per second
+		case "GFDecodeSolve12x4096":
+			r.GBps = 4 * float64(gfK) * float64(gfLanes) / r.NsPerOp // right-hand-side stream bytes per second
 		}
 	}
 	scalar := map[string]float64{}
@@ -289,6 +310,22 @@ func runKernelBench(path string) error {
 	}
 	if ns := disp["DistributedRoundBatch16384x1024w4"]; ns > 0 {
 		report.Speedups["DistributedRoundBatch16384x1024w4_vs_4xRound"] = 4 * disp["DistributedRound16384x1024"] / ns
+	}
+	// Vector-tier comparison: avx512 over avx2, per benchmark, when both
+	// tiers ran on this CPU.
+	byBackend := map[string]map[string]float64{}
+	for _, r := range report.Results {
+		if byBackend[r.Backend] == nil {
+			byBackend[r.Backend] = map[string]float64{}
+		}
+		byBackend[r.Backend][r.Name] = r.NsPerOp
+	}
+	if a2, a5 := byBackend["avx2"], byBackend["avx512"]; a2 != nil && a5 != nil {
+		for name, ns := range a5 {
+			if ns > 0 && a2[name] > 0 {
+				report.Speedups[name+"_avx512_vs_avx2"] = a2[name] / ns
+			}
+		}
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -11,7 +11,8 @@
 //	s2c2-exp -iters 15        # iterations per job (paper: 15)
 //	s2c2-exp -lstm            # use the LSTM forecaster (slower)
 //	s2c2-exp -csv traces.csv  # also export the Figure 2 speed traces
-//	s2c2-exp -kernelbench BENCH_PR6.json  # kernel-backend benchmark JSON
+//	s2c2-exp -kernelbench BENCH_PR8.json  # kernel-backend benchmark JSON
+//	s2c2-exp -backends        # print available/dispatched kernel backends
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"github.com/coded-computing/s2c2/internal/experiments"
+	"github.com/coded-computing/s2c2/internal/kernel"
 	"github.com/coded-computing/s2c2/internal/trace"
 )
 
@@ -34,8 +37,16 @@ func main() {
 		lstm   = flag.Bool("lstm", false, "use the LSTM speed predictor")
 		csv    = flag.String("csv", "", "export Figure 2 speed traces to this CSV file")
 		kbench = flag.String("kernelbench", "", "write kernel-backend benchmark JSON to this file and exit")
+		backs  = flag.Bool("backends", false, "print available and dispatched kernel backends and exit")
 	)
 	flag.Parse()
+
+	if *backs {
+		// CI capability probe: lanes that force S2C2_KERNEL_BACKEND check
+		// the backend is actually available on the runner before running.
+		fmt.Printf("available=%s dispatched=%s\n", strings.Join(kernel.Backends(), ","), kernel.ActiveBackend())
+		return
+	}
 
 	if *kbench != "" {
 		if err := runKernelBench(*kbench); err != nil {

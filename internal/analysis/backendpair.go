@@ -32,12 +32,22 @@ import (
 //     must not change its exported package-level API or the exported
 //     method sets of exported types, so -tags noasm builds keep the
 //     determinism contract rather than silently shedding symbols.
+//  5. Guarded registration — when the package declares an archBackends
+//     function (the CPU-conditional registration list), every use of a
+//     contract-typed package variable inside it must sit under an if
+//     whose condition calls a cpuHas*-prefixed capability probe, so a
+//     backend can never be registered on hardware that cannot execute
+//     it; and every contract-typed package variable must be referenced
+//     from non-test code at all — an orphan backend literal is a kernel
+//     set that can never be dispatched.
 //
 // Check 4 needs a tag-reloading driver and self-skips under go vet
-// -vettool; check 3 self-skips when the load carried no test files.
+// -vettool; check 3 self-skips when the load carried no test files;
+// check 5's guard rule self-skips when the package has no archBackends
+// function.
 var BackendPair = &Analyzer{
 	Name:      "backendpair",
-	Doc:       "generic and vector kernel backends must stay method-for-method twins",
+	Doc:       "every arch kernel backend must wire the full contract, feature-guarded, registered, and test-covered",
 	RunModule: runBackendPairModule,
 	Run:       runBackendPairUnit,
 }
@@ -73,6 +83,7 @@ func checkBackendPackage(report func(pos token.Pos, format string, args ...any),
 	fieldFuncs := checkLiterals(report, pkg, contract, funcFields)
 	checkAsmWiring(report, pkg, fieldFuncs)
 	checkTestCoverage(report, pkg, contract, funcFields)
+	checkRegistration(report, pkg, contract)
 	checkNoasmParity(report, fset, pkg, loadTags)
 }
 
@@ -272,6 +283,117 @@ func checkTestCoverage(report func(pos token.Pos, format string, args ...any), p
 			report(contract.pos, "kernel field %q has no cross-backend equivalence or fuzz test exercising it", field)
 		}
 	}
+}
+
+// checkRegistration enforces the registration half of the contract: a
+// backend variable used inside archBackends must be lexically inside an
+// if guarded by a cpuHas* capability probe, and every backend variable
+// must be referenced from non-test code somewhere (otherwise its kernel
+// set exists but can never be dispatched).
+func checkRegistration(report func(pos token.Pos, format string, args ...any), pkg *Package, contract *contractType) {
+	// Package-level variables of the contract type (or pointer to it),
+	// declared in non-test files.
+	backendVars := make(map[*types.Var]bool)
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || inTestFile(pkg, v.Pos()) {
+			continue
+		}
+		if types.Identical(types.Unalias(derefType(v.Type())), contract.typ) {
+			backendVars[v] = true
+		}
+	}
+	if len(backendVars) == 0 {
+		return
+	}
+
+	used := make(map[*types.Var]bool)
+	var archDecl *ast.FuncDecl
+	for _, f := range pkg.Files {
+		if pkg.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Name.Name == "archBackends" && n.Body != nil {
+					archDecl = n
+				}
+			case *ast.Ident:
+				if v, ok := pkg.Info.Uses[n].(*types.Var); ok && backendVars[v] {
+					used[v] = true
+				}
+			}
+			return true
+		})
+	}
+
+	if archDecl != nil {
+		// Lexical guard walk: an if whose condition calls a cpuHas*
+		// probe guards its then-branch only — an else branch runs
+		// exactly when the capability is absent.
+		var scan func(n ast.Node, guarded bool)
+		scan = func(n ast.Node, guarded bool) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.IfStmt:
+					if m.Init != nil {
+						scan(m.Init, guarded)
+					}
+					scan(m.Cond, guarded)
+					scan(m.Body, guarded || callsCPUProbe(pkg.Info, m.Cond))
+					if m.Else != nil {
+						scan(m.Else, guarded)
+					}
+					return false
+				case *ast.Ident:
+					if v, ok := pkg.Info.Uses[m].(*types.Var); ok && backendVars[v] && !guarded {
+						report(m.Pos(), "backend %s is registered outside a cpuHas* feature guard: it could dispatch on hardware that cannot execute it", m.Name)
+					}
+				}
+				return true
+			})
+		}
+		scan(archDecl.Body, false)
+	}
+
+	for v := range backendVars {
+		if !used[v] {
+			report(v.Pos(), "backend %s is wired to no dispatch list: its kernels can never be selected", v.Name())
+		}
+	}
+}
+
+// callsCPUProbe reports whether expr contains a call to a same-package
+// function whose name starts with cpuHas — the capability-probe naming
+// convention the registration check keys on.
+func callsCPUProbe(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok && strings.HasPrefix(fn.Name(), "cpuHas") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// inTestFile reports whether pos falls inside one of the package's test
+// files.
+func inTestFile(pkg *Package, pos token.Pos) bool {
+	for f, isTest := range pkg.TestFiles {
+		if isTest && f.Pos() <= pos && pos <= f.End() {
+			return true
+		}
+	}
+	return false
 }
 
 func derefType(t types.Type) types.Type {

@@ -106,6 +106,10 @@ func TestBackendPairFixture(t *testing.T) {
 	runFixture(t, ByName("backendpair"), "./kernel")
 }
 
+func TestBackendTripleFixture(t *testing.T) {
+	runFixture(t, ByName("backendpair"), "./kernel3")
+}
+
 func TestNoasmParityFixture(t *testing.T) {
 	runFixture(t, ByName("backendpair"), "./noasmbreak")
 }

@@ -22,6 +22,10 @@ var avx2 = backendImpl{ // want `does not assign kernel field "axpy"`
 	dot:  dotWrap,
 }
 
+// all registers both backends (no archBackends here, so the guard rule
+// self-skips; the registration reference keeps them non-orphans).
+var all = []backendImpl{generic, avx2}
+
 func dotGeneric(a, b []float64) float64 {
 	var s float64
 	for i := range a {

@@ -1,0 +1,51 @@
+// Package kernel3 exercises the backendpair registration rules with a
+// three-backend dispatch: every contract var used inside archBackends
+// must sit under a cpuHas* feature guard, and a contract var wired to no
+// dispatch list is an orphan.
+package kernel3
+
+// backendImpl is the dispatched kernel ABI.
+//
+//s2c2:backend-contract
+type backendImpl struct {
+	name string
+	dot  func(a, b []float64) float64
+}
+
+var generic = &backendImpl{name: "generic", dot: dotGeneric}
+
+var avx2 = &backendImpl{name: "avx2", dot: dotAVX2}
+
+var avx512 = &backendImpl{name: "avx512", dot: dotAVX512}
+
+// sve is declared but registered nowhere.
+var sve = &backendImpl{name: "sve", dot: dotGeneric} // want `backend sve is wired to no dispatch list`
+
+// all is the dispatch list: the portable backend unconditionally, the
+// arch backends behind capability probes.
+var all = append([]*backendImpl{generic}, archBackends()...)
+
+func archBackends() []*backendImpl {
+	var out []*backendImpl
+	if cpuHasAVX2() {
+		out = append(out, avx2)
+	}
+	out = append(out, avx512) // want `backend avx512 is registered outside a cpuHas\* feature guard`
+	return out
+}
+
+// cpuHasAVX2 stands in for a CPUID probe; a Go body keeps the asm-wiring
+// check quiet.
+func cpuHasAVX2() bool { return false }
+
+func dotGeneric(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func dotAVX2(a, b []float64) float64 { return dotGeneric(a, b) }
+
+func dotAVX512(a, b []float64) float64 { return dotGeneric(a, b) }

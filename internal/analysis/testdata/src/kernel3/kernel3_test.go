@@ -1,0 +1,15 @@
+package kernel3
+
+import "testing"
+
+// TestDotEquivalence exercises the dot field across all registered
+// backends, satisfying the per-field coverage rule.
+func TestDotEquivalence(t *testing.T) {
+	a := []float64{1, 2, 3}
+	want := generic.dot(a, a)
+	for _, b := range append(all, sve) {
+		if b.dot(a, a) != want {
+			t.Fatalf("backend %s disagrees", b.name)
+		}
+	}
+}

@@ -157,14 +157,24 @@ type gfInvSet struct {
 	inv     *gf.Matrix
 }
 
+// gfDecodeGroupLanes bounds the gather/apply scratch of the grouped
+// decode solve: a run of same-worker-set rows is split so one group's
+// right-hand-side block holds at most this many lanes (columns), keeping
+// ws.bm/ws.zm at k·gfDecodeGroupLanes elements regardless of BlockRows.
+const gfDecodeGroupLanes = 4096
+
 // GFDecodeWorkspace holds reusable decode state for one GFEncodedMatrix:
 // the per-worker row index (the shared generic rowTable), cached inverted
-// systems, and solve scratch. Not safe for concurrent decodes.
+// systems, and the grouped-solve scratch (bm gathers the right-hand-side
+// block of a same-worker-set row run, zm receives inv·bm, bmat is the
+// reused matrix view over bm). Not safe for concurrent decodes.
 type GFDecodeWorkspace struct {
 	table   rowTable[gf.Elem]
 	sets    []*gfInvSet
 	workers []int
-	b, z    []gf.Elem
+	next    []int
+	bm, zm  []gf.Elem
+	bmat    gf.Matrix
 	out     []gf.Elem
 }
 
@@ -176,8 +186,7 @@ func (e *GFEncodedMatrix) NewDecodeWorkspace() *GFDecodeWorkspace {
 	k := e.Code.k
 	return &GFDecodeWorkspace{
 		workers: make([]int, 0, k),
-		b:       make([]gf.Elem, k),
-		z:       make([]gf.Elem, k),
+		next:    make([]int, 0, k),
 		out:     make([]gf.Elem, e.BlockRows*k),
 	}
 }
@@ -192,10 +201,13 @@ func (e *GFEncodedMatrix) DecodeMatVec(partials []*GFPartial) ([]gf.Elem, error)
 // OrigRows·width, where width is the partials' common RowWidth; nil
 // allocates it), reusing ws across rounds: inverted decode systems are
 // cached per distinct worker set and index/scratch storage is recycled.
-// Batched partials decode each lane as its own right-hand side against
-// the shared inverted system, so lane l of the result is bit-identical
-// to decoding that lane's partials alone; dst is row-major width-wide
-// (lane l of row r at dst[r*width+l]).
+// Runs of consecutive rows covered by the same worker set apply the
+// cached inverse to all of the run's rows and lanes as one k×k·k×(rows·
+// width) mat-mul (gf.Matrix.MulRangeInto — the vectorized exact kernel)
+// rather than per-row per-lane mat-vec solves. Field arithmetic is
+// exact, so grouping cannot change any value: lane l of the result is
+// bit-identical to decoding that lane's partials alone; dst is row-major
+// width-wide (lane l of row r at dst[r*width+l]).
 //
 //s2c2:noalloc
 func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial, ws *GFDecodeWorkspace) ([]gf.Elem, error) {
@@ -223,8 +235,12 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 		ws.out = make([]gf.Elem, e.BlockRows*k*width)
 	}
 	ws.out = ws.out[:e.BlockRows*k*width]
+	maxGroupRows := gfDecodeGroupLanes / width
+	if maxGroupRows < 1 {
+		maxGroupRows = 1
+	}
 	var cur *gfInvSet
-	for row := 0; row < e.BlockRows; row++ {
+	for row := 0; row < e.BlockRows; {
 		ws.workers = ws.table.appendWorkersForRow(ws.workers, row, k)
 		if len(ws.workers) < k {
 			return nil, fmt.Errorf("%w: row %d covered by %d of %d workers", ErrInsufficient, row, len(ws.workers), k)
@@ -259,15 +275,46 @@ func (e *GFEncodedMatrix) DecodeMatVecInto(dst []gf.Elem, partials []*GFPartial,
 				ws.sets = append(ws.sets, cur)
 			}
 		}
-		for l := 0; l < width; l++ {
-			for i, w := range ws.workers {
-				ws.b[i] = ws.table.rowValue(w, row)[l]
+		// Extend the group: consecutive rows decoded by the same worker
+		// set share cur.inv, so they ride one mat-mul application instead
+		// of per-row per-lane mat-vec solves. In the common straggler
+		// pattern — each worker computing a contiguous row range — the
+		// whole block is a handful of runs.
+		end := row + 1
+		for end < e.BlockRows && end-row < maxGroupRows {
+			ws.next = ws.table.appendWorkersForRow(ws.next, end, k)
+			if len(ws.next) < k {
+				break // the next iteration reports the coverage error
 			}
-			cur.inv.MulVecInto(ws.z, ws.b)
-			for j := 0; j < k; j++ {
-				ws.out[(j*e.BlockRows+row)*width+l] = ws.z[j]
+			sortInts(ws.next)
+			if !sameWorkers(ws.next, ws.workers) {
+				break
+			}
+			end++
+		}
+		gw := (end - row) * width // right-hand-side lanes in this group
+		if cap(ws.bm) < k*gw {
+			//s2c2:waive noalloc — capacity growth, first decode at this shape only
+			ws.bm = make([]gf.Elem, k*gw)
+			//s2c2:waive noalloc — grown alongside bm
+			ws.zm = make([]gf.Elem, k*gw)
+		}
+		bm, zm := ws.bm[:k*gw], ws.zm[:k*gw]
+		// Gather: bm row i holds worker ws.workers[i]'s values for rows
+		// [row, end), width lanes per row — contiguous in both tables.
+		for i, w := range ws.workers {
+			for g := 0; g < end-row; g++ {
+				copy(bm[i*gw+g*width:i*gw+(g+1)*width], ws.table.rowValue(w, row+g)[:width])
 			}
 		}
+		ws.bmat.Reshape(k, gw, bm)
+		cur.inv.MulRangeInto(zm, &ws.bmat, 0, k)
+		// Scatter: zm row j is exactly ws.out's contiguous run for coded
+		// row j, block rows [row, end).
+		for j := 0; j < k; j++ {
+			copy(ws.out[(j*e.BlockRows+row)*width:][:gw], zm[j*gw:(j+1)*gw])
+		}
+		row = end
 	}
 	if dst == nil {
 		// Convenience fallback; hot callers pass a reused dst.

@@ -115,6 +115,89 @@ func TestGFMDSPartialCoverageExact(t *testing.T) {
 	}
 }
 
+// TestGFMDSBatchDecodeGrouped drives the grouped decode solve through
+// both of its boundary kinds: worker-set changes mid-block (short runs,
+// including single-row groups) and a uniform-set block whose lane count
+// forces the gfDecodeGroupLanes cap to split one run into several
+// mat-mul applications. Every lane must decode bit-identical to the
+// scalar reference.
+func TestGFMDSBatchDecodeGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	check := func(t *testing.T, n, k, rows, cols, width int, assign func(br int) map[int][]Range) {
+		t.Helper()
+		data := randGFData(rows*cols, rng)
+		xs := randGFData(width*cols, rng)
+		c, err := NewGFMDSCode(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := c.Encode(rows, cols, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var partials []*GFPartial
+		for w, ranges := range assign(enc.BlockRows) {
+			p, err := enc.WorkerMatVecBatch(w, xs, width, ranges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			partials = append(partials, p)
+		}
+		ws := enc.NewDecodeWorkspace()
+		got, err := enc.DecodeMatVecInto(make([]gf.Elem, rows*width), partials, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < width; l++ {
+			want := gfMatVec(rows, cols, data, xs[l*cols:(l+1)*cols])
+			for i := range want {
+				if got[i*width+l] != want[i] {
+					t.Fatalf("lane %d row %d: got %d want %d", l, i, got[i*width+l], want[i])
+				}
+			}
+		}
+		// A second decode through the same workspace must reuse the cached
+		// inverses and scratch and still be exact.
+		got2, err := enc.DecodeMatVecInto(got, partials, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < width; l++ {
+			want := gfMatVec(rows, cols, data, xs[l*cols:(l+1)*cols])
+			for i := range want {
+				if got2[i*width+l] != want[i] {
+					t.Fatalf("warm lane %d row %d: got %d want %d", l, i, got2[i*width+l], want[i])
+				}
+			}
+		}
+	}
+	t.Run("alternating-sets", func(t *testing.T) {
+		// Rows flip between {0,1} and {1,2} coverage every few rows, plus a
+		// region all three cover — groups of length 1..4 with cache hits.
+		check(t, 3, 2, 24, 3, 5, func(br int) map[int][]Range {
+			return map[int][]Range{
+				0: {{0, 3}, {6, 9}, {12, br}},
+				1: {{0, br}},
+				2: {{3, 6}, {9, 12}, {12, br}},
+			}
+		})
+	})
+	t.Run("cap-split", func(t *testing.T) {
+		// One worker set covers the whole block at width 256: with
+		// BlockRows 32 the run holds 8192 lanes, above gfDecodeGroupLanes,
+		// so the uniform run must split into multiple groups.
+		check(t, 3, 2, 64, 2, 256, func(br int) map[int][]Range {
+			if br*256 <= gfDecodeGroupLanes {
+				t.Fatalf("shape does not exceed the group cap: %d lanes", br*256)
+			}
+			return map[int][]Range{
+				0: {{0, br}},
+				2: {{0, br}},
+			}
+		})
+	})
+}
+
 func TestGFMDSInsufficient(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	data := randGFData(12, rng)

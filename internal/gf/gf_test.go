@@ -413,6 +413,121 @@ func TestVandermondeAnyRowsInvertible(t *testing.T) {
 	}
 }
 
+// TestMulRangeIntoMatchesNaive checks the mat-mul kernel against the
+// definitional per-element Mul/Add chain over shapes straddling the
+// vector lane widths, on every kernel backend — plus band splits, which
+// must produce identical values (the dst is band-relative).
+func TestMulRangeIntoMatchesNaive(t *testing.T) {
+	prev := kernel.ActiveBackend()
+	defer kernel.SetBackend(prev) //nolint:errcheck
+	rng := rand.New(rand.NewSource(8))
+	shapes := [][3]int{{1, 1, 1}, {3, 2, 5}, {4, 4, 7}, {7, 5, 8}, {8, 8, 9}, {5, 12, 33}, {12, 12, 100}}
+	for _, s := range shapes {
+		r, k, c := s[0], s[1], s[2]
+		m := NewMatrix(r, k)
+		b := NewMatrix(k, c)
+		fill := func(mat *Matrix) {
+			d := mat.Data()
+			for i := range d {
+				switch i % 5 {
+				case 0:
+					d[i] = Elem(P - 1)
+				case 1:
+					d[i] = 0
+				default:
+					d[i] = New(rng.Uint64())
+				}
+			}
+		}
+		fill(m)
+		fill(b)
+		want := make([]Elem, r*c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				var acc Elem
+				for tt := 0; tt < k; tt++ {
+					acc = Add(acc, Mul(m.At(i, tt), b.At(tt, j)))
+				}
+				want[i*c+j] = acc
+			}
+		}
+		for _, backend := range kernel.Backends() {
+			if err := kernel.SetBackend(backend); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]Elem, r*c)
+			m.MulRangeInto(got, b, 0, r)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("backend=%s %dx%d·%dx%d i=%d: %d want %d", backend, r, k, k, c, i, got[i], want[i])
+				}
+			}
+			if r > 2 {
+				band := make([]Elem, (r-2)*c)
+				m.MulRangeInto(band, b, 1, r-1)
+				for i := range band {
+					if band[i] != want[c+i] {
+						t.Fatalf("backend=%s %dx%d·%dx%d: band value %d want %d", backend, r, k, k, c, band[i], want[c+i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInvertMatchesEntrywise pins the augmented-elimination Invert to the
+// defining identities M·M⁻¹ = M⁻¹·M = I, entry by entry via MulRangeInto.
+func TestInvertMatchesEntrywise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		m := Vandermonde(distinctElems(n, rng), n)
+		inv, ok := Invert(m)
+		if !ok {
+			t.Fatalf("n=%d: Vandermonde must be invertible", n)
+		}
+		check := func(a, b *Matrix, name string) {
+			prod := make([]Elem, n*n)
+			a.MulRangeInto(prod, b, 0, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					want := Elem(0)
+					if i == j {
+						want = 1
+					}
+					if prod[i*n+j] != want {
+						t.Fatalf("n=%d %s[%d,%d] = %d want %d", n, name, i, j, prod[i*n+j], want)
+					}
+				}
+			}
+		}
+		check(m, inv, "M·M⁻¹")
+		check(inv, m, "M⁻¹·M")
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(3, 3)
+	// Row 2 = row 0 + row 1.
+	vals := [][]Elem{{1, 2, 3}, {4, 5, 6}, {5, 7, 9}}
+	for i, row := range vals {
+		copy(m.Row(i), row)
+	}
+	if _, ok := Invert(m); ok {
+		t.Fatal("expected singular")
+	}
+	// The pivot search must survive needing a row swap: leading zero block.
+	sw := NewMatrix(2, 2)
+	sw.Set(0, 1, 3)
+	sw.Set(1, 0, 5)
+	inv, ok := Invert(sw)
+	if !ok {
+		t.Fatal("antidiagonal matrix must be invertible")
+	}
+	if got := Mul(inv.At(0, 1), 5); got != 1 {
+		t.Fatalf("inv[0,1]·5 = %d want 1", got)
+	}
+}
+
 func distinctElems(n int, rng *rand.Rand) []Elem {
 	seen := map[Elem]bool{}
 	out := make([]Elem, 0, n)

@@ -1,0 +1,448 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX-512 micro-kernels. Operand order follows Go assembler convention
+// (destination last, reversed from Intel syntax): VFMADD231PD s3, s2, d
+// computes d += s2 * s3; the .BCST suffix broadcasts a 64-bit memory
+// operand across the vector lanes; "op ..., K1, dst" merge-masks dst by
+// opmask K1, suppressing loads, stores and faults on masked-off lanes.
+//
+// Every kernel uses a fixed accumulation order, so results are
+// bit-identical run to run. Vector-length wrappers in avx512_amd64.go
+// handle sub-8 tails in Go; the mat-mul tile kernels instead take an
+// explicit 8-bit column mask, so partial C tiles are written with masked
+// stores rather than through zero-padded scratch tiles.
+
+// GF(2³¹−1) constants, broadcast to all qword lanes via VPBROADCASTQ:
+// the prime for the Mersenne fold mask, p−1 for the final conditional
+// subtract. (The <> symbols in asm_amd64.s are file-local, hence the
+// separate copies.)
+DATA gfP31q<>+0(SB)/8, $0x7FFFFFFF
+GLOBL gfP31q<>(SB), RODATA|NOPTR, $8
+
+DATA gfP31m1q<>+0(SB)/8, $0x7FFFFFFE
+GLOBL gfP31m1q<>(SB), RODATA|NOPTR, $8
+
+// func dotAVX512(x, y *float64, n int) float64
+//
+// Four independent ZMM accumulators (32 elements per step), reduced
+// pairwise then across lanes. n must be a multiple of 8; the 8-element
+// blocks beyond the 32s drain through the first accumulator.
+TEXT ·dotAVX512(SB), NOSPLIT, $0-32
+	MOVQ   x+0(FP), SI
+	MOVQ   y+8(FP), DI
+	MOVQ   n+16(FP), CX
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	MOVQ   CX, BX
+	SHRQ   $5, BX
+	JZ     dot512_tail
+
+dot512_loop32:
+	VMOVUPD     (SI), Z4
+	VMOVUPD     64(SI), Z5
+	VMOVUPD     128(SI), Z6
+	VMOVUPD     192(SI), Z7
+	VFMADD231PD (DI), Z4, Z0
+	VFMADD231PD 64(DI), Z5, Z1
+	VFMADD231PD 128(DI), Z6, Z2
+	VFMADD231PD 192(DI), Z7, Z3
+	ADDQ        $256, SI
+	ADDQ        $256, DI
+	DECQ        BX
+	JNZ         dot512_loop32
+
+dot512_tail:
+	ANDQ $24, CX
+	JZ   dot512_reduce
+
+dot512_tail8:
+	VMOVUPD     (SI), Z4
+	VFMADD231PD (DI), Z4, Z0
+	ADDQ        $64, SI
+	ADDQ        $64, DI
+	SUBQ        $8, CX
+	JNZ         dot512_tail8
+
+dot512_reduce:
+	VADDPD        Z1, Z0, Z0
+	VADDPD        Z3, Z2, Z2
+	VADDPD        Z2, Z0, Z0
+	VEXTRACTF64X4 $1, Z0, Y1
+	VADDPD        Y1, Y0, Y0
+	VEXTRACTF128  $1, Y0, X1
+	VADDPD        X1, X0, X0
+	VUNPCKHPD     X0, X0, X1
+	VADDSD        X1, X0, X0
+	VMOVSD        X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func axpyAVX512(a float64, x, y *float64, n int)
+//
+// y += a*x over two ZMM lanes per iteration (fused multiply-add, one
+// rounding per element — elementwise, so banding at any offset is
+// bit-identical). n must be a multiple of 8.
+TEXT ·axpyAVX512(SB), NOSPLIT, $0-32
+	VBROADCASTSD a+0(FP), Z0
+	MOVQ         x+8(FP), SI
+	MOVQ         y+16(FP), DI
+	MOVQ         n+24(FP), CX
+	MOVQ         CX, BX
+	SHRQ         $4, BX
+	JZ           axpy512_tail8
+
+axpy512_loop16:
+	VMOVUPD     (DI), Z1
+	VMOVUPD     64(DI), Z2
+	VFMADD231PD (SI), Z0, Z1
+	VFMADD231PD 64(SI), Z0, Z2
+	VMOVUPD     Z1, (DI)
+	VMOVUPD     Z2, 64(DI)
+	ADDQ        $128, SI
+	ADDQ        $128, DI
+	DECQ        BX
+	JNZ         axpy512_loop16
+
+axpy512_tail8:
+	TESTQ       $8, CX
+	JZ          axpy512_done
+	VMOVUPD     (DI), Z1
+	VFMADD231PD (SI), Z0, Z1
+	VMOVUPD     Z1, (DI)
+
+axpy512_done:
+	VZEROUPPER
+	RET
+
+// func mulTile8x8AVX512(c *float64, stride int, a *float64, lda int, bt *float64, kc int, mask uint64)
+//
+// The 8×8 register micro-kernel: eight ZMM accumulators hold the C tile
+// across the whole kc sweep, one per C row; each k step is one B tile
+// load plus eight broadcast-FMAs straight from the A rows (embedded
+// .BCST operands, rows addressed through three base pointers at strides
+// {0,1,2,4}, {3,5,7} and {6}·lda). C rows are accumulated and stored
+// once under the column opmask, so partial tiles at the matrix edge
+// never touch memory past the row end.
+TEXT ·mulTile8x8AVX512(SB), NOSPLIT, $0-56
+	MOVQ   a+16(FP), SI
+	MOVQ   lda+24(FP), BX
+	SHLQ   $3, BX
+	LEAQ   (SI)(BX*2), R8
+	ADDQ   BX, R8              // R8 = a + 3*lda
+	LEAQ   (R8)(BX*2), R9
+	ADDQ   BX, R9              // R9 = a + 6*lda
+	MOVQ   bt+32(FP), R10
+	MOVQ   kc+40(FP), CX
+	MOVQ   mask+48(FP), AX
+	KMOVW  AX, K1
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+	TESTQ  CX, CX
+	JZ     tile8_store
+
+tile8_loop:
+	VMOVUPD          (R10), Z8
+	VFMADD231PD.BCST (SI), Z8, Z0
+	VFMADD231PD.BCST (SI)(BX*1), Z8, Z1
+	VFMADD231PD.BCST (SI)(BX*2), Z8, Z2
+	VFMADD231PD.BCST (R8), Z8, Z3
+	VFMADD231PD.BCST (SI)(BX*4), Z8, Z4
+	VFMADD231PD.BCST (R8)(BX*2), Z8, Z5
+	VFMADD231PD.BCST (R9), Z8, Z6
+	VFMADD231PD.BCST (R8)(BX*4), Z8, Z7
+	ADDQ             $64, R10
+	ADDQ             $8, SI
+	ADDQ             $8, R8
+	ADDQ             $8, R9
+	DECQ             CX
+	JNZ              tile8_loop
+
+tile8_store:
+	MOVQ    c+0(FP), AX
+	MOVQ    stride+8(FP), DX
+	SHLQ    $3, DX
+	VADDPD  (AX), Z0, K1, Z0
+	VMOVUPD Z0, K1, (AX)
+	ADDQ    DX, AX
+	VADDPD  (AX), Z1, K1, Z1
+	VMOVUPD Z1, K1, (AX)
+	ADDQ    DX, AX
+	VADDPD  (AX), Z2, K1, Z2
+	VMOVUPD Z2, K1, (AX)
+	ADDQ    DX, AX
+	VADDPD  (AX), Z3, K1, Z3
+	VMOVUPD Z3, K1, (AX)
+	ADDQ    DX, AX
+	VADDPD  (AX), Z4, K1, Z4
+	VMOVUPD Z4, K1, (AX)
+	ADDQ    DX, AX
+	VADDPD  (AX), Z5, K1, Z5
+	VMOVUPD Z5, K1, (AX)
+	ADDQ    DX, AX
+	VADDPD  (AX), Z6, K1, Z6
+	VMOVUPD Z6, K1, (AX)
+	ADDQ    DX, AX
+	VADDPD  (AX), Z7, K1, Z7
+	VMOVUPD Z7, K1, (AX)
+	VZEROUPPER
+	RET
+
+// func mulTile1x8AVX512(c, a0, bt *float64, kc int, mask uint64)
+//
+// Single-row tail of the 8×8 micro-kernel: one ZMM accumulator, same
+// per-row FMA chain as mulTile8x8AVX512 (rows are independent there), so
+// a row's result is identical whichever kernel a band boundary routes it
+// to.
+TEXT ·mulTile1x8AVX512(SB), NOSPLIT, $0-40
+	MOVQ   a0+8(FP), SI
+	MOVQ   bt+16(FP), R10
+	MOVQ   kc+24(FP), CX
+	MOVQ   mask+32(FP), AX
+	KMOVW  AX, K1
+	VPXORQ Z0, Z0, Z0
+	TESTQ  CX, CX
+	JZ     tile1x8_store
+
+tile1x8_loop:
+	VMOVUPD          (R10), Z8
+	VFMADD231PD.BCST (SI), Z8, Z0
+	ADDQ             $64, R10
+	ADDQ             $8, SI
+	DECQ             CX
+	JNZ              tile1x8_loop
+
+tile1x8_store:
+	MOVQ    c+0(FP), AX
+	VADDPD  (AX), Z0, K1, Z0
+	VMOVUPD Z0, K1, (AX)
+	VZEROUPPER
+	RET
+
+// func gfDotMod31AVX512(a, x *uint32, n int) uint64
+//
+// Partially folded inner product over GF(2³¹−1): sixteen elements per
+// iteration as two 8-lane 64-bit accumulator chains (widen with
+// VPMOVZXDQ, VPMULUDQ into 62-bit products, add, one Mersenne fold
+// x → (x>>31) + (x&p) keeps each lane below 2³³). The sixteen lanes are
+// summed horizontally at the end (< 2³⁷) and returned still unreduced —
+// the Go wrapper finishes the reduction. n must be a multiple of 8.
+TEXT ·gfDotMod31AVX512(SB), NOSPLIT, $0-32
+	MOVQ         a+0(FP), SI
+	MOVQ         x+8(FP), DI
+	MOVQ         n+16(FP), CX
+	VPXORQ       Z0, Z0, Z0
+	VPXORQ       Z4, Z4, Z4
+	VPBROADCASTQ gfP31q<>(SB), Z12
+	MOVQ         CX, BX
+	SHRQ         $4, BX
+	JZ           gfdot512_tail8
+
+gfdot512_loop16:
+	VPMOVZXDQ (SI), Z1
+	VPMOVZXDQ 32(SI), Z5
+	VPMOVZXDQ (DI), Z2
+	VPMOVZXDQ 32(DI), Z6
+	VPMULUDQ  Z2, Z1, Z1
+	VPMULUDQ  Z6, Z5, Z5
+	VPADDQ    Z1, Z0, Z0
+	VPADDQ    Z5, Z4, Z4
+
+	// fold: acc = (acc >> 31) + (acc & p), each lane back below 2³³
+	VPSRLQ $31, Z0, Z1
+	VPSRLQ $31, Z4, Z5
+	VPANDQ Z12, Z0, Z0
+	VPANDQ Z12, Z4, Z4
+	VPADDQ Z1, Z0, Z0
+	VPADDQ Z5, Z4, Z4
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  gfdot512_loop16
+
+gfdot512_tail8:
+	TESTQ     $8, CX
+	JZ        gfdot512_reduce
+	VPMOVZXDQ (SI), Z1
+	VPMOVZXDQ (DI), Z2
+	VPMULUDQ  Z2, Z1, Z1
+	VPADDQ    Z1, Z0, Z0
+	VPSRLQ    $31, Z0, Z1
+	VPANDQ    Z12, Z0, Z0
+	VPADDQ    Z1, Z0, Z0
+
+gfdot512_reduce:
+	VPADDQ        Z4, Z0, Z0
+	VEXTRACTI64X4 $1, Z0, Y1
+	VPADDQ        Y1, Y0, Y0
+	VEXTRACTI128  $1, Y0, X1
+	VPADDQ        X1, X0, X0
+	VPSRLDQ       $8, X0, X1
+	VPADDQ        X1, X0, X0
+	MOVQ          X0, AX
+	MOVQ          AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func gfAxpyAVX512(dst *uint32, c uint32, src *uint32, n int)
+//
+// dst[i] += c·src[i] mod 2³¹−1, sixteen elements per iteration as two
+// interleaved 8-lane 64-bit chains: widen dwords to qwords, VPMULUDQ the
+// 31-bit operands into 62-bit products, add dst, then two Mersenne folds
+// and one opmasked subtract bring each lane into [0, p); VPMOVQD narrows
+// the qword lanes straight back to memory. Exact — same values as the
+// scalar fold. n must be a multiple of 8.
+TEXT ·gfAxpyAVX512(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVL         c+8(FP), AX
+	MOVQ         src+16(FP), SI
+	MOVQ         n+24(FP), CX
+	VPBROADCASTQ AX, Z0
+	VPBROADCASTQ gfP31q<>(SB), Z12
+	VPBROADCASTQ gfP31m1q<>(SB), Z13
+	MOVQ         CX, BX
+	SHRQ         $4, BX
+	JZ           gfaxpy512_tail8
+
+gfaxpy512_loop16:
+	VPMOVZXDQ (SI), Z1
+	VPMOVZXDQ 32(SI), Z5
+	VPMOVZXDQ (DI), Z2
+	VPMOVZXDQ 32(DI), Z6
+	VPMULUDQ  Z0, Z1, Z1
+	VPMULUDQ  Z0, Z5, Z5
+	VPADDQ    Z2, Z1, Z1
+	VPADDQ    Z6, Z5, Z5
+
+	// fold 1: x = (x >> 31) + (x & p)
+	VPSRLQ $31, Z1, Z2
+	VPSRLQ $31, Z5, Z6
+	VPANDQ Z12, Z1, Z1
+	VPANDQ Z12, Z5, Z5
+	VPADDQ Z2, Z1, Z1
+	VPADDQ Z6, Z5, Z5
+
+	// fold 2
+	VPSRLQ $31, Z1, Z2
+	VPSRLQ $31, Z5, Z6
+	VPANDQ Z12, Z1, Z1
+	VPANDQ Z12, Z5, Z5
+	VPADDQ Z2, Z1, Z1
+	VPADDQ Z6, Z5, Z5
+
+	// conditional subtract: x -= p when x > p-1
+	VPCMPGTQ Z13, Z1, K2
+	VPCMPGTQ Z13, Z5, K3
+	VPSUBQ   Z12, Z1, K2, Z1
+	VPSUBQ   Z12, Z5, K3, Z5
+
+	// narrow qword lanes back to dwords and store
+	VPMOVQD Z1, (DI)
+	VPMOVQD Z5, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	DECQ    BX
+	JNZ     gfaxpy512_loop16
+
+gfaxpy512_tail8:
+	TESTQ     $8, CX
+	JZ        gfaxpy512_done
+	VPMOVZXDQ (SI), Z1
+	VPMOVZXDQ (DI), Z2
+	VPMULUDQ  Z0, Z1, Z1
+	VPADDQ    Z2, Z1, Z1
+	VPSRLQ    $31, Z1, Z2
+	VPANDQ    Z12, Z1, Z1
+	VPADDQ    Z2, Z1, Z1
+	VPSRLQ    $31, Z1, Z2
+	VPANDQ    Z12, Z1, Z1
+	VPADDQ    Z2, Z1, Z1
+	VPCMPGTQ  Z13, Z1, K2
+	VPSUBQ    Z12, Z1, K2, Z1
+	VPMOVQD   Z1, (DI)
+
+gfaxpy512_done:
+	VZEROUPPER
+	RET
+
+// func gfMatMulRowAccAVX512(dst *uint32, a *uint32, k int, b *uint32, n int)
+//
+// One fused row of the exact mat-mul accumulate: for every 8-column
+// block j of dst, widen dst[j..j+8) into a qword accumulator (opmasked
+// at the row tail), then sweep all k terms — broadcast a[t], widen the
+// masked B row slice b[t*n+j..), VPMULUDQ, add, one Mersenne fold —
+// keeping the accumulator in registers across the whole k sweep instead
+// of a load/reduce/store round trip per term. A final fold plus opmasked
+// subtract lands in [0, p) and VPMOVQD stores through the same column
+// mask. The accumulator obeys the standard invariant: dst < 2³¹ to
+// start, < 2³³ after every fold, so adding the next 62-bit product
+// cannot overflow 64 bits.
+TEXT ·gfMatMulRowAccAVX512(SB), NOSPLIT, $0-40
+	MOVQ         dst+0(FP), DI
+	MOVQ         b+24(FP), R8
+	MOVQ         n+32(FP), R9
+	MOVQ         R9, R11
+	SHLQ         $2, R11       // B row stride in bytes
+	VPBROADCASTQ gfP31q<>(SB), Z14
+	VPBROADCASTQ gfP31m1q<>(SB), Z13
+	XORQ         R10, R10      // j = 0
+
+gfmm_jloop:
+	// column mask for this block: 0xFF, or (1<<w)-1 at the row tail
+	MOVQ  R9, DX
+	SUBQ  R10, DX
+	MOVQ  $0xFF, AX
+	CMPQ  DX, $8
+	JGE   gfmm_maskdone
+	MOVQ  $1, AX
+	MOVQ  DX, CX
+	SHLQ  CX, AX
+	DECQ  AX
+
+gfmm_maskdone:
+	KMOVW       AX, K1
+	LEAQ        (DI)(R10*4), R13
+	VPMOVZXDQ.Z (R13), K1, Z0
+	MOVQ        a+8(FP), SI
+	LEAQ        (R8)(R10*4), R12
+	MOVQ        k+16(FP), CX
+	TESTQ       CX, CX
+	JZ          gfmm_store
+
+gfmm_tloop:
+	VPBROADCASTD (SI), Z1
+	VPMOVZXDQ.Z  (R12), K1, Z2
+	VPMULUDQ     Z2, Z1, Z2
+	VPADDQ       Z2, Z0, Z0
+	VPSRLQ       $31, Z0, Z3
+	VPANDQ       Z14, Z0, Z0
+	VPADDQ       Z3, Z0, Z0
+	ADDQ         $4, SI
+	ADDQ         R11, R12
+	DECQ         CX
+	JNZ          gfmm_tloop
+
+	// final reduction: one more fold + conditional subtract
+	VPSRLQ   $31, Z0, Z3
+	VPANDQ   Z14, Z0, Z0
+	VPADDQ   Z3, Z0, Z0
+	VPCMPGTQ Z13, Z0, K2
+	VPSUBQ   Z14, Z0, K2, Z0
+
+gfmm_store:
+	VPMOVQD Z0, K1, (R13)
+	ADDQ    $8, R10
+	CMPQ    R10, R9
+	JL      gfmm_jloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,290 @@
+//go:build amd64 && !noasm
+
+package kernel
+
+import "math"
+
+// The AVX-512 backend: hand-written assembly micro-kernels using 512-bit
+// FMA accumulators and opmask registers (asm512_amd64.s), plus the Go
+// blocking/packing drivers that feed them. Where the AVX2 backend routes
+// partial mat-mul tiles through zero-padded scratch, this backend passes
+// an explicit column mask to the tile kernels and lets EVEX masked
+// loads/stores handle the edges — no scratch tile, no store amplification.
+// Accumulation order is fixed (see each wrapper), so results are
+// bit-identical run to run on this backend; versus the generic backend,
+// float64 results differ only by accumulated rounding and GF results are
+// exact.
+
+// nrColsAVX512 is the packed-tile width of the AVX-512 mat-mul
+// micro-kernel: one 8-lane ZMM column block per C row. mrRowsAVX512 C
+// rows ride one B-tile sweep, so the 8×8 tile lives in eight ZMM
+// accumulators. The packed-tile layout is identical to the AVX2
+// backend's, so the same packers feed both.
+const (
+	nrColsAVX512 = nrColsAVX2
+	mrRowsAVX512 = 8
+
+	// fullTileMask is the 8-column opmask for interior tiles; edge tiles
+	// use (1<<w)-1.
+	fullTileMask = 0xFF
+)
+
+var avx512Backend = &backendImpl{
+	name:             "avx512",
+	dot:              dotVec512,
+	axpy:             axpyVec512,
+	matVecRange:      matVecRangeVec512,
+	matVecRangeBatch: matVecRangeBatchVec512,
+	matMulAccRange:   matMulAccRangeAVX512,
+	gfAxpy:           gfAxpyVec512,
+	gfMatVec:         gfMatVecVec512,
+	gfMatVecBatch:    gfMatVecBatchVec512,
+	gfMatMulAccRange: gfMatMulAccRangeVec512,
+	chunkFlops:       128 * 1024,
+}
+
+// dotAVX512 processes n elements (n must be a multiple of 8) with four
+// independent ZMM FMA accumulators, reduced in a fixed order.
+//
+//go:noescape
+func dotAVX512(x, y *float64, n int) float64
+
+// axpyAVX512 computes y[0:n] += a*x[0:n]; n must be a multiple of 8.
+//
+//go:noescape
+func axpyAVX512(a float64, x, y *float64, n int)
+
+// mulTile8x8AVX512 accumulates an 8-row × 8-col C tile (rows stride
+// elements apart) from eight A row fragments (rows lda elements apart)
+// and a packed kc×8 B tile, storing only the columns selected by the
+// low 8 bits of mask.
+//
+//go:noescape
+func mulTile8x8AVX512(c *float64, stride int, a *float64, lda int, bt *float64, kc int, mask uint64)
+
+// mulTile1x8AVX512 is the single-row tail of mulTile8x8AVX512.
+//
+//go:noescape
+func mulTile1x8AVX512(c, a0, bt *float64, kc int, mask uint64)
+
+// gfAxpyAVX512 computes dst[0:n] += c·src[0:n] over GF(2³¹−1) in 8-lane
+// 64-bit vectors (Mersenne folding); n must be a multiple of 8.
+//
+//go:noescape
+func gfAxpyAVX512(dst *uint32, c uint32, src *uint32, n int)
+
+// gfDotMod31AVX512 returns a partially folded Σ a[i]·x[i] over GF(2³¹−1):
+// the result is below 2³⁷ and congruent to the true sum mod 2³¹−1. n must
+// be a multiple of 8; the caller finishes the reduction.
+//
+//go:noescape
+func gfDotMod31AVX512(a, x *uint32, n int) uint64
+
+// gfMatMulRowAccAVX512 accumulates one row of A·B over GF(2³¹−1) into
+// dst (length n): dst[j] += Σ_t a[t]·B[t,j] mod 2³¹−1, with the k sweep
+// fused in registers per 8-column block and opmasked column tails.
+//
+//go:noescape
+func gfMatMulRowAccAVX512(dst *uint32, a *uint32, k int, b *uint32, n int)
+
+// dotVec512 sums the vectorized prefix in the assembly kernel, then folds
+// the up-to-7-element tail in sequentially — one fixed order per length.
+//
+//s2c2:noalloc
+func dotVec512(x, y []float64) float64 {
+	n := len(x)
+	y = y[:n]
+	var s float64
+	if nv := n &^ 7; nv > 0 {
+		s = dotAVX512(&x[0], &y[0], nv)
+	}
+	for i := n &^ 7; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// axpyVec512 must be elementwise position-independent: callers band flat
+// slices at arbitrary offsets and the results must be bit-identical to
+// one unbanded call. The assembly lanes use fused multiply-adds, so the
+// scalar tail uses math.FMA for the identical single rounding.
+//
+//s2c2:noalloc
+func axpyVec512(a float64, x, y []float64) {
+	n := len(y)
+	x = x[:n]
+	if nv := n &^ 7; nv > 0 {
+		axpyAVX512(a, &x[0], &y[0], nv)
+	}
+	for i := n &^ 7; i < n; i++ {
+		y[i] = math.FMA(a, x[i], y[i])
+	}
+}
+
+//s2c2:noalloc
+func matVecRangeVec512(dst, a []float64, cols int, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = dotVec512(a[i*cols:(i+1)*cols], x)
+	}
+}
+
+// matMulAccRangeAVX512 accumulates rows [lo, hi) of A·B into dst with the
+// same kcBlock×ncBlock cache blocking and packed 8-column tiles as the
+// AVX2 backend, feeding the 8×8 ZMM FMA micro-kernel. Edge tiles (final
+// panel columns when nc is not a multiple of 8) pass a (1<<w)-1 column
+// mask so the kernel's opmasked C accumulate/store never touches memory
+// past the row end — no zero-padded scratch tile. Each C row's FMA chain
+// is identical in the 8-row and 1-row kernels, so banding at any row
+// boundary is bit-identical on this backend.
+//
+//s2c2:noalloc
+func matMulAccRangeAVX512(dst, a []float64, k int, b []float64, n, lo, hi int) {
+	if hi <= lo || n == 0 || k == 0 {
+		return
+	}
+	buf := GetBuf(kcBlock * ncBlock)
+	defer buf.Put()
+	for kk := 0; kk < k; kk += kcBlock {
+		kc := min(kcBlock, k-kk)
+		for jj := 0; jj < n; jj += ncBlock {
+			nc := min(ncBlock, n-jj)
+			packPanel8(buf.F, b, n, kk, kc, jj, nc)
+			tiles := (nc + nrColsAVX512 - 1) / nrColsAVX512
+			i := lo
+			for ; i+mrRowsAVX512 <= hi; i += mrRowsAVX512 {
+				for t := 0; t < tiles; t++ {
+					bt := &buf.F[t*kc*nrColsAVX512]
+					j := jj + t*nrColsAVX512
+					mask := uint64(fullTileMask)
+					if w := nc - t*nrColsAVX512; w < nrColsAVX512 {
+						mask = 1<<uint(w) - 1
+					}
+					mulTile8x8AVX512(&dst[i*n+j], n, &a[i*k+kk], k, bt, kc, mask)
+				}
+			}
+			for ; i < hi; i++ {
+				for t := 0; t < tiles; t++ {
+					bt := &buf.F[t*kc*nrColsAVX512]
+					j := jj + t*nrColsAVX512
+					mask := uint64(fullTileMask)
+					if w := nc - t*nrColsAVX512; w < nrColsAVX512 {
+						mask = 1<<uint(w) - 1
+					}
+					mulTile1x8AVX512(&dst[i*n+j], &a[i*k+kk], bt, kc, mask)
+				}
+			}
+		}
+	}
+}
+
+// matVecRangeBatchVec512 treats the batch as a skinny mat-mul against the
+// implicit cols×w right-hand side whose column l is x_l, like the AVX2
+// backend but with the 8-row ZMM micro-kernel and an opmasked lane tail:
+// lane groups narrower than eight write through a (1<<lw)-1 column mask
+// instead of a scratch tile. Each output element's accumulation order is
+// the micro-kernel's — fixed, and band-invariant because per-row chains
+// are identical in both micro-kernels.
+//
+//s2c2:noalloc
+func matVecRangeBatchVec512(dst, a []float64, cols int, xs []float64, w, lo, hi int) {
+	if hi <= lo || w <= 0 {
+		return
+	}
+	Zero(dst[:(hi-lo)*w])
+	if cols == 0 {
+		return
+	}
+	buf := GetBuf(kcBlock * nrColsAVX512)
+	defer buf.Put()
+	for l0 := 0; l0 < w; l0 += nrColsAVX512 {
+		lw := min(nrColsAVX512, w-l0)
+		mask := uint64(1)<<uint(lw) - 1
+		for kk := 0; kk < cols; kk += kcBlock {
+			kc := min(kcBlock, cols-kk)
+			packXsTile8(buf.F, xs, cols, l0, lw, kk, kc)
+			i := lo
+			for ; i+mrRowsAVX512 <= hi; i += mrRowsAVX512 {
+				mulTile8x8AVX512(&dst[(i-lo)*w+l0], w, &a[i*cols+kk], cols, &buf.F[0], kc, mask)
+			}
+			for ; i < hi; i++ {
+				mulTile1x8AVX512(&dst[(i-lo)*w+l0], &a[i*cols+kk], &buf.F[0], kc, mask)
+			}
+		}
+	}
+}
+
+// gfDotVec512 is the 8-lane vectorized GF(2³¹−1) inner product: the
+// assembly kernel accumulates sixteen 64-bit lanes with one Mersenne fold
+// per step and returns their partially folded sum (< 2³⁷); the scalar
+// tail continues the same accumulate-fold recurrence before the final
+// reduction. Modular reduction is order-independent, so the result is
+// exactly the canonical inner product — identical to the generic backend.
+//
+//s2c2:noalloc
+func gfDotVec512(row, x []uint32) uint32 {
+	n := len(row)
+	x = x[:n]
+	var acc uint64
+	if nv := n &^ 7; nv > 0 {
+		acc = gfDotMod31AVX512(&row[0], &x[0], nv)
+	}
+	for i := n &^ 7; i < n; i++ {
+		acc += uint64(row[i]) * uint64(x[i]) // < 2³⁷ + 2⁶² < 2⁶³
+		acc = (acc >> 31) + (acc & p31)      // < 2³³
+	}
+	acc = (acc >> 31) + (acc & p31) // < 2³¹ + 2⁶ < 2·p31
+	if acc >= p31 {
+		acc -= p31
+	}
+	return uint32(acc)
+}
+
+//s2c2:noalloc
+func gfMatVecVec512(dst, a []uint32, cols int, x []uint32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = gfDotVec512(a[i*cols:(i+1)*cols], x)
+	}
+}
+
+// gfMatVecBatchVec512 walks each A row once across all w lanes: the row
+// is hot in L1 for every lane past the first, so the A DRAM stream is
+// amortized w ways.
+//
+//s2c2:noalloc
+func gfMatVecBatchVec512(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a[i*cols : (i+1)*cols]
+		out := dst[(i-lo)*w : (i-lo+1)*w]
+		for l := 0; l < w; l++ {
+			out[l] = gfDotVec512(row, xs[l*cols:(l+1)*cols])
+		}
+	}
+}
+
+//s2c2:noalloc
+func gfAxpyVec512(dst []uint32, c uint32, src []uint32) {
+	src = src[:len(dst)]
+	if nv := len(dst) &^ 7; nv > 0 {
+		gfAxpyAVX512(&dst[0], c, &src[0], nv)
+	}
+	for i := len(dst) &^ 7; i < len(dst); i++ {
+		dst[i] = gfMulAdd31(dst[i], c, src[i])
+	}
+}
+
+// gfMatMulAccRangeVec512 accumulates rows [lo, hi) of A·B over the field
+// into band-relative dst through the fused row kernel: the whole k sweep
+// of each 8-column block stays in one ZMM accumulator (one fold per
+// term), instead of the k separate load/reduce/store round trips the
+// axpy-sweep backends make. Opmasked column tails need no padding, and
+// the result is exactly the field value — identical on every backend.
+//
+//s2c2:noalloc
+func gfMatMulAccRangeVec512(dst, a []uint32, k int, b []uint32, n, lo, hi int) {
+	if hi <= lo || n == 0 || k == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		gfMatMulRowAccAVX512(&dst[(i-lo)*n], &a[i*k], k, &b[0], n)
+	}
+}

@@ -43,3 +43,30 @@ func cpuHasAVX2FMA() bool {
 	_, b7, _, _ := cpuid(7, 0)
 	return b7&avx2Bit != 0
 }
+
+// cpuHasAVX512 reports whether the CPU and OS support the AVX-512 backend:
+// the AVX512F/DQ/BW/VL instruction subsets (leaf 7 EBX), plus OPMASK, ZMM
+// and Hi16-ZMM register state enabled by the OS (XCR0 bits 5–7, on top of
+// the XMM/YMM bits). The FMA/OSXSAVE base is rechecked via cpuHasAVX2FMA
+// so a backend never registers on a CPU that could not also run avx2.
+func cpuHasAVX512() bool {
+	if !cpuHasAVX2FMA() {
+		return false
+	}
+	const (
+		avx512fBit  = 1 << 16 // leaf 7 EBX
+		avx512dqBit = 1 << 17 // leaf 7 EBX
+		avx512bwBit = 1 << 30 // leaf 7 EBX
+		avx512vlBit = 1 << 31 // leaf 7 EBX
+		need        = avx512fBit | avx512dqBit | avx512bwBit | avx512vlBit
+
+		// XCR0: XMM (1) + YMM (2) + OPMASK (5) + ZMM_Hi256 (6) + Hi16_ZMM (7)
+		zmmState = 0xE6
+	)
+	_, b7, _, _ := cpuid(7, 0)
+	if b7&need != need {
+		return false
+	}
+	lo, _ := xgetbv()
+	return lo&zmmState == zmmState
+}

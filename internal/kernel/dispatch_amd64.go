@@ -2,12 +2,20 @@
 
 package kernel
 
-// archBackends reports the vector backends this CPU can run. The AVX2
-// backend additionally needs FMA and OS-enabled YMM state; absent any of
-// those the generic backend is the only choice.
+// archBackends reports the vector backends this CPU can run, best last
+// (init picks the final entry). Every registration sits inside its own
+// cpuHas* feature guard — the backendpair analyzer enforces that shape, so
+// a backend can never be registered on hardware that cannot execute it.
+// The AVX2 backend needs AVX2+FMA and OS-enabled YMM state; the AVX-512
+// backend additionally needs AVX512F/DQ/BW/VL and OS-enabled
+// OPMASK/ZMM/Hi16-ZMM state.
 func archBackends() []*backendImpl {
-	if !cpuHasAVX2FMA() {
-		return nil
+	var out []*backendImpl
+	if cpuHasAVX2FMA() {
+		out = append(out, avx2Backend)
 	}
-	return []*backendImpl{avx2Backend}
+	if cpuHasAVX512() {
+		out = append(out, avx512Backend)
+	}
+	return out
 }

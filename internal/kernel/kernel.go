@@ -12,7 +12,10 @@
 // Every kernel dispatches through a backend selected once at init:
 // "generic" is portable scalar Go and the reference semantics; "avx2"
 // (amd64, no noasm tag, CPU with AVX2+FMA) uses hand-written assembly with
-// 256-bit FMA accumulators. Selection is observable via ActiveBackend and
+// 256-bit FMA accumulators; "avx512" (additionally AVX512F/DQ/BW/VL with
+// OS-enabled OPMASK/ZMM state) uses 512-bit accumulators with
+// opmask-register tail handling in place of scratch-tile padding.
+// Selection is observable via ActiveBackend and
 // forceable via the S2C2_KERNEL_BACKEND environment variable or
 // SetBackend. Each backend uses a fixed accumulation order, so results are
 // bit-identical run to run *within* a backend; across backends, float64
@@ -183,6 +186,19 @@ func GFMatVecMod31(dst, a []uint32, cols int, x []uint32, lo, hi int) {
 //s2c2:noalloc
 func GFMatVecBatchMod31(dst, a []uint32, cols int, xs []uint32, w, lo, hi int) {
 	active.Load().gfMatVecBatch(dst, a, cols, xs, w, lo, hi)
+}
+
+// GFMatMulAccMod31 accumulates rows [lo, hi) of A·B over GF(2³¹−1) into
+// dst: dst[(i-lo)*n+j] += Σ_t A[i,t]·B[t,j] mod 2³¹−1 for row-major A
+// (rows×k) and B (k×n). dst is band-relative ((hi-lo)×n) — unlike the
+// float64 MatMulAccRange's absolute indexing — because the decode solves
+// it backs (gf.Matrix.MulRangeInto) write compact per-band outputs.
+// Inputs must be fully reduced; results are exact and identical on every
+// backend.
+//
+//s2c2:noalloc
+func GFMatMulAccMod31(dst, a []uint32, k int, b []uint32, n, lo, hi int) {
+	active.Load().gfMatMulAccRange(dst, a, k, b, n, lo, hi)
 }
 
 // ATDiagBRange accumulates rows [lo, hi) of Aᵀ·diag(d)·B into dst, the
