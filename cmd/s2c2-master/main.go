@@ -44,13 +44,23 @@ func main() {
 		chunkRows   = flag.Int("chunk-rows", 0, "rows per streamed partition chunk (0 = ~256 KiB chunks)")
 		chunkWindow = flag.Int("chunk-window", 0, "unacknowledged chunks in flight per worker (0 = 4)")
 		mode        = flag.String("mode", "float", "workload mode: float (float64 logistic GD) or exact (bit-exact GF(2^31-1) rounds)")
+
+		retryTries   = flag.Int("retry-attempts", 0, "distribution attempts per partition before giving up (0 = no retries); >1 re-streams failed partitions to spares")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base delay between distribution retries, doubled per attempt (0 = 50ms)")
+		heartbeat    = flag.Duration("heartbeat", 0, "ping interval for the liveness watch over idle and parked connections (0 = off)")
+		hbMiss       = flag.Int("heartbeat-miss", 0, "missed-ping budget before a silent connection is evicted (0 = 3)")
+		evictAfter   = flag.Int("evict-after", 0, "consecutive failed rounds before a worker is evicted (0 = never)")
 	)
 	flag.Parse()
 	cfg := rpc.MasterConfig{
-		Addr:         *listen,
-		StallTimeout: *stall,
-		ChunkRows:    *chunkRows,
-		ChunkWindow:  *chunkWindow,
+		Addr:          *listen,
+		StallTimeout:  *stall,
+		ChunkRows:     *chunkRows,
+		ChunkWindow:   *chunkWindow,
+		Retry:         rpc.RetryConfig{MaxAttempts: *retryTries, BaseBackoff: *retryBackoff},
+		Heartbeat:     *heartbeat,
+		HeartbeatMiss: *hbMiss,
+		EvictAfter:    *evictAfter,
 	}
 	var err error
 	switch *mode {
@@ -83,6 +93,10 @@ func runExact(cfg rpc.MasterConfig, n, k, iters, rows, cols int, timeoutFrac flo
 		return err
 	}
 	fmt.Printf("all %d workers connected\n", n)
+	// Workers dialing in after this point park as warm spares for the
+	// retry and eviction paths.
+	m.StartAdmissions()
+	defer reportRecovery(m)
 
 	rng := rand.New(rand.NewSource(1))
 	data := make([]gf.Elem, rows*cols)
@@ -160,6 +174,8 @@ func run(cfg rpc.MasterConfig, n, k, iters, samples, feats int, timeoutFrac floa
 		return err
 	}
 	fmt.Printf("all %d workers connected\n", n)
+	m.StartAdmissions()
+	defer reportRecovery(m)
 
 	data := workloads.SyntheticClassification(samples, feats, 1)
 	lr := &workloads.LogisticRegression{Data: data, LR: 0.5, Lambda: 1e-4, Tol: 0}
@@ -222,6 +238,17 @@ func run(cfg rpc.MasterConfig, n, k, iters, samples, feats int, timeoutFrac floa
 	}
 	fmt.Printf("final model: loss %.4f accuracy %.3f\n", lr.Loss(state), lr.Accuracy(state))
 	return nil
+}
+
+// reportRecovery prints the job's cumulative failure-recovery activity,
+// if any worker ever needed replacing or evicting.
+func reportRecovery(m *rpc.Master) {
+	t := m.RecoveryTotals()
+	if t.Retries == 0 && t.ReStreams == 0 && t.Evictions == 0 && t.ReplacementAdmits == 0 {
+		return
+	}
+	fmt.Printf("recovery: %d retries, %d re-streams, %d evictions, %d replacements admitted\n",
+		t.Retries, t.ReStreams, t.Evictions, t.ReplacementAdmits)
 }
 
 // predictSpeeds bootstraps with equal speeds, then uses AR(1) forecasts.

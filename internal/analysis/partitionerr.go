@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -23,6 +24,17 @@ import (
 // the call from the caller's deadline and cancellation; the straggler
 // cutoff stops propagating. Root entry points without a ctx parameter
 // (RunRound) are free to mint one.
+//
+// Rule 3 — retry loops must not swallow the loop's error: inside a
+// //s2c2:partition-attrib function, an error variable declared outside a
+// for-loop and assigned within it is the retry path's attribution
+// carrier (`var last error; for ... { last = ship(...) }`). If nothing
+// ever consults it once the loop is done — no read after the loop, no
+// return of it from inside the loop, no bare return naming it as a
+// result — then backoff exhaustion discards the last attempt's
+// *PartitionError and the caller learns nothing about which worker
+// failed. The loop must return the variable, wrap it (%w), or join it
+// into the exhaustion error.
 var PartitionErr = &Analyzer{
 	Name: "partitionerr",
 	Doc:  "distribute/stream errors must stay attributed; ctx must be propagated, not re-minted",
@@ -38,6 +50,7 @@ func runPartitionErr(pass *Pass) {
 			}
 			if funcAnnotated(fn, "partition-attrib") {
 				checkAttribution(pass, fn)
+				checkRetrySwallow(pass, fn)
 			}
 			checkCtxPropagation(pass, fn)
 		}
@@ -63,6 +76,116 @@ func checkAttribution(pass *Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkRetrySwallow flags error variables that a loop assigns but the
+// function then abandons (rule 3).
+func checkRetrySwallow(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		for obj, firstAssign := range loopErrorCarriers(info, n.Pos(), body) {
+			if !errorCarrierConsulted(info, fn, obj, body) {
+				pass.Reportf(firstAssign, "retry loop assigns %s but nothing consults it after the loop; return, wrap (%%w), or join it so exhaustion keeps the last attempt's attribution", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// loopErrorCarriers collects error-typed variables declared before the
+// loop (position-wise) and plain-assigned inside its body, keyed to the
+// first assignment's position. Loop-local `err :=` declarations are the
+// per-iteration early-return idiom and are not carriers.
+func loopErrorCarriers(info *types.Info, loopPos token.Pos, body *ast.BlockStmt) map[types.Object]token.Pos {
+	var carriers map[types.Object]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || asg.Tok != token.ASSIGN {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil || obj.Pos() >= loopPos || !isErrorType(obj.Type()) {
+				continue
+			}
+			if _, seen := carriers[obj]; !seen {
+				if carriers == nil {
+					carriers = make(map[types.Object]token.Pos)
+				}
+				carriers[obj] = id.Pos()
+			}
+		}
+		return true
+	})
+	return carriers
+}
+
+// errorCarrierConsulted reports whether the loop-assigned error obj is
+// preserved: read anywhere after the loop ends, referenced inside a
+// return statement within the loop, or implicitly returned by a bare
+// return when obj is a named result of fn.
+func errorCarrierConsulted(info *types.Info, fn *ast.FuncDecl, obj types.Object, body *ast.BlockStmt) bool {
+	consulted := false
+	bareReturnMatters := isNamedResult(info, fn, obj)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if consulted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if info.Uses[n] == obj && n.Pos() > body.End() {
+				consulted = true
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 && bareReturnMatters {
+				consulted = true
+				return false
+			}
+			// A return inside the loop that mentions the carrier (return
+			// err, return fmt.Errorf("...: %w", err)) preserves it.
+			if n.Pos() > body.Pos() && n.End() < body.End() {
+				for _, res := range n.Results {
+					ast.Inspect(res, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+							consulted = true
+						}
+						return !consulted
+					})
+				}
+			}
+		}
+		return !consulted
+	})
+	return consulted
+}
+
+// isNamedResult reports whether obj is one of fn's named result
+// parameters.
+func isNamedResult(info *types.Info, fn *ast.FuncDecl, obj types.Object) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // freshUnattributedError reports (as a non-empty description) whether e

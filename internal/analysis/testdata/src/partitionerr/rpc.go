@@ -52,3 +52,84 @@ func relay(ctx context.Context) {
 func root() error {
 	return call(context.Background(), 4)
 }
+
+func attempt(i int) error {
+	if i > 0 {
+		return nil
+	}
+	return errDown
+}
+
+// retrySwallows is the rule-3 violation: the backoff loop tracks the
+// last attempt's error, then throws it away and reports a bare sentinel.
+//
+//s2c2:partition-attrib
+func retrySwallows(tries int) error {
+	var last error
+	for i := 0; i < tries; i++ {
+		last = attempt(i) // want `retry loop assigns last but nothing consults it after the loop`
+		if last == nil {
+			return nil
+		}
+	}
+	return errDown
+}
+
+// retryReturnsCarrier is legal: exhaustion propagates the final error.
+//
+//s2c2:partition-attrib
+func retryReturnsCarrier(tries int) error {
+	var last error
+	for i := 0; i < tries; i++ {
+		last = attempt(i)
+		if last == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("retries exhausted: %w", last) // legal: wraps the carrier
+}
+
+// retryReturnsInsideLoop is legal: the final attempt returns the carrier
+// from within the loop, so nothing after it needs to.
+//
+//s2c2:partition-attrib
+func retryReturnsInsideLoop(tries int) error {
+	var last error
+	for i := 0; i < tries; i++ {
+		last = attempt(i)
+		if last == nil {
+			return nil
+		}
+		if i == tries-1 {
+			return last
+		}
+	}
+	return nil
+}
+
+// retryNamedResult is legal: the carrier is a named result, so the bare
+// return hands it back implicitly.
+//
+//s2c2:partition-attrib
+func retryNamedResult(tries int) (err error) {
+	for i := 0; i < tries; i++ {
+		err = attempt(i)
+		if err == nil {
+			return nil
+		}
+	}
+	return
+}
+
+// retryLocalErr is not a carrier pattern: the per-iteration `err :=`
+// early-return idiom declares inside the loop and rule 3 stays quiet.
+//
+//s2c2:partition-attrib
+func retryLocalErr(tries int) error {
+	for i := 0; i < tries; i++ {
+		if err := attempt(i); err != nil {
+			return fmt.Errorf("attempt %d: %w", i, err)
+		}
+	}
+	return nil
+}

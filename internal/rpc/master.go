@@ -45,6 +45,26 @@ type MasterConfig struct {
 	// the number of unacknowledged chunks the master keeps in flight per
 	// worker. Zero selects 4; values are clamped to [1, 128].
 	ChunkWindow int
+	// Retry configures the distribute-path retry engine: on a
+	// *PartitionError, only the failed workers' partitions are re-streamed
+	// — to a warm spare from the parked pool when one is available — under
+	// bounded exponential backoff. The zero value disables retries.
+	Retry RetryConfig
+	// Heartbeat is the cadence of the liveness watch: every interval the
+	// master pings all connections — registered workers and parked spares
+	// alike — and declares a connection dead when no pong arrives within
+	// HeartbeatMiss intervals. Zero disables the watch. Choose an interval
+	// comfortably above the link's frame delivery time: a pong queues
+	// behind whatever frame is mid-flight on the worker's sender.
+	Heartbeat time.Duration
+	// HeartbeatMiss is the number of consecutive silent heartbeat
+	// intervals tolerated before eviction. Zero selects 3.
+	HeartbeatMiss int
+	// EvictAfter evicts a worker once it has failed this many consecutive
+	// rounds (timed out or dead each time, never responding in between).
+	// An evicted slot stays dead until RepairWorkers promotes a spare into
+	// it. Zero disables round-failure eviction.
+	EvictAfter int
 }
 
 // defaultStallTimeout applies when MasterConfig.StallTimeout is zero.
@@ -116,6 +136,23 @@ type workerConn struct {
 	// DistributePartitions calls for different phases would otherwise
 	// consume (and drop) each other's credits off the shared acks channel.
 	xfer sync.Mutex
+	// id is the worker slot this connection serves, or -1 while parked in
+	// the spare pool. The readLoop reads it per message, so a spare
+	// promoted into a slot starts attributing traffic to it without a
+	// loop restart.
+	id atomic.Int64
+	// lastPong is the UnixNano of the latest pong (seeded at admission);
+	// the heartbeat watcher evicts connections whose pong age exceeds the
+	// miss budget.
+	lastPong atomic.Int64
+	// evicted marks a deliberate teardown (replacement, eviction policy):
+	// the readLoop exits silently instead of reporting a worker failure
+	// that was already attributed elsewhere.
+	evicted atomic.Bool
+	// loopOnce guards the connection's single read loop, started when the
+	// connection is first parked or registered — whichever happens first —
+	// and owned by it until the connection dies.
+	loopOnce sync.Once
 }
 
 // Master coordinates a real TCP cluster: it accepts worker connections,
@@ -130,10 +167,21 @@ type Master struct {
 
 	mu          sync.Mutex
 	workers     []*workerConn
-	pending     []*workerConn // admitted past a WaitForWorkers target; registered by a later call
+	pending     []*workerConn // spare pool: admitted past a target, or parked by the admission loop
 	closing     bool
+	admissions  bool        // background admission loop running (StartAdmissions)
 	blockRows   map[int]int // phase → float64 partition rows
 	gfBlockRows map[int]int // phase → GF partition rows (exact path)
+	// failStreak[w] counts worker w's consecutive failed rounds (timed out
+	// or dead, never responding in between); EvictAfter reads it.
+	failStreak []int
+	// parts/gfParts retain the distributed partitions per phase, so a
+	// replacement worker promoted into a slot can be brought up to the
+	// incumbent's state by re-streaming (retryPartitions, RepairWorkers).
+	parts   map[int][]*mat.Dense
+	gfParts map[int][]*gf.Matrix
+	// totals accumulates lifetime recovery counters (RecoveryTotals).
+	totals RecoveryStats
 
 	// pendingReady holds one token when pending is non-empty, so a
 	// WaitForWorkers call already inside its wait loop notices workers
@@ -160,7 +208,7 @@ func NewMasterWithConfig(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listen: %w", err)
 	}
-	return &Master{
+	m := &Master{
 		cfg:          cfg,
 		ln:           ln,
 		results:      make(chan *Result, 1024),
@@ -169,8 +217,15 @@ func NewMasterWithConfig(cfg MasterConfig) (*Master, error) {
 		quit:         make(chan struct{}),
 		blockRows:    map[int]int{},
 		gfBlockRows:  map[int]int{},
+		parts:        map[int][]*mat.Dense{},
+		gfParts:      map[int][]*gf.Matrix{},
 		pendingReady: make(chan struct{}, 1),
-	}, nil
+	}
+	if cfg.Heartbeat > 0 {
+		m.wg.Add(1)
+		go m.heartbeatLoop()
+	}
+	return m, nil
 }
 
 // Addr returns the listen address workers should dial.
@@ -251,6 +306,11 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 	}
 	if m.NumWorkers() >= n {
 		return nil
+	}
+	if m.admissionsRunning() {
+		// The background admission loop owns the listener's accept loop;
+		// grow from its spare pool instead of competing for Accept.
+		return m.waitFromPool(n, timeout)
 	}
 	tl, _ := m.ln.(*net.TCPListener)
 	if tl != nil {
@@ -398,16 +458,17 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 	return nil
 }
 
-// enqueuePending parks an admitted connection for a later WaitForWorkers
-// call (closing it instead if the master is shutting down) and pulses
-// pendingReady so a call already waiting picks it up.
+// enqueuePending parks an admitted connection in the spare pool for a
+// later WaitForWorkers call or a replacement promotion (closing it
+// instead if the master is shutting down) and pulses pendingReady so a
+// call already waiting picks it up.
 //
-// No read loop watches a parked connection, so one that dies while parked
-// is only discovered when a later call registers it and its read loop
-// starts. That is the same contract registration has always had — a
-// worker can die the instant after WaitForWorkers returns — and the same
-// recovery applies: the death surfaces on the master's error channel and
-// the round path reassigns around it.
+// A parked connection runs the same read loop a registered one does, so a
+// spare that dies while parked is discovered the moment its connection
+// errors — the loop discards it from the pool (dropParked) instead of
+// letting a later registration inherit a corpse. Promotion into a worker
+// slot is an atomic id swap observed by that same loop, not a loop
+// restart.
 func (m *Master) enqueuePending(wc *workerConn) {
 	m.mu.Lock()
 	if m.closing {
@@ -416,6 +477,7 @@ func (m *Master) enqueuePending(wc *workerConn) {
 		return
 	}
 	m.pending = append(m.pending, wc)
+	m.startReadLoopLocked(wc)
 	m.mu.Unlock()
 	select {
 	case m.pendingReady <- struct{}{}:
@@ -423,24 +485,34 @@ func (m *Master) enqueuePending(wc *workerConn) {
 	}
 }
 
-// popPending dequeues the oldest parked connection, or nil.
+// popPending dequeues the oldest parked connection that is still alive, or
+// nil. Dead spares are normally discarded by their read loops the moment
+// they die; the liveness check here is the second line of defense against
+// the race where a pop lands between a spare's death and its discard.
 func (m *Master) popPending() *workerConn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.pending) == 0 {
-		return nil
+	for len(m.pending) > 0 {
+		wc := m.pending[0]
+		m.pending = m.pending[1:]
+		select {
+		case <-wc.dead:
+			continue // died while parked
+		default:
+		}
+		return wc
 	}
-	wc := m.pending[0]
-	m.pending = m.pending[1:]
-	return wc
+	return nil
 }
 
 // register assigns the next worker ID to an admitted connection and
-// starts its read loop. A handshake that completes after Shutdown began
-// is turned away (its connection closed) instead of registered: the
-// worker would miss Shutdown's close sweep and hang the final Wait. The
-// wg.Add happens under the same lock Shutdown sets closing under, so
-// every registered read loop is ordered before Shutdown's Wait.
+// starts its read loop (unless the connection was parked first, in which
+// case the loop is already running and merely observes the id swap). A
+// handshake that completes after Shutdown began is turned away (its
+// connection closed) instead of registered: the worker would miss
+// Shutdown's close sweep and hang the final Wait. The wg.Add happens
+// under the same lock Shutdown sets closing under, so every read loop is
+// ordered before Shutdown's Wait.
 func (m *Master) register(wc *workerConn) {
 	m.mu.Lock()
 	if m.closing {
@@ -450,9 +522,20 @@ func (m *Master) register(wc *workerConn) {
 	}
 	id := len(m.workers)
 	m.workers = append(m.workers, wc)
-	m.wg.Add(1)
+	m.failStreak = append(m.failStreak, 0)
+	wc.id.Store(int64(id))
+	m.startReadLoopLocked(wc)
 	m.mu.Unlock()
-	go m.readLoop(id, wc)
+}
+
+// startReadLoopLocked starts the connection's lifetime read loop exactly
+// once; callers hold m.mu (the wg.Add must be ordered before Shutdown's
+// Wait under the same lock that sets closing).
+func (m *Master) startReadLoopLocked(wc *workerConn) {
+	wc.loopOnce.Do(func() {
+		m.wg.Add(1)
+		go m.readLoop(wc)
+	})
 }
 
 // admit runs the handshake + hello exchange on a freshly accepted
@@ -480,17 +563,26 @@ func (m *Master) admit(c net.Conn) (*workerConn, error) {
 		return nil, fmt.Errorf("rpc: first message kind %d, want hello", msg.Kind)
 	}
 	c.SetDeadline(time.Time{}) //nolint:errcheck
-	return &workerConn{t: t, acks: make(chan PartitionAck, ackBuffer), dead: make(chan struct{})}, nil
+	wc := &workerConn{t: t, acks: make(chan PartitionAck, ackBuffer), dead: make(chan struct{})}
+	wc.id.Store(-1) // parked until register assigns a slot
+	wc.lastPong.Store(time.Now().UnixNano())
+	return wc, nil
 }
 
-// readLoop pumps one worker's messages into the master until the
+// readLoop pumps one connection's messages into the master until the
 // connection drops or the master shuts down: results go to the shared
 // round channel (decoded into pooled slots — the steady-state receive path
 // allocates nothing), partition acks return credits to the streaming
-// sender.
+// sender, pongs feed the liveness watch. One loop serves the connection
+// for its whole life — parked or registered — reading the worker slot per
+// message, so promoting a spare into a slot is an atomic id swap, not a
+// loop restart. A connection that dies while parked is discarded from the
+// spare pool on the spot; one that dies while registered is reported as a
+// typed *WorkerError so the round path can fold its rows back into the
+// plan.
 //
 //s2c2:noalloc
-func (m *Master) readLoop(id int, wc *workerConn) {
+func (m *Master) readLoop(wc *workerConn) {
 	defer m.wg.Done()
 	defer close(wc.dead)
 	// One receive struct per connection, reused for every frame.
@@ -498,19 +590,31 @@ func (m *Master) readLoop(id int, wc *workerConn) {
 	msg := &Msg{}
 	for {
 		if err := wc.t.recv(msg); err != nil {
-			if m.isClosing() {
-				return // orderly shutdown: the close raced the read, by design
+			if m.isClosing() || wc.evicted.Load() {
+				return // orderly teardown: the close raced the read, by design
+			}
+			id := int(wc.id.Load())
+			if id < 0 {
+				// Died while parked: discard the spare eagerly instead of
+				// letting a later registration inherit a corpse.
+				//s2c2:waive noalloc
+				m.dropParked(wc)
+				return
 			}
 			select {
 			// Failure path: the connection is already dead here.
 			//s2c2:waive noalloc
-			case m.errs <- fmt.Errorf("rpc: worker %d: %w", id, err):
+			case m.errs <- &WorkerError{Worker: id, Err: err, conn: wc}:
 			default:
 			}
 			return
 		}
+		id := int(wc.id.Load())
 		switch msg.Kind {
 		case KindResult:
+			if id < 0 {
+				continue // a parked spare has no slot to attribute results to
+			}
 			r := m.getResult()
 			// Swap structs: the pooled slot takes the decoded message
 			// (slices included), the message slot inherits the pooled
@@ -523,6 +627,9 @@ func (m *Master) readLoop(id int, wc *workerConn) {
 				return
 			}
 		case KindGFResult:
+			if id < 0 {
+				continue
+			}
 			r := m.getGFResult()
 			*r, msg.GFResult = msg.GFResult, *r
 			r.Worker = id
@@ -531,6 +638,8 @@ func (m *Master) readLoop(id int, wc *workerConn) {
 			case <-m.quit:
 				return
 			}
+		case KindPong:
+			wc.lastPong.Store(time.Now().UnixNano())
 		case KindPartitionAck:
 			// Never block the readLoop on the credit channel: a full
 			// buffer means stale acks from aborted transfers accumulated
@@ -559,10 +668,12 @@ func (m *Master) NumWorkers() int {
 	return len(m.workers)
 }
 
-// conns returns the current worker connections. The slice is append-only
-// (WaitForWorkers only ever appends under the lock), so callers may
-// iterate the length captured here but must not assume later growth is
-// invisible.
+// conns returns the current worker connections. Snapshots are immutable:
+// registration only ever appends under the lock (past a snapshot's
+// length), and replaceWorker swaps in a fresh copy of the slice instead
+// of mutating elements in place, so a round iterating an old snapshot
+// races with nothing — at worst it holds a dead incumbent whose sends
+// fail, which the recovery path absorbs.
 //
 //s2c2:noalloc
 func (m *Master) conns() []*workerConn {
@@ -631,7 +742,14 @@ func distributeAll(workers []*workerConn, ship func(w int, wc *workerConn) error
 // the worker acknowledges every chunk it has stored, so peak transport
 // memory is O(chunk), not O(partition), on both ends. Gob-fallback workers
 // receive their partition as one monolithic message. Failures name the
-// broken workers (*PartitionError, aggregated across workers).
+// broken workers (*PartitionError, aggregated across workers); with
+// MasterConfig.Retry enabled, only the failed workers' partitions are
+// re-streamed — to a warm spare promoted into the slot when one is parked
+// — under bounded exponential backoff before any error is returned.
+//
+// The partitions are retained (aliased, not copied) so RepairWorkers and
+// the retry engine can re-stream them to replacements; callers must not
+// mutate a distributed phase's partitions while the master may re-stream.
 //
 //s2c2:partition-attrib
 func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
@@ -640,13 +758,19 @@ func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) erro
 		return fmt.Errorf("%w: %d partitions for %d workers", ErrDistributeShape, len(enc.Parts), len(workers))
 	}
 	err := distributeAll(workers, func(w int, wc *workerConn) error {
-		return m.shipPartition(wc, phase, enc.Parts[w])
+		return m.shipPartition(wc, phase, enc.Parts[w], m.stallTimeout())
 	})
+	if err != nil {
+		err = m.retryPartitions(err, func(w int, wc *workerConn, stall time.Duration) error {
+			return m.shipPartition(wc, phase, enc.Parts[w], stall)
+		})
+	}
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
 	m.blockRows[phase] = enc.BlockRows
+	m.parts[phase] = enc.Parts
 	m.mu.Unlock()
 	return nil
 }
@@ -673,13 +797,19 @@ func (m *Master) DistributeGFPartitions(phase int, parts []*gf.Matrix) error {
 		}
 	}
 	err := distributeAll(workers, func(w int, wc *workerConn) error {
-		return m.shipGFPartition(wc, phase, parts[w])
+		return m.shipGFPartition(wc, phase, parts[w], m.stallTimeout())
 	})
+	if err != nil {
+		err = m.retryPartitions(err, func(w int, wc *workerConn, stall time.Duration) error {
+			return m.shipGFPartition(wc, phase, parts[w], stall)
+		})
+	}
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
 	m.gfBlockRows[phase] = rows
+	m.gfParts[phase] = parts
 	m.mu.Unlock()
 	return nil
 }
@@ -687,14 +817,14 @@ func (m *Master) DistributeGFPartitions(phase int, parts []*gf.Matrix) error {
 // shipPartition delivers one float64 partition over the connection's
 // transport: chunked with credit-based flow control on the wire transport,
 // monolithic on the gob fallback.
-func (m *Master) shipPartition(wc *workerConn, phase int, part *mat.Dense) error {
+func (m *Master) shipPartition(wc *workerConn, phase int, part *mat.Dense, stall time.Duration) error {
 	rows, cols := part.Dims()
 	if !wc.t.streamsPartitions() {
 		return wc.t.sendPartition(&Partition{Phase: phase, Rows: rows, Cols: cols, Data: part.Data()})
 	}
 	chunkRows := m.chunkRowsFor(cols, 8)
 	data := part.Data()
-	return m.streamPartition(wc, phase, rows, chunkRows,
+	return m.streamPartition(wc, phase, rows, chunkRows, stall,
 		func(seq int) error {
 			return wc.t.sendPartitionStart(&PartitionStart{
 				Phase: phase, Seq: seq, Rows: rows, Cols: cols, ChunkRows: chunkRows,
@@ -706,14 +836,14 @@ func (m *Master) shipPartition(wc *workerConn, phase int, part *mat.Dense) error
 }
 
 // shipGFPartition is shipPartition for field-element partitions.
-func (m *Master) shipGFPartition(wc *workerConn, phase int, part *gf.Matrix) error {
+func (m *Master) shipGFPartition(wc *workerConn, phase int, part *gf.Matrix, stall time.Duration) error {
 	rows, cols := part.Dims()
 	if !wc.t.streamsPartitions() {
 		return wc.t.sendGFPartition(&GFPartition{Phase: phase, Rows: rows, Cols: cols, Data: part.Data()})
 	}
 	chunkRows := m.chunkRowsFor(cols, 4)
 	data := part.Data()
-	return m.streamPartition(wc, phase, rows, chunkRows,
+	return m.streamPartition(wc, phase, rows, chunkRows, stall,
 		func(seq int) error {
 			return wc.t.sendGFPartitionStart(&PartitionStart{
 				Phase: phase, Seq: seq, Rows: rows, Cols: cols, ChunkRows: chunkRows,
@@ -727,8 +857,10 @@ func (m *Master) shipGFPartition(wc *workerConn, phase int, part *gf.Matrix) err
 // streamPartition is the shared credit-controlled streaming engine of both
 // element types: it serializes the transfer on the connection, fences it
 // with a fresh sequence number, and ships rows chunk by chunk under the
-// configured credit window via the provided start/chunk senders.
-func (m *Master) streamPartition(wc *workerConn, phase, rows, chunkRows int,
+// configured credit window via the provided start/chunk senders. stall
+// bounds each credit wait — the configured StallTimeout on the first
+// attempt, the retry engine's per-attempt deadline on re-streams.
+func (m *Master) streamPartition(wc *workerConn, phase, rows, chunkRows int, stall time.Duration,
 	start func(seq int) error, chunk func(seq, lo, hi int) error) error {
 	// One transfer at a time per connection: the credit channel is shared,
 	// so interleaved transfers would steal each other's acks.
@@ -754,7 +886,6 @@ drain:
 	if err := start(seq); err != nil {
 		return err
 	}
-	stall := m.stallTimeout()
 	timer := time.NewTimer(stall)
 	defer timer.Stop()
 	awaitCredit := func() error {
@@ -816,6 +947,9 @@ type RoundStats struct {
 	Reassigned int
 	// TimedOut lists workers whose results were abandoned.
 	TimedOut []int
+	// Recovery reports the round's failure-recovery activity (zero-valued
+	// in a healthy round).
+	Recovery RecoveryStats
 }
 
 // roundCore is the element-type-independent heart of a round's gather
@@ -836,6 +970,16 @@ type roundCore struct {
 	coveredBy []bool // n×blockRows: worker w delivered (or was assigned) row r
 	responded []bool
 	respTimes []time.Duration
+
+	// dead marks workers whose connections failed this round (send error
+	// or a readLoop-reported *WorkerError); their undelivered rows are
+	// folded back into the plan by planRepair.
+	dead []bool
+	// asgMark is the n×blockRows assignment bitmap: row r is expected from
+	// worker w (original plan or a successfully sent extra). planRepair
+	// counts alive-but-undelivered assignments as in-flight potential so
+	// repair never re-covers rows a healthy worker is already computing.
+	asgMark []bool
 
 	// Reassignment scratch, grown lazily on the first timeout.
 	extraMark   []bool // n×blockRows: row r reassigned to worker w this round
@@ -886,6 +1030,12 @@ func (c *roundCore) begin(n, blockRows, k, w int) {
 	}
 	c.stats.Reassigned = 0
 	c.stats.TimedOut = c.stats.TimedOut[:0]
+	c.stats.Recovery.Retries = 0
+	c.stats.Recovery.ReStreams = 0
+	c.stats.Recovery.Evictions = 0
+	c.stats.Recovery.ReplacementAdmits = 0
+	c.stats.Recovery.RecoveredRows = 0
+	c.stats.Recovery.DeadWorkers = c.stats.Recovery.DeadWorkers[:0]
 
 	c.cov = kernel.GrowInts(c.cov, blockRows)
 	for i := range c.cov {
@@ -908,6 +1058,23 @@ func (c *roundCore) begin(n, blockRows, k, w int) {
 		c.responded[i] = false
 	}
 	c.respTimes = c.respTimes[:0]
+
+	if cap(c.dead) < n {
+		//s2c2:waive noalloc — capacity growth, first round at this n only
+		c.dead = make([]bool, n)
+	}
+	c.dead = c.dead[:n]
+	for i := range c.dead {
+		c.dead[i] = false
+	}
+	if cap(c.asgMark) < n*blockRows {
+		//s2c2:waive noalloc — capacity growth, first round at this shape only
+		c.asgMark = make([]bool, n*blockRows)
+	}
+	c.asgMark = c.asgMark[:n*blockRows]
+	for i := range c.asgMark {
+		c.asgMark[i] = false
+	}
 }
 
 // checkResult validates a result's worker index, range bounds, row width,
@@ -1001,35 +1168,19 @@ func (c *roundCore) graceWindow(k int, timeoutFrac float64) time.Duration {
 //s2c2:noalloc-waive
 func (c *roundCore) planExtras() error {
 	for w := 0; w < c.n; w++ {
-		if c.stats.AssignedRows[w] > 0 && !c.responded[w] {
+		if c.stats.AssignedRows[w] > 0 && !c.responded[w] && !c.dead[w] {
+			// Dead workers are tracked in Recovery.DeadWorkers: a torn
+			// connection is a failure, not a straggle.
 			c.stats.TimedOut = append(c.stats.TimedOut, w)
 		}
 	}
-	// Lazily sized: only rounds that actually time out pay for this.
-	if cap(c.extraMark) < c.n*c.blockRows {
-		c.extraMark = make([]bool, c.n*c.blockRows)
-	}
-	c.extraMark = c.extraMark[:c.n*c.blockRows]
-	for i := range c.extraMark {
-		c.extraMark[i] = false
-	}
-	c.extraRows = kernel.GrowInts(c.extraRows, c.n)
-	for i := range c.extraRows {
-		c.extraRows[i] = 0
-	}
-	if cap(c.extraRanges) < c.n {
-		c.extraRanges = make([][]coding.Range, c.n)
-	}
-	c.extraRanges = c.extraRanges[:c.n]
-	for i := range c.extraRanges {
-		c.extraRanges[i] = c.extraRanges[i][:0]
-	}
+	c.resetExtras()
 	for r := 0; r < c.blockRows; r++ {
 		for cv := c.cov[r]; cv < c.k; cv++ {
-			// Least-loaded responder that can still add coverage for r.
+			// Least-loaded live responder that can still add coverage for r.
 			best := -1
 			for w := 0; w < c.n; w++ {
-				if !c.responded[w] || c.coveredBy[w*c.blockRows+r] || c.extraMark[w*c.blockRows+r] {
+				if !c.responded[w] || c.dead[w] || c.coveredBy[w*c.blockRows+r] || c.extraMark[w*c.blockRows+r] {
 					continue
 				}
 				if best < 0 || c.extraRows[w] < c.extraRows[best] {
@@ -1055,15 +1206,44 @@ func (c *roundCore) planExtras() error {
 	return nil
 }
 
+// resetExtras clears the reassignment scratch shared by planExtras and
+// planRepair. Lazily sized: only rounds that time out or lose a worker
+// pay for it.
+//
+//s2c2:noalloc-waive
+func (c *roundCore) resetExtras() {
+	if cap(c.extraMark) < c.n*c.blockRows {
+		c.extraMark = make([]bool, c.n*c.blockRows)
+	}
+	c.extraMark = c.extraMark[:c.n*c.blockRows]
+	for i := range c.extraMark {
+		c.extraMark[i] = false
+	}
+	c.extraRows = kernel.GrowInts(c.extraRows, c.n)
+	for i := range c.extraRows {
+		c.extraRows[i] = 0
+	}
+	if cap(c.extraRanges) < c.n {
+		c.extraRanges = make([][]coding.Range, c.n)
+	}
+	c.extraRanges = c.extraRanges[:c.n]
+	for i := range c.extraRanges {
+		c.extraRanges[i] = c.extraRanges[i][:0]
+	}
+}
+
 // copyStats deep-copies the round stats (the non-ReuseRound contract).
 //
 //s2c2:noalloc-waive
 func (c *roundCore) copyStats() *RoundStats {
+	recovery := c.stats.Recovery
+	recovery.DeadWorkers = append([]int(nil), c.stats.Recovery.DeadWorkers...)
 	return &RoundStats{
 		ResponseTime: append([]time.Duration(nil), c.stats.ResponseTime...),
 		AssignedRows: append([]int(nil), c.stats.AssignedRows...),
 		Reassigned:   c.stats.Reassigned,
 		TimedOut:     append([]int(nil), c.stats.TimedOut...),
+		Recovery:     recovery,
 	}
 }
 
@@ -1278,11 +1458,22 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 		ws.stats.AssignedRows[wk] = rows
 		ws.workMsg = Work{Iter: iter, Phase: phase, W: w, X: x, Ranges: ranges}
 		if err := wc.t.sendWork(&ws.workMsg); err != nil {
-			return nil, nil, fmt.Errorf("rpc: send work to %d: %w", wk, err)
+			// A send failure is a worker death, not a round abort: note it
+			// and fold its rows back into the plan once every healthy send
+			// is out (repairing mid-loop would misplan — later workers'
+			// assignments are not marked yet).
+			ws.stats.AssignedRows[wk] = 0
+			ws.noteDead(wk)
+			continue
 		}
+		ws.markAssigned(wk, ranges)
 		active++
 	}
-	if active < k {
+	if len(ws.stats.Recovery.DeadWorkers) > 0 {
+		if err := m.repairRound(ws, workers, iter, phase, x, w); err != nil {
+			return nil, nil, err
+		}
+	} else if active < k {
 		return nil, nil, fmt.Errorf("rpc: plan activates %d workers, decoding needs %d", active, k)
 	}
 
@@ -1304,7 +1495,17 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
-			return nil, nil, err
+			we, ok := err.(*WorkerError)
+			if !ok {
+				return nil, nil, err
+			}
+			if we.Worker >= n || workers[we.Worker] != we.conn {
+				continue // stale: a conn no longer serving this round's slots
+			}
+			ws.noteDead(we.Worker)
+			if err := m.repairRound(ws, workers, iter, phase, x, w); err != nil {
+				return nil, nil, err
+			}
 		case <-m.quit:
 			return nil, nil, fmt.Errorf("rpc: master shut down during round (%d,%d)", iter, phase)
 		case <-ctx.Done():
@@ -1314,6 +1515,7 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 		}
 	}
 	if ws.needed == 0 {
+		m.noteRoundOutcome(&ws.roundCore, workers)
 		return m.finishRound(ws)
 	}
 
@@ -1336,7 +1538,17 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
-			return nil, nil, err
+			we, ok := err.(*WorkerError)
+			if !ok {
+				return nil, nil, err
+			}
+			if we.Worker >= n || workers[we.Worker] != we.conn {
+				continue // stale: a conn no longer serving this round's slots
+			}
+			ws.noteDead(we.Worker)
+			if err := m.repairRound(ws, workers, iter, phase, x, w); err != nil {
+				return nil, nil, err
+			}
 		case <-m.quit:
 			return nil, nil, fmt.Errorf("rpc: master shut down during round (%d,%d)", iter, phase)
 		case <-ctx.Done():
@@ -1344,14 +1556,22 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 		case <-grace.C:
 			// Timeout fired: reassign pending coverage to responders
 			// (reassigned results arrive tagged with the same iter/phase,
-			// so the same collection loop finishes the round).
-			if err := m.reassign(ws, iter, phase, x, w); err != nil {
+			// so the same collection loop finishes the round). A send that
+			// fails here is a death, absorbed by the repair planner.
+			lost, err := m.reassign(ws, workers, iter, phase, x, w)
+			if err != nil {
 				return nil, nil, err
+			}
+			if lost {
+				if err := m.repairRound(ws, workers, iter, phase, x, w); err != nil {
+					return nil, nil, err
+				}
 			}
 		case <-hard.C:
 			return nil, nil, fmt.Errorf("rpc: round (%d,%d) stalled", iter, phase)
 		}
 	}
+	m.noteRoundOutcome(&ws.roundCore, workers)
 	return m.finishRound(ws)
 }
 
@@ -1412,11 +1632,20 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 		ws.stats.AssignedRows[wk] = rows
 		ws.workMsg = GFWork{Iter: iter, Phase: phase, W: w, X: x, Ranges: ranges}
 		if err := wc.t.sendGFWork(&ws.workMsg); err != nil {
-			return nil, nil, fmt.Errorf("rpc: send GF work to %d: %w", wk, err)
+			// Send failure = worker death; fold its rows back in after the
+			// healthy sends are out (see runRound).
+			ws.stats.AssignedRows[wk] = 0
+			ws.noteDead(wk)
+			continue
 		}
+		ws.markAssigned(wk, ranges)
 		active++
 	}
-	if active < k {
+	if len(ws.stats.Recovery.DeadWorkers) > 0 {
+		if err := m.repairGFRound(ws, workers, iter, phase, x, w); err != nil {
+			return nil, nil, err
+		}
+	} else if active < k {
 		return nil, nil, fmt.Errorf("rpc: plan activates %d workers, decoding needs %d", active, k)
 	}
 
@@ -1437,7 +1666,17 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
-			return nil, nil, err
+			we, ok := err.(*WorkerError)
+			if !ok {
+				return nil, nil, err
+			}
+			if we.Worker >= n || workers[we.Worker] != we.conn {
+				continue // stale: a conn no longer serving this round's slots
+			}
+			ws.noteDead(we.Worker)
+			if err := m.repairGFRound(ws, workers, iter, phase, x, w); err != nil {
+				return nil, nil, err
+			}
 		case <-m.quit:
 			return nil, nil, fmt.Errorf("rpc: master shut down during GF round (%d,%d)", iter, phase)
 		case <-ctx.Done():
@@ -1447,6 +1686,7 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 		}
 	}
 	if ws.needed == 0 {
+		m.noteRoundOutcome(&ws.roundCore, workers)
 		return m.finishGFRound(ws)
 	}
 
@@ -1468,19 +1708,36 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
 		case err := <-m.errs:
-			return nil, nil, err
+			we, ok := err.(*WorkerError)
+			if !ok {
+				return nil, nil, err
+			}
+			if we.Worker >= n || workers[we.Worker] != we.conn {
+				continue // stale: a conn no longer serving this round's slots
+			}
+			ws.noteDead(we.Worker)
+			if err := m.repairGFRound(ws, workers, iter, phase, x, w); err != nil {
+				return nil, nil, err
+			}
 		case <-m.quit:
 			return nil, nil, fmt.Errorf("rpc: master shut down during GF round (%d,%d)", iter, phase)
 		case <-ctx.Done():
 			return nil, nil, fmt.Errorf("rpc: GF round (%d,%d) canceled: %w", iter, phase, ctx.Err())
 		case <-grace.C:
-			if err := m.reassignGF(ws, iter, phase, x, w); err != nil {
+			lost, err := m.reassignGF(ws, workers, iter, phase, x, w)
+			if err != nil {
 				return nil, nil, err
+			}
+			if lost {
+				if err := m.repairGFRound(ws, workers, iter, phase, x, w); err != nil {
+					return nil, nil, err
+				}
 			}
 		case <-hard.C:
 			return nil, nil, fmt.Errorf("rpc: GF round (%d,%d) stalled", iter, phase)
 		}
 	}
+	m.noteRoundOutcome(&ws.roundCore, workers)
 	return m.finishGFRound(ws)
 }
 
@@ -1569,48 +1826,55 @@ func copyGFPartials(src []*coding.GFPartial) []*coding.GFPartial {
 
 // reassign routes uncovered rows to responders via the core's plan and
 // sends the extra float64 work assignments (at the round's batch width —
-// reassigned rows need all their lanes recomputed like any others).
+// reassigned rows need all their lanes recomputed like any others). A
+// responder that dies at send time is noted dead and its extras skipped;
+// lost reports whether that happened so the caller can run the repair
+// planner over the remaining deficit.
 //
 //s2c2:noalloc
-func (m *Master) reassign(ws *roundWorkspace, iter, phase int, x []float64, bw int) error {
+func (m *Master) reassign(ws *roundWorkspace, workers []*workerConn, iter, phase int, x []float64, bw int) (lost bool, err error) {
 	if err := ws.planExtras(); err != nil {
-		return err
+		return false, err
 	}
-	workers := m.conns()
 	for w, ranges := range ws.extraRanges {
 		if len(ranges) == 0 {
 			continue
 		}
 		ws.workMsg = Work{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
 		if err := workers[w].t.sendWork(&ws.workMsg); err != nil {
-			return err
+			ws.noteDead(w)
+			lost = true
+			continue
 		}
+		ws.markAssigned(w, ranges)
 		ws.stats.AssignedRows[w] += ws.extraRows[w]
 		ws.stats.Reassigned += ws.extraRows[w]
 	}
-	return nil
+	return lost, nil
 }
 
 // reassignGF is reassign for the exact path.
 //
 //s2c2:noalloc
-func (m *Master) reassignGF(ws *gfRoundWorkspace, iter, phase int, x []gf.Elem, bw int) error {
+func (m *Master) reassignGF(ws *gfRoundWorkspace, workers []*workerConn, iter, phase int, x []gf.Elem, bw int) (lost bool, err error) {
 	if err := ws.planExtras(); err != nil {
-		return err
+		return false, err
 	}
-	workers := m.conns()
 	for w, ranges := range ws.extraRanges {
 		if len(ranges) == 0 {
 			continue
 		}
 		ws.workMsg = GFWork{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
 		if err := workers[w].t.sendGFWork(&ws.workMsg); err != nil {
-			return err
+			ws.noteDead(w)
+			lost = true
+			continue
 		}
+		ws.markAssigned(w, ranges)
 		ws.stats.AssignedRows[w] += ws.extraRows[w]
 		ws.stats.Reassigned += ws.extraRows[w]
 	}
-	return nil
+	return lost, nil
 }
 
 // sortDurations is an ascending insertion sort (short slices, no closure
@@ -1647,7 +1911,7 @@ func (m *Master) Shutdown() {
 		wc.t.close()
 	}
 	for _, wc := range pending {
-		wc.t.close() // admitted but never registered: no read loop to stop
+		wc.t.close() // parked spare: its read loop sees closing and exits
 	}
 	m.ln.Close()
 	m.wg.Wait()

@@ -65,6 +65,8 @@ const (
 	KindGFResult         // computed field-element rows
 	KindGFPartitionStart // begin a streamed GF partition (wire transport)
 	KindGFPartitionChunk // one row band of field elements
+	KindPing             // master → worker liveness probe
+	KindPong             // worker → master liveness answer
 )
 
 // Hello is the worker's first message after the transport handshake.
@@ -270,6 +272,12 @@ type transport interface {
 	sendGFPartition(p *GFPartition) error
 	sendGFPartitionStart(p *PartitionStart) error
 	sendGFPartitionChunk(phase, seq, lo, hi int, data []gf.Elem) error
+	// sendPing/sendPong are the heartbeat pair: the master probes
+	// liveness (registered and parked connections alike), the worker
+	// answers. Both frames are empty-bodied on both transports, so the
+	// heartbeat costs a few bytes per interval.
+	sendPing() error
+	sendPong() error
 	// streamsPartitions reports whether partitions ship as
 	// PartitionStart/Chunk streams (true) or as one monolithic
 	// Partition message (false) — the capability the master's
@@ -421,6 +429,22 @@ func (c *wireConn) sendShutdown() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.w.Begin(wire.TypeShutdown)
+	return c.end()
+}
+
+//s2c2:noalloc
+func (c *wireConn) sendPing() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypePing)
+	return c.end()
+}
+
+//s2c2:noalloc
+func (c *wireConn) sendPong() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Begin(wire.TypePong)
 	return c.end()
 }
 
@@ -673,6 +697,10 @@ func (c *wireConn) recv(m *Msg) error {
 		return nil
 	case wire.TypeShutdown:
 		m.Kind = KindShutdown
+	case wire.TypePing:
+		m.Kind = KindPing
+	case wire.TypePong:
+		m.Kind = KindPong
 	default:
 		return fmt.Errorf("rpc: unknown frame type %d", typ)
 	}
@@ -797,6 +825,8 @@ func (c *gobConn) sendResult(r *Result) error {
 	return c.send(&Envelope{Kind: KindResult, Result: r})
 }
 func (c *gobConn) sendShutdown() error { return c.send(&Envelope{Kind: KindShutdown}) }
+func (c *gobConn) sendPing() error     { return c.send(&Envelope{Kind: KindPing}) }
+func (c *gobConn) sendPong() error     { return c.send(&Envelope{Kind: KindPong}) }
 func (c *gobConn) sendPartition(p *Partition) error {
 	return c.send(&Envelope{Kind: KindPartition, Partition: p})
 }
@@ -888,7 +918,7 @@ func (c *gobConn) recv(m *Msg) error {
 		if m.GFResult.RowWidth < 1 {
 			m.GFResult.RowWidth = 1
 		}
-	case KindShutdown:
+	case KindShutdown, KindPing, KindPong:
 	default:
 		return fmt.Errorf("rpc: envelope missing kind")
 	}

@@ -1,0 +1,717 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
+)
+
+// This file is the elastic-membership and failure-recovery layer: the
+// distribute-path retry engine (re-stream only the lost worker's
+// partition, to a warm spare when one is parked), the cluster lifecycle
+// (background admissions, heartbeat liveness watch, eviction on repeated
+// round failures), and the round repair planner that folds a dead
+// worker's rows back into the reassignment plan instead of stalling to
+// the timeout. The (n,k) coding slack the paper spends on stragglers
+// within a round becomes cluster headroom across rounds.
+
+// RetryConfig bounds the distribute-path retry engine.
+type RetryConfig struct {
+	// MaxAttempts is the total number of times a partition transfer may be
+	// tried (first attempt included). Values below 2 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the second attempt; it doubles per
+	// attempt up to MaxBackoff. Zero selects 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Zero selects 2s.
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each retry attempt's credit waits (the
+	// per-attempt deadline). Zero falls back to StallTimeout.
+	AttemptTimeout time.Duration
+}
+
+func (r RetryConfig) enabled() bool { return r.MaxAttempts > 1 }
+
+func (r RetryConfig) base() time.Duration {
+	if r.BaseBackoff > 0 {
+		return r.BaseBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (r RetryConfig) cap() time.Duration {
+	if r.MaxBackoff > 0 {
+		return r.MaxBackoff
+	}
+	return 2 * time.Second
+}
+
+//s2c2:noalloc
+func (m *Master) attemptTimeout() time.Duration {
+	if m.cfg.Retry.AttemptTimeout > 0 {
+		return m.cfg.Retry.AttemptTimeout
+	}
+	return m.stallTimeout()
+}
+
+// RecoveryStats counts failure-recovery activity. It appears twice: in
+// RoundStats.Recovery scoped to one round (the autoscaler signals of
+// ROADMAP item 2), and as the master's lifetime totals (RecoveryTotals),
+// which also cover distribute-path retries that happen outside any round.
+type RecoveryStats struct {
+	// Retries counts re-stream attempts on the distribute path.
+	Retries int
+	// ReStreams counts partitions successfully re-streamed to a worker
+	// after a failure (retry engine and RepairWorkers catch-ups).
+	ReStreams int
+	// Evictions counts connections deliberately torn down: heartbeat
+	// loss or the EvictAfter round-failure policy.
+	Evictions int
+	// ReplacementAdmits counts spares promoted into worker slots.
+	ReplacementAdmits int
+	// DeadWorkers lists the worker slots whose connections died during
+	// the round (round scope only; nil in the lifetime totals).
+	DeadWorkers []int
+	// RecoveredRows counts row assignments folded back into the plan
+	// after mid-round worker deaths.
+	RecoveredRows int
+}
+
+// WorkerError attributes a connection failure to a worker slot. Read
+// loops report deaths with it so the round path can fold the worker's
+// rows back into the plan; anything else on the error channel stays
+// fatal to the round.
+type WorkerError struct {
+	Worker int
+	Err    error
+	// conn identifies which connection died: a slot can be re-served by a
+	// replacement, and a late report about the replaced corpse must not
+	// kill the successor (the round path compares conn against its
+	// snapshot before acting).
+	conn *workerConn
+}
+
+func (e *WorkerError) Error() string { return fmt.Sprintf("rpc: worker %d: %v", e.Worker, e.Err) }
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// errLivenessLost is the eviction reason the heartbeat watcher attributes
+// to a silent connection.
+var errLivenessLost = errors.New("rpc: no pong within the heartbeat miss budget")
+
+// collectPartitionErrors walks a distribute error (one *PartitionError or
+// an errors.Join of several) and indexes the per-worker attributions.
+func collectPartitionErrors(err error, out map[int]*PartitionError) {
+	switch e := err.(type) {
+	case nil:
+	case *PartitionError:
+		out[e.Worker] = e
+	case interface{ Unwrap() []error }:
+		for _, sub := range e.Unwrap() {
+			collectPartitionErrors(sub, out)
+		}
+	}
+}
+
+// retryPartitions drives the distribute-path retry engine: it extracts
+// the failed workers from err's *PartitionError attributions and retries
+// only their partitions under bounded exponential backoff, drawing a warm
+// spare into any slot whose connection died (the replacement is first
+// caught up on every previously retained phase). Attribution is preserved
+// through the loop: whatever still fails after the last attempt is
+// returned as the surviving *PartitionErrors — wrapped, never flattened —
+// so callers and the partitionerr analyzer see the same per-worker
+// contract the first attempt has.
+//
+//s2c2:partition-attrib
+func (m *Master) retryPartitions(err error, ship func(w int, wc *workerConn, stall time.Duration) error) error {
+	if !m.cfg.Retry.enabled() {
+		return err
+	}
+	failed := map[int]*PartitionError{}
+	collectPartitionErrors(err, failed)
+	if len(failed) == 0 {
+		return err // not per-worker attributed (shape error): nothing to retry
+	}
+	backoff := m.cfg.Retry.base()
+	for attempt := 2; attempt <= m.cfg.Retry.MaxAttempts && len(failed) > 0; attempt++ {
+		select {
+		case <-time.After(backoff):
+		case <-m.quit:
+			return err
+		}
+		if backoff *= 2; backoff > m.cfg.Retry.cap() {
+			backoff = m.cfg.Retry.cap()
+		}
+		for w := range failed {
+			wc, replaced := m.replaceWorker(w)
+			if wc == nil {
+				continue // slot dead and no spare parked yet; next attempt
+			}
+			m.bumpTotals(1, 0, 0)
+			if replaced {
+				// A promoted spare holds nothing: catch it up on every
+				// phase retained so far before shipping the failed one.
+				if cerr := m.streamRetained(w, wc); cerr != nil {
+					failed[w] = &PartitionError{Worker: w, Err: cerr}
+					continue
+				}
+			}
+			if serr := ship(w, wc, m.attemptTimeout()); serr != nil {
+				failed[w] = &PartitionError{Worker: w, Err: serr}
+				continue
+			}
+			delete(failed, w)
+			m.bumpTotals(0, 1, 0)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	// Deterministic order for the surviving attributions.
+	slots := make([]int, 0, len(failed))
+	for w := range failed {
+		slots = append(slots, w)
+	}
+	sort.Ints(slots)
+	if len(slots) == 1 {
+		return failed[slots[0]]
+	}
+	errs := make([]error, 0, len(slots))
+	for _, w := range slots {
+		errs = append(errs, failed[w])
+	}
+	return errors.Join(errs...)
+}
+
+// replaceWorker returns a live connection for worker slot w: the
+// incumbent when it is still alive (retry the same conn), else a warm
+// spare promoted into the slot — the corpse is silenced and closed, the
+// workers slice is swapped copy-on-write so conns() snapshots stay
+// immutable, and the spare's read loop starts attributing to the slot via
+// the atomic id swap. Returns nil when the slot is dead and no spare is
+// parked.
+func (m *Master) replaceWorker(w int) (wc *workerConn, replaced bool) {
+	m.mu.Lock()
+	if w < 0 || w >= len(m.workers) {
+		m.mu.Unlock()
+		return nil, false
+	}
+	cur := m.workers[w]
+	m.mu.Unlock()
+	select {
+	case <-cur.dead:
+	default:
+		return cur, false // incumbent alive: retry the same conn
+	}
+	spare := m.popPending()
+	if spare == nil {
+		return nil, false
+	}
+	cur.evicted.Store(true) // already dead; silence any straggling report
+	cur.t.close()
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		spare.t.close()
+		return nil, false
+	}
+	fresh := make([]*workerConn, len(m.workers))
+	copy(fresh, m.workers)
+	fresh[w] = spare
+	m.workers = fresh
+	if w < len(m.failStreak) {
+		m.failStreak[w] = 0
+	}
+	m.totals.ReplacementAdmits++
+	m.mu.Unlock()
+	spare.id.Store(int64(w))
+	return spare, true
+}
+
+// streamRetained ships every retained partition phase's slot-w partition
+// to a (typically just-promoted) connection, so a replacement joins with
+// the same loaded state its predecessor had. Phases ship in ascending
+// order; the first failure aborts with that phase's attribution.
+//
+//s2c2:partition-attrib
+func (m *Master) streamRetained(w int, wc *workerConn) error {
+	m.mu.Lock()
+	phases := make([]int, 0, len(m.parts))
+	for p := range m.parts {
+		phases = append(phases, p)
+	}
+	gfPhases := make([]int, 0, len(m.gfParts))
+	for p := range m.gfParts {
+		gfPhases = append(gfPhases, p)
+	}
+	m.mu.Unlock()
+	sort.Ints(phases)
+	sort.Ints(gfPhases)
+	for _, p := range phases {
+		m.mu.Lock()
+		parts := m.parts[p]
+		m.mu.Unlock()
+		if w >= len(parts) {
+			continue
+		}
+		if err := m.shipPartition(wc, p, parts[w], m.attemptTimeout()); err != nil {
+			return &PartitionError{Worker: w, Err: fmt.Errorf("re-stream phase %d: %w", p, err)}
+		}
+		m.bumpTotals(0, 1, 0)
+	}
+	for _, p := range gfPhases {
+		m.mu.Lock()
+		parts := m.gfParts[p]
+		m.mu.Unlock()
+		if w >= len(parts) {
+			continue
+		}
+		if err := m.shipGFPartition(wc, p, parts[w], m.attemptTimeout()); err != nil {
+			return &PartitionError{Worker: w, Err: fmt.Errorf("re-stream GF phase %d: %w", p, err)}
+		}
+		m.bumpTotals(0, 1, 0)
+	}
+	return nil
+}
+
+// RepairWorkers promotes warm spares into every dead worker slot,
+// re-streaming all retained partition phases to each replacement. It
+// returns the number of slots repaired; slots with no spare parked are
+// left dead (call again once new workers have joined — StartAdmissions
+// keeps the pool filling in the background). Rounds route around dead
+// slots on their own, so repair is a capacity restore between rounds, not
+// a correctness requirement — until fewer than k slots are alive, at
+// which point rounds fail and repair is the way back.
+func (m *Master) RepairWorkers() (int, error) {
+	repaired := 0
+	for _, w := range m.DeadWorkers() {
+		wc, replaced := m.replaceWorker(w)
+		if wc == nil || !replaced {
+			continue // no spare for this slot (or it revived); next call
+		}
+		if err := m.streamRetained(w, wc); err != nil {
+			return repaired, err
+		}
+		repaired++
+	}
+	return repaired, nil
+}
+
+// DeadWorkers returns the worker slots whose connections are down.
+func (m *Master) DeadWorkers() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var dead []int
+	for w, wc := range m.workers {
+		select {
+		case <-wc.dead:
+			dead = append(dead, w)
+		default:
+		}
+	}
+	return dead
+}
+
+// Spares returns the number of live parked spare connections.
+func (m *Master) Spares() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	alive := 0
+	for _, wc := range m.pending {
+		select {
+		case <-wc.dead:
+		default:
+			alive++
+		}
+	}
+	return alive
+}
+
+// RecoveryTotals returns the master's lifetime recovery counters across
+// all rounds and distribute calls. DeadWorkers is nil here — per-round
+// deaths are reported in RoundStats.Recovery.
+func (m *Master) RecoveryTotals() RecoveryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totals
+}
+
+// bumpTotals accumulates lifetime retry/re-stream/admit counters.
+//
+//s2c2:noalloc
+func (m *Master) bumpTotals(retries, restreams, evictions int) {
+	m.mu.Lock()
+	m.totals.Retries += retries
+	m.totals.ReStreams += restreams
+	m.totals.Evictions += evictions
+	m.mu.Unlock()
+}
+
+// dropParked removes a dead connection from the spare pool; the read loop
+// calls it the moment a parked connection errors, so the pool never hands
+// out a corpse (popPending double-checks regardless).
+func (m *Master) dropParked(wc *workerConn) {
+	m.mu.Lock()
+	for i, p := range m.pending {
+		if p == wc {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	wc.t.close()
+}
+
+// evictConn deliberately tears a connection down for reason: the evicted
+// flag keeps its read loop from reporting the teardown as a spontaneous
+// failure, and a registered worker's eviction is announced on the error
+// channel as a *WorkerError so a round in flight repairs immediately
+// instead of waiting out its timers.
+func (m *Master) evictConn(wc *workerConn, reason error) {
+	if wc.evicted.Swap(true) {
+		return // already being torn down
+	}
+	wc.t.close()
+	m.bumpTotals(0, 0, 1)
+	if id := int(wc.id.Load()); id >= 0 {
+		select {
+		case m.errs <- &WorkerError{Worker: id, Err: reason, conn: wc}:
+		default:
+		}
+	}
+}
+
+// StartAdmissions switches the master to elastic membership: a background
+// loop accepts, handshakes, and parks new worker connections for the life
+// of the master, so replacements are warm before they are needed. After
+// this call the background loop owns the listener — WaitForWorkers grows
+// the cluster from the spare pool instead of accepting directly.
+// Idempotent.
+func (m *Master) StartAdmissions() {
+	m.mu.Lock()
+	if m.admissions || m.closing {
+		m.mu.Unlock()
+		return
+	}
+	m.admissions = true
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.admitLoop()
+}
+
+func (m *Master) admissionsRunning() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.admissions
+}
+
+// admitLoop accepts and parks joining workers until shutdown. Handshakes
+// run serially — elastic joins are not latency-critical, and a stalled
+// dialer costs at most handshakeTimeout before the next accept.
+func (m *Master) admitLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			if m.isClosing() {
+				return
+			}
+			select {
+			case <-m.quit:
+				return
+			case <-time.After(10 * time.Millisecond):
+				continue // transient accept failure
+			}
+		}
+		wc, err := m.admit(c)
+		if err != nil {
+			continue // rejected handshake; keep serving
+		}
+		m.enqueuePending(wc)
+	}
+}
+
+// waitFromPool is WaitForWorkers' elastic-mode body: it registers workers
+// out of the spare pool the background admission loop keeps filling.
+func (m *Master) waitFromPool(n int, timeout time.Duration) error {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for m.NumWorkers() < n {
+		if wc := m.popPending(); wc != nil {
+			m.register(wc)
+			continue
+		}
+		select {
+		case <-m.pendingReady:
+		case <-timer.C:
+			return fmt.Errorf("rpc: wait for workers: deadline exceeded (have %d/%d workers)",
+				m.NumWorkers(), n)
+		case <-m.quit:
+			return fmt.Errorf("rpc: wait for workers: master shut down")
+		}
+	}
+	return nil
+}
+
+// heartbeatLoop is the liveness watch: every interval it pings all
+// connections — registered workers and parked spares alike — and evicts
+// any whose latest pong is older than the miss budget. Parked spares can
+// otherwise die silently only on OS-level resets; a wedged-but-connected
+// peer is indistinguishable from a healthy idle one without this probe.
+func (m *Master) heartbeatLoop() {
+	defer m.wg.Done()
+	interval := m.cfg.Heartbeat
+	miss := m.cfg.HeartbeatMiss
+	if miss <= 0 {
+		miss = 3
+	}
+	budget := time.Duration(miss) * interval
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var conns []*workerConn // reused snapshot buffer
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-tick.C:
+		}
+		conns = conns[:0]
+		m.mu.Lock()
+		conns = append(conns, m.workers...)
+		conns = append(conns, m.pending...)
+		m.mu.Unlock()
+		now := time.Now().UnixNano()
+		for _, wc := range conns {
+			select {
+			case <-wc.dead:
+				continue // already down; its read loop handled it
+			default:
+			}
+			if now-wc.lastPong.Load() > int64(budget) {
+				m.evictConn(wc, errLivenessLost)
+				continue
+			}
+			wc.t.sendPing() //nolint:errcheck // a dead conn surfaces via its read loop
+		}
+	}
+}
+
+// noteRoundOutcome feeds the eviction policy at the end of every round:
+// responders reset their failure streak, workers that died or timed out
+// extend theirs, and a streak reaching EvictAfter evicts the worker (its
+// slot stays dead until RepairWorkers promotes a spare into it). Workers
+// that were merely slower than the first k — never timed out — are not
+// penalized.
+//
+//s2c2:noalloc-waive
+func (m *Master) noteRoundOutcome(c *roundCore, workers []*workerConn) {
+	m.mu.Lock()
+	for w := 0; w < c.n && w < len(m.failStreak); w++ {
+		switch {
+		case c.responded[w]:
+			m.failStreak[w] = 0
+		case c.dead[w]:
+			m.failStreak[w]++
+		}
+	}
+	for _, w := range c.stats.TimedOut {
+		if w < len(m.failStreak) {
+			m.failStreak[w]++
+		}
+	}
+	var toEvict []*workerConn
+	if m.cfg.EvictAfter > 0 {
+		for w := 0; w < c.n && w < len(m.workers) && w < len(m.failStreak); w++ {
+			wc := m.workers[w]
+			if m.failStreak[w] < m.cfg.EvictAfter || wc != workers[w] || wc.evicted.Load() {
+				continue
+			}
+			select {
+			case <-wc.dead:
+				continue // already down; nothing left to evict
+			default:
+			}
+			toEvict = append(toEvict, wc)
+		}
+	}
+	m.mu.Unlock()
+	for _, wc := range toEvict {
+		wc.t.sendShutdown() //nolint:errcheck // best effort
+		m.evictConn(wc, errRoundFailures)
+		c.stats.Recovery.Evictions++
+	}
+}
+
+// errRoundFailures is the eviction reason of the EvictAfter policy.
+var errRoundFailures = errors.New("rpc: evicted after repeated round failures")
+
+// markAssigned records that worker w is expected to deliver ranges (an
+// original plan assignment or a successfully sent extra); planRepair
+// counts these as in-flight potential.
+//
+//s2c2:noalloc
+func (c *roundCore) markAssigned(w int, ranges []coding.Range) {
+	base := w * c.blockRows
+	for _, rg := range ranges {
+		for r := rg.Lo; r < rg.Hi; r++ {
+			c.asgMark[base+r] = true
+		}
+	}
+}
+
+// noteDead records worker w's mid-round death (idempotent).
+//
+//s2c2:noalloc-waive
+func (c *roundCore) noteDead(w int) {
+	if w < 0 || w >= c.n || c.dead[w] {
+		return
+	}
+	c.dead[w] = true
+	c.stats.Recovery.DeadWorkers = append(c.stats.Recovery.DeadWorkers, w)
+}
+
+// aliveWorkers counts workers not marked dead this round.
+//
+//s2c2:noalloc
+func (c *roundCore) aliveWorkers() int {
+	alive := 0
+	for w := 0; w < c.n; w++ {
+		if !c.dead[w] {
+			alive++
+		}
+	}
+	return alive
+}
+
+// planRepair folds dead workers' undelivered rows back into the round:
+// for every row whose confirmed coverage plus in-flight potential (alive
+// workers still expected to deliver it) falls short of k, it routes the
+// deficit to the least-loaded alive workers that do not already cover or
+// compute the row. Unlike planExtras — which re-executes stragglers' rows
+// on responders only — repair may assign to any alive worker, responder
+// or not: a dead worker's rows are gone, not merely late, so idle
+// capacity is fair game. Every worker holds its full partition from the
+// distribute phase, so any alive worker can compute any of its own
+// partition's rows.
+//
+//s2c2:noalloc-waive
+func (c *roundCore) planRepair() error {
+	c.resetExtras()
+	for r := 0; r < c.blockRows; r++ {
+		if c.cov[r] >= c.k {
+			continue
+		}
+		pot := 0
+		for w := 0; w < c.n; w++ {
+			idx := w*c.blockRows + r
+			if !c.dead[w] && c.asgMark[idx] && !c.coveredBy[idx] {
+				pot++
+			}
+		}
+		for have := c.cov[r] + pot; have < c.k; have++ {
+			best := -1
+			for w := 0; w < c.n; w++ {
+				idx := w*c.blockRows + r
+				if c.dead[w] || c.asgMark[idx] || c.coveredBy[idx] || c.extraMark[idx] {
+					continue
+				}
+				if best < 0 || c.stats.AssignedRows[w]+c.extraRows[w] < c.stats.AssignedRows[best]+c.extraRows[best] {
+					best = w
+				}
+			}
+			if best < 0 {
+				return fmt.Errorf("rpc: cannot re-cover row %d after worker failure (%d alive, need %d distinct)",
+					r, c.aliveWorkers(), c.k)
+			}
+			c.extraMark[best*c.blockRows+r] = true
+			c.extraRows[best]++
+			rs := c.extraRanges[best]
+			if len(rs) > 0 && rs[len(rs)-1].Hi == r {
+				rs[len(rs)-1].Hi = r + 1
+			} else {
+				rs = append(rs, coding.Range{Lo: r, Hi: r + 1})
+			}
+			c.extraRanges[best] = rs
+		}
+	}
+	return nil
+}
+
+// repairRound replans and re-sends the coverage lost to dead workers,
+// absorbing send-time deaths by replanning until every extra sticks or
+// too few workers remain. Each iteration that fails marks at least one
+// more worker dead, so the loop runs at most n times.
+//
+//s2c2:noalloc-waive
+func (m *Master) repairRound(ws *roundWorkspace, workers []*workerConn, iter, phase int, x []float64, bw int) error {
+	for {
+		if ws.aliveWorkers() < ws.k {
+			return roundLostError(&ws.roundCore, iter, phase)
+		}
+		if err := ws.planRepair(); err != nil {
+			return err
+		}
+		failed := false
+		for w, ranges := range ws.extraRanges {
+			if len(ranges) == 0 {
+				continue
+			}
+			ws.workMsg = Work{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
+			if err := workers[w].t.sendWork(&ws.workMsg); err != nil {
+				ws.noteDead(w)
+				failed = true
+				continue
+			}
+			ws.markAssigned(w, ranges)
+			ws.stats.AssignedRows[w] += ws.extraRows[w]
+			ws.stats.Recovery.RecoveredRows += ws.extraRows[w]
+		}
+		if !failed {
+			return nil
+		}
+	}
+}
+
+// repairGFRound is repairRound for the exact path.
+//
+//s2c2:noalloc-waive
+func (m *Master) repairGFRound(ws *gfRoundWorkspace, workers []*workerConn, iter, phase int, x []gf.Elem, bw int) error {
+	for {
+		if ws.aliveWorkers() < ws.k {
+			return roundLostError(&ws.roundCore, iter, phase)
+		}
+		if err := ws.planRepair(); err != nil {
+			return err
+		}
+		failed := false
+		for w, ranges := range ws.extraRanges {
+			if len(ranges) == 0 {
+				continue
+			}
+			ws.workMsg = GFWork{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
+			if err := workers[w].t.sendGFWork(&ws.workMsg); err != nil {
+				ws.noteDead(w)
+				failed = true
+				continue
+			}
+			ws.markAssigned(w, ranges)
+			ws.stats.AssignedRows[w] += ws.extraRows[w]
+			ws.stats.Recovery.RecoveredRows += ws.extraRows[w]
+		}
+		if !failed {
+			return nil
+		}
+	}
+}
+
+// roundLostError reports a round that lost so many workers that coverage
+// k is unreachable.
+func roundLostError(c *roundCore, iter, phase int) error {
+	return fmt.Errorf("rpc: round (%d,%d) lost %d workers; %d alive, coverage needs %d distinct",
+		iter, phase, len(c.stats.Recovery.DeadWorkers), c.aliveWorkers(), c.k)
+}

@@ -148,6 +148,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	return w, nil
 }
 
+// Close tears down the worker's connection immediately: a blocked Run
+// returns with the connection error. It is how a driver retires a worker
+// in place of a process kill — chaos tests and the failover example use
+// it to simulate a worker dying mid-job. Close is idempotent.
+func (w *Worker) Close() error { return w.c.close() }
+
 // Run processes messages until shutdown or connection loss. Work requests
 // are served concurrently so a reassignment can overtake a slow round.
 func (w *Worker) Run() error {
@@ -209,6 +215,17 @@ func (w *Worker) Run() error {
 			job := w.getGFWork()
 			*job, msg.GFWork = msg.GFWork, *job
 			go w.handleGFWork(job)
+		case KindPing:
+			// Heartbeat: answer immediately from the receive loop. Pong
+			// sends share the connection's write mutex with result sends,
+			// so a busy compute round delays the answer by at most one
+			// in-flight frame — size the master's miss budget accordingly.
+			if err := w.c.sendPong(); err != nil {
+				return err
+			}
+		case KindPong:
+			// Workers never solicit pongs; tolerate one anyway (a future
+			// symmetric heartbeat would send them).
 		case KindShutdown:
 			return nil
 		default:

@@ -93,6 +93,8 @@ const (
 	TypeResultBatch                      // worker → master: computed rows, w values per row
 	TypeGFWorkBatch                      // master → worker: field-element batch assignment
 	TypeGFResultBatch                    // worker → master: field-element rows, w values per row
+	TypePing                             // master → worker: liveness probe (empty body)
+	TypePong                             // worker → master: liveness answer (empty body)
 )
 
 // DefaultMaxFrame bounds accepted frame bodies. Partitions are streamed in

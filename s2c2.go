@@ -348,8 +348,18 @@ type WorkerConfig = rpc.WorkerConfig
 
 // MasterConfig configures a TCP master (execution pool, round-buffer
 // reuse, stall deadline, partition-streaming chunk size and credit
-// window).
+// window, retry/heartbeat/eviction policy).
 type MasterConfig = rpc.MasterConfig
+
+// RetryConfig bounds the distribution retry engine: attempts per
+// partition, exponential backoff between them, and per-attempt deadline.
+type RetryConfig = rpc.RetryConfig
+
+// RecoveryStats counts failure-recovery activity — retries, partition
+// re-streams, evictions, replacement admissions, and (per round) which
+// workers died and how many of their rows were folded back into the
+// plan.
+type RecoveryStats = rpc.RecoveryStats
 
 // Exec selects the worker pool and fan-out a component runs on; use it to
 // isolate co-tenant clusters in one process. The zero value shares the
