@@ -12,6 +12,7 @@
 //	s2c2-exp -lstm            # use the LSTM forecaster (slower)
 //	s2c2-exp -csv traces.csv  # also export the Figure 2 speed traces
 //	s2c2-exp -kernelbench BENCH_PR8.json  # kernel-backend benchmark JSON
+//	s2c2-exp -servebench BENCH_PR10.json  # multi-job serving benchmark JSON
 //	s2c2-exp -backends        # print available/dispatched kernel backends
 package main
 
@@ -37,6 +38,7 @@ func main() {
 		lstm   = flag.Bool("lstm", false, "use the LSTM speed predictor")
 		csv    = flag.String("csv", "", "export Figure 2 speed traces to this CSV file")
 		kbench = flag.String("kernelbench", "", "write kernel-backend benchmark JSON to this file and exit")
+		sbench = flag.String("servebench", "", "write multi-job serving benchmark JSON to this file and exit")
 		backs  = flag.Bool("backends", false, "print available and dispatched kernel backends and exit")
 	)
 	flag.Parse()
@@ -50,6 +52,13 @@ func main() {
 
 	if *kbench != "" {
 		if err := runKernelBench(*kbench); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *sbench != "" {
+		if err := runServeBench(*sbench); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/coded-computing/s2c2/internal/coding"
+	"github.com/coded-computing/s2c2/internal/gf"
+	"github.com/coded-computing/s2c2/internal/rpc"
+	"github.com/coded-computing/s2c2/internal/sched"
+)
+
+// Serving benchmark harness (-servebench FILE): stands up a real loopback
+// cluster, opens N jobs with independent exact GF(2³¹−1) datasets, and
+// measures aggregate round throughput and p99 round latency at 1 versus N
+// concurrent jobs (BENCH_PR10.json). Workers carry a fixed per-row
+// compute cost, so the serial lane pays each round's worker time in full
+// while the concurrent lane overlaps one job's worker compute with
+// another's master-side decode — the serving master's reason to exist.
+// Every decode is verified bit-exact against a local recompute; the
+// report is invalid if any round drifts.
+
+type servebenchLane struct {
+	// Concurrency is how many jobs submitted rounds at once.
+	Concurrency int `json:"concurrency"`
+	// Rounds is the total rounds completed across all jobs.
+	Rounds int `json:"rounds"`
+	// JobsPerSec is aggregate served rounds per second of wall time.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// P50Ms/P99Ms are round-latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+type servebenchReport struct {
+	GeneratedAt   string           `json:"generated_at"`
+	GoVersion     string           `json:"go_version"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Workers       int              `json:"workers"`
+	K             int              `json:"k"`
+	Rows          int              `json:"rows"`
+	Cols          int              `json:"cols"`
+	PerRowDelayUs float64          `json:"per_row_delay_us"`
+	Jobs          int              `json:"jobs"`
+	RoundsPerJob  int              `json:"rounds_per_job"`
+	Serial        servebenchLane   `json:"serial"`
+	Concurrent    servebenchLane   `json:"concurrent"`
+	Lanes         []servebenchLane `json:"lanes"`
+	// Speedup is concurrent over serial aggregate jobs/sec.
+	Speedup float64 `json:"speedup"`
+	// BitExact reports that every decode in both lanes matched the local
+	// ground truth exactly.
+	BitExact bool `json:"bit_exact"`
+}
+
+// servebenchJob is one tenant's dataset and verification state.
+type servebenchJob struct {
+	job  *rpc.Job
+	enc  *coding.GFEncodedMatrix
+	data []gf.Elem
+	rng  *rand.Rand
+}
+
+func percentileMs(lat []time.Duration, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(q * float64(len(lat)-1))
+	return float64(lat[idx].Nanoseconds()) / 1e6
+}
+
+func runServeBench(path string) error {
+	const (
+		n, k         = 4, 3
+		rows, cols   = 96, 8
+		jobs         = 4
+		roundsPerJob = 40
+		perRowDelay  = 20 * time.Microsecond
+	)
+
+	m, err := rpc.NewMasterWithConfig(rpc.MasterConfig{
+		Addr:         "127.0.0.1:0",
+		StallTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	for i := 0; i < n; i++ {
+		w, err := rpc.NewWorker(rpc.WorkerConfig{MasterAddr: m.Addr(), PerRowDelay: perRowDelay})
+		if err != nil {
+			return err
+		}
+		go w.Run() //nolint:errcheck // master shutdown closes the conn
+		if err := m.WaitForWorkers(i+1, 10*time.Second); err != nil {
+			return err
+		}
+	}
+
+	code, err := coding.NewGFMDSCode(n, k)
+	if err != nil {
+		return err
+	}
+	tenants := make([]*servebenchJob, jobs)
+	for i := range tenants {
+		rng := rand.New(rand.NewSource(9000 + int64(i)))
+		data := make([]gf.Elem, rows*cols)
+		for q := range data {
+			data[q] = gf.New(rng.Uint64())
+		}
+		enc, err := code.Encode(rows, cols, data)
+		if err != nil {
+			return err
+		}
+		j := m.OpenJob(rpc.JobConfig{})
+		if err := j.DistributeGFPartitions(0, enc.Parts); err != nil {
+			return err
+		}
+		tenants[i] = &servebenchJob{job: j, enc: enc, data: data, rng: rng}
+	}
+	speeds := make([]float64, n)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+
+	exact := true
+	var exactMu sync.Mutex
+	// runRounds drives `count` rounds on one tenant and returns their
+	// latencies; every decode is checked bit-exactly.
+	runRounds := func(t *servebenchJob, iterBase, count int) []time.Duration {
+		strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: t.enc.BlockRows, Granularity: t.enc.BlockRows}
+		lat := make([]time.Duration, 0, count)
+		x := make([]gf.Elem, cols)
+		for r := 0; r < count; r++ {
+			for q := range x {
+				x[q] = gf.New(t.rng.Uint64())
+			}
+			plan, err := strat.Plan(speeds)
+			if err != nil {
+				exactMu.Lock()
+				exact = false
+				exactMu.Unlock()
+				return lat
+			}
+			start := time.Now()
+			partials, _, err := t.job.RunGFRound(iterBase+r, 0, x, plan, k, 10.0)
+			if err != nil {
+				exactMu.Lock()
+				exact = false
+				exactMu.Unlock()
+				return lat
+			}
+			lat = append(lat, time.Since(start))
+			got, err := t.enc.DecodeMatVec(partials)
+			if err != nil {
+				exactMu.Lock()
+				exact = false
+				exactMu.Unlock()
+				return lat
+			}
+			want := gf.NewMatrixFromData(rows, cols, t.data).MulVec(x)
+			for q := range want {
+				if got[q] != want[q] {
+					exactMu.Lock()
+					exact = false
+					exactMu.Unlock()
+					return lat
+				}
+			}
+		}
+		return lat
+	}
+
+	// Warm-up: one round per tenant sizes buffers and pools.
+	for _, t := range tenants {
+		runRounds(t, 1_000_000, 1)
+	}
+
+	// Serial lane: the same total round count, one round in flight at a
+	// time — each tenant's rounds submitted back to back.
+	serialStart := time.Now()
+	var serialLat []time.Duration
+	for _, t := range tenants {
+		serialLat = append(serialLat, runRounds(t, 0, roundsPerJob)...)
+	}
+	serialWall := time.Since(serialStart)
+
+	// Concurrent lane: all tenants submit at once over the same workers.
+	concStart := time.Now()
+	concLats := make([][]time.Duration, jobs)
+	var wg sync.WaitGroup
+	for i, t := range tenants {
+		wg.Add(1)
+		go func(i int, t *servebenchJob) {
+			defer wg.Done()
+			concLats[i] = runRounds(t, 100_000, roundsPerJob)
+		}(i, t)
+	}
+	wg.Wait()
+	concWall := time.Since(concStart)
+	var concLat []time.Duration
+	for _, l := range concLats {
+		concLat = append(concLat, l...)
+	}
+
+	serial := servebenchLane{
+		Concurrency: 1,
+		Rounds:      len(serialLat),
+		JobsPerSec:  float64(len(serialLat)) / serialWall.Seconds(),
+		P50Ms:       percentileMs(serialLat, 0.50),
+		P99Ms:       percentileMs(serialLat, 0.99),
+	}
+	concurrent := servebenchLane{
+		Concurrency: jobs,
+		Rounds:      len(concLat),
+		JobsPerSec:  float64(len(concLat)) / concWall.Seconds(),
+		P50Ms:       percentileMs(concLat, 0.50),
+		P99Ms:       percentileMs(concLat, 0.99),
+	}
+	report := servebenchReport{
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       n,
+		K:             k,
+		Rows:          rows,
+		Cols:          cols,
+		PerRowDelayUs: float64(perRowDelay.Nanoseconds()) / 1e3,
+		Jobs:          jobs,
+		RoundsPerJob:  roundsPerJob,
+		Serial:        serial,
+		Concurrent:    concurrent,
+		Lanes:         []servebenchLane{serial, concurrent},
+		Speedup:       concurrent.JobsPerSec / serial.JobsPerSec,
+		BitExact:      exact,
+	}
+	if !exact {
+		return fmt.Errorf("servebench: a round failed or decoded inexactly; report not written")
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	encJSON := json.NewEncoder(f)
+	encJSON.SetIndent("", "  ")
+	if err := encJSON.Encode(report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "servebench: serial %.1f jobs/s (p99 %.2fms) → %d concurrent %.1f jobs/s (p99 %.2fms), %.2fx, bit-exact=%v; wrote %s\n",
+		serial.JobsPerSec, serial.P99Ms, jobs, concurrent.JobsPerSec, concurrent.P99Ms, report.Speedup, exact, path)
+	return nil
+}

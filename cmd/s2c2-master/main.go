@@ -14,6 +14,13 @@
 //
 // The same worker binary serves both modes; the protocol's GF message
 // types select the exact compute path per round.
+//
+// Serving mode (-mode exact -jobs N) opens N concurrent jobs on the one
+// master — each with its own exact dataset — and runs all of their
+// rounds over the same workers at once, bounded by -max-rounds with the
+// -policy wait-queue discipline (fcfs or priority). Every job verifies
+// its decodes bit-exactly; the run prints per-job and aggregate
+// throughput.
 package main
 
 import (
@@ -50,26 +57,49 @@ func main() {
 		heartbeat    = flag.Duration("heartbeat", 0, "ping interval for the liveness watch over idle and parked connections (0 = off)")
 		hbMiss       = flag.Int("heartbeat-miss", 0, "missed-ping budget before a silent connection is evicted (0 = 3)")
 		evictAfter   = flag.Int("evict-after", 0, "consecutive failed rounds before a worker is evicted (0 = never)")
+
+		jobs      = flag.Int("jobs", 1, "concurrent jobs served over the shared workers (exact mode only)")
+		maxRounds = flag.Int("max-rounds", 0, "cap on in-flight rounds across all jobs; extra rounds park in the wait queue (0 = unlimited)")
+		policy    = flag.String("policy", "fcfs", "wait-queue policy when -max-rounds saturates: fcfs or priority")
 	)
 	flag.Parse()
 	cfg := rpc.MasterConfig{
-		Addr:          *listen,
-		StallTimeout:  *stall,
-		ChunkRows:     *chunkRows,
-		ChunkWindow:   *chunkWindow,
-		Retry:         rpc.RetryConfig{MaxAttempts: *retryTries, BaseBackoff: *retryBackoff},
-		Heartbeat:     *heartbeat,
-		HeartbeatMiss: *hbMiss,
-		EvictAfter:    *evictAfter,
+		Addr:                *listen,
+		StallTimeout:        *stall,
+		ChunkRows:           *chunkRows,
+		ChunkWindow:         *chunkWindow,
+		Retry:               rpc.RetryConfig{MaxAttempts: *retryTries, BaseBackoff: *retryBackoff},
+		Heartbeat:           *heartbeat,
+		HeartbeatMiss:       *hbMiss,
+		EvictAfter:          *evictAfter,
+		MaxConcurrentRounds: *maxRounds,
 	}
 	var err error
-	switch *mode {
-	case "float":
-		err = run(cfg, *workers, *k, *iters, *samples, *feats, *timeout)
-	case "exact":
-		err = runExact(cfg, *workers, *k, *iters, *samples, *feats, *timeout)
+	switch *policy {
+	case "fcfs":
+		cfg.Policy = rpc.FCFS()
+	case "priority":
+		cfg.Policy = rpc.HighestPriority()
 	default:
-		err = fmt.Errorf("unknown -mode %q (want float or exact)", *mode)
+		err = fmt.Errorf("unknown -policy %q (want fcfs or priority)", *policy)
+	}
+	if err == nil {
+		switch *mode {
+		case "float":
+			if *jobs != 1 {
+				err = fmt.Errorf("-jobs applies to -mode exact only")
+			} else {
+				err = run(cfg, *workers, *k, *iters, *samples, *feats, *timeout)
+			}
+		case "exact":
+			if *jobs > 1 {
+				err = runServe(cfg, *workers, *k, *iters, *samples, *feats, *timeout, *jobs)
+			} else {
+				err = runExact(cfg, *workers, *k, *iters, *samples, *feats, *timeout)
+			}
+		default:
+			err = fmt.Errorf("unknown -mode %q (want float or exact)", *mode)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s2c2-master:", err)

@@ -352,7 +352,7 @@ func TestMasterWireBatchRoundZeroAllocsSteadyState(t *testing.T) {
 	msg := &Msg{}
 
 	runRound := func() {
-		ws := &m.round
+		ws := &m.def.round
 		m.recycleRound(ws)
 		ws.begin(n, enc.BlockRows, k, bw)
 		for w := 0; w < n; w++ {
@@ -448,7 +448,7 @@ func TestMasterGFWireBatchRoundZeroAllocsSteadyState(t *testing.T) {
 	msg := &Msg{}
 
 	runRound := func() {
-		ws := &m.gfRound
+		ws := &m.def.gfRound
 		m.recycleGFRound(ws)
 		ws.begin(n, enc.BlockRows, k, bw)
 		for w := 0; w < n; w++ {
@@ -609,7 +609,7 @@ func TestBatchFrameHostileElementCount(t *testing.T) {
 // then advances coverage normally.
 func TestBatchGatherAllLanesOrNothing(t *testing.T) {
 	m := &Master{cfg: MasterConfig{ReuseRound: true}}
-	ws := &m.round
+	ws := &m.def.round
 	ws.begin(3, 4, 2, 2)
 	// 4 rows at width 2 need 8 values; 7 is a missing lane.
 	bad := &Result{Worker: 0, RowWidth: 2, Ranges: []coding.Range{{Lo: 0, Hi: 4}}, Values: make([]float64, 7)}

@@ -346,7 +346,7 @@ func TestMasterGFWireRoundZeroAllocsSteadyState(t *testing.T) {
 	msg := &Msg{}
 
 	runRound := func() {
-		ws := &m.gfRound
+		ws := &m.def.gfRound
 		m.recycleGFRound(ws)
 		ws.begin(n, enc.BlockRows, k, 1)
 		// Send tasks: one GF work frame per active worker.

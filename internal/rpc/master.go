@@ -65,6 +65,14 @@ type MasterConfig struct {
 	// An evicted slot stays dead until RepairWorkers promotes a spare into
 	// it. Zero disables round-failure eviction.
 	EvictAfter int
+	// MaxConcurrentRounds caps how many rounds — across all jobs — may be
+	// in flight at once. Rounds past the cap park in the serving wait
+	// queue until a slot frees; Policy picks which parked round runs next.
+	// Zero means unlimited (no queue), the pre-serving behavior.
+	MaxConcurrentRounds int
+	// Policy selects the next queued round when a slot frees. Nil selects
+	// FCFS — strict admission order, an identity op over the queue.
+	Policy PriorityPolicy
 }
 
 // defaultStallTimeout applies when MasterConfig.StallTimeout is zero.
@@ -157,27 +165,28 @@ type workerConn struct {
 
 // Master coordinates a real TCP cluster: it accepts worker connections,
 // streams coded partitions, runs assignment rounds, and decodes results.
+//
+// A master serves any number of jobs concurrently over the same worker
+// connections (OpenJob); the promoted Distribute/Run methods act on the
+// built-in default job, so single-tenant callers never see the serving
+// layer.
 type Master struct {
-	cfg       MasterConfig
-	ln        net.Listener
-	results   chan *Result
-	gfResults chan *GFResult
-	errs      chan error
-	quit      chan struct{}
+	cfg  MasterConfig
+	ln   net.Listener
+	quit chan struct{}
 
-	mu          sync.Mutex
-	workers     []*workerConn
-	pending     []*workerConn // spare pool: admitted past a target, or parked by the admission loop
-	closing     bool
-	admissions  bool        // background admission loop running (StartAdmissions)
-	blockRows   map[int]int // phase → float64 partition rows
-	gfBlockRows map[int]int // phase → GF partition rows (exact path)
+	mu         sync.Mutex
+	workers    []*workerConn
+	pending    []*workerConn // spare pool: admitted past a target, or parked by the admission loop
+	closing    bool
+	admissions bool // background admission loop running (StartAdmissions)
 	// failStreak[w] counts worker w's consecutive failed rounds (timed out
 	// or dead, never responding in between); EvictAfter reads it.
 	failStreak []int
-	// parts/gfParts retain the distributed partitions per phase, so a
-	// replacement worker promoted into a slot can be brought up to the
-	// incumbent's state by re-streaming (retryPartitions, RepairWorkers).
+	// parts/gfParts retain the distributed partitions per wire phase —
+	// across every job — so a replacement worker promoted into a slot can
+	// be brought up to the incumbent's state by re-streaming
+	// (retryPartitions, RepairWorkers).
 	parts   map[int][]*mat.Dense
 	gfParts map[int][]*gf.Matrix
 	// totals accumulates lifetime recovery counters (RecoveryTotals).
@@ -188,13 +197,28 @@ type Master struct {
 	// parked mid-call (by a previous call's orphaned admission).
 	pendingReady chan struct{}
 
+	// def is the built-in default job (id 0): the one every promoted
+	// Master round/distribute method acts on, whose traffic stays on the
+	// untagged legacy frames.
+	def Job
+	// jobsMu guards the job registry; the readLoops take it per result to
+	// route by job id, so it is an RWMutex written only on OpenJob/Close.
+	jobsMu  sync.RWMutex
+	jobs    map[int]*Job
+	jobSeq  int          // last job id handed out
+	wireSeq atomic.Int64 // wire-phase namespace allocator (non-default jobs)
+
+	// qmu guards the round wait queue (MaxConcurrentRounds).
+	qmu          sync.Mutex
+	activeRounds int
+	waitq        []*roundTicket
+	ticketSeq    int
+	ticketView   []JobTicket // reused policy snapshot
+
 	wg        sync.WaitGroup // readLoops
-	round     roundWorkspace
-	gfRound   gfRoundWorkspace
-	planBuf   sched.PlanBuffer
-	resPool   sync.Pool    // *Result receive slots recycled across rounds
-	gfResPool sync.Pool    // *GFResult receive slots
-	xferSeq   atomic.Int64 // partition-transfer sequence (stale-ack fencing)
+	resPool   sync.Pool      // *Result receive slots recycled across rounds
+	gfResPool sync.Pool      // *GFResult receive slots
+	xferSeq   atomic.Int64   // partition-transfer sequence (stale-ack fencing)
 }
 
 // NewMaster listens on addr (e.g. "127.0.0.1:0") with a default config.
@@ -211,16 +235,14 @@ func NewMasterWithConfig(cfg MasterConfig) (*Master, error) {
 	m := &Master{
 		cfg:          cfg,
 		ln:           ln,
-		results:      make(chan *Result, 1024),
-		gfResults:    make(chan *GFResult, 1024),
-		errs:         make(chan error, 16),
 		quit:         make(chan struct{}),
-		blockRows:    map[int]int{},
-		gfBlockRows:  map[int]int{},
 		parts:        map[int][]*mat.Dense{},
 		gfParts:      map[int][]*gf.Matrix{},
 		pendingReady: make(chan struct{}, 1),
 	}
+	initJob(&m.def, m, 0, JobConfig{})
+	m.jobs = map[int]*Job{0: &m.def}
+	m.wireSeq.Store(jobPhaseBase)
 	if cfg.Heartbeat > 0 {
 		m.wg.Add(1)
 		go m.heartbeatLoop()
@@ -601,12 +623,11 @@ func (m *Master) readLoop(wc *workerConn) {
 				m.dropParked(wc)
 				return
 			}
-			select {
-			// Failure path: the connection is already dead here.
+			// Failure path: the connection is already dead here. Every
+			// job's round may hold assignments on this worker, so the
+			// death is broadcast to all of them.
 			//s2c2:waive noalloc
-			case m.errs <- &WorkerError{Worker: id, Err: err, conn: wc}:
-			default:
-			}
+			m.broadcastWorkerError(&WorkerError{Worker: id, Err: err, conn: wc})
 			return
 		}
 		id := int(wc.id.Load())
@@ -615,6 +636,10 @@ func (m *Master) readLoop(wc *workerConn) {
 			if id < 0 {
 				continue // a parked spare has no slot to attribute results to
 			}
+			j := m.jobFor(msg.Result.Job)
+			if j == nil {
+				continue // closed or unknown job: drop the frame
+			}
 			r := m.getResult()
 			// Swap structs: the pooled slot takes the decoded message
 			// (slices included), the message slot inherits the pooled
@@ -622,7 +647,7 @@ func (m *Master) readLoop(wc *workerConn) {
 			*r, msg.Result = msg.Result, *r
 			r.Worker = id
 			select {
-			case m.results <- r:
+			case j.results <- r:
 			case <-m.quit:
 				return
 			}
@@ -630,11 +655,15 @@ func (m *Master) readLoop(wc *workerConn) {
 			if id < 0 {
 				continue
 			}
+			j := m.jobFor(msg.GFResult.Job)
+			if j == nil {
+				continue // closed or unknown job: drop the frame
+			}
 			r := m.getGFResult()
 			*r, msg.GFResult = msg.GFResult, *r
 			r.Worker = id
 			select {
-			case m.gfResults <- r:
+			case j.gfResults <- r:
 			case <-m.quit:
 				return
 			}
@@ -753,24 +782,56 @@ func distributeAll(workers []*workerConn, ship func(w int, wc *workerConn) error
 //
 //s2c2:partition-attrib
 func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
+	return m.def.DistributePartitions(phase, enc)
+}
+
+// DistributePartitionsContext is DistributePartitions with a caller
+// context: cancellation aborts promptly between transfer attempts —
+// including mid-backoff inside the retry engine — returning whatever
+// per-worker attribution the attempts so far produced.
+//
+//s2c2:partition-attrib
+func (m *Master) DistributePartitionsContext(ctx context.Context, phase int, enc *coding.EncodedMatrix) error {
+	return m.def.DistributePartitionsContext(ctx, phase, enc)
+}
+
+// DistributePartitions ships phase p's coded partitions for this job —
+// see Master.DistributePartitions for the transfer contract. Each job's
+// phase numbers are its own namespace: two jobs' phase 0 datasets coexist
+// on the workers without collision.
+//
+//s2c2:partition-attrib
+func (j *Job) DistributePartitions(phase int, enc *coding.EncodedMatrix) error {
+	return j.DistributePartitionsContext(context.Background(), phase, enc)
+}
+
+// DistributePartitionsContext is DistributePartitions under a caller
+// context (see Master.DistributePartitionsContext).
+//
+//s2c2:partition-attrib
+func (j *Job) DistributePartitionsContext(ctx context.Context, phase int, enc *coding.EncodedMatrix) error {
+	m := j.m
 	workers := m.conns()
 	if len(enc.Parts) != len(workers) {
 		return fmt.Errorf("%w: %d partitions for %d workers", ErrDistributeShape, len(enc.Parts), len(workers))
 	}
+	wp := j.wirePhase(phase)
 	err := distributeAll(workers, func(w int, wc *workerConn) error {
-		return m.shipPartition(wc, phase, enc.Parts[w], m.stallTimeout())
+		return m.shipPartition(wc, wp, enc.Parts[w], m.stallTimeout())
 	})
 	if err != nil {
-		err = m.retryPartitions(err, func(w int, wc *workerConn, stall time.Duration) error {
-			return m.shipPartition(wc, phase, enc.Parts[w], stall)
+		err = m.retryPartitions(ctx, err, func(w int, wc *workerConn, stall time.Duration) error {
+			return m.shipPartition(wc, wp, enc.Parts[w], stall)
 		})
 	}
 	if err != nil {
 		return err
 	}
+	j.mu.Lock()
+	j.blockRows[phase] = enc.BlockRows
+	j.mu.Unlock()
 	m.mu.Lock()
-	m.blockRows[phase] = enc.BlockRows
-	m.parts[phase] = enc.Parts
+	m.parts[wp] = enc.Parts
 	m.mu.Unlock()
 	return nil
 }
@@ -783,6 +844,31 @@ func (m *Master) DistributePartitions(phase int, enc *coding.EncodedMatrix) erro
 //
 //s2c2:partition-attrib
 func (m *Master) DistributeGFPartitions(phase int, parts []*gf.Matrix) error {
+	return m.def.DistributeGFPartitions(phase, parts)
+}
+
+// DistributeGFPartitionsContext is DistributeGFPartitions with a caller
+// context (see DistributePartitionsContext for the cancellation contract).
+//
+//s2c2:partition-attrib
+func (m *Master) DistributeGFPartitionsContext(ctx context.Context, phase int, parts []*gf.Matrix) error {
+	return m.def.DistributeGFPartitionsContext(ctx, phase, parts)
+}
+
+// DistributeGFPartitions ships phase p's GF(2³¹−1) partitions for this
+// job (see Master.DistributeGFPartitions).
+//
+//s2c2:partition-attrib
+func (j *Job) DistributeGFPartitions(phase int, parts []*gf.Matrix) error {
+	return j.DistributeGFPartitionsContext(context.Background(), phase, parts)
+}
+
+// DistributeGFPartitionsContext is DistributeGFPartitions under a caller
+// context.
+//
+//s2c2:partition-attrib
+func (j *Job) DistributeGFPartitionsContext(ctx context.Context, phase int, parts []*gf.Matrix) error {
+	m := j.m
 	workers := m.conns()
 	if len(parts) != len(workers) {
 		return fmt.Errorf("%w: %d GF partitions for %d workers", ErrDistributeShape, len(parts), len(workers))
@@ -796,20 +882,23 @@ func (m *Master) DistributeGFPartitions(phase int, parts []*gf.Matrix) error {
 			return fmt.Errorf("%w: GF partition %d is %dx%d, want %dx%d", ErrDistributeShape, w, r, c, rows, cols)
 		}
 	}
+	wp := j.wirePhase(phase)
 	err := distributeAll(workers, func(w int, wc *workerConn) error {
-		return m.shipGFPartition(wc, phase, parts[w], m.stallTimeout())
+		return m.shipGFPartition(wc, wp, parts[w], m.stallTimeout())
 	})
 	if err != nil {
-		err = m.retryPartitions(err, func(w int, wc *workerConn, stall time.Duration) error {
-			return m.shipGFPartition(wc, phase, parts[w], stall)
+		err = m.retryPartitions(ctx, err, func(w int, wc *workerConn, stall time.Duration) error {
+			return m.shipGFPartition(wc, wp, parts[w], stall)
 		})
 	}
 	if err != nil {
 		return err
 	}
+	j.mu.Lock()
+	j.gfBlockRows[phase] = rows
+	j.mu.Unlock()
 	m.mu.Lock()
-	m.gfBlockRows[phase] = rows
-	m.gfParts[phase] = parts
+	m.gfParts[wp] = parts
 	m.mu.Unlock()
 	return nil
 }
@@ -1373,17 +1462,24 @@ func (ws *gfRoundWorkspace) addResult(r *GFResult, elapsed time.Duration) error 
 	return nil
 }
 
-// PlanRound builds the next round's plan from the master's double-
+// PlanRound builds the next round's plan from the default job's double-
 // buffered plan storage: the previous round's plan stays intact (it may
 // still be referenced by a draining round) while the new one is written
 // into the other buffer. Steady-state planning allocates nothing.
 func (m *Master) PlanRound(s sched.Strategy, speeds []float64) (*sched.Plan, error) {
-	return m.planBuf.Next(s, speeds)
+	return m.def.PlanRound(s, speeds)
+}
+
+// PlanRound is Master.PlanRound against this job's own plan buffer, so
+// concurrent jobs plan without sharing (sched.PlanBuffer is not safe for
+// concurrent Next calls).
+func (j *Job) PlanRound(s sched.Strategy, speeds []float64) (*sched.Plan, error) {
+	return j.planBuf.Next(s, speeds)
 }
 
 // RunRound is RunRoundContext with a background context.
 func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
-	return m.RunRoundContext(context.Background(), iter, phase, x, plan, k, timeoutFrac)
+	return m.def.RunRoundContext(context.Background(), iter, phase, x, plan, k, timeoutFrac)
 }
 
 // RunRoundContext sends the plan's assignments for (iter, phase), gathers
@@ -1397,14 +1493,16 @@ func (m *Master) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int,
 // The context cancels the round between messages: when ctx is done the
 // round returns its error, abandoning any stragglers (their late results
 // are discarded by the next round's stale filter). The configured
-// StallTimeout still bounds the round independently of ctx.
+// StallTimeout still bounds the round independently of ctx. A round
+// parked in the serving wait queue (MaxConcurrentRounds) observes ctx and
+// Shutdown while queued.
 func (m *Master) RunRoundContext(ctx context.Context, iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
-	return m.runRound(ctx, iter, phase, x, 1, plan, k, timeoutFrac)
+	return m.def.runRound(ctx, iter, phase, x, 1, plan, k, timeoutFrac)
 }
 
 // RunRoundBatch is RunRoundBatchContext with a background context.
 func (m *Master) RunRoundBatch(iter, phase int, xs []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
-	return m.RunRoundBatchContext(context.Background(), iter, phase, xs, w, plan, k, timeoutFrac)
+	return m.def.RunRoundBatchContext(context.Background(), iter, phase, xs, w, plan, k, timeoutFrac)
 }
 
 // RunRoundBatchContext runs one batched round: w input vectors
@@ -1416,10 +1514,36 @@ func (m *Master) RunRoundBatch(iter, phase int, xs []float64, w int, plan *sched
 // identical to the single-x round — the same gather core runs both —
 // with coverage counting a row only when all w of its lanes landed.
 func (m *Master) RunRoundBatchContext(ctx context.Context, iter, phase int, xs []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	return m.def.RunRoundBatchContext(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
+}
+
+// RunRound / RunRoundContext / RunRoundBatch / RunRoundBatchContext run
+// one float64 round for this job — the per-job forms of the Master
+// methods, with identical §4.3 grace, timeout, reassignment, and repair
+// semantics. Jobs' rounds run concurrently over the shared workers; with
+// ReuseRound set, the returned partials alias this job's own workspace,
+// valid until the job's next round.
+func (j *Job) RunRound(iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	return j.runRound(context.Background(), iter, phase, x, 1, plan, k, timeoutFrac)
+}
+
+// RunRoundContext is RunRound under a caller context.
+func (j *Job) RunRoundContext(ctx context.Context, iter, phase int, x []float64, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	return j.runRound(ctx, iter, phase, x, 1, plan, k, timeoutFrac)
+}
+
+// RunRoundBatch is RunRoundBatchContext with a background context.
+func (j *Job) RunRoundBatch(iter, phase int, xs []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	return j.RunRoundBatchContext(context.Background(), iter, phase, xs, w, plan, k, timeoutFrac)
+}
+
+// RunRoundBatchContext runs one batched round for this job (see
+// Master.RunRoundBatchContext for the width contract).
+func (j *Job) RunRoundBatchContext(ctx context.Context, iter, phase int, xs []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
 	if err := checkBatchArgs(w, len(xs)); err != nil {
 		return nil, nil, err
 	}
-	return m.runRound(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
+	return j.runRound(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
 }
 
 // checkBatchArgs validates a batched round's width against the
@@ -1435,16 +1559,22 @@ func checkBatchArgs(w, xsLen int) error {
 }
 
 //s2c2:noalloc
-func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
-	m.mu.Lock()
-	blockRows := m.blockRows[phase]
-	m.mu.Unlock()
+func (j *Job) runRound(ctx context.Context, iter, phase int, x []float64, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.Partial, *RoundStats, error) {
+	m := j.m
+	j.mu.Lock()
+	blockRows := j.blockRows[phase]
+	j.mu.Unlock()
 	if blockRows == 0 {
 		return nil, nil, fmt.Errorf("rpc: phase %d has no distributed partitions", phase)
 	}
+	wp := j.wirePhase(phase)
+	if err := m.acquireRoundSlot(ctx, j); err != nil {
+		return nil, nil, err
+	}
+	defer m.releaseRoundSlot()
 	workers := m.conns()
 	n := len(workers)
-	ws := &m.round
+	ws := &j.round
 	m.recycleRound(ws)
 	ws.begin(n, blockRows, k, w)
 	start := time.Now()
@@ -1456,7 +1586,7 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 			continue
 		}
 		ws.stats.AssignedRows[wk] = rows
-		ws.workMsg = Work{Iter: iter, Phase: phase, W: w, X: x, Ranges: ranges}
+		ws.workMsg = Work{Job: j.id, Iter: iter, Phase: wp, W: w, X: x, Ranges: ranges}
 		if err := wc.t.sendWork(&ws.workMsg); err != nil {
 			// A send failure is a worker death, not a round abort: note it
 			// and fold its rows back into the plan once every healthy send
@@ -1470,7 +1600,7 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 		active++
 	}
 	if len(ws.stats.Recovery.DeadWorkers) > 0 {
-		if err := m.repairRound(ws, workers, iter, phase, x, w); err != nil {
+		if err := j.repairRound(ws, workers, iter, wp, x, w); err != nil {
 			return nil, nil, err
 		}
 	} else if active < k {
@@ -1483,8 +1613,8 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 	defer hard.Stop()
 	for ws.nResponded < k {
 		select {
-		case r := <-m.results:
-			if r.Iter != iter || r.Phase != phase {
+		case r := <-j.results:
+			if r.Iter != iter || r.Phase != wp {
 				m.putResult(r) // stale result from an abandoned round
 				continue
 			}
@@ -1494,7 +1624,7 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 			// Amortized: recycled and reset each round, capacity retained.
 			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
-		case err := <-m.errs:
+		case err := <-j.errs:
 			we, ok := err.(*WorkerError)
 			if !ok {
 				return nil, nil, err
@@ -1503,7 +1633,7 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 				continue // stale: a conn no longer serving this round's slots
 			}
 			ws.noteDead(we.Worker)
-			if err := m.repairRound(ws, workers, iter, phase, x, w); err != nil {
+			if err := j.repairRound(ws, workers, iter, wp, x, w); err != nil {
 				return nil, nil, err
 			}
 		case <-m.quit:
@@ -1526,8 +1656,8 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 	defer grace.Stop()
 	for ws.needed > 0 {
 		select {
-		case r := <-m.results:
-			if r.Iter != iter || r.Phase != phase {
+		case r := <-j.results:
+			if r.Iter != iter || r.Phase != wp {
 				m.putResult(r)
 				continue
 			}
@@ -1537,7 +1667,7 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 			// Amortized: recycled and reset each round, capacity retained.
 			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
-		case err := <-m.errs:
+		case err := <-j.errs:
 			we, ok := err.(*WorkerError)
 			if !ok {
 				return nil, nil, err
@@ -1546,7 +1676,7 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 				continue // stale: a conn no longer serving this round's slots
 			}
 			ws.noteDead(we.Worker)
-			if err := m.repairRound(ws, workers, iter, phase, x, w); err != nil {
+			if err := j.repairRound(ws, workers, iter, wp, x, w); err != nil {
 				return nil, nil, err
 			}
 		case <-m.quit:
@@ -1558,12 +1688,12 @@ func (m *Master) runRound(ctx context.Context, iter, phase int, x []float64, w i
 			// (reassigned results arrive tagged with the same iter/phase,
 			// so the same collection loop finishes the round). A send that
 			// fails here is a death, absorbed by the repair planner.
-			lost, err := m.reassign(ws, workers, iter, phase, x, w)
+			lost, err := j.reassign(ws, workers, iter, wp, x, w)
 			if err != nil {
 				return nil, nil, err
 			}
 			if lost {
-				if err := m.repairRound(ws, workers, iter, phase, x, w); err != nil {
+				if err := j.repairRound(ws, workers, iter, wp, x, w); err != nil {
 					return nil, nil, err
 				}
 			}
@@ -1580,6 +1710,29 @@ func (m *Master) RunGFRound(iter, phase int, x []gf.Elem, plan *sched.Plan, k in
 	return m.RunGFRoundContext(context.Background(), iter, phase, x, plan, k, timeoutFrac)
 }
 
+// RunGFRound runs one exact GF(2³¹−1) round for this job.
+func (j *Job) RunGFRound(iter, phase int, x []gf.Elem, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	return j.RunGFRoundContext(context.Background(), iter, phase, x, plan, k, timeoutFrac)
+}
+
+// RunGFRoundContext runs one exact GF(2³¹−1) round for this job under ctx.
+func (j *Job) RunGFRoundContext(ctx context.Context, iter, phase int, x []gf.Elem, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	return j.runGFRound(ctx, iter, phase, x, 1, plan, k, timeoutFrac)
+}
+
+// RunGFRoundBatch runs one batched exact round for this job.
+func (j *Job) RunGFRoundBatch(iter, phase int, xs []gf.Elem, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	return j.RunGFRoundBatchContext(context.Background(), iter, phase, xs, w, plan, k, timeoutFrac)
+}
+
+// RunGFRoundBatchContext runs one batched exact round for this job under ctx.
+func (j *Job) RunGFRoundBatchContext(ctx context.Context, iter, phase int, xs []gf.Elem, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	if err := checkBatchArgs(w, len(xs)); err != nil {
+		return nil, nil, err
+	}
+	return j.runGFRound(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
+}
+
 // RunGFRoundContext is RunRoundContext over GF(2³¹−1): it broadcasts the
 // field-element input vector with the plan's assignments, gathers exact
 // partials until per-row coverage k is met under the same §4.3 timeout and
@@ -1588,7 +1741,7 @@ func (m *Master) RunGFRound(iter, phase int, x []gf.Elem, plan *sched.Plan, k in
 // coding.CompleteGFShares). With ReuseRound set, the partials and stats
 // alias the master's GF round workspace until the next RunGFRound.
 func (m *Master) RunGFRoundContext(ctx context.Context, iter, phase int, x []gf.Elem, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
-	return m.runGFRound(ctx, iter, phase, x, 1, plan, k, timeoutFrac)
+	return m.def.runGFRound(ctx, iter, phase, x, 1, plan, k, timeoutFrac)
 }
 
 // RunGFRoundBatch is RunGFRoundBatchContext with a background context.
@@ -1605,20 +1758,26 @@ func (m *Master) RunGFRoundBatchContext(ctx context.Context, iter, phase int, xs
 	if err := checkBatchArgs(w, len(xs)); err != nil {
 		return nil, nil, err
 	}
-	return m.runGFRound(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
+	return m.def.runGFRound(ctx, iter, phase, xs, w, plan, k, timeoutFrac)
 }
 
 //s2c2:noalloc
-func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
-	m.mu.Lock()
-	blockRows := m.gfBlockRows[phase]
-	m.mu.Unlock()
+func (j *Job) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w int, plan *sched.Plan, k int, timeoutFrac float64) ([]*coding.GFPartial, *RoundStats, error) {
+	m := j.m
+	j.mu.Lock()
+	blockRows := j.gfBlockRows[phase]
+	j.mu.Unlock()
 	if blockRows == 0 {
 		return nil, nil, fmt.Errorf("rpc: phase %d has no distributed GF partitions", phase)
 	}
+	wp := j.wirePhase(phase)
+	if err := m.acquireRoundSlot(ctx, j); err != nil {
+		return nil, nil, err
+	}
+	defer m.releaseRoundSlot()
 	workers := m.conns()
 	n := len(workers)
-	ws := &m.gfRound
+	ws := &j.gfRound
 	m.recycleGFRound(ws)
 	ws.begin(n, blockRows, k, w)
 	start := time.Now()
@@ -1630,7 +1789,7 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 			continue
 		}
 		ws.stats.AssignedRows[wk] = rows
-		ws.workMsg = GFWork{Iter: iter, Phase: phase, W: w, X: x, Ranges: ranges}
+		ws.workMsg = GFWork{Job: j.id, Iter: iter, Phase: wp, W: w, X: x, Ranges: ranges}
 		if err := wc.t.sendGFWork(&ws.workMsg); err != nil {
 			// Send failure = worker death; fold its rows back in after the
 			// healthy sends are out (see runRound).
@@ -1642,7 +1801,7 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 		active++
 	}
 	if len(ws.stats.Recovery.DeadWorkers) > 0 {
-		if err := m.repairGFRound(ws, workers, iter, phase, x, w); err != nil {
+		if err := j.repairGFRound(ws, workers, iter, wp, x, w); err != nil {
 			return nil, nil, err
 		}
 	} else if active < k {
@@ -1654,8 +1813,8 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 	defer hard.Stop()
 	for ws.nResponded < k {
 		select {
-		case r := <-m.gfResults:
-			if r.Iter != iter || r.Phase != phase {
+		case r := <-j.gfResults:
+			if r.Iter != iter || r.Phase != wp {
 				m.putGFResult(r) // stale result from an abandoned round
 				continue
 			}
@@ -1665,7 +1824,7 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 			// Amortized: recycled and reset each round, capacity retained.
 			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
-		case err := <-m.errs:
+		case err := <-j.errs:
 			we, ok := err.(*WorkerError)
 			if !ok {
 				return nil, nil, err
@@ -1674,7 +1833,7 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 				continue // stale: a conn no longer serving this round's slots
 			}
 			ws.noteDead(we.Worker)
-			if err := m.repairGFRound(ws, workers, iter, phase, x, w); err != nil {
+			if err := j.repairGFRound(ws, workers, iter, wp, x, w); err != nil {
 				return nil, nil, err
 			}
 		case <-m.quit:
@@ -1696,8 +1855,8 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 	defer grace.Stop()
 	for ws.needed > 0 {
 		select {
-		case r := <-m.gfResults:
-			if r.Iter != iter || r.Phase != phase {
+		case r := <-j.gfResults:
+			if r.Iter != iter || r.Phase != wp {
 				m.putGFResult(r)
 				continue
 			}
@@ -1707,7 +1866,7 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 			// Amortized: recycled and reset each round, capacity retained.
 			//s2c2:waive noalloc
 			ws.retained = append(ws.retained, r)
-		case err := <-m.errs:
+		case err := <-j.errs:
 			we, ok := err.(*WorkerError)
 			if !ok {
 				return nil, nil, err
@@ -1716,7 +1875,7 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 				continue // stale: a conn no longer serving this round's slots
 			}
 			ws.noteDead(we.Worker)
-			if err := m.repairGFRound(ws, workers, iter, phase, x, w); err != nil {
+			if err := j.repairGFRound(ws, workers, iter, wp, x, w); err != nil {
 				return nil, nil, err
 			}
 		case <-m.quit:
@@ -1724,12 +1883,12 @@ func (m *Master) runGFRound(ctx context.Context, iter, phase int, x []gf.Elem, w
 		case <-ctx.Done():
 			return nil, nil, fmt.Errorf("rpc: GF round (%d,%d) canceled: %w", iter, phase, ctx.Err())
 		case <-grace.C:
-			lost, err := m.reassignGF(ws, workers, iter, phase, x, w)
+			lost, err := j.reassignGF(ws, workers, iter, wp, x, w)
 			if err != nil {
 				return nil, nil, err
 			}
 			if lost {
-				if err := m.repairGFRound(ws, workers, iter, phase, x, w); err != nil {
+				if err := j.repairGFRound(ws, workers, iter, wp, x, w); err != nil {
 					return nil, nil, err
 				}
 			}
@@ -1832,7 +1991,7 @@ func copyGFPartials(src []*coding.GFPartial) []*coding.GFPartial {
 // planner over the remaining deficit.
 //
 //s2c2:noalloc
-func (m *Master) reassign(ws *roundWorkspace, workers []*workerConn, iter, phase int, x []float64, bw int) (lost bool, err error) {
+func (j *Job) reassign(ws *roundWorkspace, workers []*workerConn, iter, phase int, x []float64, bw int) (lost bool, err error) {
 	if err := ws.planExtras(); err != nil {
 		return false, err
 	}
@@ -1840,7 +1999,7 @@ func (m *Master) reassign(ws *roundWorkspace, workers []*workerConn, iter, phase
 		if len(ranges) == 0 {
 			continue
 		}
-		ws.workMsg = Work{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
+		ws.workMsg = Work{Job: j.id, Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
 		if err := workers[w].t.sendWork(&ws.workMsg); err != nil {
 			ws.noteDead(w)
 			lost = true
@@ -1856,7 +2015,7 @@ func (m *Master) reassign(ws *roundWorkspace, workers []*workerConn, iter, phase
 // reassignGF is reassign for the exact path.
 //
 //s2c2:noalloc
-func (m *Master) reassignGF(ws *gfRoundWorkspace, workers []*workerConn, iter, phase int, x []gf.Elem, bw int) (lost bool, err error) {
+func (j *Job) reassignGF(ws *gfRoundWorkspace, workers []*workerConn, iter, phase int, x []gf.Elem, bw int) (lost bool, err error) {
 	if err := ws.planExtras(); err != nil {
 		return false, err
 	}
@@ -1864,7 +2023,7 @@ func (m *Master) reassignGF(ws *gfRoundWorkspace, workers []*workerConn, iter, p
 		if len(ranges) == 0 {
 			continue
 		}
-		ws.workMsg = GFWork{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
+		ws.workMsg = GFWork{Job: j.id, Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
 		if err := workers[w].t.sendGFWork(&ws.workMsg); err != nil {
 			ws.noteDead(w)
 			lost = true

@@ -124,7 +124,14 @@ type PartitionAck struct {
 // rounds (W > 1) ship as a distinct frame type on the wire transport so
 // the single-x encoding stays byte-identical across versions. recv
 // normalizes W to 1 on single-x messages.
+//
+// Job names the serving job the round belongs to. Job 0 — the master's
+// default job — travels on the pre-serving frame types, byte-identical to
+// the pre-job encoding; other jobs use the TypeJob* frames, which always
+// carry both the job id and the width. recv normalizes Job to 0 on
+// untagged messages.
 type Work struct {
+	Job    int
 	Iter   int
 	Phase  int
 	W      int
@@ -142,7 +149,12 @@ type Work struct {
 // round's W for batched rounds, where Values is row-major RowWidth-wide
 // (lane l of covered row r at Values[r*RowWidth+l]). recv normalizes it
 // to 1 on single-x messages.
+//
+// Job echoes the Work's job id so the master's read loop can route the
+// result to the owning job's round; it is 0 (and normalized to 0 by recv)
+// on untagged traffic.
 type Result struct {
+	Job          int
 	Iter         int
 	Phase        int
 	Worker       int
@@ -165,8 +177,10 @@ type GFPartition struct {
 
 // GFWork assigns field-element row ranges for one exact round. X is the
 // round's input vector over GF(2³¹−1) — or, when W > 1, the round's W
-// input vectors concatenated (the batched mirror of Work.W).
+// input vectors concatenated (the batched mirror of Work.W). Job follows
+// the same tagging contract as Work.Job.
 type GFWork struct {
+	Job    int
 	Iter   int
 	Phase  int
 	W      int
@@ -175,9 +189,10 @@ type GFWork struct {
 }
 
 // GFResult returns the computed field-element rows — the exact mirror of
-// Result, including the split-result Partial contract and the RowWidth
-// batched-values layout.
+// Result, including the split-result Partial contract, the RowWidth
+// batched-values layout, and the Job routing tag.
 type GFResult struct {
+	Job          int
 	Iter         int
 	Phase        int
 	Worker       int
@@ -372,12 +387,25 @@ func (c *wireConn) sendHello(h *Hello) error {
 
 // sendWork frames a single-x assignment as TypeWork — byte-identical to
 // the pre-batch encoding — and a batched one (W > 1) as TypeWorkBatch
-// with the width field ahead of the concatenated x-vectors.
+// with the width field ahead of the concatenated x-vectors. A non-default
+// job's assignment (Job != 0) travels as TypeJobWork, which carries the
+// job id and the width at every width, so job 0's traffic never changes
+// shape for old workers.
 //
 //s2c2:noalloc
 func (c *wireConn) sendWork(wk *Work) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if wk.Job != 0 {
+		c.w.Begin(wire.TypeJobWork)
+		c.w.Int(wk.Job)
+		c.w.Int(wk.Iter)
+		c.w.Int(wk.Phase)
+		c.w.Int(wk.W)
+		c.w.Float64s(wk.X)
+		writeRanges(c.w, wk.Ranges)
+		return c.end()
+	}
 	if wk.W > 1 {
 		c.w.Begin(wire.TypeWorkBatch)
 		c.w.Int(wk.Iter)
@@ -397,12 +425,31 @@ func (c *wireConn) sendWork(wk *Work) error {
 
 // sendResult frames a single-x result as TypeResult (unchanged encoding)
 // and a batched one (RowWidth > 1) as TypeResultBatch with the width
-// field ahead of the ranges and row-major width-wide values.
+// field ahead of the ranges and row-major width-wide values. A tagged
+// job's result (Job != 0) echoes the job id on TypeJobResult, width field
+// always present.
 //
 //s2c2:noalloc
 func (c *wireConn) sendResult(r *Result) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if r.Job != 0 {
+		c.w.Begin(wire.TypeJobResult)
+		c.w.Int(r.Job)
+		c.w.Int(r.Iter)
+		c.w.Int(r.Phase)
+		c.w.Int(r.Worker)
+		if r.Partial {
+			c.w.Uvarint(1)
+		} else {
+			c.w.Uvarint(0)
+		}
+		c.w.Uvarint(uint64(r.ComputeNanos))
+		c.w.Int(r.RowWidth)
+		writeRanges(c.w, r.Ranges)
+		c.w.Float64s(r.Values)
+		return c.end()
+	}
 	if r.RowWidth > 1 {
 		c.w.Begin(wire.TypeResultBatch)
 	} else {
@@ -496,6 +543,16 @@ func (c *wireConn) sendPartitionAck(phase, seq int) error {
 func (c *wireConn) sendGFWork(wk *GFWork) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if wk.Job != 0 {
+		c.w.Begin(wire.TypeJobGFWork)
+		c.w.Int(wk.Job)
+		c.w.Int(wk.Iter)
+		c.w.Int(wk.Phase)
+		c.w.Int(wk.W)
+		c.w.Uint32s(gf.AsUint32s(wk.X))
+		writeRanges(c.w, wk.Ranges)
+		return c.end()
+	}
 	if wk.W > 1 {
 		c.w.Begin(wire.TypeGFWorkBatch)
 		c.w.Int(wk.Iter)
@@ -517,6 +574,23 @@ func (c *wireConn) sendGFWork(wk *GFWork) error {
 func (c *wireConn) sendGFResult(r *GFResult) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if r.Job != 0 {
+		c.w.Begin(wire.TypeJobGFResult)
+		c.w.Int(r.Job)
+		c.w.Int(r.Iter)
+		c.w.Int(r.Phase)
+		c.w.Int(r.Worker)
+		if r.Partial {
+			c.w.Uvarint(1)
+		} else {
+			c.w.Uvarint(0)
+		}
+		c.w.Uvarint(uint64(r.ComputeNanos))
+		c.w.Int(r.RowWidth)
+		writeRanges(c.w, r.Ranges)
+		c.w.Uint32s(gf.AsUint32s(r.Values))
+		return c.end()
+	}
 	if r.RowWidth > 1 {
 		c.w.Begin(wire.TypeGFResultBatch)
 	} else {
@@ -583,6 +657,7 @@ func (c *wireConn) recv(m *Msg) error {
 		m.Hello.Slowdown = p.Float64()
 	case wire.TypeWork:
 		m.Kind = KindWork
+		m.Work.Job = 0 // pooled slot may carry a stale job tag
 		m.Work.Iter = p.Int()
 		m.Work.Phase = p.Int()
 		m.Work.W = 1 // pooled slot may carry a stale batch width
@@ -590,13 +665,23 @@ func (c *wireConn) recv(m *Msg) error {
 		m.Work.Ranges = readRanges(p, m.Work.Ranges)
 	case wire.TypeWorkBatch:
 		m.Kind = KindWork
+		m.Work.Job = 0
 		m.Work.Iter = p.Int()
 		m.Work.Phase = p.Int()
 		m.Work.W = readBatchWidth(p)
 		m.Work.X = p.Float64s(m.Work.X)
 		m.Work.Ranges = readRanges(p, m.Work.Ranges)
+	case wire.TypeJobWork:
+		m.Kind = KindWork
+		m.Work.Job = readJobID(p)
+		m.Work.Iter = p.Int()
+		m.Work.Phase = p.Int()
+		m.Work.W = readJobWidth(p)
+		m.Work.X = p.Float64s(m.Work.X)
+		m.Work.Ranges = readRanges(p, m.Work.Ranges)
 	case wire.TypeResult:
 		m.Kind = KindResult
+		m.Result.Job = 0 // pooled slot may carry a stale job tag
 		m.Result.Iter = p.Int()
 		m.Result.Phase = p.Int()
 		m.Result.Worker = p.Int()
@@ -607,12 +692,24 @@ func (c *wireConn) recv(m *Msg) error {
 		m.Result.Values = p.Float64s(m.Result.Values)
 	case wire.TypeResultBatch:
 		m.Kind = KindResult
+		m.Result.Job = 0
 		m.Result.Iter = p.Int()
 		m.Result.Phase = p.Int()
 		m.Result.Worker = p.Int()
 		m.Result.Partial = p.Uvarint() != 0
 		m.Result.ComputeNanos = int64(p.Uvarint())
 		m.Result.RowWidth = readBatchWidth(p)
+		m.Result.Ranges = readRanges(p, m.Result.Ranges)
+		m.Result.Values = p.Float64s(m.Result.Values)
+	case wire.TypeJobResult:
+		m.Kind = KindResult
+		m.Result.Job = readJobID(p)
+		m.Result.Iter = p.Int()
+		m.Result.Phase = p.Int()
+		m.Result.Worker = p.Int()
+		m.Result.Partial = p.Uvarint() != 0
+		m.Result.ComputeNanos = int64(p.Uvarint())
+		m.Result.RowWidth = readJobWidth(p)
 		m.Result.Ranges = readRanges(p, m.Result.Ranges)
 		m.Result.Values = p.Float64s(m.Result.Values)
 	case wire.TypePartitionStart:
@@ -642,6 +739,7 @@ func (c *wireConn) recv(m *Msg) error {
 		m.PartAck.Seq = p.Int()
 	case wire.TypeGFWork:
 		m.Kind = KindGFWork
+		m.GFWork.Job = 0 // pooled slot may carry a stale job tag
 		m.GFWork.Iter = p.Int()
 		m.GFWork.Phase = p.Int()
 		m.GFWork.W = 1 // pooled slot may carry a stale batch width
@@ -649,13 +747,23 @@ func (c *wireConn) recv(m *Msg) error {
 		m.GFWork.Ranges = readRanges(p, m.GFWork.Ranges)
 	case wire.TypeGFWorkBatch:
 		m.Kind = KindGFWork
+		m.GFWork.Job = 0
 		m.GFWork.Iter = p.Int()
 		m.GFWork.Phase = p.Int()
 		m.GFWork.W = readBatchWidth(p)
 		m.GFWork.X = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFWork.X)))
 		m.GFWork.Ranges = readRanges(p, m.GFWork.Ranges)
+	case wire.TypeJobGFWork:
+		m.Kind = KindGFWork
+		m.GFWork.Job = readJobID(p)
+		m.GFWork.Iter = p.Int()
+		m.GFWork.Phase = p.Int()
+		m.GFWork.W = readJobWidth(p)
+		m.GFWork.X = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFWork.X)))
+		m.GFWork.Ranges = readRanges(p, m.GFWork.Ranges)
 	case wire.TypeGFResult:
 		m.Kind = KindGFResult
+		m.GFResult.Job = 0 // pooled slot may carry a stale job tag
 		m.GFResult.Iter = p.Int()
 		m.GFResult.Phase = p.Int()
 		m.GFResult.Worker = p.Int()
@@ -666,12 +774,24 @@ func (c *wireConn) recv(m *Msg) error {
 		m.GFResult.Values = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFResult.Values)))
 	case wire.TypeGFResultBatch:
 		m.Kind = KindGFResult
+		m.GFResult.Job = 0
 		m.GFResult.Iter = p.Int()
 		m.GFResult.Phase = p.Int()
 		m.GFResult.Worker = p.Int()
 		m.GFResult.Partial = p.Uvarint() != 0
 		m.GFResult.ComputeNanos = int64(p.Uvarint())
 		m.GFResult.RowWidth = readBatchWidth(p)
+		m.GFResult.Ranges = readRanges(p, m.GFResult.Ranges)
+		m.GFResult.Values = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFResult.Values)))
+	case wire.TypeJobGFResult:
+		m.Kind = KindGFResult
+		m.GFResult.Job = readJobID(p)
+		m.GFResult.Iter = p.Int()
+		m.GFResult.Phase = p.Int()
+		m.GFResult.Worker = p.Int()
+		m.GFResult.Partial = p.Uvarint() != 0
+		m.GFResult.ComputeNanos = int64(p.Uvarint())
+		m.GFResult.RowWidth = readJobWidth(p)
 		m.GFResult.Ranges = readRanges(p, m.GFResult.Ranges)
 		m.GFResult.Values = gf.AsElems(p.Uint32s(gf.AsUint32s(m.GFResult.Values)))
 	case wire.TypeGFPartitionStart:
@@ -733,6 +853,37 @@ const maxBatchWidth = 4096
 func readBatchWidth(p *wire.Payload) int {
 	w := p.Int()
 	if w < 2 || w > maxBatchWidth {
+		p.Reject()
+		return 0
+	}
+	return w
+}
+
+// maxJobID bounds the job tag a TypeJob* frame may declare, rejecting
+// corrupt or hostile ids before any routing structure is consulted.
+const maxJobID = 1 << 30
+
+// readJobID decodes the job tag of a TypeJob* frame. Tagged frames exist
+// only for jobs ≥ 1 (the default job travels untagged), so anything else
+// is malformed.
+//
+//s2c2:noalloc
+func readJobID(p *wire.Payload) int {
+	id := p.Int()
+	if id < 1 || id > maxJobID {
+		p.Reject()
+		return 0
+	}
+	return id
+}
+
+// readJobWidth decodes the width field of a TypeJob* frame, which —
+// unlike the batch frames — is present at every width including 1.
+//
+//s2c2:noalloc
+func readJobWidth(p *wire.Payload) int {
+	w := p.Int()
+	if w < 1 || w > maxBatchWidth {
 		p.Reject()
 		return 0
 	}

@@ -1,8 +1,10 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sort"
 	"time"
 
@@ -79,6 +81,11 @@ type RecoveryStats struct {
 	// RecoveredRows counts row assignments folded back into the plan
 	// after mid-round worker deaths.
 	RecoveredRows int
+	// AcceptFailures counts Accept errors in the background admission
+	// loop (lifetime totals only; nil-equivalent zero in round scope). A
+	// climbing counter with no ReplacementAdmits is the signature of a
+	// dead or misconfigured listener.
+	AcceptFailures int
 }
 
 // WorkerError attributes a connection failure to a worker slot. Read
@@ -125,10 +132,12 @@ func collectPartitionErrors(err error, out map[int]*PartitionError) {
 // through the loop: whatever still fails after the last attempt is
 // returned as the surviving *PartitionErrors — wrapped, never flattened —
 // so callers and the partitionerr analyzer see the same per-worker
-// contract the first attempt has.
+// contract the first attempt has. The backoff sleeps watch ctx alongside
+// the master's quit channel, so a cancelled caller returns promptly with
+// the attributions from the attempts already made.
 //
 //s2c2:partition-attrib
-func (m *Master) retryPartitions(err error, ship func(w int, wc *workerConn, stall time.Duration) error) error {
+func (m *Master) retryPartitions(ctx context.Context, err error, ship func(w int, wc *workerConn, stall time.Duration) error) error {
 	if !m.cfg.Retry.enabled() {
 		return err
 	}
@@ -141,6 +150,8 @@ func (m *Master) retryPartitions(err error, ship func(w int, wc *workerConn, sta
 	for attempt := 2; attempt <= m.cfg.Retry.MaxAttempts && len(failed) > 0; attempt++ {
 		select {
 		case <-time.After(backoff):
+		case <-ctx.Done():
+			return err
 		case <-m.quit:
 			return err
 		}
@@ -369,9 +380,9 @@ func (m *Master) dropParked(wc *workerConn) {
 
 // evictConn deliberately tears a connection down for reason: the evicted
 // flag keeps its read loop from reporting the teardown as a spontaneous
-// failure, and a registered worker's eviction is announced on the error
-// channel as a *WorkerError so a round in flight repairs immediately
-// instead of waiting out its timers.
+// failure, and a registered worker's eviction is announced to every job's
+// error channel as a *WorkerError so any round in flight repairs
+// immediately instead of waiting out its timers.
 func (m *Master) evictConn(wc *workerConn, reason error) {
 	if wc.evicted.Swap(true) {
 		return // already being torn down
@@ -379,10 +390,7 @@ func (m *Master) evictConn(wc *workerConn, reason error) {
 	wc.t.close()
 	m.bumpTotals(0, 0, 1)
 	if id := int(wc.id.Load()); id >= 0 {
-		select {
-		case m.errs <- &WorkerError{Worker: id, Err: reason, conn: wc}:
-		default:
-		}
+		m.broadcastWorkerError(&WorkerError{Worker: id, Err: reason, conn: wc})
 	}
 }
 
@@ -412,28 +420,62 @@ func (m *Master) admissionsRunning() bool {
 
 // admitLoop accepts and parks joining workers until shutdown. Handshakes
 // run serially — elastic joins are not latency-critical, and a stalled
-// dialer costs at most handshakeTimeout before the next accept.
+// dialer costs at most handshakeTimeout before the next accept. Accept
+// errors split two ways: a closed listener outside of Shutdown is
+// permanent — the loop exits rather than spinning on a socket that will
+// never accept again — while transient failures (EMFILE pressure, resets
+// during the TCP handshake) are retried under exponential backoff. Both
+// kinds are tallied in RecoveryStats.AcceptFailures so a dead or
+// misbehaving listener shows up in RecoveryTotals instead of failing
+// silently.
 func (m *Master) admitLoop() {
 	defer m.wg.Done()
+	backoff := admitBaseBackoff
 	for {
 		c, err := m.ln.Accept()
 		if err != nil {
 			if m.isClosing() {
 				return
 			}
+			m.noteAcceptFailure()
+			if errors.Is(err, net.ErrClosed) {
+				// The listener died out from under us (not a Shutdown —
+				// the closing flag is clear). No future Accept can
+				// succeed; leave rather than spin.
+				return
+			}
 			select {
 			case <-m.quit:
 				return
-			case <-time.After(10 * time.Millisecond):
-				continue // transient accept failure
+			case <-time.After(backoff):
 			}
+			if backoff *= 2; backoff > admitMaxBackoff {
+				backoff = admitMaxBackoff
+			}
+			continue
 		}
+		backoff = admitBaseBackoff
 		wc, err := m.admit(c)
 		if err != nil {
 			continue // rejected handshake; keep serving
 		}
 		m.enqueuePending(wc)
 	}
+}
+
+// Admission-loop Accept retry bounds: start quick (a transient error burst
+// should not delay a joining worker), cap low enough that a recovering
+// listener is rediscovered promptly.
+const (
+	admitBaseBackoff = 10 * time.Millisecond
+	admitMaxBackoff  = 2 * time.Second
+)
+
+// noteAcceptFailure tallies one admission-loop Accept error.
+func (m *Master) noteAcceptFailure() {
+	m.mu.Lock()
+	m.totals.AcceptFailures++
+	m.mu.Unlock()
 }
 
 // waitFromPool is WaitForWorkers' elastic-mode body: it registers workers
@@ -648,7 +690,7 @@ func (c *roundCore) planRepair() error {
 // more worker dead, so the loop runs at most n times.
 //
 //s2c2:noalloc-waive
-func (m *Master) repairRound(ws *roundWorkspace, workers []*workerConn, iter, phase int, x []float64, bw int) error {
+func (j *Job) repairRound(ws *roundWorkspace, workers []*workerConn, iter, phase int, x []float64, bw int) error {
 	for {
 		if ws.aliveWorkers() < ws.k {
 			return roundLostError(&ws.roundCore, iter, phase)
@@ -661,7 +703,7 @@ func (m *Master) repairRound(ws *roundWorkspace, workers []*workerConn, iter, ph
 			if len(ranges) == 0 {
 				continue
 			}
-			ws.workMsg = Work{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
+			ws.workMsg = Work{Job: j.id, Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
 			if err := workers[w].t.sendWork(&ws.workMsg); err != nil {
 				ws.noteDead(w)
 				failed = true
@@ -680,7 +722,7 @@ func (m *Master) repairRound(ws *roundWorkspace, workers []*workerConn, iter, ph
 // repairGFRound is repairRound for the exact path.
 //
 //s2c2:noalloc-waive
-func (m *Master) repairGFRound(ws *gfRoundWorkspace, workers []*workerConn, iter, phase int, x []gf.Elem, bw int) error {
+func (j *Job) repairGFRound(ws *gfRoundWorkspace, workers []*workerConn, iter, phase int, x []gf.Elem, bw int) error {
 	for {
 		if ws.aliveWorkers() < ws.k {
 			return roundLostError(&ws.roundCore, iter, phase)
@@ -693,7 +735,7 @@ func (m *Master) repairGFRound(ws *gfRoundWorkspace, workers []*workerConn, iter
 			if len(ranges) == 0 {
 				continue
 			}
-			ws.workMsg = GFWork{Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
+			ws.workMsg = GFWork{Job: j.id, Iter: iter, Phase: phase, W: bw, X: x, Ranges: ranges}
 			if err := workers[w].t.sendGFWork(&ws.workMsg); err != nil {
 				ws.noteDead(w)
 				failed = true

@@ -94,6 +94,63 @@ func TestChaosSoak(t *testing.T) {
 	strat := &sched.GeneralS2C2{N: n, K: k, BlockRows: fenc.BlockRows, Granularity: fenc.BlockRows}
 	speeds := []float64{1, 1, 1, 1, 1}
 
+	// Multi-job extension: a second tenant serves exact GF rounds on its
+	// own dataset (its private phase 0) concurrently with the default
+	// job's entire churn loop below — worker deaths land mid-round on
+	// both jobs at once, and both must keep decoding bit-exactly.
+	tdata := randElems(rng, rows*cols)
+	tenc, err := gcode.Encode(rows, cols, tdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant := m.OpenJob(JobConfig{})
+	if err := tenant.DistributeGFPartitions(0, tenc.Parts); err != nil {
+		t.Fatal(err)
+	}
+	stopTenant := make(chan struct{})
+	tenantRounds := make(chan int, 1)
+	go func() {
+		trng := rand.New(rand.NewSource(778))
+		tstrat := &sched.GeneralS2C2{N: n, K: k, BlockRows: tenc.BlockRows, Granularity: tenc.BlockRows}
+		completed := 0
+		for iter := 0; ; iter++ {
+			select {
+			case <-stopTenant:
+				tenantRounds <- completed
+				return
+			default:
+			}
+			x := randElems(trng, cols)
+			plan, err := tstrat.Plan(speeds)
+			if err != nil {
+				t.Errorf("tenant plan %d: %v", iter, err)
+				tenantRounds <- completed
+				return
+			}
+			partials, _, err := tenant.RunGFRound(iter, 0, x, plan, k, 10.0)
+			if err != nil {
+				t.Errorf("tenant round %d: %v", iter, err)
+				tenantRounds <- completed
+				return
+			}
+			got, err := tenc.DecodeMatVec(partials)
+			if err != nil {
+				t.Errorf("tenant decode %d: %v", iter, err)
+				tenantRounds <- completed
+				return
+			}
+			want := gfGroundTruth(rows, cols, tdata, x)
+			for q := range want {
+				if got[q] != want[q] {
+					t.Errorf("tenant round %d row %d: GF decode %d != local %d", iter, q, got[q], want[q])
+					tenantRounds <- completed
+					return
+				}
+			}
+			completed++
+		}
+	}()
+
 	checkFloat := func(r int, xs []float64, w int, partials []*coding.Partial) {
 		t.Helper()
 		got, err := fenc.DecodeMatVec(partials)
@@ -201,6 +258,14 @@ func TestChaosSoak(t *testing.T) {
 			}
 		}
 	}
+
+	close(stopTenant)
+	if completed := <-tenantRounds; completed == 0 {
+		t.Fatal("tenant job completed no rounds during the soak")
+	} else {
+		t.Logf("tenant job completed %d concurrent rounds", completed)
+	}
+	tenant.Close()
 
 	totals := m.RecoveryTotals()
 	if totals.ReplacementAdmits == 0 || totals.ReStreams == 0 {

@@ -574,7 +574,7 @@ func TestMasterWireRoundZeroAllocsSteadyState(t *testing.T) {
 	msg := &Msg{}
 
 	runRound := func() {
-		ws := &m.round
+		ws := &m.def.round
 		m.recycleRound(ws)
 		ws.begin(n, enc.BlockRows, k, 1)
 		// Send tasks: one work frame per active worker.

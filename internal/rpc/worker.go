@@ -425,6 +425,7 @@ func (w *Worker) handleWork(job *Work) {
 	// Reset every scalar field: a pooled slot may carry Partial=true from
 	// a split send whose error path skipped the final flush.
 	res.Iter, res.Phase, res.Worker, res.Partial = job.Iter, job.Phase, 0, false
+	res.Job = job.Job // echo the job tag so the master routes the result
 	res.RowWidth = bw
 	res.Ranges = coding.AppendNormalizeRanges(res.Ranges[:0], job.Ranges)
 	total := coding.TotalRows(res.Ranges)
@@ -485,6 +486,7 @@ func (w *Worker) handleGFWork(job *GFWork) {
 	start := time.Now()
 	res := w.getGFResult()
 	res.Iter, res.Phase, res.Worker, res.Partial = job.Iter, job.Phase, 0, false
+	res.Job = job.Job // echo the job tag so the master routes the result
 	res.RowWidth = bw
 	res.Ranges = coding.AppendNormalizeRanges(res.Ranges[:0], job.Ranges)
 	total := coding.TotalRows(res.Ranges)
@@ -587,6 +589,7 @@ func (w *Worker) sendResultBounded(res *Result) error {
 	}
 	sub := w.getResult()
 	sub.Iter, sub.Phase, sub.Worker, sub.ComputeNanos = res.Iter, res.Phase, res.Worker, res.ComputeNanos
+	sub.Job = res.Job
 	sub.RowWidth = wd
 	scratch, err := splitResultRanges(res.Ranges, total, maxRows, sub.Ranges[:0],
 		func(seg []coding.Range, at, rows int, last bool) error {
@@ -617,6 +620,7 @@ func (w *Worker) sendGFResultBounded(res *GFResult) error {
 	}
 	sub := w.getGFResult()
 	sub.Iter, sub.Phase, sub.Worker, sub.ComputeNanos = res.Iter, res.Phase, res.Worker, res.ComputeNanos
+	sub.Job = res.Job
 	sub.RowWidth = wd
 	scratch, err := splitResultRanges(res.Ranges, total, maxRows, sub.Ranges[:0],
 		func(seg []coding.Range, at, rows int, last bool) error {

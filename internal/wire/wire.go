@@ -95,6 +95,10 @@ const (
 	TypeGFResultBatch                    // worker → master: field-element rows, w values per row
 	TypePing                             // master → worker: liveness probe (empty body)
 	TypePong                             // worker → master: liveness answer (empty body)
+	TypeJobWork                          // master → worker: row assignment tagged with a job id
+	TypeJobResult                        // worker → master: computed rows for a tagged job
+	TypeJobGFWork                        // master → worker: field-element assignment for a tagged job
+	TypeJobGFResult                      // worker → master: field-element rows for a tagged job
 )
 
 // DefaultMaxFrame bounds accepted frame bodies. Partitions are streamed in

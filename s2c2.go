@@ -356,10 +356,34 @@ type MasterConfig = rpc.MasterConfig
 type RetryConfig = rpc.RetryConfig
 
 // RecoveryStats counts failure-recovery activity — retries, partition
-// re-streams, evictions, replacement admissions, and (per round) which
-// workers died and how many of their rows were folded back into the
-// plan.
+// re-streams, evictions, replacement admissions, admission-loop accept
+// failures, and (per round) which workers died and how many of their rows
+// were folded back into the plan.
 type RecoveryStats = rpc.RecoveryStats
+
+// Job is one tenant of a serving master: a private phase namespace of
+// encoded datasets plus a Distribute/Run method set mirroring the
+// Master's. Different jobs' rounds run concurrently over the same
+// workers (Master.OpenJob).
+type Job = rpc.Job
+
+// JobConfig configures one served job (per-job Exec budget, queue
+// priority).
+type JobConfig = rpc.JobConfig
+
+// JobTicket is one parked round as a PriorityPolicy sees it.
+type JobTicket = rpc.JobTicket
+
+// PriorityPolicy picks which parked round runs when a serving master's
+// concurrency slot frees (MasterConfig.MaxConcurrentRounds).
+type PriorityPolicy = rpc.PriorityPolicy
+
+// FCFS is the first-come-first-served queue policy (the default).
+func FCFS() PriorityPolicy { return rpc.FCFS() }
+
+// HighestPriority prefers the parked round whose job has the largest
+// JobConfig.Priority, FCFS among equals.
+func HighestPriority() PriorityPolicy { return rpc.HighestPriority() }
 
 // Exec selects the worker pool and fan-out a component runs on; use it to
 // isolate co-tenant clusters in one process. The zero value shares the
